@@ -1,0 +1,186 @@
+// Experiment F1 (paper Figure 1 / §III): thread safety.
+//  * Throughput of INDEPENDENT GraphBLAS calls issued from 1..8 threads:
+//    a thread-safe library must not serialize them on shared state.
+//  * The Figure 1 two-thread pipeline (share Esh via GrB_wait +
+//    acquire/release flag) vs. running the same work sequentially.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+constexpr int kScale = 9;
+constexpr GrB_Index kEdgeFactor = 8;
+
+double one_independent_op(uint64_t seed) {
+  GrB_Matrix a = nullptr;
+  grb::RmatParams params;
+  params.seed = seed;
+  BENCH_TRY(
+      (GrB_Info)grb::rmat_matrix(&a, kScale, kEdgeFactor, params, nullptr));
+  GrB_Matrix c = nullptr;
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  BENCH_TRY(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL));
+  double sum = 0;
+  BENCH_TRY(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, c, GrB_NULL));
+  GrB_free(&a);
+  GrB_free(&c);
+  return sum;
+}
+
+void BM_IndependentCalls_Threads(benchmark::State& state) {
+  const int nthreads = static_cast<int>(state.range(0));
+  const int ops_per_thread = 4;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (int t = 0; t < nthreads; ++t) {
+      threads.emplace_back([t] {
+        for (int k = 0; k < ops_per_thread; ++k) {
+          benchmark::DoNotOptimize(one_independent_op(1000 + t * 31 + k));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * nthreads * ops_per_thread);
+  state.counters["threads"] = nthreads;
+}
+BENCHMARK(BM_IndependentCalls_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The Figure 1 pipeline: thread 0 builds Esh and hands it to thread 1.
+void BM_Fig1_Pipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    std::atomic<int> flag{0};
+    GrB_Matrix esh = nullptr, hres = nullptr, dres = nullptr;
+    std::thread t0([&] {
+      GrB_Matrix a = nullptr, d = nullptr;
+      grb::RmatParams pa, pd;
+      pa.seed = 11;
+      pd.seed = 22;
+      BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, kScale, kEdgeFactor, pa,
+                                           nullptr));
+      BENCH_TRY((GrB_Info)grb::rmat_matrix(&d, kScale, kEdgeFactor, pd,
+                                           nullptr));
+      GrB_Index n;
+      BENCH_TRY(GrB_Matrix_nrows(&n, a));
+      BENCH_TRY(GrB_Matrix_new(&esh, GrB_FP64, n, n));
+      BENCH_TRY(GrB_Matrix_new(&dres, GrB_FP64, n, n));
+      BENCH_TRY(GrB_mxm(esh, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_TIMES_SEMIRING_FP64, d, a, GrB_NULL));
+      BENCH_TRY(GrB_wait(esh, GrB_COMPLETE));
+      flag.store(1, std::memory_order_release);
+      BENCH_TRY(GrB_mxm(dres, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_TIMES_SEMIRING_FP64, a, esh, GrB_NULL));
+      BENCH_TRY(GrB_wait(dres, GrB_COMPLETE));
+      GrB_free(&a);
+      GrB_free(&d);
+    });
+    std::thread t1([&] {
+      GrB_Matrix e = nullptr;
+      grb::RmatParams pe;
+      pe.seed = 33;
+      BENCH_TRY((GrB_Info)grb::rmat_matrix(&e, kScale, kEdgeFactor, pe,
+                                           nullptr));
+      GrB_Index n;
+      BENCH_TRY(GrB_Matrix_nrows(&n, e));
+      // local computation overlaps with thread 0's production of Esh
+      GrB_Matrix g = nullptr;
+      BENCH_TRY(GrB_Matrix_new(&g, GrB_FP64, n, n));
+      BENCH_TRY(GrB_mxm(g, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_TIMES_SEMIRING_FP64, e, e, GrB_NULL));
+      BENCH_TRY(GrB_wait(g, GrB_COMPLETE));
+      while (flag.load(std::memory_order_acquire) == 0) {
+      }
+      BENCH_TRY(GrB_Matrix_new(&hres, GrB_FP64, n, n));
+      BENCH_TRY(GrB_mxm(hres, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_TIMES_SEMIRING_FP64, g, esh, GrB_NULL));
+      BENCH_TRY(GrB_wait(hres, GrB_COMPLETE));
+      GrB_free(&e);
+      GrB_free(&g);
+    });
+    t0.join();
+    t1.join();
+    GrB_free(&esh);
+    GrB_free(&hres);
+    GrB_free(&dres);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_Pipeline)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The identical work on one thread, for the overlap comparison.
+void BM_Fig1_Sequential(benchmark::State& state) {
+  for (auto _ : state) {
+    GrB_Matrix a = nullptr, d = nullptr, e = nullptr;
+    grb::RmatParams pa, pd, pe;
+    pa.seed = 11;
+    pd.seed = 22;
+    pe.seed = 33;
+    BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, kScale, kEdgeFactor, pa,
+                                         nullptr));
+    BENCH_TRY((GrB_Info)grb::rmat_matrix(&d, kScale, kEdgeFactor, pd,
+                                         nullptr));
+    BENCH_TRY((GrB_Info)grb::rmat_matrix(&e, kScale, kEdgeFactor, pe,
+                                         nullptr));
+    GrB_Index n;
+    BENCH_TRY(GrB_Matrix_nrows(&n, a));
+    GrB_Matrix esh = nullptr, g = nullptr, hres = nullptr, dres = nullptr;
+    BENCH_TRY(GrB_Matrix_new(&esh, GrB_FP64, n, n));
+    BENCH_TRY(GrB_Matrix_new(&g, GrB_FP64, n, n));
+    BENCH_TRY(GrB_Matrix_new(&hres, GrB_FP64, n, n));
+    BENCH_TRY(GrB_Matrix_new(&dres, GrB_FP64, n, n));
+    BENCH_TRY(GrB_mxm(esh, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, d, a, GrB_NULL));
+    BENCH_TRY(GrB_mxm(g, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      e, e, GrB_NULL));
+    BENCH_TRY(GrB_mxm(dres, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, a, esh, GrB_NULL));
+    BENCH_TRY(GrB_mxm(hres, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, g, esh, GrB_NULL));
+    BENCH_TRY(GrB_wait(dres, GrB_COMPLETE));
+    BENCH_TRY(GrB_wait(hres, GrB_COMPLETE));
+    GrB_free(&a);
+    GrB_free(&d);
+    GrB_free(&e);
+    GrB_free(&esh);
+    GrB_free(&g);
+    GrB_free(&hres);
+    GrB_free(&dres);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_Sequential)->Unit(benchmark::kMillisecond);
+
+// Cost of the completion primitive itself.
+void BM_WaitComplete_NoPending(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(10, 8);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_wait(a, GrB_COMPLETE));
+  }
+  GrB_free(&a);
+}
+BENCHMARK(BM_WaitComplete_NoPending);
+
+void BM_WaitMaterialize_NoPending(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(10, 8);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_wait(a, GrB_MATERIALIZE));
+  }
+  GrB_free(&a);
+}
+BENCHMARK(BM_WaitMaterialize_NoPending);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -1,0 +1,127 @@
+// Experiment F2 (paper Figure 2 / §IV): execution contexts.
+//  * mxm under contexts configured with 1..8 threads (the resource knob
+//    the GrB_Context exists to expose);
+//  * context lifecycle micro-costs (new/switch/free) and nesting depth.
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void BM_MxmUnderContextThreads(benchmark::State& state) {
+  GrB_ContextConfig cfg;
+  cfg.nthreads = static_cast<int>(state.range(0));
+  cfg.chunk = 256;
+  GrB_Context ctx = nullptr;
+  BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, GrB_NULL, &cfg));
+  grb::RmatParams params;
+  GrB_Matrix a = nullptr;
+  BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, 12, 8, params, ctx));
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n, ctx));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      a, a, GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["threads"] = static_cast<double>(cfg.nthreads);
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&ctx);
+}
+BENCHMARK(BM_MxmUnderContextThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContextNewFree(benchmark::State& state) {
+  GrB_ContextConfig cfg;
+  cfg.nthreads = 2;
+  for (auto _ : state) {
+    GrB_Context ctx = nullptr;
+    BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, GrB_NULL, &cfg));
+    benchmark::DoNotOptimize(ctx);
+    BENCH_TRY(GrB_free(&ctx));
+  }
+}
+BENCHMARK(BM_ContextNewFree);
+
+void BM_ContextSwitch(benchmark::State& state) {
+  GrB_Context ctx = nullptr;
+  BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, GrB_NULL, GrB_NULL));
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, 1024));
+  BENCH_TRY(GrB_Vector_setElement(v, 1.0, 3));
+  bool in_top = true;
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Context_switch(v, in_top ? ctx : GrB_NULL));
+    in_top = !in_top;
+  }
+  BENCH_TRY(GrB_Context_switch(v, GrB_NULL));
+  GrB_free(&v);
+  GrB_free(&ctx);
+}
+BENCHMARK(BM_ContextSwitch);
+
+void BM_NestedContextResolution(benchmark::State& state) {
+  // Thread-count resolution walks the ancestor chain: measure depth cost.
+  const int depth = static_cast<int>(state.range(0));
+  std::vector<GrB_Context> chain;
+  GrB_Context parent = GrB_NULL;
+  for (int d = 0; d < depth; ++d) {
+    GrB_Context ctx = nullptr;
+    BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, parent, GrB_NULL));
+    chain.push_back(ctx);
+    parent = ctx;
+  }
+  GrB_Context leaf = chain.empty() ? GrB_NULL : chain.back();
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, 64, leaf));
+  GrB_Vector w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, 64, leaf));
+  BENCH_TRY(GrB_Vector_setElement(v, 1.0, 1));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_AINV_FP64, v,
+                        GrB_NULL));
+    BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  }
+  GrB_free(&v);
+  GrB_free(&w);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    GrB_Context c = *it;
+    BENCH_TRY(GrB_free(&c));
+  }
+}
+BENCHMARK(BM_NestedContextResolution)->Arg(0)->Arg(2)->Arg(8);
+
+void BM_BlockingVsNonblockingDispatch(benchmark::State& state) {
+  // Per-call dispatch overhead of the two modes on a tiny operation.
+  const bool blocking = state.range(0) == 1;
+  GrB_Context ctx = nullptr;
+  BENCH_TRY(GrB_Context_new(&ctx, blocking ? GrB_BLOCKING : GrB_NONBLOCKING,
+                            GrB_NULL, GrB_NULL));
+  GrB_Vector u = nullptr, w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&u, GrB_FP64, 16, ctx));
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, 16, ctx));
+  BENCH_TRY(GrB_Vector_setElement(u, 1.0, 5));
+  BENCH_TRY(GrB_wait(u, GrB_COMPLETE));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_AINV_FP64, u, GrB_NULL));
+    if (!blocking) BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  }
+  state.counters["blocking"] = blocking ? 1 : 0;
+  GrB_free(&u);
+  GrB_free(&w);
+  GrB_free(&ctx);
+}
+BENCHMARK(BM_BlockingVsNonblockingDispatch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

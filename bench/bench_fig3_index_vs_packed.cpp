@@ -1,0 +1,273 @@
+// Experiment F3 (paper Figure 3 + Motivation §II): the GraphBLAS 2.0
+// index-aware operations against the GraphBLAS 1.X workarounds.
+//
+// Task: keep the strictly-upper-triangular entries whose value exceeds s
+// (the paper's Figure 3 select), and separately: replace every stored
+// value with its row index (the paper's Figure 3 apply).
+//
+// Contenders:
+//   * GrB20_select           — GrB_select + index-unary op (this paper);
+//   * GrB1X_packed           — indices duplicated into a UDT value
+//                              {val, i, j} (2x-3x storage/bandwidth) and
+//                              filtered with user-defined operators via a
+//                              computed mask (the §II anti-pattern);
+//   * GrB1X_tuples           — extractTuples -> host-side filter ->
+//                              build (the other 1.X workaround).
+#include "bench/bench_util.hpp"
+
+namespace {
+
+struct Packed {
+  double val;
+  int64_t i, j;
+};
+
+GrB_Type packed_type() {
+  static GrB_Type t = [] {
+    GrB_Type out = nullptr;
+    BENCH_TRY(GrB_Type_new(&out, sizeof(Packed)));
+    return out;
+  }();
+  return t;
+}
+
+// Builds the packed-value twin of `a` (the 1.X index-in-values layout).
+GrB_Matrix packed_twin(GrB_Matrix a) {
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  std::vector<GrB_Index> ri(nnz), ci(nnz);
+  std::vector<double> vals(nnz);
+  GrB_Index got = nnz;
+  BENCH_TRY(GrB_Matrix_extractTuples(ri.data(), ci.data(), vals.data(),
+                                     &got, a));
+  std::vector<Packed> packed(nnz);
+  for (GrB_Index k = 0; k < nnz; ++k) {
+    packed[k] = {vals[k], static_cast<int64_t>(ri[k]),
+                 static_cast<int64_t>(ci[k])};
+  }
+  GrB_Matrix p = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&p, packed_type(), n, n));
+  BENCH_TRY(GrB_Matrix_build_UDT(p, ri.data(), ci.data(), packed.data(),
+                                 nnz, GrB_NULL, packed_type()));
+  BENCH_TRY(GrB_wait(p, GrB_MATERIALIZE));
+  return p;
+}
+
+// 1.X user-defined unary op: unpack indices from the value and test.
+void packed_triu_gt(void* z, const void* x) {
+  Packed p;
+  std::memcpy(&p, x, sizeof(Packed));
+  bool keep = p.j > p.i && p.val > 0.5;
+  std::memcpy(z, &keep, sizeof(bool));
+}
+
+// 2.0 user-defined index-unary op: the same predicate, indices provided.
+void idx_triu_gt(void* z, const void* x, GrB_Index* ind, GrB_Index,
+                 const void* s) {
+  double v, sv;
+  std::memcpy(&v, x, 8);
+  std::memcpy(&sv, s, 8);
+  bool keep = ind[1] > ind[0] && v > sv;
+  std::memcpy(z, &keep, sizeof(bool));
+}
+
+// --- select task -------------------------------------------------------------
+
+void BM_Select_GrB20_UserIndexOp(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_IndexUnaryOp op = nullptr;
+  BENCH_TRY(GrB_IndexUnaryOp_new(&op, &idx_triu_gt, GrB_BOOL, GrB_FP64,
+                                 GrB_FP64));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_select(c, GrB_NULL, GrB_NULL, op, a, 0.5, GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["value_bytes"] = static_cast<double>(nnz * 8);
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&op);
+}
+BENCHMARK(BM_Select_GrB20_UserIndexOp)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_Select_GrB20_PredefinedOps(benchmark::State& state) {
+  // Same effect composed from the predefined ops (no user function at
+  // all): TRIU(s=1) then VALUEGT.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_select(c, GrB_NULL, GrB_NULL, GrB_TRIU, a, int64_t{1},
+                         GrB_NULL));
+    BENCH_TRY(GrB_select(c, GrB_NULL, GrB_NULL, GrB_VALUEGT_FP64, c, 0.5,
+                         GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+BENCHMARK(BM_Select_GrB20_PredefinedOps)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_Select_GrB1X_PackedValues(benchmark::State& state) {
+  // 1.X anti-pattern: indices live in the values.  The pipeline streams
+  // the 24-byte packed values once to compute a bool mask (user unary
+  // op, function pointer per scalar) and once more through the masked
+  // identity apply that materializes the survivors.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Matrix p = packed_twin(a);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_UnaryOp unpack = nullptr;
+  BENCH_TRY(GrB_UnaryOp_new(&unpack, &packed_triu_gt, GrB_BOOL,
+                            packed_type()));
+  GrB_UnaryOp ident = nullptr;
+  BENCH_TRY(GrB_UnaryOp_new(
+      &ident,
+      [](void* z, const void* x) { std::memcpy(z, x, sizeof(Packed)); },
+      packed_type(), packed_type()));
+  GrB_Matrix mask = nullptr, c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&mask, GrB_BOOL, n, n));
+  BENCH_TRY(GrB_Matrix_new(&c, packed_type(), n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(mask, GrB_NULL, GrB_NULL, unpack, p, GrB_NULL));
+    BENCH_TRY(GrB_apply(c, mask, GrB_NULL, ident, p, GrB_DESC_R));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["value_bytes"] =
+      static_cast<double>(nnz * sizeof(Packed));  // 3x the 2.0 stream
+  GrB_free(&a);
+  GrB_free(&p);
+  GrB_free(&mask);
+  GrB_free(&c);
+  GrB_free(&unpack);
+  GrB_free(&ident);
+}
+BENCHMARK(BM_Select_GrB1X_PackedValues)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_Select_GrB1X_ExtractTuples(benchmark::State& state) {
+  // The other 1.X workaround: pull everything out, filter on the host,
+  // build a fresh matrix.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  std::vector<GrB_Index> ri(nnz), ci(nnz), ro, co;
+  std::vector<double> vals(nnz), vo;
+  for (auto _ : state) {
+    GrB_Index got = nnz;
+    BENCH_TRY(GrB_Matrix_extractTuples(ri.data(), ci.data(), vals.data(),
+                                       &got, a));
+    ro.clear();
+    co.clear();
+    vo.clear();
+    for (GrB_Index k = 0; k < got; ++k) {
+      if (ci[k] > ri[k] && vals[k] > 0.5) {
+        ro.push_back(ri[k]);
+        co.push_back(ci[k]);
+        vo.push_back(vals[k]);
+      }
+    }
+    GrB_Matrix c = nullptr;
+    BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+    BENCH_TRY(GrB_Matrix_build(c, ro.data(), co.data(), vo.data(),
+                               ro.size(), GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+    GrB_free(&c);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+}
+BENCHMARK(BM_Select_GrB1X_ExtractTuples)->Arg(10)->Arg(13)->Arg(16);
+
+// --- apply task (replace values with row index) -------------------------------
+
+void BM_ApplyIndex_GrB20(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_INT64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, a,
+                        int64_t{0}, GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+BENCHMARK(BM_ApplyIndex_GrB20)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_ApplyIndex_GrB1X_Packed(benchmark::State& state) {
+  // 1.X: the row index is already packed inside the value; a user-defined
+  // unary op unpacks it — at 3x the bandwidth plus a call per scalar.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Matrix p = packed_twin(a);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_UnaryOp unpack_row = nullptr;
+  BENCH_TRY(GrB_UnaryOp_new(
+      &unpack_row,
+      [](void* z, const void* x) {
+        Packed pk;
+        std::memcpy(&pk, x, sizeof(Packed));
+        std::memcpy(z, &pk.i, sizeof(int64_t));
+      },
+      GrB_INT64, packed_type()));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_INT64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(c, GrB_NULL, GrB_NULL, unpack_row, p, GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+  GrB_free(&p);
+  GrB_free(&c);
+  GrB_free(&unpack_row);
+}
+BENCHMARK(BM_ApplyIndex_GrB1X_Packed)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_ApplyIndex_GrB1X_ExtractTuples(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  std::vector<GrB_Index> ri(nnz), ci(nnz);
+  std::vector<int64_t> vo(nnz);
+  for (auto _ : state) {
+    GrB_Index got = nnz;
+    BENCH_TRY(GrB_Matrix_extractTuples(ri.data(), ci.data(),
+                                       static_cast<double*>(nullptr), &got,
+                                       a));
+    for (GrB_Index k = 0; k < got; ++k)
+      vo[k] = static_cast<int64_t>(ri[k]);
+    GrB_Matrix c = nullptr;
+    BENCH_TRY(GrB_Matrix_new(&c, GrB_INT64, n, n));
+    BENCH_TRY(GrB_Matrix_build(c, ri.data(), ci.data(), vo.data(), got,
+                               GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+    GrB_free(&c);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+}
+BENCHMARK(BM_ApplyIndex_GrB1X_ExtractTuples)->Arg(10)->Arg(13)->Arg(16);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

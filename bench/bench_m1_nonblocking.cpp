@@ -1,0 +1,118 @@
+// Experiment M1 (§II/§III/§V): what nonblocking mode buys.
+//  * Bulk element ingest: k setElement calls then one wait (nonblocking,
+//    O(1) pending tuples + one fold) vs. a blocking context (each call
+//    folds immediately, O(k * nnz) total).
+//  * GrB_wait(COMPLETE) vs GrB_wait(MATERIALIZE) cost.
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void run_ingest(benchmark::State& state, bool blocking) {
+  const GrB_Index k = GrB_Index{1} << state.range(0);
+  const GrB_Index n = 1 << 20;
+  GrB_Context ctx = nullptr;
+  BENCH_TRY(GrB_Context_new(&ctx, blocking ? GrB_BLOCKING : GrB_NONBLOCKING,
+                            GrB_NULL, GrB_NULL));
+  grb::Prng rng(99);
+  std::vector<GrB_Index> is(k), js(k);
+  for (GrB_Index e = 0; e < k; ++e) {
+    is[e] = rng.below(n);
+    js[e] = rng.below(n);
+  }
+  for (auto _ : state) {
+    GrB_Matrix a = nullptr;
+    BENCH_TRY(GrB_Matrix_new(&a, GrB_FP64, n, n, ctx));
+    for (GrB_Index e = 0; e < k; ++e) {
+      BENCH_TRY(GrB_Matrix_setElement(a, 1.0, is[e], js[e]));
+    }
+    BENCH_TRY(GrB_wait(a, GrB_MATERIALIZE));
+    GrB_free(&a);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+  state.counters["blocking"] = blocking ? 1 : 0;
+  GrB_free(&ctx);
+}
+
+void BM_Ingest_Nonblocking(benchmark::State& state) {
+  run_ingest(state, false);
+}
+void BM_Ingest_Blocking(benchmark::State& state) { run_ingest(state, true); }
+// Blocking ingest is quadratic: keep its sweep small.
+BENCHMARK(BM_Ingest_Nonblocking)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+BENCHMARK(BM_Ingest_Blocking)->Arg(8)->Arg(10);
+
+void BM_WaitVariants(benchmark::State& state) {
+  // COMPLETE vs MATERIALIZE on a freshly deferred op (arg 0/1).
+  const bool materialize = state.range(0) == 1;
+  GrB_Matrix a = benchutil::rmat(11, 8);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_AINV_FP64, a, GrB_NULL));
+    BENCH_TRY(GrB_wait(c, materialize ? GrB_MATERIALIZE : GrB_COMPLETE));
+  }
+  state.counters["materialize"] = materialize ? 1 : 0;
+  GrB_free(&a);
+  GrB_free(&c);
+}
+BENCHMARK(BM_WaitVariants)->Arg(0)->Arg(1);
+
+void BM_DeferredChainThenWait(benchmark::State& state) {
+  // Issue a chain of L deferred ops, then one wait: issue cost is O(L),
+  // execution happens once at the wait.
+  const int chain = static_cast<int>(state.range(0));
+  GrB_Matrix a = benchutil::rmat(10, 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Matrix x = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&x, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_apply(x, GrB_NULL, GrB_NULL, GrB_IDENTITY_FP64, a,
+                        GrB_NULL));
+    for (int l = 1; l < chain; ++l) {
+      BENCH_TRY(GrB_apply(x, GrB_NULL, GrB_NULL, GrB_AINV_FP64, x,
+                          GrB_NULL));
+    }
+    BENCH_TRY(GrB_wait(x, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * chain * nnz);
+  GrB_free(&a);
+  GrB_free(&x);
+}
+BENCHMARK(BM_DeferredChainThenWait)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RemoveElementBurst(benchmark::State& state) {
+  // Deletions ride the same pending-tuple machinery.
+  GrB_Matrix base = benchutil::rmat(12, 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, base));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, base));
+  std::vector<GrB_Index> ri(nnz), ci(nnz);
+  GrB_Index got = nnz;
+  BENCH_TRY(GrB_Matrix_extractTuples(ri.data(), ci.data(),
+                                     static_cast<double*>(nullptr), &got,
+                                     base));
+  for (auto _ : state) {
+    state.PauseTiming();
+    GrB_Matrix a = nullptr;
+    BENCH_TRY(GrB_Matrix_dup(&a, base));
+    state.ResumeTiming();
+    for (GrB_Index k = 0; k < got; k += 2) {
+      BENCH_TRY(GrB_Matrix_removeElement(a, ri[k], ci[k]));
+    }
+    BENCH_TRY(GrB_wait(a, GrB_COMPLETE));
+    state.PauseTiming();
+    GrB_free(&a);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * (got / 2));
+  GrB_free(&base);
+}
+BENCHMARK(BM_RemoveElementBurst);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

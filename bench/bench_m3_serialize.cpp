@@ -1,0 +1,118 @@
+// Experiment M3 (§VII.B): "implementations [may] use custom serialization
+// mechanisms, which can save both space and compute time."  The opaque
+// varint-delta serializer vs the non-opaque CSR export round-trip, in
+// bytes and nanoseconds.
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void BM_Serialize(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Index size = 0;
+  BENCH_TRY(GrB_Matrix_serializeSize(&size, a));
+  std::vector<char> buf(size);
+  for (auto _ : state) {
+    GrB_Index written = size;
+    BENCH_TRY(GrB_Matrix_serialize(buf.data(), &written, a));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["bytes"] = static_cast<double>(size);
+  state.counters["bytes_per_entry"] =
+      static_cast<double>(size) / static_cast<double>(nnz);
+  GrB_free(&a);
+}
+BENCHMARK(BM_Serialize)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_Deserialize(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Index size = 0;
+  BENCH_TRY(GrB_Matrix_serializeSize(&size, a));
+  std::vector<char> buf(size);
+  GrB_Index written = size;
+  BENCH_TRY(GrB_Matrix_serialize(buf.data(), &written, a));
+  for (auto _ : state) {
+    GrB_Matrix back = nullptr;
+    BENCH_TRY(GrB_Matrix_deserialize(&back, GrB_NULL, buf.data(), written));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+}
+BENCHMARK(BM_Deserialize)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_CsrExportRoundTrip(benchmark::State& state) {
+  // The non-opaque alternative a distributed application would otherwise
+  // use for "send this matrix over the wire".
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Index np, ni, nv;
+  BENCH_TRY(GrB_Matrix_exportSize(&np, &ni, &nv, GrB_CSR_MATRIX, a));
+  std::vector<GrB_Index> indptr(np), indices(ni);
+  std::vector<double> values(nv);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Matrix_export(indptr.data(), indices.data(),
+                                values.data(), GrB_CSR_MATRIX, a));
+    GrB_Matrix back = nullptr;
+    BENCH_TRY(GrB_Matrix_import(&back, GrB_FP64, n, n, indptr.data(),
+                                indices.data(), values.data(), np, ni, nv,
+                                GrB_CSR_MATRIX));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["bytes"] = static_cast<double>((np + ni + nv) * 8);
+  state.counters["bytes_per_entry"] =
+      static_cast<double>((np + ni + nv) * 8) / static_cast<double>(nnz);
+  GrB_free(&a);
+}
+BENCHMARK(BM_CsrExportRoundTrip)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  // Apples-to-apples with BM_CsrExportRoundTrip: serialize + deserialize.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  GrB_Index size = 0;
+  BENCH_TRY(GrB_Matrix_serializeSize(&size, a));
+  std::vector<char> buf(size);
+  for (auto _ : state) {
+    GrB_Index written = size;
+    BENCH_TRY(GrB_Matrix_serialize(buf.data(), &written, a));
+    GrB_Matrix back = nullptr;
+    BENCH_TRY(GrB_Matrix_deserialize(&back, GrB_NULL, buf.data(), written));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["bytes"] = static_cast<double>(size);
+  GrB_free(&a);
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_SerializeVector(benchmark::State& state) {
+  const GrB_Index n = GrB_Index{1} << state.range(0);
+  GrB_Vector v = benchutil::sparse_vector(n, n / 8, 5);
+  GrB_Index size = 0;
+  BENCH_TRY(GrB_Vector_serializeSize(&size, v));
+  std::vector<char> buf(size);
+  for (auto _ : state) {
+    GrB_Index written = size;
+    BENCH_TRY(GrB_Vector_serialize(buf.data(), &written, v));
+    GrB_Vector back = nullptr;
+    BENCH_TRY(GrB_Vector_deserialize(&back, GrB_NULL, buf.data(), written));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 8));
+  state.counters["bytes"] = static_cast<double>(size);
+  GrB_free(&v);
+}
+BENCHMARK(BM_SerializeVector)->Arg(14)->Arg(18);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

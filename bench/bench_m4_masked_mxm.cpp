@@ -1,0 +1,101 @@
+// Experiment M4 (ablation, DESIGN.md): masked dot-product mxm vs.
+// Gustavson-then-mask on the triangle-counting pattern C<L,struct>=L*L'.
+// The masked strategy's work is proportional to nnz(mask), so it wins as
+// the mask gets sparser relative to the full product.
+#include "bench/bench_util.hpp"
+
+#include "ops/mxm.hpp"
+
+namespace {
+
+struct StrategyGuard {
+  explicit StrategyGuard(grb::MxmStrategy s) { grb::set_mxm_strategy(s); }
+  ~StrategyGuard() { grb::set_mxm_strategy(grb::MxmStrategy::kAuto); }
+};
+
+GrB_Matrix lower_triangle(int scale) {
+  GrB_Matrix g = benchutil::rmat(scale, 8, /*symmetrize=*/true);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, g));
+  GrB_Matrix l = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&l, GrB_FP64, n, n));
+  BENCH_TRY(GrB_select(l, GrB_NULL, GrB_NULL, GrB_TRIL, g, int64_t{-1},
+                       GrB_NULL));
+  BENCH_TRY(GrB_wait(l, GrB_MATERIALIZE));
+  GrB_free(&g);
+  return l;
+}
+
+void run_tc_mxm(benchmark::State& state, grb::MxmStrategy strategy) {
+  StrategyGuard guard(strategy);
+  GrB_Matrix l = lower_triangle(static_cast<int>(state.range(0)));
+  GrB_Index n, nnz;
+  BENCH_TRY(GrB_Matrix_nrows(&n, l));
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, l));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_mxm(c, l, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, l, l,
+                      GrB_DESC_RST1));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&l);
+  GrB_free(&c);
+}
+
+void BM_TcMxm_Gustavson(benchmark::State& state) {
+  run_tc_mxm(state, grb::MxmStrategy::kGustavson);
+}
+void BM_TcMxm_MaskedDot(benchmark::State& state) {
+  run_tc_mxm(state, grb::MxmStrategy::kMaskedDot);
+}
+void BM_TcMxm_Auto(benchmark::State& state) {
+  run_tc_mxm(state, grb::MxmStrategy::kAuto);
+}
+BENCHMARK(BM_TcMxm_Gustavson)->Arg(9)->Arg(11)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcMxm_MaskedDot)->Arg(9)->Arg(11)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcMxm_Auto)->Arg(9)->Arg(11)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// Sparse point-query mask: the extreme case masked-dot exists for.
+void run_point_mask(benchmark::State& state, grb::MxmStrategy strategy) {
+  StrategyGuard guard(strategy);
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  // Mask with one entry per row: "what is C(i, pi(i))?"
+  GrB_Matrix m = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&m, GrB_BOOL, n, n));
+  grb::Prng rng(5);
+  for (GrB_Index i = 0; i < n; ++i)
+    BENCH_TRY(GrB_Matrix_setElement(m, true, i, rng.below(n)));
+  BENCH_TRY(GrB_wait(m, GrB_MATERIALIZE));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, n, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_mxm(c, m, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, a,
+                      GrB_DESC_RS));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  GrB_free(&a);
+  GrB_free(&m);
+  GrB_free(&c);
+}
+
+void BM_PointMaskMxm_Gustavson(benchmark::State& state) {
+  run_point_mask(state, grb::MxmStrategy::kGustavson);
+}
+void BM_PointMaskMxm_MaskedDot(benchmark::State& state) {
+  run_point_mask(state, grb::MxmStrategy::kMaskedDot);
+}
+void BM_PointMaskMxm_Auto(benchmark::State& state) {
+  run_point_mask(state, grb::MxmStrategy::kAuto);
+}
+BENCHMARK(BM_PointMaskMxm_Gustavson)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointMaskMxm_MaskedDot)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointMaskMxm_Auto)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -1,0 +1,177 @@
+// Experiment T2 (paper Table II / §VI): GrB_Scalar variants of methods
+// vs their typed counterparts.  The claims measured:
+//  * scalar variants cost about the same as typed ones (uniformity is
+//    free);
+//  * the GrB_Scalar reduce can defer (joining a sequence) while the
+//    typed reduce must execute immediately — visible when the caller
+//    never consumes the result.
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void BM_SetElement_Typed(benchmark::State& state) {
+  const GrB_Index n = 1 << 16;
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, n));
+  GrB_Index i = 0;
+  int pending = 0;
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Vector_setElement(v, 1.5, i));
+    i = (i + 7919) % n;
+    if (++pending == 4096) {  // amortized fold, bulk-ingest pattern
+      BENCH_TRY(GrB_wait(v, GrB_COMPLETE));
+      pending = 0;
+    }
+  }
+  GrB_free(&v);
+}
+BENCHMARK(BM_SetElement_Typed);
+
+void BM_SetElement_ScalarVariant(benchmark::State& state) {
+  const GrB_Index n = 1 << 16;
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, n));
+  GrB_Scalar s = nullptr;
+  BENCH_TRY(GrB_Scalar_new(&s, GrB_FP64));
+  BENCH_TRY(GrB_Scalar_setElement(s, 1.5));
+  GrB_Index i = 0;
+  int pending = 0;
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Vector_setElement(v, s, i));
+    i = (i + 7919) % n;
+    if (++pending == 4096) {
+      BENCH_TRY(GrB_wait(v, GrB_COMPLETE));
+      pending = 0;
+    }
+  }
+  GrB_free(&v);
+  GrB_free(&s);
+}
+BENCHMARK(BM_SetElement_ScalarVariant);
+
+void BM_ExtractElement_Typed(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(12, 8);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  grb::Prng rng(1);
+  for (auto _ : state) {
+    double out = 0;
+    GrB_Index i = rng.below(n), j = rng.below(n);
+    GrB_Info info = GrB_Matrix_extractElement(&out, a, i, j);
+    benchmark::DoNotOptimize(info);  // often GrB_NO_VALUE: caller branches
+  }
+  GrB_free(&a);
+}
+BENCHMARK(BM_ExtractElement_Typed);
+
+void BM_ExtractElement_ScalarVariant(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(12, 8);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  GrB_Scalar s = nullptr;
+  BENCH_TRY(GrB_Scalar_new(&s, GrB_FP64));
+  grb::Prng rng(1);
+  for (auto _ : state) {
+    GrB_Index i = rng.below(n), j = rng.below(n);
+    BENCH_TRY(GrB_Matrix_extractElement(s, a, i, j));  // always SUCCESS
+  }
+  GrB_free(&a);
+  GrB_free(&s);
+}
+BENCHMARK(BM_ExtractElement_ScalarVariant);
+
+void BM_Reduce_TypedImmediate(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    double sum = 0;
+    BENCH_TRY(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, a,
+                         GrB_NULL));
+    benchmark::DoNotOptimize(sum);
+  }
+  GrB_Index nv;
+  BENCH_TRY(GrB_Matrix_nvals(&nv, a));
+  state.SetItemsProcessed(state.iterations() * nv);
+  GrB_free(&a);
+}
+BENCHMARK(BM_Reduce_TypedImmediate)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_Reduce_ScalarIssueLatency(benchmark::State& state) {
+  // The scalar-output reduce only ENQUEUES in nonblocking mode; the
+  // timed region measures issue latency for a burst of 64 reduces while
+  // the deferred execution happens outside the timer.  This is the
+  // deferral §VI enables and the typed variant cannot have.
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Scalar s = nullptr;
+  BENCH_TRY(GrB_Scalar_new(&s, GrB_FP64));
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      BENCH_TRY(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_FP64, a,
+                           GrB_NULL));
+    }
+    state.PauseTiming();
+    BENCH_TRY(GrB_wait(s, GrB_MATERIALIZE));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  GrB_free(&a);
+  GrB_free(&s);
+}
+BENCHMARK(BM_Reduce_ScalarIssueLatency)
+    ->Arg(10)
+    ->Arg(13)
+    ->Arg(16)
+    ->Iterations(50);  // pin: the untimed materialize dominates otherwise
+
+void BM_Reduce_ScalarMaterialized(benchmark::State& state) {
+  // Same scalar-output reduce but consumed each iteration: comparable to
+  // the typed variant (uniformity costs nothing once work is forced).
+  GrB_Matrix a = benchutil::rmat(static_cast<int>(state.range(0)), 8);
+  GrB_Scalar s = nullptr;
+  BENCH_TRY(GrB_Scalar_new(&s, GrB_FP64));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_FP64, a, GrB_NULL));
+    double out = 0;
+    BENCH_TRY(GrB_Scalar_extractElement(&out, s));
+    benchmark::DoNotOptimize(out);
+  }
+  GrB_Index nv;
+  BENCH_TRY(GrB_Matrix_nvals(&nv, a));
+  state.SetItemsProcessed(state.iterations() * nv);
+  GrB_free(&a);
+  GrB_free(&s);
+}
+BENCHMARK(BM_Reduce_ScalarMaterialized)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_AssignScalar_Typed(benchmark::State& state) {
+  const GrB_Index n = 1 << 14;
+  GrB_Vector w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, n));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_assign(w, GrB_NULL, GrB_NULL, 2.0, GrB_ALL, n, GrB_NULL));
+    BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  GrB_free(&w);
+}
+BENCHMARK(BM_AssignScalar_Typed);
+
+void BM_AssignScalar_ScalarVariant(benchmark::State& state) {
+  const GrB_Index n = 1 << 14;
+  GrB_Vector w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, n));
+  GrB_Scalar s = nullptr;
+  BENCH_TRY(GrB_Scalar_new(&s, GrB_FP64));
+  BENCH_TRY(GrB_Scalar_setElement(s, 2.0));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_assign(w, GrB_NULL, GrB_NULL, s, GrB_ALL, n, GrB_NULL));
+    BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  GrB_free(&w);
+  GrB_free(&s);
+}
+BENCHMARK(BM_AssignScalar_ScalarVariant);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -1,0 +1,144 @@
+// Experiment T3 (paper Table III / §VII.A): import/export bandwidth for
+// every non-opaque format, across scales and densities.  The shape to
+// observe: sparse formats cost O(nnz), dense formats O(nrows*ncols), and
+// CSC pays an extra transposition relative to CSR (internal storage).
+#include "bench/bench_util.hpp"
+
+namespace {
+
+struct Arrays {
+  std::vector<GrB_Index> indptr, indices;
+  std::vector<double> values;
+};
+
+Arrays exported(GrB_Matrix a, GrB_Format fmt) {
+  Arrays out;
+  GrB_Index np, ni, nv;
+  BENCH_TRY(GrB_Matrix_exportSize(&np, &ni, &nv, fmt, a));
+  out.indptr.resize(np);
+  out.indices.resize(ni);
+  out.values.resize(nv);
+  BENCH_TRY(GrB_Matrix_export(out.indptr.data(), out.indices.data(),
+                              out.values.data(), fmt, a));
+  return out;
+}
+
+void run_export(benchmark::State& state, GrB_Format fmt, int scale,
+                GrB_Index edge_factor) {
+  GrB_Matrix a = benchutil::rmat(scale, edge_factor);
+  GrB_Index np, ni, nv;
+  BENCH_TRY(GrB_Matrix_exportSize(&np, &ni, &nv, fmt, a));
+  std::vector<GrB_Index> indptr(np), indices(ni);
+  std::vector<double> values(nv);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Matrix_export(indptr.data(), indices.data(),
+                                values.data(), fmt, a));
+    benchmark::DoNotOptimize(values.data());
+  }
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.counters["bytes_out"] =
+      static_cast<double>(np * 8 + ni * 8 + nv * 8);
+  GrB_free(&a);
+}
+
+void run_import(benchmark::State& state, GrB_Format fmt, int scale,
+                GrB_Index edge_factor) {
+  GrB_Matrix a = benchutil::rmat(scale, edge_factor);
+  GrB_Index n;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  Arrays arrays = exported(a, fmt);
+  for (auto _ : state) {
+    GrB_Matrix back = nullptr;
+    BENCH_TRY(GrB_Matrix_import(
+        &back, GrB_FP64, n, n, arrays.indptr.data(), arrays.indices.data(),
+        arrays.values.data(), arrays.indptr.size(), arrays.indices.size(),
+        arrays.values.size(), fmt));
+    GrB_free(&back);
+  }
+  GrB_Index nnz;
+  BENCH_TRY(GrB_Matrix_nvals(&nnz, a));
+  state.SetItemsProcessed(state.iterations() * nnz);
+  GrB_free(&a);
+}
+
+#define GRB_DEFINE_FORMAT_BENCH(NAME, FMT)                               \
+  void BM_Export_##NAME(benchmark::State& state) {                      \
+    run_export(state, FMT, static_cast<int>(state.range(0)), 8);        \
+  }                                                                     \
+  void BM_Import_##NAME(benchmark::State& state) {                      \
+    run_import(state, FMT, static_cast<int>(state.range(0)), 8);        \
+  }
+
+GRB_DEFINE_FORMAT_BENCH(CSR, GrB_CSR_MATRIX)
+GRB_DEFINE_FORMAT_BENCH(CSC, GrB_CSC_MATRIX)
+GRB_DEFINE_FORMAT_BENCH(COO, GrB_COO_MATRIX)
+GRB_DEFINE_FORMAT_BENCH(DenseRow, GrB_DENSE_ROW_MATRIX)
+GRB_DEFINE_FORMAT_BENCH(DenseCol, GrB_DENSE_COL_MATRIX)
+#undef GRB_DEFINE_FORMAT_BENCH
+
+// Sparse formats scale with nnz: sweep scale 10..16.
+BENCHMARK(BM_Export_CSR)->Arg(10)->Arg(13)->Arg(16);
+BENCHMARK(BM_Import_CSR)->Arg(10)->Arg(13)->Arg(16);
+BENCHMARK(BM_Export_CSC)->Arg(10)->Arg(13)->Arg(16);
+BENCHMARK(BM_Import_CSC)->Arg(10)->Arg(13)->Arg(16);
+BENCHMARK(BM_Export_COO)->Arg(10)->Arg(13)->Arg(16);
+BENCHMARK(BM_Import_COO)->Arg(10)->Arg(13)->Arg(16);
+// Dense formats scale with n^2: keep small.
+BENCHMARK(BM_Export_DenseRow)->Arg(8)->Arg(10)->Arg(11);
+BENCHMARK(BM_Import_DenseRow)->Arg(8)->Arg(10)->Arg(11);
+BENCHMARK(BM_Export_DenseCol)->Arg(8)->Arg(10)->Arg(11);
+BENCHMARK(BM_Import_DenseCol)->Arg(8)->Arg(10)->Arg(11);
+
+void BM_Vector_ExportImport_Sparse(benchmark::State& state) {
+  const GrB_Index n = GrB_Index{1} << state.range(0);
+  GrB_Vector v = benchutil::sparse_vector(n, n / 8, 7);
+  GrB_Index ni, nv;
+  BENCH_TRY(GrB_Vector_exportSize(&ni, &nv, GrB_SPARSE_VECTOR, v));
+  std::vector<GrB_Index> indices(ni);
+  std::vector<double> values(nv);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Vector_export(indices.data(), values.data(),
+                                GrB_SPARSE_VECTOR, v));
+    GrB_Vector back = nullptr;
+    BENCH_TRY(GrB_Vector_import(&back, GrB_FP64, n, indices.data(),
+                                values.data(), ni, nv, GrB_SPARSE_VECTOR));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * nv);
+  GrB_free(&v);
+}
+BENCHMARK(BM_Vector_ExportImport_Sparse)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Vector_ExportImport_Dense(benchmark::State& state) {
+  const GrB_Index n = GrB_Index{1} << state.range(0);
+  GrB_Vector v = benchutil::dense_vector(n, 8);
+  std::vector<double> values(n);
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Vector_export(nullptr, values.data(), GrB_DENSE_VECTOR,
+                                v));
+    GrB_Vector back = nullptr;
+    BENCH_TRY(GrB_Vector_import(&back, GrB_FP64, n, nullptr, values.data(),
+                                0, n, GrB_DENSE_VECTOR));
+    GrB_free(&back);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  GrB_free(&v);
+}
+BENCHMARK(BM_Vector_ExportImport_Dense)->Arg(12)->Arg(16);
+
+void BM_ExportHint(benchmark::State& state) {
+  GrB_Matrix a = benchutil::rmat(10, 8);
+  for (auto _ : state) {
+    GrB_Format hint;
+    BENCH_TRY(GrB_Matrix_exportHint(&hint, a));
+    benchmark::DoNotOptimize(hint);
+  }
+  GrB_free(&a);
+}
+BENCHMARK(BM_ExportHint);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -1,0 +1,66 @@
+// Shared benchmark scaffolding: library lifecycle and workload builders.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "graphblas/GraphBLAS.h"
+#include "util/generator.hpp"
+#include "util/prng.hpp"
+
+namespace benchutil {
+
+// Every bench binary defines GRB_BENCH_MAIN() which initializes the
+// library around the benchmark runner.
+#define GRB_BENCH_MAIN()                                              \
+  int main(int argc, char** argv) {                                  \
+    if (GrB_init(GrB_NONBLOCKING) != GrB_SUCCESS) return 1;          \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
+      return 1;                                                      \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    GrB_finalize();                                                  \
+    return 0;                                                        \
+  }
+
+inline void abort_on(GrB_Info info, const char* what) {
+  if (info != GrB_SUCCESS) {
+    std::fprintf(stderr, "bench: %s failed with %d\n", what, (int)info);
+    std::abort();
+  }
+}
+#define BENCH_TRY(expr) ::benchutil::abort_on((GrB_Info)(expr), #expr)
+
+// R-MAT graph cached per (scale, edge_factor) for the benchmark process.
+inline GrB_Matrix rmat(int scale, GrB_Index edge_factor,
+                       bool symmetrize = false) {
+  grb::RmatParams params;
+  params.symmetrize = symmetrize;
+  GrB_Matrix a = nullptr;
+  BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, scale, edge_factor, params,
+                                       nullptr));
+  BENCH_TRY(GrB_wait(a, GrB_MATERIALIZE));
+  return a;
+}
+
+inline GrB_Vector dense_vector(GrB_Index n, uint64_t seed) {
+  grb::Prng rng(seed);
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, n));
+  for (GrB_Index i = 0; i < n; ++i)
+    BENCH_TRY(GrB_Vector_setElement(v, rng.uniform() + 0.5, i));
+  BENCH_TRY(GrB_wait(v, GrB_MATERIALIZE));
+  return v;
+}
+
+inline GrB_Vector sparse_vector(GrB_Index n, GrB_Index nvals,
+                                uint64_t seed) {
+  GrB_Vector v = nullptr;
+  BENCH_TRY((GrB_Info)grb::random_vector(&v, n, nvals, seed, nullptr));
+  return v;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,131 @@
+// The whole algorithm library on one generated graph — a one-stop demo
+// of what the GraphBLAS 2.0 API supports end to end.
+//
+//   $ ./graph_analytics [scale] [edge_factor]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algorithms/algorithms.hpp"
+#include "graphblas/GraphBLAS.h"
+#include "util/generator.hpp"
+#include "util/timer.hpp"
+
+#define TRY(expr)                                                     \
+  do {                                                                \
+    GrB_Info info_ = (expr);                                          \
+    if (info_ != GrB_SUCCESS) {                                       \
+      std::fprintf(stderr, "%s failed: %d\n", #expr, (int)info_);     \
+      return 1;                                                       \
+    }                                                                 \
+  } while (0)
+
+int main(int argc, char** argv) {
+  int scale = argc > 1 ? std::atoi(argv[1]) : 11;
+  GrB_Index edge_factor = argc > 2 ? std::atoll(argv[2]) : 8;
+
+  TRY(GrB_init(GrB_NONBLOCKING));
+  grb::RmatParams params;
+  params.symmetrize = true;
+  GrB_Matrix g = nullptr;
+  TRY(static_cast<GrB_Info>(
+      grb::rmat_matrix(&g, scale, edge_factor, params, nullptr)));
+  GrB_Index n, m;
+  TRY(GrB_Matrix_nrows(&n, g));
+  TRY(GrB_Matrix_nvals(&m, g));
+  std::printf("graph: %llu vertices, %llu directed edges (symmetrized "
+              "R-MAT scale %d)\n\n",
+              (unsigned long long)n, (unsigned long long)m, scale);
+
+  grb::Timer t;
+
+  t.reset();
+  GrB_Vector level = nullptr;
+  TRY(grb_algo::bfs_level(&level, g, 0));
+  GrB_Index reached;
+  TRY(GrB_Vector_nvals(&reached, level));
+  int32_t ecc = 0;
+  TRY(GrB_reduce(&ecc, GrB_NULL, GrB_MAX_MONOID_INT32, level, GrB_NULL));
+  std::printf("BFS from 0:        reaches %llu vertices, eccentricity %d "
+              "(%.1f ms)\n",
+              (unsigned long long)reached, ecc, t.millis());
+  GrB_free(&level);
+
+  t.reset();
+  GrB_Vector comp = nullptr;
+  TRY(grb_algo::connected_components(&comp, g));
+  std::vector<int64_t> labels(n);
+  std::vector<GrB_Index> idx(n);
+  GrB_Index got = n;
+  TRY(GrB_Vector_extractTuples(idx.data(), labels.data(), &got, comp));
+  std::sort(labels.begin(), labels.begin() + got);
+  GrB_Index ncomp =
+      std::unique(labels.begin(), labels.begin() + got) - labels.begin();
+  std::printf("components:        %llu (%.1f ms)\n",
+              (unsigned long long)ncomp, t.millis());
+  GrB_free(&comp);
+
+  t.reset();
+  uint64_t ntri = 0;
+  TRY(grb_algo::triangle_count(&ntri, g));
+  std::printf("triangles:         %llu (%.1f ms)\n",
+              (unsigned long long)ntri, t.millis());
+
+  t.reset();
+  GrB_Vector core = nullptr;
+  TRY(grb_algo::kcore(&core, g));
+  int64_t max_core = 0;
+  TRY(GrB_reduce(&max_core, GrB_NULL, GrB_MAX_MONOID_INT64, core,
+                 GrB_NULL));
+  std::printf("degeneracy:        max coreness %lld (%.1f ms)\n",
+              (long long)max_core, t.millis());
+  GrB_free(&core);
+
+  t.reset();
+  GrB_Vector rank = nullptr;
+  TRY(grb_algo::pagerank(&rank, g, 0.85, 50, 1e-9));
+  double top = 0;
+  TRY(GrB_reduce(&top, GrB_NULL, GrB_MAX_MONOID_FP64, rank, GrB_NULL));
+  std::printf("pagerank:          max rank %.5f (%.1f ms)\n", top,
+              t.millis());
+  GrB_free(&rank);
+
+  t.reset();
+  const GrB_Index sources[] = {0, 1, 2, 3};
+  GrB_Vector bc = nullptr;
+  TRY(grb_algo::betweenness_centrality(&bc, g, sources, 4));
+  double max_bc = 0;
+  GrB_Index bc_n = 0;
+  TRY(GrB_Vector_nvals(&bc_n, bc));
+  if (bc_n > 0)
+    TRY(GrB_reduce(&max_bc, GrB_NULL, GrB_MAX_MONOID_FP64, bc, GrB_NULL));
+  std::printf("betweenness (4s):  max %.2f (%.1f ms)\n", max_bc,
+              t.millis());
+  GrB_free(&bc);
+
+  t.reset();
+  GrB_Vector iset = nullptr;
+  TRY(grb_algo::mis(&iset, g, 99));
+  GrB_Index mis_size = 0;
+  TRY(GrB_Vector_nvals(&mis_size, iset));
+  std::printf("indep. set:        %llu vertices (%.1f ms)\n",
+              (unsigned long long)mis_size, t.millis());
+  GrB_free(&iset);
+
+  t.reset();
+  GrB_Vector lcc = nullptr;
+  TRY(grb_algo::local_clustering_coefficient(&lcc, g));
+  double sum_lcc = 0;
+  GrB_Index lcc_n = 0;
+  TRY(GrB_Vector_nvals(&lcc_n, lcc));
+  TRY(GrB_reduce(&sum_lcc, GrB_NULL, GrB_PLUS_MONOID_FP64, lcc, GrB_NULL));
+  std::printf("mean clustering:   %.4f (%.1f ms)\n",
+              lcc_n ? sum_lcc / lcc_n : 0.0, t.millis());
+  GrB_free(&lcc);
+
+  TRY(GrB_free(&g));
+  TRY(GrB_finalize());
+  std::printf("\ngraph_analytics OK\n");
+  return 0;
+}

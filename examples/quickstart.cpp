@@ -1,0 +1,70 @@
+// Quickstart: build a small directed graph, run one mxm, then BFS.
+//
+//   $ ./quickstart
+//
+// The graph (7 vertices):
+//     0 -> 1, 0 -> 3, 1 -> 4, 1 -> 6, 2 -> 5, 3 -> 0, 3 -> 2,
+//     4 -> 5, 5 -> 2, 6 -> 2, 6 -> 3, 6 -> 4
+#include <cstdio>
+
+#include "algorithms/algorithms.hpp"
+#include "graphblas/GraphBLAS.h"
+
+#define TRY(expr)                                                     \
+  do {                                                                \
+    GrB_Info info_ = (expr);                                          \
+    if (info_ != GrB_SUCCESS) {                                       \
+      std::fprintf(stderr, "%s failed: %d\n", #expr, (int)info_);     \
+      return 1;                                                       \
+    }                                                                 \
+  } while (0)
+
+int main() {
+  TRY(GrB_init(GrB_NONBLOCKING));
+  unsigned version, subversion;
+  TRY(GrB_getVersion(&version, &subversion));
+  std::printf("GraphBLAS %u.%u\n", version, subversion);
+
+  const GrB_Index n = 7;
+  GrB_Index src[] = {0, 0, 1, 1, 2, 3, 3, 4, 5, 6, 6, 6};
+  GrB_Index dst[] = {1, 3, 4, 6, 5, 0, 2, 5, 2, 2, 3, 4};
+  double weights[] = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+
+  GrB_Matrix a;
+  TRY(GrB_Matrix_new(&a, GrB_FP64, n, n));
+  TRY(GrB_Matrix_build(a, src, dst, weights, 12, GrB_PLUS_FP64));
+
+  // Number of length-2 paths between every pair: P2 = A * A.
+  GrB_Matrix p2;
+  TRY(GrB_Matrix_new(&p2, GrB_FP64, n, n));
+  TRY(GrB_mxm(p2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, a,
+              GrB_NULL));
+  GrB_Index npaths;
+  TRY(GrB_Matrix_nvals(&npaths, p2));
+  double total = 0;
+  TRY(GrB_reduce(&total, GrB_NULL, GrB_PLUS_MONOID_FP64, p2, GrB_NULL));
+  std::printf("length-2 paths: %llu pairs, %.0f paths total\n",
+              (unsigned long long)npaths, total);
+
+  // BFS levels from vertex 0.
+  GrB_Vector level;
+  TRY(grb_algo::bfs_level(&level, a, 0));
+  std::printf("BFS levels from 0:");
+  for (GrB_Index v = 0; v < n; ++v) {
+    int32_t d;
+    GrB_Info info = GrB_Vector_extractElement(&d, level, v);
+    if (info == GrB_SUCCESS) {
+      std::printf(" %llu:%d", (unsigned long long)v, d);
+    } else {
+      std::printf(" %llu:unreachable", (unsigned long long)v);
+    }
+  }
+  std::printf("\n");
+
+  TRY(GrB_free(&level));
+  TRY(GrB_free(&p2));
+  TRY(GrB_free(&a));
+  TRY(GrB_finalize());
+  std::printf("quickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Internal helpers shared by the algorithm implementations.
+#pragma once
+
+#include "graphblas/GraphBLAS.h"
+
+// Early-return helper for C-API call chains.
+#define ALGO_TRY(expr)                                   \
+  do {                                                   \
+    GrB_Info algo_try_info_ = (expr);                    \
+    if (algo_try_info_ != GrB_SUCCESS) {                 \
+      return algo_try_info_;                             \
+    }                                                    \
+  } while (0)
+
+// Like ALGO_TRY but routes through a cleanup lambda `fail`.
+#define ALGO_TRY_OR(expr, fail)                          \
+  do {                                                   \
+    GrB_Info algo_try_info_ = (expr);                    \
+    if (algo_try_info_ != GrB_SUCCESS) {                 \
+      return (fail)(algo_try_info_);                     \
+    }                                                    \
+  } while (0)

@@ -1,0 +1,112 @@
+// Batch betweenness centrality (Brandes' algorithm in the language of
+// linear algebra, after LAGraph's BC-batch): one forward BFS wave for a
+// whole batch of sources at once (an ns x n frontier matrix), then the
+// backward dependency accumulation, all through mxm with structural
+// masks.
+#include <vector>
+
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+namespace grb_algo {
+
+GrB_Info betweenness_centrality(GrB_Vector* bc, GrB_Matrix a,
+                                const GrB_Index* sources,
+                                GrB_Index num_sources) {
+  if (bc == nullptr || a == nullptr || sources == nullptr)
+    return GrB_NULL_POINTER;
+  if (num_sources == 0) return GrB_INVALID_VALUE;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  for (GrB_Index s = 0; s < num_sources; ++s)
+    if (sources[s] >= n) return GrB_INVALID_INDEX;
+
+  const GrB_Index ns = num_sources;
+  GrB_Matrix frontier = nullptr, numsp = nullptr, bcu = nullptr;
+  GrB_Matrix w = nullptr;
+  std::vector<GrB_Matrix> stack;  // boolean frontiers per level
+  auto fail = [&](GrB_Info info) {
+    GrB_free(&frontier);
+    GrB_free(&numsp);
+    GrB_free(&bcu);
+    GrB_free(&w);
+    for (GrB_Matrix& s : stack) GrB_free(&s);
+    return info;
+  };
+
+  // frontier(s, sources[s]) = 1 ; numsp = frontier.
+  ALGO_TRY(GrB_Matrix_new(&frontier, GrB_FP64, ns, n));
+  for (GrB_Index s = 0; s < ns; ++s)
+    ALGO_TRY_OR(GrB_Matrix_setElement(frontier, 1.0, s, sources[s]), fail);
+  ALGO_TRY_OR(GrB_Matrix_dup(&numsp, frontier), fail);
+
+  // Forward phase: frontier <!numsp, replace> = frontier +.first A;
+  // numsp += frontier; stack records each level's pattern.
+  for (GrB_Index depth = 0; depth < n; ++depth) {
+    GrB_Index nf = 0;
+    ALGO_TRY_OR(GrB_Matrix_nvals(&nf, frontier), fail);
+    if (nf == 0) break;
+    GrB_Matrix level = nullptr;
+    ALGO_TRY_OR(GrB_Matrix_dup(&level, frontier), fail);
+    stack.push_back(level);
+    ALGO_TRY_OR(GrB_mxm(frontier, numsp, GrB_NULL,
+                        GrB_PLUS_FIRST_SEMIRING_FP64, frontier, a,
+                        GrB_DESC_RSC),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseAdd(numsp, GrB_NULL, GrB_NULL, GrB_PLUS_FP64,
+                             numsp, frontier, GrB_NULL),
+                fail);
+  }
+
+  // Backward phase: accumulate dependencies level by level.
+  //   w = S_k .* (1 + bcu) ./ numsp
+  //   w = (w +.first A') masked by S_{k-1}
+  //   bcu += w .* numsp
+  ALGO_TRY_OR(GrB_Matrix_new(&bcu, GrB_FP64, ns, n), fail);
+  ALGO_TRY_OR(GrB_Matrix_new(&w, GrB_FP64, ns, n), fail);
+  for (size_t k = stack.size(); k-- > 1;) {
+    // w<S_k, replace> = (1 + bcu) ./ numsp, restricted to level k:
+    // first ones on the level's pattern, then add bcu under the mask.
+    ALGO_TRY_OR(GrB_apply(w, stack[k], GrB_NULL, GrB_ONEB_FP64, stack[k],
+                          1.0, GrB_DESC_RS),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseAdd(w, stack[k], GrB_NULL, GrB_PLUS_FP64, w, bcu,
+                             GrB_DESC_S),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseMult(w, GrB_NULL, GrB_NULL, GrB_DIV_FP64, w,
+                              numsp, GrB_NULL),
+                fail);
+    // Propagate along incoming edges: w<S_{k-1}, replace> = w +.first A'.
+    ALGO_TRY_OR(GrB_mxm(w, stack[k - 1], GrB_NULL,
+                        GrB_PLUS_FIRST_SEMIRING_FP64, w, a,
+                        GrB_DESC_RST1),
+                fail);
+    // bcu += w .* numsp
+    ALGO_TRY_OR(GrB_eWiseMult(w, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, w,
+                              numsp, GrB_NULL),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseAdd(bcu, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, bcu,
+                             w, GrB_NULL),
+                fail);
+  }
+
+  // Brandes excludes w == s: drop each source's own dependency entry
+  // before summing.
+  for (GrB_Index si = 0; si < ns; ++si)
+    ALGO_TRY_OR(GrB_Matrix_removeElement(bcu, si, sources[si]), fail);
+  // bc = column sums of bcu.
+  GrB_Vector out = nullptr;
+  ALGO_TRY_OR(GrB_Vector_new(&out, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_reduce(out, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64,
+                         bcu, GrB_DESC_T0),
+              fail);
+  GrB_free(&frontier);
+  GrB_free(&numsp);
+  GrB_free(&bcu);
+  GrB_free(&w);
+  for (GrB_Matrix& s : stack) GrB_free(&s);
+  *bc = out;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

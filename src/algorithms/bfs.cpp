@@ -1,0 +1,111 @@
+#include "algorithms/algorithms.hpp"
+#include "algorithms/algo_util.hpp"
+
+namespace grb_algo {
+
+GrB_Info make_undirected(GrB_Matrix* out, GrB_Matrix a) {
+  if (out == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  GrB_Matrix s = nullptr;
+  ALGO_TRY(GrB_Matrix_new(&s, GrB_FP64, n, n));
+  GrB_Info info =
+      GrB_eWiseAdd(s, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, a, a, GrB_DESC_T1);
+  if (info != GrB_SUCCESS) {
+    GrB_free(&s);
+    return info;
+  }
+  *out = s;
+  return GrB_SUCCESS;
+}
+
+GrB_Info bfs_level(GrB_Vector* level, GrB_Matrix a, GrB_Index source) {
+  if (level == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  if (source >= n) return GrB_INVALID_INDEX;
+
+  GrB_Vector v = nullptr, q = nullptr;
+  ALGO_TRY(GrB_Vector_new(&v, GrB_INT32, n));
+  GrB_Info info = GrB_Vector_new(&q, GrB_BOOL, n);
+  if (info != GrB_SUCCESS) {
+    GrB_free(&v);
+    return info;
+  }
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&v);
+    GrB_free(&q);
+    return i;
+  };
+
+  info = GrB_Vector_setElement(q, true, source);
+  if (info != GrB_SUCCESS) return fail(info);
+  for (int32_t depth = 0; depth < static_cast<int32_t>(n); ++depth) {
+    GrB_Index nq = 0;
+    info = GrB_Vector_nvals(&nq, q);
+    if (info != GrB_SUCCESS) return fail(info);
+    if (nq == 0) break;
+    // v<q, structure> = depth
+    info = GrB_assign(v, q, GrB_NULL, depth, GrB_ALL, n, GrB_DESC_S);
+    if (info != GrB_SUCCESS) return fail(info);
+    // q<!v, structure, replace> = q * A   (frontier expansion)
+    info = GrB_vxm(q, v, GrB_NULL, GrB_LOR_LAND_SEMIRING_BOOL, q, a,
+                   GrB_DESC_RSC);
+    if (info != GrB_SUCCESS) return fail(info);
+  }
+  GrB_free(&q);
+  *level = v;
+  return GrB_SUCCESS;
+}
+
+GrB_Info bfs_parent(GrB_Vector* parent, GrB_Matrix a, GrB_Index source) {
+  if (parent == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  if (source >= n) return GrB_INVALID_INDEX;
+
+  GrB_Vector p = nullptr, q = nullptr;
+  ALGO_TRY(GrB_Vector_new(&p, GrB_INT64, n));
+  GrB_Info info = GrB_Vector_new(&q, GrB_INT64, n);
+  if (info != GrB_SUCCESS) {
+    GrB_free(&p);
+    return info;
+  }
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&p);
+    GrB_free(&q);
+    return i;
+  };
+
+  info = GrB_Vector_setElement(p, static_cast<int64_t>(source), source);
+  if (info != GrB_SUCCESS) return fail(info);
+  info = GrB_Vector_setElement(q, static_cast<int64_t>(source), source);
+  if (info != GrB_SUCCESS) return fail(info);
+
+  for (GrB_Index iter = 0; iter < n; ++iter) {
+    // q<!p, structure, replace> = q min.first A : candidate parent per
+    // newly reached vertex (q currently carries each frontier vertex's
+    // own id, so FIRST propagates the parent id along the edge).
+    info = GrB_vxm(q, p, GrB_NULL, GrB_MIN_FIRST_SEMIRING_INT64, q, a,
+                   GrB_DESC_RSC);
+    if (info != GrB_SUCCESS) return fail(info);
+    GrB_Index nq = 0;
+    info = GrB_Vector_nvals(&nq, q);
+    if (info != GrB_SUCCESS) return fail(info);
+    if (nq == 0) break;
+    // p<q, structure> = q   (record parents)
+    info = GrB_assign(p, q, GrB_NULL, q, GrB_ALL, n, GrB_DESC_S);
+    if (info != GrB_SUCCESS) return fail(info);
+    // q = ROWINDEX(q) + 0 : replace each entry's value with its own
+    // vertex id for the next expansion — a GraphBLAS 2.0 index-unary
+    // apply; in 1.X this required packing indices into the values array.
+    info = GrB_apply(q, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, q,
+                     static_cast<int64_t>(0), GrB_NULL);
+    if (info != GrB_SUCCESS) return fail(info);
+  }
+  GrB_free(&q);
+  *parent = p;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

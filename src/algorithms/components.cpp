@@ -1,0 +1,99 @@
+// Connected components by min-label propagation with pointer jumping
+// (Shiloach-Vishkin flavour).  Labels converge to the minimum vertex id
+// of each component.  Expects a symmetric pattern.
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+#include <vector>
+
+namespace grb_algo {
+namespace {
+
+// gp = f[f]: gather through the label vector (f is dense INT64).
+GrB_Info gather(GrB_Vector gp, GrB_Vector f, GrB_Index n) {
+  std::vector<GrB_Index> idx(n);
+  std::vector<int64_t> vals(n);
+  GrB_Index nv = n;
+  ALGO_TRY(GrB_Vector_extractTuples(idx.data(), vals.data(), &nv, f));
+  if (nv != n) return GrB_INVALID_OBJECT;  // algorithm keeps f dense
+  std::vector<GrB_Index> through(n);
+  for (GrB_Index k = 0; k < n; ++k)
+    through[k] = static_cast<GrB_Index>(vals[k]);
+  return GrB_extract(gp, GrB_NULL, GrB_NULL, f, through.data(), n,
+                     GrB_NULL);
+}
+
+GrB_Info vectors_equal(bool* eq, GrB_Vector x, GrB_Vector y, GrB_Index n) {
+  GrB_Vector cmp = nullptr;
+  ALGO_TRY(GrB_Vector_new(&cmp, GrB_BOOL, n));
+  GrB_Info info = GrB_eWiseMult(cmp, GrB_NULL, GrB_NULL, GrB_EQ_INT64, x, y,
+                                GrB_NULL);
+  bool all = true;
+  GrB_Index nv = 0;
+  if (info == GrB_SUCCESS) info = GrB_Vector_nvals(&nv, cmp);
+  if (info == GrB_SUCCESS && nv > 0)
+    info = GrB_reduce(&all, GrB_NULL, GrB_LAND_MONOID_BOOL, cmp, GrB_NULL);
+  GrB_free(&cmp);
+  if (info != GrB_SUCCESS) return info;
+  *eq = all && nv == n;
+  return GrB_SUCCESS;
+}
+
+}  // namespace
+
+GrB_Info connected_components(GrB_Vector* comp, GrB_Matrix a) {
+  if (comp == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+
+  GrB_Vector f = nullptr, mn = nullptr, prev = nullptr, gp = nullptr;
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&f);
+    GrB_free(&mn);
+    GrB_free(&prev);
+    GrB_free(&gp);
+    return i;
+  };
+  ALGO_TRY(GrB_Vector_new(&f, GrB_INT64, n));
+  ALGO_TRY_OR(GrB_Vector_new(&mn, GrB_INT64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&gp, GrB_INT64, n), fail);
+  // f[i] = i, built with the 2.0 ROWINDEX apply over a dense vector.
+  ALGO_TRY_OR(GrB_assign(f, GrB_NULL, GrB_NULL, static_cast<int64_t>(0),
+                         GrB_ALL, n, GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_apply(f, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, f,
+                        static_cast<int64_t>(0), GrB_NULL),
+              fail);
+
+  for (GrB_Index iter = 0; iter < n; ++iter) {
+    GrB_free(&prev);
+    ALGO_TRY_OR(GrB_Vector_dup(&prev, f), fail);
+    // mn[j] = min over in-neighbors i of f[i]; min with own label.
+    ALGO_TRY_OR(GrB_vxm(mn, GrB_NULL, GrB_NULL,
+                        GrB_MIN_FIRST_SEMIRING_INT64, f, a, GrB_DESC_R),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseAdd(f, GrB_NULL, GrB_NULL, GrB_MIN_INT64, f, mn,
+                             GrB_NULL),
+                fail);
+    // Pointer jumping: f = min(f, f[f]) until stable within the pass.
+    for (GrB_Index hop = 0; hop < n; ++hop) {
+      ALGO_TRY_OR(gather(gp, f, n), fail);
+      bool same = false;
+      ALGO_TRY_OR(vectors_equal(&same, gp, f, n), fail);
+      if (same) break;
+      ALGO_TRY_OR(GrB_eWiseAdd(f, GrB_NULL, GrB_NULL, GrB_MIN_INT64, f, gp,
+                               GrB_NULL),
+                  fail);
+    }
+    bool converged = false;
+    ALGO_TRY_OR(vectors_equal(&converged, prev, f, n), fail);
+    if (converged) break;
+  }
+  GrB_free(&mn);
+  GrB_free(&prev);
+  GrB_free(&gp);
+  *comp = f;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

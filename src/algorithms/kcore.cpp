@@ -1,0 +1,95 @@
+// k-core decomposition by iterative peeling, driven by the GraphBLAS 2.0
+// select operation: each round selects the vertices whose remaining
+// degree is <= k (GrB_VALUELE), records their coreness, and subtracts
+// their edges from the survivors' degrees.
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+namespace grb_algo {
+
+GrB_Info kcore(GrB_Vector* coreness, GrB_Matrix a) {
+  if (coreness == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+
+  GrB_Vector deg = nullptr, core = nullptr, sel = nullptr, ones = nullptr;
+  GrB_Vector delta = nullptr;
+  GrB_Matrix pattern = nullptr;
+  auto fail = [&](GrB_Info info) {
+    GrB_free(&deg);
+    GrB_free(&core);
+    GrB_free(&sel);
+    GrB_free(&ones);
+    GrB_free(&delta);
+    GrB_free(&pattern);
+    return info;
+  };
+
+  // pattern = off-diagonal structure with INT64 ones; deg = row degrees.
+  ALGO_TRY(GrB_Matrix_new(&pattern, GrB_INT64, n, n));
+  ALGO_TRY_OR(GrB_select(pattern, GrB_NULL, GrB_NULL, GrB_OFFDIAG, a,
+                         int64_t{0}, GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_apply(pattern, GrB_NULL, GrB_NULL, GrB_ONEB_INT64,
+                        pattern, int64_t{1}, GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_Vector_new(&deg, GrB_INT64, n), fail);
+  ALGO_TRY_OR(GrB_reduce(deg, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_INT64,
+                         pattern, GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_Vector_new(&core, GrB_INT64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&sel, GrB_INT64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&ones, GrB_INT64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&delta, GrB_INT64, n), fail);
+  // Isolated vertices (degree 0 / no entry in deg) have coreness 0.
+
+  int64_t k = 1;
+  for (;;) {
+    GrB_Index remaining = 0;
+    ALGO_TRY_OR(GrB_Vector_nvals(&remaining, deg), fail);
+    if (remaining == 0) break;
+    // sel = active vertices with degree < k.
+    ALGO_TRY_OR(GrB_select(sel, GrB_NULL, GrB_NULL, GrB_VALUELT_INT64,
+                           deg, k, GrB_NULL),
+                fail);
+    GrB_Index npeel = 0;
+    ALGO_TRY_OR(GrB_Vector_nvals(&npeel, sel), fail);
+    if (npeel == 0) {
+      ++k;
+      continue;
+    }
+    // Their coreness is k-1.
+    ALGO_TRY_OR(GrB_assign(core, sel, GrB_NULL, k - 1, GrB_ALL, n,
+                           GrB_DESC_S),
+                fail);
+    // Remove them from the active degree vector.
+    ALGO_TRY_OR(GrB_apply(deg, sel, GrB_NULL, GrB_IDENTITY_INT64, deg,
+                          GrB_DESC_RSC),
+                fail);
+    // Each removed vertex decrements its neighbours' degrees.
+    ALGO_TRY_OR(GrB_apply(ones, GrB_NULL, GrB_NULL, GrB_ONEB_INT64, sel,
+                          int64_t{1}, GrB_DESC_R),
+                fail);
+    ALGO_TRY_OR(GrB_vxm(delta, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_FIRST_SEMIRING_INT64, ones, pattern,
+                        GrB_DESC_R),
+                fail);
+    // deg -= delta on the intersection, leaving untouched degrees alone:
+    // tmp = deg - delta (intersection only), then merge via SECOND.
+    ALGO_TRY_OR(GrB_eWiseMult(delta, GrB_NULL, GrB_NULL, GrB_MINUS_INT64,
+                              deg, delta, GrB_NULL),
+                fail);
+    ALGO_TRY_OR(GrB_eWiseAdd(deg, GrB_NULL, GrB_NULL, GrB_SECOND_INT64,
+                             deg, delta, GrB_NULL),
+                fail);
+  }
+  GrB_free(&deg);
+  GrB_free(&sel);
+  GrB_free(&ones);
+  GrB_free(&delta);
+  GrB_free(&pattern);
+  *coreness = core;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

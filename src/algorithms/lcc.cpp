@@ -1,0 +1,80 @@
+// Local clustering coefficient:
+//   lcc[v] = 2 * tri(v) / (deg(v) * (deg(v) - 1))
+// for an undirected simple graph; vertices of degree < 2 get lcc 0.
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+namespace grb_algo {
+
+GrB_Info local_clustering_coefficient(GrB_Vector* lcc, GrB_Matrix a) {
+  if (lcc == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+
+  GrB_Matrix ones = nullptr, c = nullptr;
+  GrB_Vector tri = nullptr, deg = nullptr, denom = nullptr, out = nullptr;
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&ones);
+    GrB_free(&c);
+    GrB_free(&tri);
+    GrB_free(&deg);
+    GrB_free(&denom);
+    GrB_free(&out);
+    return i;
+  };
+  ALGO_TRY(GrB_Matrix_new(&ones, GrB_FP64, n, n));
+  ALGO_TRY_OR(GrB_select(ones, GrB_NULL, GrB_NULL, GrB_OFFDIAG, a,
+                         static_cast<int64_t>(0), GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_apply(ones, GrB_NULL, GrB_NULL, GrB_ONEB_FP64, ones, 1.0,
+                        GrB_NULL),
+              fail);
+  // c<A, structure> = ones * ones' : wedges closed by an edge.
+  ALGO_TRY_OR(GrB_Matrix_new(&c, GrB_FP64, n, n), fail);
+  ALGO_TRY_OR(GrB_mxm(c, ones, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, ones,
+                      ones, GrB_DESC_ST1),
+              fail);
+  // tri[v] = row sum of c / 2 per endpoint accumulates both directions:
+  // for symmetric input, row sum counts each triangle at v twice.
+  ALGO_TRY_OR(GrB_Vector_new(&tri, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_reduce(tri, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64, c,
+                         GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_apply(tri, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, tri, 0.5,
+                        GrB_NULL),
+              fail);
+  // deg[v] = row degree.
+  ALGO_TRY_OR(GrB_Vector_new(&deg, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_reduce(deg, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64,
+                         ones, GrB_NULL),
+              fail);
+  // denom[v] = deg * (deg - 1) / 2, clamped away from zero by masking.
+  ALGO_TRY_OR(GrB_Vector_new(&denom, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_apply(denom, GrB_NULL, GrB_NULL, GrB_MINUS_FP64, deg, 1.0,
+                        GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_eWiseMult(denom, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, deg,
+                            denom, GrB_NULL),
+              fail);
+  ALGO_TRY_OR(GrB_apply(denom, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, denom,
+                        0.5, GrB_NULL),
+              fail);
+  // Keep only denominators > 0 (degree >= 2) using 2.0 select.
+  ALGO_TRY_OR(GrB_select(denom, GrB_NULL, GrB_NULL, GrB_VALUEGT_FP64, denom,
+                         0.0, GrB_NULL),
+              fail);
+  // lcc = tri ./ denom on the surviving vertices.
+  ALGO_TRY_OR(GrB_Vector_new(&out, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_eWiseMult(out, GrB_NULL, GrB_NULL, GrB_DIV_FP64, tri,
+                            denom, GrB_NULL),
+              fail);
+  GrB_free(&ones);
+  GrB_free(&c);
+  GrB_free(&tri);
+  GrB_free(&deg);
+  GrB_free(&denom);
+  *lcc = out;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

@@ -1,0 +1,110 @@
+// Maximal independent set (Luby's algorithm).
+//
+// Each round, every candidate vertex draws a random priority; vertices
+// whose priority beats every candidate neighbour's join the set, and they
+// and their neighbours leave the candidate pool.
+#include <vector>
+
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+#include "util/prng.hpp"
+
+namespace grb_algo {
+
+GrB_Info mis(GrB_Vector* iset, GrB_Matrix a, uint64_t seed) {
+  if (iset == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+
+  GrB_Vector set = nullptr, cand = nullptr, r = nullptr, nmax = nullptr;
+  GrB_Vector win = nullptr, newm = nullptr, nbr = nullptr;
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&set);
+    GrB_free(&cand);
+    GrB_free(&r);
+    GrB_free(&nmax);
+    GrB_free(&win);
+    GrB_free(&newm);
+    GrB_free(&nbr);
+    return i;
+  };
+  ALGO_TRY(GrB_Vector_new(&set, GrB_BOOL, n));
+  ALGO_TRY_OR(GrB_Vector_new(&cand, GrB_BOOL, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&r, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&nmax, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&win, GrB_BOOL, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&newm, GrB_BOOL, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&nbr, GrB_BOOL, n), fail);
+  ALGO_TRY_OR(
+      GrB_assign(cand, GrB_NULL, GrB_NULL, true, GrB_ALL, n, GrB_NULL),
+      fail);
+
+  grb::Prng rng(seed);
+  for (GrB_Index round = 0; round <= n; ++round) {
+    GrB_Index ncand = 0;
+    ALGO_TRY_OR(GrB_Vector_nvals(&ncand, cand), fail);
+    if (ncand == 0) break;
+
+    // r<cand, structure, replace> = random priorities in (0, 1].
+    std::vector<GrB_Index> ci(ncand);
+    GrB_Index got = ncand;
+    ALGO_TRY_OR(GrB_Vector_extractTuples(ci.data(),
+                                         static_cast<bool*>(nullptr), &got,
+                                         cand),
+                fail);
+    ALGO_TRY_OR(GrB_Vector_clear(r), fail);
+    for (GrB_Index k = 0; k < got; ++k) {
+      double p = rng.uniform();
+      ALGO_TRY_OR(GrB_Vector_setElement(r, p == 0.0 ? 0.5 : p, ci[k]),
+                  fail);
+    }
+    ALGO_TRY_OR(GrB_wait(r, GrB_COMPLETE), fail);
+
+    // nmax[j] = max candidate-neighbour priority.
+    ALGO_TRY_OR(GrB_vxm(nmax, cand, GrB_NULL, GrB_MAX_FIRST_SEMIRING_FP64,
+                        r, a, GrB_DESC_RS),
+                fail);
+    // Winners with candidate neighbours: r > nmax on the intersection.
+    ALGO_TRY_OR(GrB_eWiseMult(win, GrB_NULL, GrB_NULL, GrB_GT_FP64, r, nmax,
+                              GrB_DESC_R),
+                fail);
+    // Winners with no candidate neighbour: cand entries outside nmax's
+    // structure (they always join).
+    ALGO_TRY_OR(GrB_Vector_clear(newm), fail);
+    ALGO_TRY_OR(GrB_apply(newm, nmax, GrB_NULL, GrB_IDENTITY_BOOL, cand,
+                          GrB_DESC_SC),
+                fail);
+    // newm |= win-true entries (win is a value mask).
+    ALGO_TRY_OR(
+        GrB_assign(newm, win, GrB_NULL, true, GrB_ALL, n, GrB_NULL),
+        fail);
+    GrB_Index nnew = 0;
+    ALGO_TRY_OR(GrB_Vector_nvals(&nnew, newm), fail);
+    if (nnew == 0) continue;  // re-draw (ties)
+
+    // set<newm> = true.
+    ALGO_TRY_OR(
+        GrB_assign(set, newm, GrB_NULL, true, GrB_ALL, n, GrB_NULL), fail);
+    // nbr = neighbours of the new members (within candidates).
+    ALGO_TRY_OR(GrB_vxm(nbr, cand, GrB_NULL, GrB_LOR_LAND_SEMIRING_BOOL,
+                        newm, a, GrB_DESC_RS),
+                fail);
+    // cand = cand \ (newm u nbr): clear via masked assigns of "delete".
+    ALGO_TRY_OR(GrB_apply(cand, newm, GrB_NULL, GrB_IDENTITY_BOOL, cand,
+                          GrB_DESC_RSC),
+                fail);
+    ALGO_TRY_OR(GrB_apply(cand, nbr, GrB_NULL, GrB_IDENTITY_BOOL, cand,
+                          GrB_DESC_RSC),
+                fail);
+  }
+  GrB_free(&cand);
+  GrB_free(&r);
+  GrB_free(&nmax);
+  GrB_free(&win);
+  GrB_free(&newm);
+  GrB_free(&nbr);
+  *iset = set;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

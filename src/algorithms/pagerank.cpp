@@ -1,0 +1,112 @@
+// PageRank with uniform teleportation (power iteration).
+//
+//   r_{k+1} = (1-damping)/n + damping * A' * (r_k ./ outdegree)
+//
+// Dangling vertices (no out-edges) are handled by redistributing their
+// rank uniformly, which keeps the vector summing to 1.
+#include <cmath>
+
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+namespace grb_algo {
+
+GrB_Info pagerank(GrB_Vector* rank, GrB_Matrix a, double damping,
+                  int max_iters, double tol) {
+  if (rank == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  if (damping < 0.0 || damping >= 1.0) return GrB_INVALID_VALUE;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  if (n == 0) return GrB_INVALID_VALUE;
+
+  GrB_Vector r = nullptr, scaled = nullptr, outdeg = nullptr, diff = nullptr;
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&r);
+    GrB_free(&scaled);
+    GrB_free(&outdeg);
+    GrB_free(&diff);
+    return i;
+  };
+  ALGO_TRY(GrB_Vector_new(&r, GrB_FP64, n));
+  ALGO_TRY_OR(GrB_Vector_new(&scaled, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&outdeg, GrB_FP64, n), fail);
+  ALGO_TRY_OR(GrB_Vector_new(&diff, GrB_FP64, n), fail);
+
+  // outdeg[i] = number of out-edges (count via PLUS reduce of ONEB).
+  GrB_Matrix ones = nullptr;
+  ALGO_TRY_OR(GrB_Matrix_new(&ones, GrB_FP64, n, n), fail);
+  GrB_Info info = GrB_apply(ones, GrB_NULL, GrB_NULL, GrB_ONEB_FP64, a, 1.0,
+                            GrB_NULL);
+  if (info == GrB_SUCCESS)
+    info = GrB_reduce(outdeg, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64, ones,
+                      GrB_NULL);
+  GrB_free(&ones);
+  if (info != GrB_SUCCESS) return fail(info);
+
+  // r = 1/n everywhere.
+  ALGO_TRY_OR(
+      GrB_assign(r, GrB_NULL, GrB_NULL, 1.0 / static_cast<double>(n),
+                 GrB_ALL, n, GrB_NULL),
+      fail);
+
+  double teleport = (1.0 - damping) / static_cast<double>(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // scaled = r ./ outdeg on vertices with out-edges.
+    ALGO_TRY_OR(GrB_eWiseMult(scaled, GrB_NULL, GrB_NULL, GrB_DIV_FP64, r,
+                              outdeg, GrB_DESC_R),
+                fail);
+    // Dangling mass: total rank minus rank of non-dangling vertices.
+    double total = 0.0, live = 0.0;
+    ALGO_TRY_OR(
+        GrB_reduce(&total, GrB_NULL, GrB_PLUS_MONOID_FP64, r, GrB_NULL),
+        fail);
+    GrB_Vector live_r = nullptr;
+    ALGO_TRY_OR(GrB_Vector_new(&live_r, GrB_FP64, n), fail);
+    info = GrB_eWiseMult(live_r, GrB_NULL, GrB_NULL, GrB_FIRST_FP64, r,
+                         outdeg, GrB_NULL);
+    if (info == GrB_SUCCESS)
+      info = GrB_reduce(&live, GrB_NULL, GrB_PLUS_MONOID_FP64, live_r,
+                        GrB_NULL);
+    GrB_free(&live_r);
+    if (info != GrB_SUCCESS) return fail(info);
+    double dangling = total - live;
+
+    // diff = previous r (for the convergence test).
+    GrB_free(&diff);
+    ALGO_TRY_OR(GrB_Vector_dup(&diff, r), fail);
+    // r = teleport + damping * (scaled * A) + damping * dangling / n.
+    // PLUS_FIRST propagates the scaled rank along edges structurally
+    // (PageRank ignores edge weights).
+    ALGO_TRY_OR(GrB_vxm(r, GrB_NULL, GrB_NULL, GrB_PLUS_FIRST_SEMIRING_FP64,
+                        scaled, a, GrB_DESC_R),
+                fail);
+    ALGO_TRY_OR(GrB_apply(r, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, r, damping,
+                          GrB_NULL),
+                fail);
+    double base = teleport + damping * dangling / static_cast<double>(n);
+    // r += base everywhere (accumulate so sparse r becomes dense).
+    ALGO_TRY_OR(GrB_assign(r, GrB_NULL, GrB_PLUS_FP64, base, GrB_ALL, n,
+                           GrB_NULL),
+                fail);
+
+    // L1 delta = reduce(|r - diff|).
+    ALGO_TRY_OR(GrB_eWiseAdd(diff, GrB_NULL, GrB_NULL, GrB_MINUS_FP64, r,
+                             diff, GrB_NULL),
+                fail);
+    ALGO_TRY_OR(GrB_apply(diff, GrB_NULL, GrB_NULL, GrB_ABS_FP64, diff,
+                          GrB_NULL),
+                fail);
+    double delta = 0.0;
+    ALGO_TRY_OR(
+        GrB_reduce(&delta, GrB_NULL, GrB_PLUS_MONOID_FP64, diff, GrB_NULL),
+        fail);
+    if (delta < tol) break;
+  }
+  GrB_free(&scaled);
+  GrB_free(&outdeg);
+  GrB_free(&diff);
+  *rank = r;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

@@ -1,0 +1,64 @@
+// Bellman-Ford SSSP over the MIN_PLUS semiring.
+#include "algorithms/algo_util.hpp"
+#include "algorithms/algorithms.hpp"
+
+namespace grb_algo {
+
+GrB_Info sssp(GrB_Vector* dist, GrB_Matrix a, GrB_Index source) {
+  if (dist == nullptr || a == nullptr) return GrB_NULL_POINTER;
+  GrB_Index n;
+  ALGO_TRY(GrB_Matrix_nrows(&n, a));
+  if (source >= n) return GrB_INVALID_INDEX;
+
+  GrB_Vector d = nullptr, t = nullptr;
+  ALGO_TRY(GrB_Vector_new(&d, GrB_FP64, n));
+  GrB_Info info = GrB_Vector_new(&t, GrB_FP64, n);
+  if (info != GrB_SUCCESS) {
+    GrB_free(&d);
+    return info;
+  }
+  auto fail = [&](GrB_Info i) {
+    GrB_free(&d);
+    GrB_free(&t);
+    return i;
+  };
+
+  ALGO_TRY_OR(GrB_Vector_setElement(d, 0.0, source), fail);
+  for (GrB_Index iter = 0; iter < n; ++iter) {
+    // t = d min.+ A ; relax all edges one step.
+    ALGO_TRY_OR(GrB_vxm(t, GrB_NULL, GrB_NULL, GrB_MIN_PLUS_SEMIRING_FP64,
+                        d, a, GrB_NULL),
+                fail);
+    // t = min(t, d): keep the best distance seen so far.
+    ALGO_TRY_OR(GrB_eWiseAdd(t, GrB_NULL, GrB_NULL, GrB_MIN_FP64, t, d,
+                             GrB_NULL),
+                fail);
+    // Converged when t == d (same structure, all values equal).
+    GrB_Index nd = 0, nt = 0;
+    ALGO_TRY_OR(GrB_Vector_nvals(&nd, d), fail);
+    ALGO_TRY_OR(GrB_Vector_nvals(&nt, t), fail);
+    bool same = nd == nt;
+    if (same && nd > 0) {
+      GrB_Vector eq = nullptr;
+      ALGO_TRY_OR(GrB_Vector_new(&eq, GrB_BOOL, n), fail);
+      GrB_Info i2 = GrB_eWiseMult(eq, GrB_NULL, GrB_NULL, GrB_EQ_FP64, t, d,
+                                  GrB_NULL);
+      bool all = false;
+      GrB_Index neq = 0;
+      if (i2 == GrB_SUCCESS) i2 = GrB_Vector_nvals(&neq, eq);
+      if (i2 == GrB_SUCCESS)
+        i2 = GrB_reduce(&all, GrB_NULL, GrB_LAND_MONOID_BOOL, eq, GrB_NULL);
+      GrB_free(&eq);
+      if (i2 != GrB_SUCCESS) return fail(i2);
+      same = all && neq == nd;
+    }
+    // d <-> t (adopt the relaxed distances).
+    std::swap(d, t);
+    if (same) break;
+  }
+  GrB_free(&t);
+  *dist = d;
+  return GrB_SUCCESS;
+}
+
+}  // namespace grb_algo

@@ -1,0 +1,6 @@
+// Anchor translation unit for the C API veneer.
+//
+// The veneer itself (include/graphblas/GraphBLAS.h) is header-only so the
+// polymorphic GrB_* overloads can be inline; compiling it here once
+// guarantees the public header is self-contained and warning-clean.
+#include "graphblas/GraphBLAS.h"

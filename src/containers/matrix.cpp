@@ -1,0 +1,207 @@
+#include "containers/matrix.hpp"
+
+#include <algorithm>
+
+namespace grb {
+
+size_t MatrixData::find(Index i, Index j) const {
+  if (i >= nrows) return npos;
+  auto first = col.begin() + static_cast<ptrdiff_t>(ptr[i]);
+  auto last = col.begin() + static_cast<ptrdiff_t>(ptr[i + 1]);
+  auto it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return npos;
+  return static_cast<size_t>(it - col.begin());
+}
+
+Info Matrix::snapshot(std::shared_ptr<const MatrixData>* out) {
+  Info info = complete();
+  if (static_cast<int>(info) < 0) return info;
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = data_;
+  return Info::kSuccess;
+}
+
+void Matrix::publish(std::shared_ptr<const MatrixData> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = std::move(data);
+}
+
+std::shared_ptr<MatrixData> Matrix::fold(const MatrixData& base,
+                                         std::vector<PendingTupleIJ> pend,
+                                         ValueArray pend_vals) {
+  struct Item {
+    Index i, j;
+    size_t seq;
+    bool is_delete;
+    size_t val_slot;
+  };
+  std::vector<Item> items;
+  items.reserve(pend.size());
+  size_t slot = 0;
+  for (size_t s = 0; s < pend.size(); ++s) {
+    items.push_back({pend[s].i, pend[s].j, s, pend[s].is_delete,
+                     pend[s].is_delete ? size_t{0} : slot});
+    if (!pend[s].is_delete) ++slot;
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.i != b.i ? a.i < b.i : a.j < b.j;
+                   });
+  std::vector<Item> last;
+  last.reserve(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (k + 1 < items.size() && items[k + 1].i == items[k].i &&
+        items[k + 1].j == items[k].j)
+      continue;
+    last.push_back(items[k]);
+  }
+
+  auto out = std::make_shared<MatrixData>(base.type, base.nrows, base.ncols);
+  out->col.reserve(base.col.size() + last.size());
+  out->vals.reserve(base.col.size() + last.size());
+  size_t t = 0;  // cursor into `last`
+  for (Index r = 0; r < base.nrows; ++r) {
+    size_t b = base.ptr[r];
+    size_t bend = base.ptr[r + 1];
+    while (t < last.size() && last[t].i == r) {
+      Index j = last[t].j;
+      while (b < bend && base.col[b] < j) {
+        out->col.push_back(base.col[b]);
+        out->vals.push_back_from(base.vals, b);
+        ++b;
+      }
+      if (b < bend && base.col[b] == j) ++b;  // overridden
+      if (!last[t].is_delete) {
+        out->col.push_back(j);
+        out->vals.push_back(pend_vals.at(last[t].val_slot));
+      }
+      ++t;
+    }
+    while (b < bend) {
+      out->col.push_back(base.col[b]);
+      out->vals.push_back_from(base.vals, b);
+      ++b;
+    }
+    out->ptr[r + 1] = out->col.size();
+  }
+  return out;
+}
+
+Info Matrix::flush_pending() {
+  std::vector<PendingTupleIJ> pend;
+  ValueArray pvals(type_->size());
+  std::shared_ptr<const MatrixData> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pend_.empty()) return Info::kSuccess;
+    pend.swap(pend_);
+    pvals = std::move(pend_vals_);
+    pend_vals_ = ValueArray(type_->size());
+    base = data_;
+  }
+  auto folded = fold(*base, std::move(pend), std::move(pvals));
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = std::move(folded);
+  return Info::kSuccess;
+}
+
+void Matrix::enqueue(std::function<Info()> op) {
+  bool have_tuples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    have_tuples = !pend_.empty();
+  }
+  if (have_tuples) {
+    ObjectBase::enqueue([this]() -> Info { return flush_pending(); });
+  }
+  ObjectBase::enqueue(std::move(op));
+}
+
+Info Matrix::new_(Matrix** a, const Type* type, Index nrows, Index ncols,
+                  Context* ctx) {
+  if (a == nullptr || type == nullptr) return Info::kNullPointer;
+  if (nrows > kIndexMax || ncols > kIndexMax) return Info::kInvalidValue;
+  Context* c = resolve_context(ctx);
+  if (c == nullptr) return Info::kPanic;
+  if (!context_is_live(c)) return Info::kUninitializedObject;
+  *a = new Matrix(type, nrows, ncols, c);
+  return Info::kSuccess;
+}
+
+Info Matrix::dup(Matrix** out, const Matrix* in) {
+  if (out == nullptr || in == nullptr) return Info::kNullPointer;
+  auto* src = const_cast<Matrix*>(in);
+  std::shared_ptr<const MatrixData> snap;
+  GRB_RETURN_IF_ERROR(src->snapshot(&snap));
+  auto* a = new Matrix(snap->type, snap->nrows, snap->ncols, src->context());
+  a->publish(snap);
+  *out = a;
+  return Info::kSuccess;
+}
+
+Info Matrix::free(Matrix* a) {
+  if (a == nullptr) return Info::kNullPointer;
+  a->wait(WaitMode::kMaterialize);
+  delete a;
+  return Info::kSuccess;
+}
+
+Info Matrix::clear() {
+  GRB_RETURN_IF_ERROR(pending_error());
+  auto op = [this]() -> Info {
+    Index r, c;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      r = nrows_;
+      c = ncols_;
+    }
+    publish(std::make_shared<MatrixData>(type_, r, c));
+    return Info::kSuccess;
+  };
+  return defer_or_run(this, op);
+}
+
+Info Matrix::nvals(Index* out) {
+  if (out == nullptr) return Info::kNullPointer;
+  std::shared_ptr<const MatrixData> snap;
+  GRB_RETURN_IF_ERROR(snapshot(&snap));
+  *out = snap->nvals();
+  return Info::kSuccess;
+}
+
+Info Matrix::resize(Index new_nrows, Index new_ncols) {
+  if (new_nrows > kIndexMax || new_ncols > kIndexMax)
+    return Info::kInvalidValue;
+  GRB_RETURN_IF_ERROR(pending_error());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nrows_ = new_nrows;
+    ncols_ = new_ncols;
+  }
+  auto op = [this, new_nrows, new_ncols]() -> Info {
+    std::shared_ptr<const MatrixData> base;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      base = data_;
+    }
+    auto out = std::make_shared<MatrixData>(base->type, new_nrows, new_ncols);
+    Index keep_rows = std::min(new_nrows, base->nrows);
+    for (Index r = 0; r < keep_rows; ++r) {
+      for (size_t k = base->ptr[r]; k < base->ptr[r + 1]; ++k) {
+        if (base->col[k] < new_ncols) {
+          out->col.push_back(base->col[k]);
+          out->vals.push_back_from(base->vals, k);
+        }
+      }
+      out->ptr[r + 1] = out->col.size();
+    }
+    for (Index r = keep_rows; r < new_nrows; ++r)
+      out->ptr[r + 1] = out->col.size();
+    publish(std::move(out));
+    return Info::kSuccess;
+  };
+  if (mode() == Mode::kBlocking) GRB_RETURN_IF_ERROR(flush_pending());
+  return defer_or_run(this, op);
+}
+
+}  // namespace grb

@@ -1,0 +1,106 @@
+// GrB_Matrix: a sparse matrix of a GraphBLAS domain.
+//
+// Representation: CSR (row pointers + column indices + type-erased value
+// array); column indices are kept sorted within each row.  Handle state
+// follows the same COW + pending-sequence design as Vector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/type.hpp"
+#include "exec/object_base.hpp"
+
+namespace grb {
+
+struct MatrixData {
+  const Type* type;
+  Index nrows = 0, ncols = 0;
+  std::vector<Index> ptr;  // size nrows + 1
+  std::vector<Index> col;  // size nvals, sorted within each row
+  ValueArray vals;         // stride == type->size()
+
+  MatrixData(const Type* t, Index rows, Index cols)
+      : type(t), nrows(rows), ncols(cols), ptr(rows + 1, 0),
+        vals(t->size()) {}
+
+  Index nvals() const { return static_cast<Index>(col.size()); }
+
+  static constexpr size_t npos = ~size_t{0};
+  // Position of (i, j) in col/vals, or npos.
+  size_t find(Index i, Index j) const;
+};
+
+struct PendingTupleIJ {
+  Index i, j;
+  bool is_delete;
+};
+
+class Matrix : public ObjectBase {
+ public:
+  Matrix(const Type* type, Index nrows, Index ncols, Context* ctx)
+      : ObjectBase(ctx),
+        nrows_(nrows),
+        ncols_(ncols),
+        type_(type),
+        data_(std::make_shared<MatrixData>(type, nrows, ncols)),
+        pend_vals_(type->size()) {}
+
+  const Type* type() const { return type_; }
+  Index nrows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nrows_;
+  }
+  Index ncols() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ncols_;
+  }
+
+  Info snapshot(std::shared_ptr<const MatrixData>* out);
+  void publish(std::shared_ptr<const MatrixData> data);
+  void enqueue(std::function<Info()> op) override;
+
+  // The current data block, without forcing completion (see Vector).
+  std::shared_ptr<const MatrixData> current_data() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+  static Info new_(Matrix** a, const Type* type, Index nrows, Index ncols,
+                   Context* ctx);
+  static Info dup(Matrix** out, const Matrix* in);
+  static Info free(Matrix* a);
+  Info clear();
+  Info nvals(Index* out);
+  Info resize(Index new_nrows, Index new_ncols);
+
+  // --- element access (ops/element.cpp) ----------------------------------
+  Info set_element(const void* value, const Type* value_type, Index i,
+                   Index j);
+  Info remove_element(Index i, Index j);
+  Info extract_element(void* out, const Type* out_type, Index i, Index j);
+  Info extract_tuples(Index* row_indices, Index* col_indices, void* values,
+                      Index* n, const Type* value_type);
+
+  // --- build (ops/build.cpp) ----------------------------------------------
+  Info build(const Index* row_indices, const Index* col_indices,
+             const void* values, Index nvals, const class BinaryOp* dup,
+             const Type* value_type);
+
+ protected:
+  Info flush_pending() override;
+
+ private:
+  Index nrows_, ncols_;
+  const Type* type_;
+  std::shared_ptr<const MatrixData> data_;
+
+  std::vector<PendingTupleIJ> pend_;
+  ValueArray pend_vals_;
+
+  static std::shared_ptr<MatrixData> fold(
+      const MatrixData& base, std::vector<PendingTupleIJ> pend,
+      ValueArray pend_vals);
+};
+
+}  // namespace grb

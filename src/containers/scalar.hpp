@@ -1,0 +1,63 @@
+// GrB_Scalar (paper §VI): an opaque container for a single element of a
+// GraphBLAS domain.  Like vectors and matrices it can be *empty*, and
+// operations producing one (extractElement / reduce variants) can be
+// deferred in nonblocking mode — the two properties the paper gives as
+// its motivation.
+#pragma once
+
+#include <memory>
+
+#include "core/type.hpp"
+#include "exec/object_base.hpp"
+
+namespace grb {
+
+struct ScalarData {
+  const Type* type;
+  bool present = false;
+  ValueBuf value;
+
+  explicit ScalarData(const Type* t) : type(t), value(t->size()) {}
+};
+
+class Scalar : public ObjectBase {
+ public:
+  Scalar(const Type* type, Context* ctx)
+      : ObjectBase(ctx), data_(std::make_shared<ScalarData>(type)) {}
+
+  const Type* type() const { return data_ptr()->type; }
+
+  // Completes the sequence and returns an immutable snapshot.
+  Info snapshot(std::shared_ptr<const ScalarData>* out);
+
+  // Publishes new contents (operation layer; caller already completed).
+  void publish(std::shared_ptr<const ScalarData> data);
+
+  // Current data without forcing completion (safe inside deferred
+  // closures; the sequence is FIFO).
+  std::shared_ptr<const ScalarData> current_data() const {
+    return data_ptr();
+  }
+
+  // --- Table I methods ---------------------------------------------------
+  static Info new_(Scalar** s, const Type* type, Context* ctx);
+  static Info dup(Scalar** out, const Scalar* in);
+  Info clear();
+  Info nvals(Index* out);
+  // setElement casts `value` (of `value_type`) into the scalar's domain.
+  Info set_element(const void* value, const Type* value_type);
+  // extractElement casts out; kNoValue when empty.
+  Info extract_element(void* out, const Type* out_type);
+  static Info free(Scalar* s);
+
+ private:
+  std::shared_ptr<const ScalarData> data_ptr() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+  // Guarded by ObjectBase::mu_.
+  std::shared_ptr<const ScalarData> data_;
+};
+
+}  // namespace grb

@@ -1,0 +1,192 @@
+#include "containers/vector.hpp"
+
+#include <algorithm>
+
+namespace grb {
+
+size_t VectorData::find(Index i) const {
+  auto it = std::lower_bound(ind.begin(), ind.end(), i);
+  if (it == ind.end() || *it != i) return npos;
+  return static_cast<size_t>(it - ind.begin());
+}
+
+Info Vector::snapshot(std::shared_ptr<const VectorData>* out) {
+  Info info = complete();
+  if (static_cast<int>(info) < 0) return info;
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = data_;
+  return Info::kSuccess;
+}
+
+void Vector::publish(std::shared_ptr<const VectorData> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = std::move(data);
+}
+
+std::shared_ptr<VectorData> Vector::fold(const VectorData& base,
+                                         std::vector<PendingTuple> pend,
+                                         ValueArray pend_vals) {
+  // Assign each non-delete tuple its value slot (insertion order), then
+  // keep only the last tuple per index ("last write wins").
+  struct Item {
+    Index i;
+    size_t seq;
+    bool is_delete;
+    size_t val_slot;
+  };
+  std::vector<Item> items;
+  items.reserve(pend.size());
+  size_t slot = 0;
+  for (size_t s = 0; s < pend.size(); ++s) {
+    items.push_back({pend[s].i, s, pend[s].is_delete,
+                     pend[s].is_delete ? size_t{0} : slot});
+    if (!pend[s].is_delete) ++slot;
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.i < b.i; });
+  // Deduplicate: last per index survives.
+  std::vector<Item> last;
+  last.reserve(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (k + 1 < items.size() && items[k + 1].i == items[k].i) continue;
+    last.push_back(items[k]);
+  }
+
+  auto out = std::make_shared<VectorData>(base.type, base.n);
+  out->ind.reserve(base.ind.size() + last.size());
+  out->vals.reserve(base.ind.size() + last.size());
+  size_t b = 0;
+  for (const Item& it : last) {
+    while (b < base.ind.size() && base.ind[b] < it.i) {
+      out->ind.push_back(base.ind[b]);
+      out->vals.push_back_from(base.vals, b);
+      ++b;
+    }
+    if (b < base.ind.size() && base.ind[b] == it.i) ++b;  // overridden
+    if (!it.is_delete) {
+      out->ind.push_back(it.i);
+      out->vals.push_back(pend_vals.at(it.val_slot));
+    }
+  }
+  while (b < base.ind.size()) {
+    out->ind.push_back(base.ind[b]);
+    out->vals.push_back_from(base.vals, b);
+    ++b;
+  }
+  return out;
+}
+
+Info Vector::flush_pending() {
+  std::vector<PendingTuple> pend;
+  ValueArray pvals(type_->size());
+  std::shared_ptr<const VectorData> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pend_.empty()) return Info::kSuccess;
+    pend.swap(pend_);
+    pvals = std::move(pend_vals_);
+    pend_vals_ = ValueArray(type_->size());
+    base = data_;
+  }
+  auto folded = fold(*base, std::move(pend), std::move(pvals));
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = std::move(folded);
+  return Info::kSuccess;
+}
+
+void Vector::enqueue(std::function<Info()> op) {
+  // Fold outstanding fast-path tuples into the sequence first so the
+  // deferred op observes them in program order.
+  bool have_tuples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    have_tuples = !pend_.empty();
+  }
+  if (have_tuples) {
+    ObjectBase::enqueue([this]() -> Info { return flush_pending(); });
+  }
+  ObjectBase::enqueue(std::move(op));
+}
+
+Info Vector::new_(Vector** v, const Type* type, Index n, Context* ctx) {
+  if (v == nullptr || type == nullptr) return Info::kNullPointer;
+  if (n > kIndexMax) return Info::kInvalidValue;
+  Context* c = resolve_context(ctx);
+  if (c == nullptr) return Info::kPanic;
+  if (!context_is_live(c)) return Info::kUninitializedObject;
+  *v = new Vector(type, n, c);
+  return Info::kSuccess;
+}
+
+Info Vector::dup(Vector** out, const Vector* in) {
+  if (out == nullptr || in == nullptr) return Info::kNullPointer;
+  auto* src = const_cast<Vector*>(in);
+  std::shared_ptr<const VectorData> snap;
+  GRB_RETURN_IF_ERROR(src->snapshot(&snap));
+  auto* v = new Vector(snap->type, snap->n, src->context());
+  v->publish(snap);  // COW: share until either side mutates
+  *out = v;
+  return Info::kSuccess;
+}
+
+Info Vector::free(Vector* v) {
+  if (v == nullptr) return Info::kNullPointer;
+  v->wait(WaitMode::kMaterialize);
+  delete v;
+  return Info::kSuccess;
+}
+
+Info Vector::clear() {
+  GRB_RETURN_IF_ERROR(pending_error());
+  auto op = [this]() -> Info {
+    Index n;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      n = size_;
+    }
+    publish(std::make_shared<VectorData>(type_, n));
+    return Info::kSuccess;
+  };
+  return defer_or_run(this, op);
+}
+
+Info Vector::nvals(Index* out) {
+  if (out == nullptr) return Info::kNullPointer;
+  std::shared_ptr<const VectorData> snap;
+  GRB_RETURN_IF_ERROR(snapshot(&snap));
+  *out = snap->nvals();
+  return Info::kSuccess;
+}
+
+Info Vector::resize(Index new_size) {
+  if (new_size > kIndexMax) return Info::kInvalidValue;
+  GRB_RETURN_IF_ERROR(pending_error());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_ = new_size;  // handle dims update eagerly for validation
+  }
+  auto op = [this, new_size]() -> Info {
+    std::shared_ptr<const VectorData> base;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      base = data_;
+    }
+    auto out = std::make_shared<VectorData>(base->type, new_size);
+    if (new_size >= base->n) {
+      out->ind = base->ind;
+      out->vals = base->vals;
+    } else {
+      for (size_t k = 0; k < base->ind.size() && base->ind[k] < new_size;
+           ++k) {
+        out->ind.push_back(base->ind[k]);
+        out->vals.push_back_from(base->vals, k);
+      }
+    }
+    publish(std::move(out));
+    return Info::kSuccess;
+  };
+  if (mode() == Mode::kBlocking) GRB_RETURN_IF_ERROR(flush_pending());
+  return defer_or_run(this, op);
+}
+
+}  // namespace grb

@@ -1,0 +1,115 @@
+// GrB_Vector: a sparse vector of a GraphBLAS domain.
+//
+// Representation: sorted coordinate list (strictly increasing indices)
+// with a type-erased value array.  Handle state follows the COW +
+// pending-sequence design described in DESIGN.md:
+//  * `data_` is an immutable snapshot shared with in-flight deferred ops;
+//  * setElement/removeElement append O(1) pending tuples that are folded
+//    on completion (the bulk-ingest pattern nonblocking mode enables);
+//  * dimensions live in the handle so API validation never has to force
+//    completion.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/type.hpp"
+#include "exec/object_base.hpp"
+
+namespace grb {
+
+struct VectorData {
+  const Type* type;
+  Index n = 0;
+  std::vector<Index> ind;  // sorted, unique
+  ValueArray vals;         // stride == type->size()
+
+  VectorData(const Type* t, Index size)
+      : type(t), n(size), vals(t->size()) {}
+
+  Index nvals() const { return static_cast<Index>(ind.size()); }
+
+  // Position of index i, or npos.
+  static constexpr size_t npos = ~size_t{0};
+  size_t find(Index i) const;
+};
+
+// A pending elementwise update (setElement or removeElement).
+struct PendingTuple {
+  Index i;
+  bool is_delete;
+};
+
+class Vector : public ObjectBase {
+ public:
+  Vector(const Type* type, Index n, Context* ctx)
+      : ObjectBase(ctx),
+        size_(n),
+        type_(type),
+        data_(std::make_shared<VectorData>(type, n)),
+        pend_vals_(type->size()) {}
+
+  const Type* type() const { return type_; }
+  Index size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  // Completes the sequence (drains deferred ops, folds pending tuples)
+  // and returns an immutable snapshot.
+  Info snapshot(std::shared_ptr<const VectorData>* out);
+
+  // Publishes new contents.  Called by operation closures; the data's
+  // size must equal the handle size at the time the closure runs.
+  void publish(std::shared_ptr<const VectorData> data);
+
+  // Folds any pending tuples into the sequence, then appends `op`, so
+  // deferred operations observe setElement calls in program order.
+  void enqueue(std::function<Info()> op) override;
+
+  // The current data block, without forcing completion.  Safe inside a
+  // deferred closure: the sequence is FIFO, so every predecessor has
+  // already published.
+  std::shared_ptr<const VectorData> current_data() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+  // --- lifecycle / structure --------------------------------------------
+  static Info new_(Vector** v, const Type* type, Index n, Context* ctx);
+  static Info dup(Vector** out, const Vector* in);
+  static Info free(Vector* v);
+  Info clear();
+  Info nvals(Index* out);
+  Info resize(Index new_size);
+
+  // --- element access (ops/element.cpp) ----------------------------------
+  Info set_element(const void* value, const Type* value_type, Index i);
+  Info remove_element(Index i);
+  Info extract_element(void* out, const Type* out_type, Index i);
+  Info extract_tuples(Index* indices, void* values, Index* n,
+                      const Type* value_type);
+
+  // --- build (ops/build.cpp) ----------------------------------------------
+  Info build(const Index* indices, const void* values, Index nvals,
+             const class BinaryOp* dup, const Type* value_type);
+
+ protected:
+  Info flush_pending() override;
+
+ private:
+  // All fields below are guarded by ObjectBase::mu_.
+  Index size_;
+  const Type* type_;
+  std::shared_ptr<const VectorData> data_;
+
+  std::vector<PendingTuple> pend_;
+  ValueArray pend_vals_;  // values for non-delete tuples, insertion order
+
+  // Folds `pend/pend_vals` (moved-from) into `base`, producing new data.
+  static std::shared_ptr<VectorData> fold(
+      const VectorData& base, std::vector<PendingTuple> pend,
+      ValueArray pend_vals);
+};
+
+}  // namespace grb

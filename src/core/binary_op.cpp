@@ -1,0 +1,480 @@
+#include "core/binary_op.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+namespace grb {
+namespace {
+
+template <class T>
+T ld(const void* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <class T>
+void st(void* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+// Wrapping arithmetic for integers (avoids signed-overflow UB); plain
+// arithmetic for floating point.
+template <class T>
+T wrap_add(T x, T y) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(x) + static_cast<U>(y));
+  } else {
+    return x + y;
+  }
+}
+template <class T>
+T wrap_sub(T x, T y) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(x) - static_cast<U>(y));
+  } else {
+    return x - y;
+  }
+}
+template <class T>
+T wrap_mul(T x, T y) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(x) * static_cast<U>(y));
+  } else {
+    return x * y;
+  }
+}
+template <class T>
+T safe_div(T x, T y) {
+  if constexpr (std::is_integral_v<T>) {
+    if (y == 0) return T{0};
+    if constexpr (std::is_signed_v<T>) {
+      // INT_MIN / -1 overflows; wrap to INT_MIN like a 2's-complement op.
+      if (x == std::numeric_limits<T>::min() && y == T{-1}) return x;
+    }
+    return static_cast<T>(x / y);
+  } else {
+    return x / y;
+  }
+}
+
+// --- arithmetic ops, generic over non-bool arithmetic T ----------------
+template <class T>
+void fn_first(void* z, const void* x, const void*) {
+  st<T>(z, ld<T>(x));
+}
+template <class T>
+void fn_second(void* z, const void*, const void* y) {
+  st<T>(z, ld<T>(y));
+}
+template <class T>
+void fn_oneb(void* z, const void*, const void*) {
+  st<T>(z, T{1});
+}
+template <class T>
+void fn_min(void* z, const void* x, const void* y) {
+  T a = ld<T>(x), b = ld<T>(y);
+  if constexpr (std::is_floating_point_v<T>) {
+    st<T>(z, std::fmin(a, b));
+  } else {
+    st<T>(z, a < b ? a : b);
+  }
+}
+template <class T>
+void fn_max(void* z, const void* x, const void* y) {
+  T a = ld<T>(x), b = ld<T>(y);
+  if constexpr (std::is_floating_point_v<T>) {
+    st<T>(z, std::fmax(a, b));
+  } else {
+    st<T>(z, a > b ? a : b);
+  }
+}
+template <class T>
+void fn_plus(void* z, const void* x, const void* y) {
+  st<T>(z, wrap_add(ld<T>(x), ld<T>(y)));
+}
+template <class T>
+void fn_minus(void* z, const void* x, const void* y) {
+  st<T>(z, wrap_sub(ld<T>(x), ld<T>(y)));
+}
+template <class T>
+void fn_times(void* z, const void* x, const void* y) {
+  st<T>(z, wrap_mul(ld<T>(x), ld<T>(y)));
+}
+template <class T>
+void fn_div(void* z, const void* x, const void* y) {
+  st<T>(z, safe_div(ld<T>(x), ld<T>(y)));
+}
+
+// --- bool specializations ----------------------------------------------
+void bfn_first(void* z, const void* x, const void*) { st<bool>(z, ld<bool>(x)); }
+void bfn_second(void* z, const void*, const void* y) { st<bool>(z, ld<bool>(y)); }
+void bfn_oneb(void* z, const void*, const void*) { st<bool>(z, true); }
+void bfn_min(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) && ld<bool>(y));
+}
+void bfn_max(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) || ld<bool>(y));
+}
+void bfn_plus(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) || ld<bool>(y));
+}
+void bfn_minus(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) != ld<bool>(y));
+}
+void bfn_times(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) && ld<bool>(y));
+}
+void bfn_div(void* z, const void* x, const void*) { st<bool>(z, ld<bool>(x)); }
+
+// --- comparisons: T,T -> bool -------------------------------------------
+template <class T>
+void fn_eq(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) == ld<T>(y));
+}
+template <class T>
+void fn_ne(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) != ld<T>(y));
+}
+template <class T>
+void fn_gt(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) > ld<T>(y));
+}
+template <class T>
+void fn_lt(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) < ld<T>(y));
+}
+template <class T>
+void fn_ge(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) >= ld<T>(y));
+}
+template <class T>
+void fn_le(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<T>(x) <= ld<T>(y));
+}
+
+// --- logical (bool only) -------------------------------------------------
+void fn_lor(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) || ld<bool>(y));
+}
+void fn_land(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) && ld<bool>(y));
+}
+void fn_lxor(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) != ld<bool>(y));
+}
+void fn_lxnor(void* z, const void* x, const void* y) {
+  st<bool>(z, ld<bool>(x) == ld<bool>(y));
+}
+
+// --- bitwise (integer types) ---------------------------------------------
+template <class T>
+void fn_bor(void* z, const void* x, const void* y) {
+  st<T>(z, static_cast<T>(ld<T>(x) | ld<T>(y)));
+}
+template <class T>
+void fn_band(void* z, const void* x, const void* y) {
+  st<T>(z, static_cast<T>(ld<T>(x) & ld<T>(y)));
+}
+template <class T>
+void fn_bxor(void* z, const void* x, const void* y) {
+  st<T>(z, static_cast<T>(ld<T>(x) ^ ld<T>(y)));
+}
+template <class T>
+void fn_bxnor(void* z, const void* x, const void* y) {
+  st<T>(z, static_cast<T>(~(ld<T>(x) ^ ld<T>(y))));
+}
+
+constexpr int kNumOps = 24;  // BinOpCode enumerators
+
+struct Registry {
+  // [opcode][typecode]; entries may be null for undefined combinations.
+  std::unique_ptr<BinaryOp> table[kNumOps][kNumBuiltinTypes];
+
+  template <class T>
+  void add(BinOpCode op, BinaryFn fn, const char* opname, bool cmp) {
+    const Type* t = type_of<T>();
+    const Type* z = cmp ? TypeBool() : t;
+    int o = static_cast<int>(op);
+    int c = static_cast<int>(t->code());
+    table[o][c] = std::make_unique<BinaryOp>(
+        z, t, t, fn, op, std::string(opname) + "_" + t->name());
+  }
+
+  template <class T>
+  void add_arith() {
+    if constexpr (std::is_same_v<T, bool>) {
+      add<T>(BinOpCode::kFirst, &bfn_first, "GrB_FIRST", false);
+      add<T>(BinOpCode::kSecond, &bfn_second, "GrB_SECOND", false);
+      add<T>(BinOpCode::kOneb, &bfn_oneb, "GrB_ONEB", false);
+      add<T>(BinOpCode::kMin, &bfn_min, "GrB_MIN", false);
+      add<T>(BinOpCode::kMax, &bfn_max, "GrB_MAX", false);
+      add<T>(BinOpCode::kPlus, &bfn_plus, "GrB_PLUS", false);
+      add<T>(BinOpCode::kMinus, &bfn_minus, "GrB_MINUS", false);
+      add<T>(BinOpCode::kTimes, &bfn_times, "GrB_TIMES", false);
+      add<T>(BinOpCode::kDiv, &bfn_div, "GrB_DIV", false);
+    } else {
+      add<T>(BinOpCode::kFirst, &fn_first<T>, "GrB_FIRST", false);
+      add<T>(BinOpCode::kSecond, &fn_second<T>, "GrB_SECOND", false);
+      add<T>(BinOpCode::kOneb, &fn_oneb<T>, "GrB_ONEB", false);
+      add<T>(BinOpCode::kMin, &fn_min<T>, "GrB_MIN", false);
+      add<T>(BinOpCode::kMax, &fn_max<T>, "GrB_MAX", false);
+      add<T>(BinOpCode::kPlus, &fn_plus<T>, "GrB_PLUS", false);
+      add<T>(BinOpCode::kMinus, &fn_minus<T>, "GrB_MINUS", false);
+      add<T>(BinOpCode::kTimes, &fn_times<T>, "GrB_TIMES", false);
+      add<T>(BinOpCode::kDiv, &fn_div<T>, "GrB_DIV", false);
+    }
+    add<T>(BinOpCode::kEq, &fn_eq<T>, "GrB_EQ", true);
+    add<T>(BinOpCode::kNe, &fn_ne<T>, "GrB_NE", true);
+    add<T>(BinOpCode::kGt, &fn_gt<T>, "GrB_GT", true);
+    add<T>(BinOpCode::kLt, &fn_lt<T>, "GrB_LT", true);
+    add<T>(BinOpCode::kGe, &fn_ge<T>, "GrB_GE", true);
+    add<T>(BinOpCode::kLe, &fn_le<T>, "GrB_LE", true);
+  }
+
+  template <class T>
+  void add_bitwise() {
+    add<T>(BinOpCode::kBor, &fn_bor<T>, "GrB_BOR", false);
+    add<T>(BinOpCode::kBand, &fn_band<T>, "GrB_BAND", false);
+    add<T>(BinOpCode::kBxor, &fn_bxor<T>, "GrB_BXOR", false);
+    add<T>(BinOpCode::kBxnor, &fn_bxnor<T>, "GrB_BXNOR", false);
+  }
+
+  Registry() {
+    add_arith<bool>();
+    add_arith<int8_t>();
+    add_arith<uint8_t>();
+    add_arith<int16_t>();
+    add_arith<uint16_t>();
+    add_arith<int32_t>();
+    add_arith<uint32_t>();
+    add_arith<int64_t>();
+    add_arith<uint64_t>();
+    add_arith<float>();
+    add_arith<double>();
+
+    add<bool>(BinOpCode::kLor, &fn_lor, "GrB_LOR", true);
+    add<bool>(BinOpCode::kLand, &fn_land, "GrB_LAND", true);
+    add<bool>(BinOpCode::kLxor, &fn_lxor, "GrB_LXOR", true);
+    add<bool>(BinOpCode::kLxnor, &fn_lxnor, "GrB_LXNOR", true);
+
+    add_bitwise<int8_t>();
+    add_bitwise<uint8_t>();
+    add_bitwise<int16_t>();
+    add_bitwise<uint16_t>();
+    add_bitwise<int32_t>();
+    add_bitwise<uint32_t>();
+    add_bitwise<int64_t>();
+    add_bitwise<uint64_t>();
+  }
+};
+
+const Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct UserOps {
+  std::mutex mu;
+  std::unordered_set<const BinaryOp*> live;
+};
+UserOps& user_ops() {
+  static UserOps* u = new UserOps;
+  return *u;
+}
+
+template <class T>
+void write_limits(BinOpCode op, void* out, bool* ok) {
+  switch (op) {
+    case BinOpCode::kPlus:
+      st<T>(out, T{0});
+      break;
+    case BinOpCode::kTimes:
+      st<T>(out, T{1});
+      break;
+    case BinOpCode::kMin:
+      if constexpr (std::is_floating_point_v<T>) {
+        st<T>(out, std::numeric_limits<T>::infinity());
+      } else {
+        st<T>(out, std::numeric_limits<T>::max());
+      }
+      break;
+    case BinOpCode::kMax:
+      if constexpr (std::is_floating_point_v<T>) {
+        st<T>(out, -std::numeric_limits<T>::infinity());
+      } else {
+        st<T>(out, std::numeric_limits<T>::lowest());
+      }
+      break;
+    default:
+      *ok = false;
+      break;
+  }
+}
+
+template <class T>
+void write_terminal(BinOpCode op, void* out, bool* ok) {
+  switch (op) {
+    case BinOpCode::kTimes:
+      if constexpr (std::is_integral_v<T>) {
+        st<T>(out, T{0});
+      } else {
+        *ok = false;  // 0*NaN != 0, so TIMES has no float terminal
+      }
+      break;
+    case BinOpCode::kMin:
+      if constexpr (std::is_floating_point_v<T>) {
+        st<T>(out, -std::numeric_limits<T>::infinity());
+      } else {
+        st<T>(out, std::numeric_limits<T>::lowest());
+      }
+      break;
+    case BinOpCode::kMax:
+      if constexpr (std::is_floating_point_v<T>) {
+        st<T>(out, std::numeric_limits<T>::infinity());
+      } else {
+        st<T>(out, std::numeric_limits<T>::max());
+      }
+      break;
+    default:
+      *ok = false;
+      break;
+  }
+}
+
+template <class Fn>
+bool dispatch_numeric(const Type* type, Fn&& fn) {
+  switch (type->code()) {
+    case TypeCode::kInt8: fn(int8_t{}); return true;
+    case TypeCode::kUInt8: fn(uint8_t{}); return true;
+    case TypeCode::kInt16: fn(int16_t{}); return true;
+    case TypeCode::kUInt16: fn(uint16_t{}); return true;
+    case TypeCode::kInt32: fn(int32_t{}); return true;
+    case TypeCode::kUInt32: fn(uint32_t{}); return true;
+    case TypeCode::kInt64: fn(int64_t{}); return true;
+    case TypeCode::kUInt64: fn(uint64_t{}); return true;
+    case TypeCode::kFP32: fn(float{}); return true;
+    case TypeCode::kFP64: fn(double{}); return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+const BinaryOp* get_binary_op(BinOpCode op, TypeCode type) {
+  int o = static_cast<int>(op);
+  int c = static_cast<int>(type);
+  if (o <= 0 || o >= kNumOps || c < 0 || c >= kNumBuiltinTypes)
+    return nullptr;
+  return registry().table[o][c].get();
+}
+
+Info binary_op_new(const BinaryOp** op, BinaryFn fn, const Type* ztype,
+                   const Type* xtype, const Type* ytype, std::string name) {
+  if (op == nullptr) return Info::kNullPointer;
+  if (fn == nullptr) return Info::kNullPointer;
+  if (ztype == nullptr || xtype == nullptr || ytype == nullptr)
+    return Info::kNullPointer;
+  auto* b = new BinaryOp(ztype, xtype, ytype, fn, BinOpCode::kCustom,
+                         std::move(name));
+  auto& u = user_ops();
+  std::lock_guard<std::mutex> lock(u.mu);
+  u.live.insert(b);
+  *op = b;
+  return Info::kSuccess;
+}
+
+Info binary_op_free(const BinaryOp* op) {
+  if (op == nullptr) return Info::kNullPointer;
+  // Identify predefined operators by pointer identity (the handle may be
+  // dangling, so it is never dereferenced here).
+  for (int o = 1; o < kNumOps; ++o)
+    for (int c = 0; c < kNumBuiltinTypes; ++c)
+      if (registry().table[o][c].get() == op) return Info::kInvalidValue;
+  auto& u = user_ops();
+  std::lock_guard<std::mutex> lock(u.mu);
+  auto it = u.live.find(op);
+  if (it == u.live.end()) return Info::kUninitializedObject;
+  u.live.erase(it);
+  delete op;
+  return Info::kSuccess;
+}
+
+bool monoid_identity_value(BinOpCode op, const Type* type, void* out) {
+  if (type == TypeBool()) {
+    switch (op) {
+      case BinOpCode::kLor:
+      case BinOpCode::kLxor:
+      case BinOpCode::kPlus:
+      case BinOpCode::kMax:
+        st<bool>(out, false);
+        return true;
+      case BinOpCode::kLand:
+      case BinOpCode::kLxnor:
+      case BinOpCode::kEq:
+      case BinOpCode::kTimes:
+      case BinOpCode::kMin:
+        st<bool>(out, true);
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool ok = true;
+  bool dispatched = dispatch_numeric(type, [&](auto tag) {
+    using T = decltype(tag);
+    write_limits<T>(op, out, &ok);
+  });
+  return dispatched && ok;
+}
+
+bool monoid_terminal_value(BinOpCode op, const Type* type, void* out) {
+  if (type == TypeBool()) {
+    switch (op) {
+      case BinOpCode::kLor:
+      case BinOpCode::kPlus:
+      case BinOpCode::kMax:
+        st<bool>(out, true);
+        return true;
+      case BinOpCode::kLand:
+      case BinOpCode::kTimes:
+      case BinOpCode::kMin:
+        st<bool>(out, false);
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool ok = true;
+  bool dispatched = dispatch_numeric(type, [&](auto tag) {
+    using T = decltype(tag);
+    write_terminal<T>(op, out, &ok);
+  });
+  return dispatched && ok;
+}
+
+bool op_is_monoid_candidate(BinOpCode op) {
+  switch (op) {
+    case BinOpCode::kPlus:
+    case BinOpCode::kTimes:
+    case BinOpCode::kMin:
+    case BinOpCode::kMax:
+    case BinOpCode::kLor:
+    case BinOpCode::kLand:
+    case BinOpCode::kLxor:
+    case BinOpCode::kLxnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace grb

@@ -1,0 +1,104 @@
+#include "core/descriptor.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+struct UserDescs {
+  std::mutex mu;
+  std::unordered_set<Descriptor*> live;
+};
+UserDescs& user_descs() {
+  static UserDescs* u = new UserDescs;
+  return *u;
+}
+
+}  // namespace
+
+Info Descriptor::set(DescField field, DescValue value) {
+  switch (field) {
+    case DescField::kOutp:
+      if (value == DescValue::kDefault) {
+        replace_ = false;
+      } else if (value == DescValue::kReplace) {
+        replace_ = true;
+      } else {
+        return Info::kInvalidValue;
+      }
+      return Info::kSuccess;
+    case DescField::kMask: {
+      int v = static_cast<int>(value);
+      if ((v & ~(static_cast<int>(DescValue::kComp) |
+                 static_cast<int>(DescValue::kStructure))) != 0)
+        return Info::kInvalidValue;
+      mask_comp_ = (v & static_cast<int>(DescValue::kComp)) != 0;
+      mask_structure_ = (v & static_cast<int>(DescValue::kStructure)) != 0;
+      return Info::kSuccess;
+    }
+    case DescField::kInp0:
+      if (value == DescValue::kDefault) {
+        tran0_ = false;
+      } else if (value == DescValue::kTran) {
+        tran0_ = true;
+      } else {
+        return Info::kInvalidValue;
+      }
+      return Info::kSuccess;
+    case DescField::kInp1:
+      if (value == DescValue::kDefault) {
+        tran1_ = false;
+      } else if (value == DescValue::kTran) {
+        tran1_ = true;
+      } else {
+        return Info::kInvalidValue;
+      }
+      return Info::kSuccess;
+  }
+  return Info::kInvalidValue;
+}
+
+const Descriptor& Descriptor::defaults() {
+  static const Descriptor d;
+  return d;
+}
+
+const Descriptor* predefined_descriptor(unsigned bits) {
+  // 32 combinations: replace(1), comp(2), structure(4), tran0(8), tran1(16)
+  static const Descriptor* table = [] {
+    auto* t = new Descriptor[32];
+    for (unsigned b = 0; b < 32; ++b) {
+      t[b] = Descriptor((b & 1u) != 0, (b & 2u) != 0, (b & 4u) != 0,
+                        (b & 8u) != 0, (b & 16u) != 0);
+    }
+    return t;
+  }();
+  if (bits >= 32) return nullptr;
+  if (bits == 0) return nullptr;  // "all defaults" is the NULL descriptor
+  return &table[bits];
+}
+
+Info descriptor_new(Descriptor** desc) {
+  if (desc == nullptr) return Info::kNullPointer;
+  auto* d = new Descriptor();
+  auto& u = user_descs();
+  std::lock_guard<std::mutex> lock(u.mu);
+  u.live.insert(d);
+  *desc = d;
+  return Info::kSuccess;
+}
+
+Info descriptor_free(Descriptor* desc) {
+  if (desc == nullptr) return Info::kNullPointer;
+  auto& u = user_descs();
+  std::lock_guard<std::mutex> lock(u.mu);
+  auto it = u.live.find(desc);
+  if (it == u.live.end()) return Info::kInvalidValue;
+  u.live.erase(it);
+  delete desc;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,68 @@
+// GrB_Descriptor: per-call modifiers (output replace, mask interpretation,
+// input transposition).
+#pragma once
+
+#include <string>
+
+#include "core/info.hpp"
+
+namespace grb {
+
+enum class DescField : int {
+  kOutp = 0,  // output: default or REPLACE
+  kMask = 1,  // mask: default, STRUCTURE, COMP, or STRUCTURE|COMP
+  kInp0 = 2,  // first input: default or TRAN
+  kInp1 = 3,  // second input: default or TRAN
+};
+
+enum class DescValue : int {
+  kDefault = 0,
+  kReplace = 1,
+  kComp = 2,
+  kStructure = 4,
+  kTran = 8,
+};
+
+class Descriptor {
+ public:
+  Descriptor() = default;
+  Descriptor(bool replace, bool comp, bool structure, bool tran0, bool tran1)
+      : replace_(replace),
+        mask_comp_(comp),
+        mask_structure_(structure),
+        tran0_(tran0),
+        tran1_(tran1) {}
+
+  bool replace() const { return replace_; }
+  bool mask_comp() const { return mask_comp_; }
+  bool mask_structure() const { return mask_structure_; }
+  bool tran0() const { return tran0_; }
+  bool tran1() const { return tran1_; }
+
+  Info set(DescField field, DescValue value);
+
+  // The semantics of a null descriptor pointer: all defaults.
+  static const Descriptor& defaults();
+
+ private:
+  bool replace_ = false;
+  bool mask_comp_ = false;
+  bool mask_structure_ = false;
+  bool tran0_ = false;
+  bool tran1_ = false;
+};
+
+// The predefined descriptors (GrB_DESC_R, GrB_DESC_T0, ..., all valid
+// combinations of REPLACE x {COMP,STRUCTURE} x TRAN0 x TRAN1).  `bits` is
+// a bitmask: 1=replace, 2=comp, 4=structure, 8=tran0, 16=tran1.
+const Descriptor* predefined_descriptor(unsigned bits);
+
+Info descriptor_new(Descriptor** desc);
+Info descriptor_free(Descriptor* desc);
+
+// Resolves a possibly-null user pointer to a usable descriptor reference.
+inline const Descriptor& resolve_desc(const Descriptor* desc) {
+  return desc != nullptr ? *desc : Descriptor::defaults();
+}
+
+}  // namespace grb

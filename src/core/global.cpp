@@ -1,0 +1,10 @@
+#include "core/global.hpp"
+
+namespace grb {
+
+const Index* all_indices() {
+  static const Index sentinel = 0;
+  return &sentinel;
+}
+
+}  // namespace grb

@@ -1,0 +1,15 @@
+// Library-wide sentinels and constants.
+#pragma once
+
+#include "core/type.hpp"
+
+namespace grb {
+
+// GrB_ALL: distinguished index-list sentinel meaning "all indices".
+// Compared by address, never dereferenced.
+const Index* all_indices();
+
+// Sentinel count used with all_indices in the C API convenience layer.
+inline constexpr Index kAllCount = ~Index{0};
+
+}  // namespace grb

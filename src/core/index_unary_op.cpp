@@ -1,0 +1,228 @@
+#include "core/index_unary_op.hpp"
+
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+template <class T>
+T ld(const void* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+template <class T>
+void st(void* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+// For a vector (n == 1) the column index is taken equal to the row index;
+// Table IV documents that matrix-only positional ops on vectors are
+// undefined behaviour, so any total definition is conforming.
+inline int64_t row_of(const Index* ind) { return static_cast<int64_t>(ind[0]); }
+inline int64_t col_of(const Index* ind, Index n) {
+  return static_cast<int64_t>(n >= 2 ? ind[1] : ind[0]);
+}
+
+// --- "replace" family ---------------------------------------------------
+template <class Z>
+void fn_rowindex(void* out, const void*, Index* ind, Index, const void* s) {
+  st<Z>(out, static_cast<Z>(row_of(ind) + static_cast<int64_t>(ld<Z>(s))));
+}
+template <class Z>
+void fn_colindex(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<Z>(out, static_cast<Z>(col_of(ind, n) + static_cast<int64_t>(ld<Z>(s))));
+}
+template <class Z>
+void fn_diagindex(void* out, const void*, Index* ind, Index n,
+                  const void* s) {
+  st<Z>(out, static_cast<Z>(col_of(ind, n) - row_of(ind) +
+                            static_cast<int64_t>(ld<Z>(s))));
+}
+
+// --- "keep" (positional) family ------------------------------------------
+void fn_tril(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) <= row_of(ind) + ld<int64_t>(s));
+}
+void fn_triu(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) >= row_of(ind) + ld<int64_t>(s));
+}
+void fn_diag(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) == row_of(ind) + ld<int64_t>(s));
+}
+void fn_offdiag(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) != row_of(ind) + ld<int64_t>(s));
+}
+void fn_rowle(void* out, const void*, Index* ind, Index, const void* s) {
+  st<bool>(out, row_of(ind) <= ld<int64_t>(s));
+}
+void fn_rowgt(void* out, const void*, Index* ind, Index, const void* s) {
+  st<bool>(out, row_of(ind) > ld<int64_t>(s));
+}
+void fn_colle(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) <= ld<int64_t>(s));
+}
+void fn_colgt(void* out, const void*, Index* ind, Index n, const void* s) {
+  st<bool>(out, col_of(ind, n) > ld<int64_t>(s));
+}
+
+// --- "keep" (value) family -------------------------------------------------
+template <class T>
+void fn_valueeq(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) == ld<T>(s));
+}
+template <class T>
+void fn_valuene(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) != ld<T>(s));
+}
+template <class T>
+void fn_valuelt(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) < ld<T>(s));
+}
+template <class T>
+void fn_valuele(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) <= ld<T>(s));
+}
+template <class T>
+void fn_valuegt(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) > ld<T>(s));
+}
+template <class T>
+void fn_valuege(void* out, const void* in, Index*, Index, const void* s) {
+  st<bool>(out, ld<T>(in) >= ld<T>(s));
+}
+
+constexpr int kNumOps = 18;
+
+struct Registry {
+  std::unique_ptr<IndexUnaryOp> table[kNumOps][kNumBuiltinTypes];
+
+  void add(IdxOpCode op, TypeCode tc, const Type* z, const Type* x,
+           const Type* s, IndexUnaryFn fn, std::string name) {
+    table[static_cast<int>(op)][static_cast<int>(tc)] =
+        std::make_unique<IndexUnaryOp>(z, x, s, fn, op, std::move(name));
+  }
+
+  template <class Z>
+  void add_replace_family() {
+    const Type* zt = type_of<Z>();
+    TypeCode tc = zt->code();
+    std::string sfx = "_" + zt->name();
+    add(IdxOpCode::kRowIndex, tc, zt, nullptr, zt, &fn_rowindex<Z>,
+        "GrB_ROWINDEX" + sfx);
+    add(IdxOpCode::kColIndex, tc, zt, nullptr, zt, &fn_colindex<Z>,
+        "GrB_COLINDEX" + sfx);
+    add(IdxOpCode::kDiagIndex, tc, zt, nullptr, zt, &fn_diagindex<Z>,
+        "GrB_DIAGINDEX" + sfx);
+  }
+
+  void add_positional_bool(IdxOpCode op, IndexUnaryFn fn, const char* name) {
+    // Registered under the INT64 slot; s is INT64, value is ignored.
+    add(op, TypeCode::kInt64, TypeBool(), nullptr, TypeInt64(), fn, name);
+  }
+
+  template <class T>
+  void add_value_family() {
+    const Type* t = type_of<T>();
+    TypeCode tc = t->code();
+    std::string sfx = "_" + t->name();
+    add(IdxOpCode::kValueEQ, tc, TypeBool(), t, t, &fn_valueeq<T>,
+        "GrB_VALUEEQ" + sfx);
+    add(IdxOpCode::kValueNE, tc, TypeBool(), t, t, &fn_valuene<T>,
+        "GrB_VALUENE" + sfx);
+    if constexpr (!std::is_same_v<T, bool>) {
+      add(IdxOpCode::kValueLT, tc, TypeBool(), t, t, &fn_valuelt<T>,
+          "GrB_VALUELT" + sfx);
+      add(IdxOpCode::kValueLE, tc, TypeBool(), t, t, &fn_valuele<T>,
+          "GrB_VALUELE" + sfx);
+      add(IdxOpCode::kValueGT, tc, TypeBool(), t, t, &fn_valuegt<T>,
+          "GrB_VALUEGT" + sfx);
+      add(IdxOpCode::kValueGE, tc, TypeBool(), t, t, &fn_valuege<T>,
+          "GrB_VALUEGE" + sfx);
+    }
+  }
+
+  Registry() {
+    add_replace_family<int32_t>();
+    add_replace_family<int64_t>();
+
+    add_positional_bool(IdxOpCode::kTril, &fn_tril, "GrB_TRIL");
+    add_positional_bool(IdxOpCode::kTriu, &fn_triu, "GrB_TRIU");
+    add_positional_bool(IdxOpCode::kDiag, &fn_diag, "GrB_DIAG");
+    add_positional_bool(IdxOpCode::kOffdiag, &fn_offdiag, "GrB_OFFDIAG");
+    add_positional_bool(IdxOpCode::kRowLE, &fn_rowle, "GrB_ROWLE");
+    add_positional_bool(IdxOpCode::kRowGT, &fn_rowgt, "GrB_ROWGT");
+    add_positional_bool(IdxOpCode::kColLE, &fn_colle, "GrB_COLLE");
+    add_positional_bool(IdxOpCode::kColGT, &fn_colgt, "GrB_COLGT");
+
+    add_value_family<bool>();
+    add_value_family<int8_t>();
+    add_value_family<uint8_t>();
+    add_value_family<int16_t>();
+    add_value_family<uint16_t>();
+    add_value_family<int32_t>();
+    add_value_family<uint32_t>();
+    add_value_family<int64_t>();
+    add_value_family<uint64_t>();
+    add_value_family<float>();
+    add_value_family<double>();
+  }
+};
+
+const Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct UserOps {
+  std::mutex mu;
+  std::unordered_set<const IndexUnaryOp*> live;
+};
+UserOps& user_ops() {
+  static UserOps* u = new UserOps;
+  return *u;
+}
+
+}  // namespace
+
+const IndexUnaryOp* get_index_unary_op(IdxOpCode op, TypeCode type) {
+  int o = static_cast<int>(op);
+  int c = static_cast<int>(type);
+  if (o <= 0 || o >= kNumOps || c < 0 || c >= kNumBuiltinTypes)
+    return nullptr;
+  return registry().table[o][c].get();
+}
+
+Info index_unary_op_new(const IndexUnaryOp** op, IndexUnaryFn fn,
+                        const Type* ztype, const Type* xtype,
+                        const Type* stype, std::string name) {
+  if (op == nullptr || fn == nullptr) return Info::kNullPointer;
+  if (ztype == nullptr || xtype == nullptr || stype == nullptr)
+    return Info::kNullPointer;
+  auto* o = new IndexUnaryOp(ztype, xtype, stype, fn, IdxOpCode::kCustom,
+                             std::move(name));
+  auto& u = user_ops();
+  std::lock_guard<std::mutex> lock(u.mu);
+  u.live.insert(o);
+  *op = o;
+  return Info::kSuccess;
+}
+
+Info index_unary_op_free(const IndexUnaryOp* op) {
+  if (op == nullptr) return Info::kNullPointer;
+  for (int o = 1; o < kNumOps; ++o)
+    for (int c = 0; c < kNumBuiltinTypes; ++c)
+      if (registry().table[o][c].get() == op) return Info::kInvalidValue;
+  auto& u = user_ops();
+  std::lock_guard<std::mutex> lock(u.mu);
+  auto it = u.live.find(op);
+  if (it == u.live.end()) return Info::kUninitializedObject;
+  u.live.erase(it);
+  delete op;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

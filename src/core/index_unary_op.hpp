@@ -1,0 +1,91 @@
+// GrB_IndexUnaryOp: operators over a stored value AND its location,
+// z = f(a_ij, [i,j], n, s)  — the paper's §VIII.A signature, where the
+// indices are passed as an array of length n (2 for matrices, 1 for
+// vectors) and s is a user-supplied scalar routed through apply/select.
+#pragma once
+
+#include <string>
+
+#include "core/info.hpp"
+#include "core/type.hpp"
+
+namespace grb {
+
+// Paper-faithful C signature (GraphBLAS 2.0 §VIII.A):
+//   void f(void* out, const void* in, GrB_Index* indices, GrB_Index n,
+//          const void* s);
+using IndexUnaryFn = void (*)(void* out, const void* in, Index* indices,
+                              Index n, const void* s);
+
+enum class IdxOpCode : uint8_t {
+  kCustom = 0,
+  // "replace" family (apply): z has an index type.
+  kRowIndex,   // z = i + s
+  kColIndex,   // z = j + s           (matrix only)
+  kDiagIndex,  // z = j - i + s       (matrix only)
+  // "keep" family (select): z is BOOL.
+  kTril,     // j <= i + s            (matrix only)
+  kTriu,     // j >= i + s            (matrix only)
+  kDiag,     // j == i + s            (matrix only)
+  kOffdiag,  // j != i + s            (matrix only)
+  kRowLE,    // i <= s
+  kRowGT,    // i > s
+  kColLE,    // j <= s                (matrix only)
+  kColGT,    // j > s                 (matrix only)
+  kValueEQ,  // a == s
+  kValueNE,  // a != s
+  kValueLT,  // a < s
+  kValueLE,  // a <= s
+  kValueGT,  // a > s
+  kValueGE,  // a >= s
+};
+
+class IndexUnaryOp {
+ public:
+  // xtype == nullptr means the operator ignores the stored value and is
+  // usable on any domain (positional operators of Table IV).
+  IndexUnaryOp(const Type* ztype, const Type* xtype, const Type* stype,
+               IndexUnaryFn fn, IdxOpCode opcode, std::string name)
+      : ztype_(ztype),
+        xtype_(xtype),
+        stype_(stype),
+        fn_(fn),
+        opcode_(opcode),
+        name_(std::move(name)) {}
+
+  const Type* ztype() const { return ztype_; }
+  const Type* xtype() const { return xtype_; }
+  const Type* stype() const { return stype_; }
+  IndexUnaryFn fn() const { return fn_; }
+  IdxOpCode opcode() const { return opcode_; }
+  const std::string& name() const { return name_; }
+  bool value_agnostic() const { return xtype_ == nullptr; }
+
+  void apply(void* out, const void* in, Index* indices, Index n,
+             const void* s) const {
+    fn_(out, in, indices, n, s);
+  }
+
+ private:
+  const Type* ztype_;
+  const Type* xtype_;
+  const Type* stype_;
+  IndexUnaryFn fn_;
+  IdxOpCode opcode_;
+  std::string name_;
+};
+
+// Positional predefined ops: `type` selects the output type for the
+// "replace" family (INT32 or INT64; s has the same type) and is ignored
+// for the boolean "keep" family (pass kInt64; s is INT64).
+// Value-comparison ops (kValueXX): `type` is the value/s domain, output
+// BOOL.  Returns nullptr for undefined combinations.
+const IndexUnaryOp* get_index_unary_op(IdxOpCode op, TypeCode type);
+
+Info index_unary_op_new(const IndexUnaryOp** op, IndexUnaryFn fn,
+                        const Type* ztype, const Type* xtype,
+                        const Type* stype,
+                        std::string name = "user_index_unary_op");
+Info index_unary_op_free(const IndexUnaryOp* op);
+
+}  // namespace grb

@@ -1,0 +1,36 @@
+#include "core/info.hpp"
+
+namespace grb {
+
+bool is_api_error(Info info) {
+  int v = static_cast<int>(info);
+  return v <= -1 && v >= -100;
+}
+
+bool is_execution_error(Info info) {
+  return static_cast<int>(info) <= -101;
+}
+
+const char* info_name(Info info) {
+  switch (info) {
+    case Info::kSuccess: return "GrB_SUCCESS";
+    case Info::kNoValue: return "GrB_NO_VALUE";
+    case Info::kUninitializedObject: return "GrB_UNINITIALIZED_OBJECT";
+    case Info::kNullPointer: return "GrB_NULL_POINTER";
+    case Info::kInvalidValue: return "GrB_INVALID_VALUE";
+    case Info::kInvalidIndex: return "GrB_INVALID_INDEX";
+    case Info::kDomainMismatch: return "GrB_DOMAIN_MISMATCH";
+    case Info::kDimensionMismatch: return "GrB_DIMENSION_MISMATCH";
+    case Info::kOutputNotEmpty: return "GrB_OUTPUT_NOT_EMPTY";
+    case Info::kNotImplemented: return "GrB_NOT_IMPLEMENTED";
+    case Info::kPanic: return "GrB_PANIC";
+    case Info::kOutOfMemory: return "GrB_OUT_OF_MEMORY";
+    case Info::kInsufficientSpace: return "GrB_INSUFFICIENT_SPACE";
+    case Info::kInvalidObject: return "GrB_INVALID_OBJECT";
+    case Info::kIndexOutOfBounds: return "GrB_INDEX_OUT_OF_BOUNDS";
+    case Info::kEmptyObject: return "GrB_EMPTY_OBJECT";
+  }
+  return "GrB_UNKNOWN_INFO";
+}
+
+}  // namespace grb

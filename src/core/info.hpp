@@ -1,0 +1,58 @@
+// GrB_Info: return codes of every GraphBLAS method.
+//
+// GraphBLAS 2.0 pins the numeric value of every enumerator so that a
+// program compiled against one conforming library links and runs against
+// another (paper §IX, "Cleanup and Miscellany").  The values below are the
+// ones published in the GraphBLAS C API 2.0 specification.
+#pragma once
+
+#include <cstdint>
+
+namespace grb {
+
+enum class Info : int {
+  // Success codes.
+  kSuccess = 0,
+  kNoValue = 1,
+
+  // API errors: the call was malformed.  Deterministic, never deferred,
+  // and guaranteed not to have modified any arguments (paper §V).
+  kUninitializedObject = -1,
+  kNullPointer = -2,
+  kInvalidValue = -3,
+  kInvalidIndex = -4,
+  kDomainMismatch = -5,
+  kDimensionMismatch = -6,
+  kOutputNotEmpty = -7,
+  kNotImplemented = -8,
+
+  // Execution errors: a well-formed invocation failed while executing.
+  // In nonblocking mode these may be deferred and reported by a later
+  // method on the same object or by GrB_wait (paper §V).
+  kPanic = -101,
+  kOutOfMemory = -102,
+  kInsufficientSpace = -103,
+  kInvalidObject = -104,
+  kIndexOutOfBounds = -105,
+  kEmptyObject = -106,
+};
+
+// True for codes in the API-error band.
+bool is_api_error(Info info);
+
+// True for codes in the execution-error band.
+bool is_execution_error(Info info);
+
+// Human-readable name of the code ("GrB_SUCCESS", ...).
+const char* info_name(Info info);
+
+// Evaluates `expr` (a grb::Info expression) and returns it from the
+// enclosing function if it is not kSuccess/kNoValue.  Internal shorthand.
+#define GRB_RETURN_IF_ERROR(expr)                              \
+  do {                                                         \
+    ::grb::Info grb_return_if_error_info_ = (expr);            \
+    if (static_cast<int>(grb_return_if_error_info_) < 0)       \
+      return grb_return_if_error_info_;                        \
+  } while (0)
+
+}  // namespace grb

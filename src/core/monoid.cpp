@@ -1,0 +1,119 @@
+#include "core/monoid.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+struct Registry {
+  // Indexed [opcode][typecode]; only monoid-candidate opcodes populated.
+  std::unique_ptr<Monoid> table[24][kNumBuiltinTypes];
+
+  void add(BinOpCode op, TypeCode tc) {
+    const BinaryOp* bop = get_binary_op(op, tc);
+    if (bop == nullptr) return;
+    if (bop->ztype() != bop->xtype() || bop->ztype() != bop->ytype()) return;
+    const Type* t = bop->ztype();
+    ValueBuf id(t->size());
+    if (!monoid_identity_value(op, t, id.data())) return;
+    ValueBuf term(t->size());
+    bool has_term = monoid_terminal_value(op, t, term.data());
+    table[static_cast<int>(op)][static_cast<int>(tc)] =
+        std::make_unique<Monoid>(bop, std::move(id), has_term,
+                                 std::move(term),
+                                 bop->name() + "_MONOID");
+  }
+
+  Registry() {
+    const BinOpCode numeric_ops[] = {BinOpCode::kPlus, BinOpCode::kTimes,
+                                     BinOpCode::kMin, BinOpCode::kMax};
+    const TypeCode numeric_types[] = {
+        TypeCode::kInt8,  TypeCode::kUInt8,  TypeCode::kInt16,
+        TypeCode::kUInt16, TypeCode::kInt32, TypeCode::kUInt32,
+        TypeCode::kInt64, TypeCode::kUInt64, TypeCode::kFP32,
+        TypeCode::kFP64};
+    for (BinOpCode op : numeric_ops)
+      for (TypeCode tc : numeric_types) add(op, tc);
+    add(BinOpCode::kLor, TypeCode::kBool);
+    add(BinOpCode::kLand, TypeCode::kBool);
+    add(BinOpCode::kLxor, TypeCode::kBool);
+    add(BinOpCode::kLxnor, TypeCode::kBool);
+    // BOOL arithmetic monoids alias the logical ones semantically but are
+    // still registered so GrB_PLUS_MONOID_BOOL-style lookups succeed.
+    add(BinOpCode::kPlus, TypeCode::kBool);
+    add(BinOpCode::kTimes, TypeCode::kBool);
+    add(BinOpCode::kMin, TypeCode::kBool);
+    add(BinOpCode::kMax, TypeCode::kBool);
+  }
+};
+
+const Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct UserMonoids {
+  std::mutex mu;
+  std::unordered_set<const Monoid*> live;
+};
+UserMonoids& user_monoids() {
+  static UserMonoids* u = new UserMonoids;
+  return *u;
+}
+
+Info monoid_new_impl(const Monoid** monoid, const BinaryOp* op,
+                     const void* identity, const void* terminal,
+                     std::string name) {
+  if (monoid == nullptr || op == nullptr || identity == nullptr)
+    return Info::kNullPointer;
+  if (op->ztype() != op->xtype() || op->ztype() != op->ytype())
+    return Info::kDomainMismatch;
+  const Type* t = op->ztype();
+  ValueBuf id(t, identity);
+  bool has_term = terminal != nullptr;
+  ValueBuf term(t->size());
+  if (has_term) std::memcpy(term.data(), terminal, t->size());
+  auto* m = new Monoid(op, std::move(id), has_term, std::move(term),
+                       std::move(name));
+  auto& u = user_monoids();
+  std::lock_guard<std::mutex> lock(u.mu);
+  u.live.insert(m);
+  *monoid = m;
+  return Info::kSuccess;
+}
+
+}  // namespace
+
+const Monoid* get_monoid(BinOpCode op, TypeCode type) {
+  int o = static_cast<int>(op);
+  int c = static_cast<int>(type);
+  if (o <= 0 || o >= 24 || c < 0 || c >= kNumBuiltinTypes) return nullptr;
+  return registry().table[o][c].get();
+}
+
+Info monoid_new(const Monoid** monoid, const BinaryOp* op,
+                const void* identity, std::string name) {
+  return monoid_new_impl(monoid, op, identity, nullptr, std::move(name));
+}
+
+Info monoid_new_terminal(const Monoid** monoid, const BinaryOp* op,
+                         const void* identity, const void* terminal,
+                         std::string name) {
+  if (terminal == nullptr) return Info::kNullPointer;
+  return monoid_new_impl(monoid, op, identity, terminal, std::move(name));
+}
+
+Info monoid_free(const Monoid* monoid) {
+  if (monoid == nullptr) return Info::kNullPointer;
+  auto& u = user_monoids();
+  std::lock_guard<std::mutex> lock(u.mu);
+  auto it = u.live.find(monoid);
+  if (it == u.live.end()) return Info::kInvalidValue;  // predefined or dead
+  u.live.erase(it);
+  delete monoid;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

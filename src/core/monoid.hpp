@@ -1,0 +1,57 @@
+// GrB_Monoid: an associative, commutative binary operator on a single
+// domain together with its identity (and optional terminal) value.
+#pragma once
+
+#include <string>
+
+#include "core/binary_op.hpp"
+#include "core/type.hpp"
+
+namespace grb {
+
+class Monoid {
+ public:
+  Monoid(const BinaryOp* op, ValueBuf identity, bool has_terminal,
+         ValueBuf terminal, std::string name)
+      : op_(op),
+        identity_(std::move(identity)),
+        has_terminal_(has_terminal),
+        terminal_(std::move(terminal)),
+        name_(std::move(name)) {}
+
+  const BinaryOp* op() const { return op_; }
+  const Type* type() const { return op_->ztype(); }
+  const void* identity() const { return identity_.data(); }
+  bool has_terminal() const { return has_terminal_; }
+  const void* terminal() const { return terminal_.data(); }
+  const std::string& name() const { return name_; }
+
+  // True when `value` equals the terminal (allows early exit in reduces).
+  bool is_terminal(const void* value) const {
+    if (!has_terminal_) return false;
+    return std::memcmp(value, terminal_.data(), type()->size()) == 0;
+  }
+
+ private:
+  const BinaryOp* op_;
+  ValueBuf identity_;
+  bool has_terminal_;
+  ValueBuf terminal_;
+  std::string name_;
+};
+
+// Predefined monoids: PLUS/TIMES/MIN/MAX over the 10 numeric types,
+// LOR/LAND/LXOR/LXNOR over BOOL.  Returns nullptr when undefined.
+const Monoid* get_monoid(BinOpCode op, TypeCode type);
+
+// User monoid from an arbitrary binary op (domains must all match) and a
+// caller-provided identity value of that domain.
+Info monoid_new(const Monoid** monoid, const BinaryOp* op,
+                const void* identity, std::string name = "user_monoid");
+// Variant with an explicit terminal value.
+Info monoid_new_terminal(const Monoid** monoid, const BinaryOp* op,
+                         const void* identity, const void* terminal,
+                         std::string name = "user_monoid");
+Info monoid_free(const Monoid* monoid);
+
+}  // namespace grb

@@ -1,0 +1,108 @@
+#include "core/semiring.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+struct Registry {
+  std::map<std::tuple<BinOpCode, BinOpCode, TypeCode>,
+           std::unique_ptr<Semiring>>
+      table;
+
+  void add(BinOpCode addop, BinOpCode mulop, TypeCode tc) {
+    const Monoid* m = get_monoid(addop, tc);
+    const BinaryOp* mul = get_binary_op(mulop, tc);
+    if (m == nullptr || mul == nullptr) return;
+    if (mul->ztype() != m->type()) return;
+    table[{addop, mulop, tc}] = std::make_unique<Semiring>(
+        m, mul, m->op()->name() + "_" + mul->name() + "_SEMIRING");
+  }
+
+  Registry() {
+    const TypeCode numeric_types[] = {
+        TypeCode::kInt8,  TypeCode::kUInt8,  TypeCode::kInt16,
+        TypeCode::kUInt16, TypeCode::kInt32, TypeCode::kUInt32,
+        TypeCode::kInt64, TypeCode::kUInt64, TypeCode::kFP32,
+        TypeCode::kFP64};
+    const std::pair<BinOpCode, BinOpCode> combos[] = {
+        {BinOpCode::kPlus, BinOpCode::kTimes},
+        {BinOpCode::kMin, BinOpCode::kPlus},
+        {BinOpCode::kMax, BinOpCode::kPlus},
+        {BinOpCode::kMin, BinOpCode::kTimes},
+        {BinOpCode::kMax, BinOpCode::kTimes},
+        {BinOpCode::kMin, BinOpCode::kMax},
+        {BinOpCode::kMax, BinOpCode::kMin},
+        {BinOpCode::kMin, BinOpCode::kFirst},
+        {BinOpCode::kMin, BinOpCode::kSecond},
+        {BinOpCode::kMax, BinOpCode::kFirst},
+        {BinOpCode::kMax, BinOpCode::kSecond},
+        {BinOpCode::kPlus, BinOpCode::kFirst},
+        {BinOpCode::kPlus, BinOpCode::kSecond},
+        {BinOpCode::kPlus, BinOpCode::kPlus},
+        {BinOpCode::kPlus, BinOpCode::kMin},
+    };
+    for (auto [a, m] : combos)
+      for (TypeCode tc : numeric_types) add(a, m, tc);
+    add(BinOpCode::kLor, BinOpCode::kLand, TypeCode::kBool);
+    add(BinOpCode::kLand, BinOpCode::kLor, TypeCode::kBool);
+    add(BinOpCode::kLxor, BinOpCode::kLand, TypeCode::kBool);
+    add(BinOpCode::kLxnor, BinOpCode::kLor, TypeCode::kBool);
+    // PLUS_TIMES over BOOL degenerates to LOR_LAND but keeps its name.
+    add(BinOpCode::kPlus, BinOpCode::kTimes, TypeCode::kBool);
+    // Structural semirings used by BFS-like algorithms.
+    add(BinOpCode::kLor, BinOpCode::kFirst, TypeCode::kBool);
+    add(BinOpCode::kLor, BinOpCode::kSecond, TypeCode::kBool);
+  }
+};
+
+const Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct UserSemirings {
+  std::mutex mu;
+  std::unordered_set<const Semiring*> live;
+};
+UserSemirings& user_semirings() {
+  static UserSemirings* u = new UserSemirings;
+  return *u;
+}
+
+}  // namespace
+
+const Semiring* get_semiring(BinOpCode add, BinOpCode mul, TypeCode type) {
+  const auto& t = registry().table;
+  auto it = t.find({add, mul, type});
+  return it == t.end() ? nullptr : it->second.get();
+}
+
+Info semiring_new(const Semiring** semiring, const Monoid* add,
+                  const BinaryOp* mul, std::string name) {
+  if (semiring == nullptr || add == nullptr || mul == nullptr)
+    return Info::kNullPointer;
+  if (mul->ztype() != add->type()) return Info::kDomainMismatch;
+  auto* s = new Semiring(add, mul, std::move(name));
+  auto& u = user_semirings();
+  std::lock_guard<std::mutex> lock(u.mu);
+  u.live.insert(s);
+  *semiring = s;
+  return Info::kSuccess;
+}
+
+Info semiring_free(const Semiring* semiring) {
+  if (semiring == nullptr) return Info::kNullPointer;
+  auto& u = user_semirings();
+  std::lock_guard<std::mutex> lock(u.mu);
+  auto it = u.live.find(semiring);
+  if (it == u.live.end()) return Info::kInvalidValue;
+  u.live.erase(it);
+  delete semiring;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,37 @@
+// GrB_Semiring: an additive monoid plus a multiplicative binary operator
+// whose output domain matches the monoid domain.
+#pragma once
+
+#include <string>
+
+#include "core/monoid.hpp"
+
+namespace grb {
+
+class Semiring {
+ public:
+  Semiring(const Monoid* add, const BinaryOp* mul, std::string name)
+      : add_(add), mul_(mul), name_(std::move(name)) {}
+
+  const Monoid* add() const { return add_; }
+  const BinaryOp* mul() const { return mul_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  const Monoid* add_;
+  const BinaryOp* mul_;
+  std::string name_;
+};
+
+// Predefined semirings over the 10 numeric types:
+//   PLUS_TIMES, MIN_PLUS, MAX_PLUS, MIN_TIMES, MAX_TIMES, MIN_MAX,
+//   MAX_MIN, MIN_FIRST, MIN_SECOND, MAX_FIRST, MAX_SECOND
+// and over BOOL: LOR_LAND, LAND_LOR, LXOR_LAND, LXNOR_LOR.
+// `add`/`mul` name the constituent op codes; nullptr if undefined.
+const Semiring* get_semiring(BinOpCode add, BinOpCode mul, TypeCode type);
+
+Info semiring_new(const Semiring** semiring, const Monoid* add,
+                  const BinaryOp* mul, std::string name = "user_semiring");
+Info semiring_free(const Semiring* semiring);
+
+}  // namespace grb

@@ -1,0 +1,164 @@
+#include "core/unary_op.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+template <class T>
+T ld(const void* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+template <class T>
+void st(void* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+template <class T>
+void fn_identity(void* z, const void* x) {
+  st<T>(z, ld<T>(x));
+}
+template <class T>
+void fn_ainv(void* z, const void* x) {
+  if constexpr (std::is_same_v<T, bool>) {
+    st<bool>(z, ld<bool>(x));
+  } else if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    st<T>(z, static_cast<T>(U{0} - static_cast<U>(ld<T>(x))));
+  } else {
+    st<T>(z, -ld<T>(x));
+  }
+}
+template <class T>
+void fn_minv(void* z, const void* x) {
+  if constexpr (std::is_same_v<T, bool>) {
+    st<bool>(z, true);
+  } else if constexpr (std::is_integral_v<T>) {
+    T v = ld<T>(x);
+    st<T>(z, v == 0 ? T{0} : static_cast<T>(T{1} / v));
+  } else {
+    st<T>(z, T{1} / ld<T>(x));
+  }
+}
+template <class T>
+void fn_abs(void* z, const void* x) {
+  if constexpr (std::is_same_v<T, bool>) {
+    st<bool>(z, ld<bool>(x));
+  } else if constexpr (std::is_unsigned_v<T>) {
+    st<T>(z, ld<T>(x));
+  } else if constexpr (std::is_integral_v<T>) {
+    T v = ld<T>(x);
+    if (v == std::numeric_limits<T>::min()) {
+      st<T>(z, v);  // |INT_MIN| wraps to itself in 2's complement
+    } else {
+      st<T>(z, v < 0 ? static_cast<T>(-v) : v);
+    }
+  } else {
+    st<T>(z, std::fabs(ld<T>(x)));
+  }
+}
+void fn_lnot(void* z, const void* x) { st<bool>(z, !ld<bool>(x)); }
+template <class T>
+void fn_bnot(void* z, const void* x) {
+  st<T>(z, static_cast<T>(~ld<T>(x)));
+}
+
+constexpr int kNumOps = 7;
+
+struct Registry {
+  std::unique_ptr<UnaryOp> table[kNumOps][kNumBuiltinTypes];
+
+  template <class T>
+  void add(UnOpCode op, UnaryFn fn, const char* opname) {
+    const Type* t = type_of<T>();
+    int o = static_cast<int>(op);
+    int c = static_cast<int>(t->code());
+    table[o][c] = std::make_unique<UnaryOp>(
+        t, t, fn, op, std::string(opname) + "_" + t->name());
+  }
+
+  template <class T>
+  void add_common() {
+    add<T>(UnOpCode::kIdentity, &fn_identity<T>, "GrB_IDENTITY");
+    add<T>(UnOpCode::kAinv, &fn_ainv<T>, "GrB_AINV");
+    add<T>(UnOpCode::kMinv, &fn_minv<T>, "GrB_MINV");
+    add<T>(UnOpCode::kAbs, &fn_abs<T>, "GrB_ABS");
+    if constexpr (std::is_integral_v<T> && !std::is_same_v<T, bool>) {
+      add<T>(UnOpCode::kBnot, &fn_bnot<T>, "GrB_BNOT");
+    }
+  }
+
+  Registry() {
+    add_common<bool>();
+    add_common<int8_t>();
+    add_common<uint8_t>();
+    add_common<int16_t>();
+    add_common<uint16_t>();
+    add_common<int32_t>();
+    add_common<uint32_t>();
+    add_common<int64_t>();
+    add_common<uint64_t>();
+    add_common<float>();
+    add_common<double>();
+    add<bool>(UnOpCode::kLnot, &fn_lnot, "GrB_LNOT");
+  }
+};
+
+const Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct UserOps {
+  std::mutex mu;
+  std::unordered_set<const UnaryOp*> live;
+};
+UserOps& user_ops() {
+  static UserOps* u = new UserOps;
+  return *u;
+}
+
+}  // namespace
+
+const UnaryOp* get_unary_op(UnOpCode op, TypeCode type) {
+  int o = static_cast<int>(op);
+  int c = static_cast<int>(type);
+  if (o <= 0 || o >= kNumOps || c < 0 || c >= kNumBuiltinTypes)
+    return nullptr;
+  return registry().table[o][c].get();
+}
+
+Info unary_op_new(const UnaryOp** op, UnaryFn fn, const Type* ztype,
+                  const Type* xtype, std::string name) {
+  if (op == nullptr || fn == nullptr) return Info::kNullPointer;
+  if (ztype == nullptr || xtype == nullptr) return Info::kNullPointer;
+  auto* u = new UnaryOp(ztype, xtype, fn, UnOpCode::kCustom, std::move(name));
+  auto& reg = user_ops();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.insert(u);
+  *op = u;
+  return Info::kSuccess;
+}
+
+Info unary_op_free(const UnaryOp* op) {
+  if (op == nullptr) return Info::kNullPointer;
+  for (int o = 1; o < kNumOps; ++o)
+    for (int c = 0; c < kNumBuiltinTypes; ++c)
+      if (registry().table[o][c].get() == op) return Info::kInvalidValue;
+  auto& reg = user_ops();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.live.find(op);
+  if (it == reg.live.end()) return Info::kUninitializedObject;
+  reg.live.erase(it);
+  delete op;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,57 @@
+// GrB_UnaryOp: unary operators z = f(x).
+#pragma once
+
+#include <string>
+
+#include "core/info.hpp"
+#include "core/type.hpp"
+
+namespace grb {
+
+using UnaryFn = void (*)(void* z, const void* x);
+
+enum class UnOpCode : uint8_t {
+  kCustom = 0,
+  kIdentity,  // z = x
+  kAinv,      // z = -x (additive inverse; wraps for integers)
+  kMinv,      // z = 1/x (multiplicative inverse; integer 1/0 -> 0)
+  kAbs,       // z = |x|
+  kLnot,      // z = !x (BOOL only)
+  kBnot,      // z = ~x (integer types)
+};
+
+class UnaryOp {
+ public:
+  UnaryOp(const Type* ztype, const Type* xtype, UnaryFn fn, UnOpCode opcode,
+          std::string name)
+      : ztype_(ztype),
+        xtype_(xtype),
+        fn_(fn),
+        opcode_(opcode),
+        name_(std::move(name)) {}
+
+  const Type* ztype() const { return ztype_; }
+  const Type* xtype() const { return xtype_; }
+  UnaryFn fn() const { return fn_; }
+  UnOpCode opcode() const { return opcode_; }
+  const std::string& name() const { return name_; }
+
+  void apply(void* z, const void* x) const { fn_(z, x); }
+
+ private:
+  const Type* ztype_;
+  const Type* xtype_;
+  UnaryFn fn_;
+  UnOpCode opcode_;
+  std::string name_;
+};
+
+// Predefined lookup; nullptr when the pair is not defined (LNOT on
+// non-bool, BNOT on non-integer).
+const UnaryOp* get_unary_op(UnOpCode op, TypeCode type);
+
+Info unary_op_new(const UnaryOp** op, UnaryFn fn, const Type* ztype,
+                  const Type* xtype, std::string name = "user_unary_op");
+Info unary_op_free(const UnaryOp* op);
+
+}  // namespace grb

@@ -1,0 +1,143 @@
+#include "exec/context.hpp"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace grb {
+namespace {
+
+struct GlobalState {
+  std::mutex mu;
+  bool initialized = false;
+  Context* top = nullptr;
+  std::unordered_set<Context*> live;  // all contexts incl. top
+};
+
+GlobalState& global() {
+  static GlobalState* g = new GlobalState;
+  return *g;
+}
+
+int default_hw_threads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+Context::Context(Mode mode, Context* parent, ContextConfig cfg)
+    : mode_(mode),
+      parent_(parent),
+      cfg_(cfg),
+      depth_(parent == nullptr ? 0 : parent->depth() + 1) {}
+
+int Context::effective_nthreads() const {
+  const Context* c = this;
+  while (c != nullptr) {
+    if (c->cfg_.nthreads > 0) return c->cfg_.nthreads;
+    c = c->parent_;
+  }
+  return default_hw_threads();
+}
+
+ThreadPool* Context::pool() {
+  int n = effective_nthreads();
+  if (n <= 1) return nullptr;
+  std::call_once(pool_once_, [&] { pool_ = std::make_unique<ThreadPool>(n); });
+  return pool_.get();
+}
+
+void Context::parallel_for(Index begin, Index end,
+                           const std::function<void(Index, Index)>& body) {
+  if (begin >= end) return;
+  ThreadPool* p = (end - begin > cfg_.chunk) ? pool() : nullptr;
+  if (p == nullptr) {
+    body(begin, end);
+  } else {
+    p->parallel_for(begin, end, cfg_.chunk, body);
+  }
+}
+
+Info library_init(Mode mode) {
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.initialized) return Info::kInvalidValue;
+  if (mode != Mode::kBlocking && mode != Mode::kNonblocking)
+    return Info::kInvalidValue;
+  g.top = new Context(mode, nullptr, ContextConfig{});
+  g.live.insert(g.top);
+  g.initialized = true;
+  return Info::kSuccess;
+}
+
+Info library_finalize() {
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!g.initialized) return Info::kInvalidValue;
+  // GrB_finalize frees every context object (paper §IV).
+  for (Context* c : g.live) delete c;
+  g.live.clear();
+  g.top = nullptr;
+  g.initialized = false;
+  return Info::kSuccess;
+}
+
+bool library_initialized() {
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.initialized;
+}
+
+Context* top_context() {
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.top;
+}
+
+Info context_new(Context** ctx, Mode mode, Context* parent,
+                 const ContextConfig* config) {
+  if (ctx == nullptr) return Info::kNullPointer;
+  if (mode != Mode::kBlocking && mode != Mode::kNonblocking)
+    return Info::kInvalidValue;
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!g.initialized) return Info::kPanic;
+  Context* p = parent == nullptr ? g.top : parent;
+  if (g.live.find(p) == g.live.end()) return Info::kUninitializedObject;
+  ContextConfig cfg = config != nullptr ? *config : ContextConfig{};
+  auto* c = new Context(mode, p, cfg);
+  g.live.insert(c);
+  *ctx = c;
+  return Info::kSuccess;
+}
+
+Info context_free(Context* ctx) {
+  if (ctx == nullptr) return Info::kNullPointer;
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (ctx == g.top) return Info::kInvalidValue;  // top dies with finalize
+  auto it = g.live.find(ctx);
+  if (it == g.live.end()) return Info::kUninitializedObject;
+  // Implementation-defined rule (documented): a context with live child
+  // contexts cannot be freed, since children resolve resources through it.
+  for (Context* c : g.live)
+    if (c->parent() == ctx) return Info::kInvalidValue;
+  // After this, ctx "behaves as an uninitialized object" (paper §IV):
+  // objects still homed in it must be re-homed with GrB_Context_switch
+  // before further use; operations validate liveness via context_is_live.
+  g.live.erase(it);
+  delete ctx;
+  return Info::kSuccess;
+}
+
+bool context_is_live(const Context* ctx) {
+  auto& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.live.find(const_cast<Context*>(ctx)) != g.live.end();
+}
+
+Context* resolve_context(Context* ctx) {
+  return ctx != nullptr ? ctx : top_context();
+}
+
+}  // namespace grb

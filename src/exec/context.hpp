@@ -1,0 +1,95 @@
+// GrB_Context: hierarchical execution contexts (paper §IV).
+//
+// A program starts in the top-level context created by GrB_init.  Nested
+// contexts are created with context_new(parent, mode, config); they form a
+// tree that is torn down by GrB_finalize.  Each GraphBLAS object belongs
+// to exactly one context, all operands of an operation must share a
+// context, and the context supplies execution resources (a thread pool)
+// plus the blocking/nonblocking mode for operations on its objects.
+//
+// The paper leaves the contents of the `void* exec` initialization struct
+// implementation-defined but requires it be documented.  Ours is
+// grb::ContextConfig below.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/info.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace grb {
+
+enum class Mode : int {
+  kNonblocking = 0,
+  kBlocking = 1,
+};
+
+// The documented, implementation-defined structure passed as the `exec`
+// argument of GrB_Context_new (paper §IV / Figure 2).
+struct ContextConfig {
+  // Number of threads the context may use for internal parallelism.
+  // 0 means "inherit from the parent context".
+  int nthreads = 0;
+  // Minimum number of loop iterations assigned to a thread before the
+  // context bothers with parallel execution.
+  Index chunk = 4096;
+};
+
+class Context {
+ public:
+  Context(Mode mode, Context* parent, ContextConfig cfg);
+
+  Mode mode() const { return mode_; }
+  Context* parent() const { return parent_; }
+  const ContextConfig& config() const { return cfg_; }
+  int depth() const { return depth_; }
+
+  // Effective thread count (resolving nthreads == 0 through ancestors).
+  int effective_nthreads() const;
+
+  // The pool used for internal parallelism; nullptr means "run inline".
+  // Created lazily on first use.
+  ThreadPool* pool();
+
+  // Convenience: partitioned parallel loop on this context's resources.
+  void parallel_for(Index begin, Index end,
+                    const std::function<void(Index, Index)>& body);
+
+ private:
+  Mode mode_;
+  Context* parent_;
+  ContextConfig cfg_;
+  int depth_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// --- Global library state (GrB_init / GrB_finalize) ----------------------
+
+// Initializes the library with the top-level context's mode.
+// Calling twice without finalize returns kInvalidValue.
+Info library_init(Mode mode);
+Info library_finalize();
+bool library_initialized();
+
+// The top-level context (nullptr before init).
+Context* top_context();
+
+// Creates a context nested in `parent` (nullptr = top-level context).
+// `config` may be nullptr (all defaults / inherit).
+Info context_new(Context** ctx, Mode mode, Context* parent,
+                 const ContextConfig* config);
+Info context_free(Context* ctx);
+
+// True if `ctx` is a live context (top-level or created and not freed).
+bool context_is_live(const Context* ctx);
+
+// Resolves a possibly-null context pointer (null = top-level).
+Context* resolve_context(Context* ctx);
+
+// Library version (GrB_getVersion): 2.0.
+inline constexpr unsigned kVersion = 2;
+inline constexpr unsigned kSubversion = 0;
+
+}  // namespace grb

@@ -1,0 +1,98 @@
+#include "exec/object_base.hpp"
+
+namespace grb {
+
+Info ObjectBase::switch_context(Context* new_ctx) {
+  Context* c = resolve_context(new_ctx);
+  if (c == nullptr || !context_is_live(c)) return Info::kUninitializedObject;
+  // Re-homing an object first resolves its state in the old context.
+  Info info = complete();
+  if (is_execution_error(info)) return info;
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = c;
+  return Info::kSuccess;
+}
+
+void ObjectBase::enqueue(std::function<Info()> op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(op));
+}
+
+Info ObjectBase::complete() {
+  // Drain until the queue stays empty.  Closures publish results under
+  // mu_ themselves; we must not hold mu_ while running them.
+  for (;;) {
+    std::vector<std::function<Info()>> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err_ != Info::kSuccess) {
+        // A poisoned sequence stops executing; the error sticks.
+        queue_.clear();
+        return err_;
+      }
+      if (queue_.empty()) break;
+      batch.swap(queue_);
+    }
+    for (auto& op : batch) {
+      Info info = op();
+      // Deferred methods only validated their API contract eagerly; any
+      // failure here is an execution-class failure for this object, even
+      // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
+      // paper SIX) is numerically in the API band.
+      if (static_cast<int>(info) < 0) {
+        poison(info, std::string("deferred method failed: ") +
+                         info_name(info));
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.clear();
+        return info;
+      }
+    }
+  }
+  Info info = flush_pending();
+  if (static_cast<int>(info) < 0) {
+    poison(info, std::string("pending-element flush failed: ") +
+                     info_name(info));
+    return info;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return err_;
+}
+
+Info ObjectBase::wait(WaitMode mode) {
+  Info info = complete();
+  if (mode == WaitMode::kMaterialize) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Info reported = err_;
+    err_ = Info::kSuccess;
+    // The message is kept for post-mortem GrB_error inspection.
+    return reported != Info::kSuccess ? reported : info;
+  }
+  return info;
+}
+
+void ObjectBase::poison(Info info, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (err_ == Info::kSuccess) {
+    err_ = info;
+    errmsg_ = msg;
+  }
+}
+
+const char* ObjectBase::error_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errmsg_.c_str();
+}
+
+Info defer_or_run(ObjectBase* out, std::function<Info()> op) {
+  if (out->mode() == Mode::kBlocking) {
+    Info info = op();
+    if (static_cast<int>(info) < 0) {
+      out->poison(info, std::string("method failed: ") + info_name(info));
+    }
+    return info;
+  }
+  out->enqueue(std::move(op));
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,105 @@
+// ObjectBase: shared handle state for GrB_Scalar / GrB_Vector / GrB_Matrix.
+//
+// Implements the paper's §III/§V machinery:
+//  * the *sequence* of deferred method calls that defines an object in
+//    nonblocking mode (a per-object FIFO of closures);
+//  * completion (GrB_wait(obj, GrB_COMPLETE)) — drain the queue and fold
+//    pending tuples so the object's internal state is resolved in memory;
+//  * materialization (GrB_wait(obj, GrB_MATERIALIZE)) — completion plus
+//    "no more errors can be generated from those methods": the deferred
+//    error, if any, is reported and the error state is cleared;
+//  * the deferred-execution-error model: a failed deferred method poisons
+//    the object, and any later method invocation involving it reports the
+//    stored error until a materializing wait clears it;
+//  * GrB_error(&str, obj): a per-object, mutex-guarded error string.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/info.hpp"
+#include "exec/context.hpp"
+
+namespace grb {
+
+enum class WaitMode : int {
+  kComplete = 0,
+  kMaterialize = 1,
+};
+
+class ObjectBase {
+ public:
+  explicit ObjectBase(Context* ctx) : ctx_(resolve_context(ctx)) {}
+  virtual ~ObjectBase() = default;
+
+  ObjectBase(const ObjectBase&) = delete;
+  ObjectBase& operator=(const ObjectBase&) = delete;
+
+  Context* context() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ctx_;
+  }
+  Info switch_context(Context* new_ctx);
+
+  Mode mode() const {
+    Context* c = context();
+    return c != nullptr ? c->mode() : Mode::kBlocking;
+  }
+
+  // Appends a deferred method to this object's sequence.  Called only in
+  // nonblocking mode, by the operation layer, after API validation.
+  // Containers override it to fold outstanding pending tuples into the
+  // sequence first, preserving program order.
+  virtual void enqueue(std::function<Info()> op);
+
+  // Runs the sequence to completion (and folds pending tuples via
+  // flush_pending).  Returns the first deferred execution error, which
+  // stays stored (poisoning the object) until a materializing wait.
+  Info complete();
+
+  // GrB_wait.  kComplete == complete(); kMaterialize also clears the
+  // stored error after reporting it.
+  Info wait(WaitMode mode);
+
+  // The deferred-error check every method performs on its arguments
+  // (paper §V: later methods in the sequence report earlier errors).
+  Info pending_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return err_;
+  }
+
+  // Records an execution error against this object (blocking mode or
+  // deferred execution) along with a message for GrB_error.
+  void poison(Info info, const std::string& msg);
+
+  // GrB_error: pointer to a per-object string, stable until the next
+  // error recorded on the object.
+  const char* error_string() const;
+
+  bool has_pending_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !queue_.empty();
+  }
+
+ protected:
+  // Containers fold fast-path pending tuples here (called with no locks
+  // held by complete()); default is a no-op.
+  virtual Info flush_pending() { return Info::kSuccess; }
+
+  mutable std::mutex mu_;
+
+ private:
+  Context* ctx_;
+  std::vector<std::function<Info()>> queue_;
+  Info err_ = Info::kSuccess;
+  std::string errmsg_;
+};
+
+// Shorthand used by the operation layer: execute `op` now (blocking mode)
+// or append it to `out`'s sequence (nonblocking).  In blocking mode an
+// execution error poisons the output and is returned immediately.
+Info defer_or_run(ObjectBase* out, std::function<Info()> op);
+
+}  // namespace grb

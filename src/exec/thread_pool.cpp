@@ -1,0 +1,85 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace grb {
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  // nthreads_ - 1 workers; the caller of parallel_for is the last lane.
+  for (int i = 1; i < nthreads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool ThreadPool::grab_and_run(Job& job) {
+  Index i = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+  if (i >= job.end) return false;
+  Index hi = std::min(job.end, i + job.chunk);
+  (*job.body)(i, hi);
+  if (job.pending_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job == nullptr) continue;
+    while (grab_and_run(*job)) {
+    }
+  }
+}
+
+void ThreadPool::parallel_for(Index begin, Index end, Index grain,
+                              const std::function<void(Index, Index)>& body) {
+  if (begin >= end) return;
+  Index n = end - begin;
+  if (grain == 0) grain = 1;
+  if (nthreads_ == 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  Index chunk = std::max<Index>(grain, n / (static_cast<Index>(nthreads_) * 4));
+  Index nchunks = (n + chunk - 1) / chunk;
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->end = end;
+  job->chunk = chunk;
+  job->next.store(begin, std::memory_order_relaxed);
+  job->pending_chunks.store(static_cast<Index>(nchunks),
+                            std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  while (grab_and_run(*job)) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->pending_chunks.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace grb

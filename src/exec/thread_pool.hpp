@@ -1,0 +1,66 @@
+// A small persistent thread pool with a blocking parallel_for.
+//
+// Each GrB_Context that requests more than one thread owns one pool
+// (paper §IV: contexts specify how resources such as threads are
+// allocated).  parallel_for is cooperative: the calling thread executes
+// chunks alongside the workers, so nthreads == 1 degenerates to an inline
+// loop with no synchronization.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/type.hpp"
+
+namespace grb {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int nthreads() const { return nthreads_; }
+
+  // Runs body(lo, hi) over a partition of [begin, end) with chunks of at
+  // least `grain` iterations.  Blocks until every chunk has finished.
+  // body must not recursively call parallel_for on the same pool.
+  void parallel_for(Index begin, Index end, Index grain,
+                    const std::function<void(Index, Index)>& body);
+
+ private:
+  // One parallel_for invocation.  The struct is immutable except for the
+  // two atomics, and is published to workers through mu_, so a straggler
+  // holding a previous job's pointer can never observe torn state from a
+  // newer job.
+  struct Job {
+    const std::function<void(Index, Index)>* body;
+    Index end = 0;
+    Index chunk = 1;
+    std::atomic<Index> next{0};
+    std::atomic<Index> pending_chunks{0};
+  };
+
+  void worker_loop();
+  bool grab_and_run(Job& job);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  uint64_t generation_ = 0;
+};
+
+}  // namespace grb

@@ -1,0 +1,62 @@
+// Import/export between GraphBLAS containers and the non-opaque formats
+// of paper §VII.A / Table III.
+//
+// Table III quirk followed verbatim: in GrB_COO_MATRIX the `indptr`
+// array holds COLUMN indices and `indices` holds ROW indices.
+//
+// Dense exports materialize absent elements as zero bytes of the domain
+// (documented implementation behaviour; the spec's dense formats assume
+// all elements are stored).
+#pragma once
+
+#include "ops/common.hpp"
+
+namespace grb {
+
+// GrB_Format with pinned values (paper §IX requires enumeration values be
+// specified so programs link against any conforming library).
+enum class Format : int {
+  kCsrMatrix = 0,
+  kCscMatrix = 1,
+  kCooMatrix = 2,
+  kDenseRowMatrix = 3,
+  kDenseColMatrix = 4,
+  kSparseVector = 5,
+  kDenseVector = 6,
+};
+
+// --- matrices ---------------------------------------------------------------
+
+// Constructs a new matrix from external arrays (the data is copied; the
+// caller keeps ownership of its arrays).  Array lengths are validated
+// against the format's requirements.  `values_len` counts elements.
+Info matrix_import(Matrix** a, const Type* type, Index nrows, Index ncols,
+                   const Index* indptr, const Index* indices,
+                   const void* values, Index indptr_len, Index indices_len,
+                   Index values_len, Format format, Context* ctx);
+
+// Sizes (in elements) of the arrays matrix_export will fill, so the user
+// can allocate them by any means (paper: custom allocator, mmap, ...).
+Info matrix_export_size(Index* indptr_len, Index* indices_len,
+                        Index* values_len, Format format, const Matrix* a);
+
+Info matrix_export(Index* indptr, Index* indices, void* values,
+                   Format format, const Matrix* a);
+
+// The implementation's preferred export format (never GrB_NO_VALUE here:
+// the internal storage is CSR).
+Info matrix_export_hint(Format* format, const Matrix* a);
+
+// --- vectors ----------------------------------------------------------------
+
+Info vector_import(Vector** v, const Type* type, Index n,
+                   const Index* indices, const void* values,
+                   Index indices_len, Index values_len, Format format,
+                   Context* ctx);
+Info vector_export_size(Index* indices_len, Index* values_len, Format format,
+                        const Vector* v);
+Info vector_export(Index* indices, void* values, Format format,
+                   const Vector* v);
+Info vector_export_hint(Format* format, const Vector* v);
+
+}  // namespace grb

@@ -1,0 +1,19 @@
+// Minimal Matrix Market I/O (coordinate format) so examples can exchange
+// graphs with other tools.  Supports real/integer/pattern fields and the
+// general/symmetric symmetry modes.
+#pragma once
+
+#include <string>
+
+#include "ops/common.hpp"
+
+namespace grb {
+
+// Reads a Matrix Market file into a new FP64 matrix (pattern entries
+// become 1.0; symmetric files are expanded).
+Info read_matrix_market(Matrix** a, const std::string& path, Context* ctx);
+
+// Writes a matrix as "coordinate real general" (values cast to double).
+Info write_matrix_market(const Matrix* a, const std::string& path);
+
+}  // namespace grb

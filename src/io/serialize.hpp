@@ -1,0 +1,34 @@
+// Serialize/deserialize API (paper §VII.B): an opaque byte-stream format
+// suitable for sending objects "over the wire".
+//
+// The format is implementation-private (the paper explicitly allows this)
+// and exploits that freedom to be compact: column indices are
+// delta-encoded per row as LEB128 varints, which is what makes the
+// paper's "custom serialization can save both space and compute time"
+// claim measurable against CSR export (bench_m3_serialize).
+//
+// Layout (little-endian):
+//   magic "GRB2" | u8 kind (1=matrix, 2=vector) | u8 typecode |
+//   u64 type size | u64 dims... | u64 nvals |
+//   varint-encoded structure | raw values | u64 FNV-1a checksum
+// UDT payloads are raw bytes; deserialize of a UDT requires the caller to
+// supply the (structurally identical) type handle.
+#pragma once
+
+#include "ops/common.hpp"
+
+namespace grb {
+
+Info matrix_serialize_size(Index* size, const Matrix* a);
+// `size` in/out: capacity in, bytes written out.
+Info matrix_serialize(void* buffer, Index* size, const Matrix* a);
+// `type` may be nullptr for builtin-typed payloads; required for UDTs.
+Info matrix_deserialize(Matrix** a, const Type* type, const void* buffer,
+                        Index size, Context* ctx);
+
+Info vector_serialize_size(Index* size, const Vector* v);
+Info vector_serialize(void* buffer, Index* size, const Vector* v);
+Info vector_deserialize(Vector** v, const Type* type, const void* buffer,
+                        Index size, Context* ctx);
+
+}  // namespace grb

@@ -1,0 +1,351 @@
+// GrB_apply: unary-op, bound-binary-op (bind-1st/2nd), and the
+// GraphBLAS 2.0 index-unary-op variants (paper §VIII.B).
+//
+// apply preserves the stored structure of its input; only values change:
+//   w<m,r> = w (+) f(u, ind(u), 1, s)
+//   C<M,r> = C (+) f(A', ind(A'), 2, s)
+// When the input is transposed, the indices seen by the operator are the
+// *post-transpose* locations, as the paper specifies.
+#include "ops/common.hpp"
+#include "ops/op_apply.hpp"
+
+namespace grb {
+namespace {
+
+// ---- generic "map stored values" kernels ---------------------------------
+
+// fn(z, x, i): z is in ztype's domain.
+template <class Fn>
+std::shared_ptr<VectorData> map_vector(const VectorData& u,
+                                       const Type* ztype, Fn&& fn) {
+  auto t = std::make_shared<VectorData>(ztype, u.n);
+  t->ind = u.ind;
+  t->vals.resize(u.ind.size());
+  for (size_t k = 0; k < u.ind.size(); ++k) {
+    fn(t->vals.at(k), u.vals.at(k), u.ind[k]);
+  }
+  return t;
+}
+
+// make_mapper() yields a per-chunk callable fn(z, x, i, j) so mapper
+// scratch buffers are private to each parallel chunk (no data races).
+template <class MakeMapper>
+std::shared_ptr<MatrixData> map_matrix(Context* ctx, const MatrixData& a,
+                                       const Type* ztype,
+                                       MakeMapper&& make_mapper) {
+  auto t = std::make_shared<MatrixData>(ztype, a.nrows, a.ncols);
+  t->ptr = a.ptr;
+  t->col = a.col;
+  t->vals.resize(a.col.size());
+  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
+    auto fn = make_mapper();
+    for (Index r = lo; r < hi; ++r) {
+      for (size_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k) {
+        fn(t->vals.at(k), a.vals.at(k), r, a.col[k]);
+      }
+    }
+  });
+  return t;
+}
+
+// ---- validation -----------------------------------------------------------
+
+Info validate_apply_v(Vector* w, const Vector* mask, const BinaryOp* accum,
+                      const Type* op_in, const Type* op_out,
+                      const Vector* u) {
+  GRB_RETURN_IF_ERROR(validate_objects({w, mask, u}));
+  if (u == nullptr) return Info::kNullPointer;
+  if (u->size() != w->size()) return Info::kDimensionMismatch;
+  if (mask != nullptr && mask->size() != w->size())
+    return Info::kDimensionMismatch;
+  if (op_in != nullptr) GRB_RETURN_IF_ERROR(check_cast(op_in, u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(w->type(), op_out));
+  GRB_RETURN_IF_ERROR(check_accum(accum, w->type(), op_out));
+  return Info::kSuccess;
+}
+
+Info validate_apply_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
+                      const Type* op_in, const Type* op_out, const Matrix* a,
+                      const Descriptor& d) {
+  GRB_RETURN_IF_ERROR(validate_objects({c, mask, a}));
+  if (a == nullptr) return Info::kNullPointer;
+  Index ar = d.tran0() ? a->ncols() : a->nrows();
+  Index ac = d.tran0() ? a->nrows() : a->ncols();
+  if (ar != c->nrows() || ac != c->ncols()) return Info::kDimensionMismatch;
+  if (mask != nullptr &&
+      (mask->nrows() != c->nrows() || mask->ncols() != c->ncols()))
+    return Info::kDimensionMismatch;
+  if (op_in != nullptr) GRB_RETURN_IF_ERROR(check_cast(op_in, a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(c->type(), op_out));
+  GRB_RETURN_IF_ERROR(check_accum(accum, c->type(), op_out));
+  return Info::kSuccess;
+}
+
+WritebackSpec make_spec(const BinaryOp* accum, bool have_mask,
+                        const Descriptor& d) {
+  return WritebackSpec{accum, have_mask, d.mask_structure(), d.mask_comp(),
+                       d.replace()};
+}
+
+// Captures a scalar argument for deferred execution, cast into `to`.
+Info capture_scalar(ValueBuf* buf, const Type* to, const void* s,
+                    const Type* stype) {
+  if (s == nullptr || stype == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(check_cast(to, stype));
+  buf->resize(to->size());
+  cast_value(to, buf->data(), stype, s);
+  return Info::kSuccess;
+}
+
+}  // namespace
+
+// ---- unary-op apply --------------------------------------------------------
+
+Info apply(Vector* w, const Vector* mask, const BinaryOp* accum,
+           const UnaryOp* op, const Vector* u, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(
+      validate_apply_v(w, mask, accum, op->xtype(), op->ztype(), u));
+  const Descriptor& d = resolve_desc(desc);
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  return defer_or_run(w, [w, u_snap, m_snap, op, spec]() -> Info {
+    UnRunner run(op, u_snap->type);
+    auto t = map_vector(*u_snap, op->ztype(),
+                        [&](void* z, const void* x, Index) {
+                          run.run(z, x);
+                        });
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+Info apply(Matrix* c, const Matrix* mask, const BinaryOp* accum,
+           const UnaryOp* op, const Matrix* a, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  GRB_RETURN_IF_ERROR(
+      validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
+  std::shared_ptr<const MatrixData> a_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  bool t0 = d.tran0();
+  return defer_or_run(c, [c, a_snap, m_snap, op, spec, t0]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t0 ? transpose_data(*a_snap) : a_snap;
+    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+      return [run = UnRunner(op, av->type)](void* z, const void* x, Index,
+                                            Index) mutable {
+        run.run(z, x);
+      };
+    });
+    auto c_old = c->current_data();
+    c->publish(
+        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+// ---- bound-binary apply -----------------------------------------------------
+
+Info apply_bind1st(Vector* w, const Vector* mask, const BinaryOp* accum,
+                   const BinaryOp* op, const void* s, const Type* stype,
+                   const Vector* u, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(
+      validate_apply_v(w, mask, accum, op->ytype(), op->ztype(), u));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->xtype(), s, stype));
+  const Descriptor& d = resolve_desc(desc);
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
+    Caster u2y(op->ytype(), u_snap->type);
+    ValueBuf yb(op->ytype()->size());
+    auto t = map_vector(*u_snap, op->ztype(),
+                        [&](void* z, const void* x, Index) {
+                          u2y.run(yb.data(), x);
+                          op->apply(z, sv.data(), yb.data());
+                        });
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+Info apply_bind2nd(Vector* w, const Vector* mask, const BinaryOp* accum,
+                   const BinaryOp* op, const Vector* u, const void* s,
+                   const Type* stype, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(
+      validate_apply_v(w, mask, accum, op->xtype(), op->ztype(), u));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->ytype(), s, stype));
+  const Descriptor& d = resolve_desc(desc);
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
+    Caster u2x(op->xtype(), u_snap->type);
+    ValueBuf xb(op->xtype()->size());
+    auto t = map_vector(*u_snap, op->ztype(),
+                        [&](void* z, const void* x, Index) {
+                          u2x.run(xb.data(), x);
+                          op->apply(z, xb.data(), sv.data());
+                        });
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+Info apply_bind1st(Matrix* c, const Matrix* mask, const BinaryOp* accum,
+                   const BinaryOp* op, const void* s, const Type* stype,
+                   const Matrix* a, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  GRB_RETURN_IF_ERROR(
+      validate_apply_m(c, mask, accum, op->ytype(), op->ztype(), a, d));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->xtype(), s, stype));
+  std::shared_ptr<const MatrixData> a_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  bool t0 = d.tran0();
+  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t0 ? transpose_data(*a_snap) : a_snap;
+    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+      return [&op = *op, &sv, a2y = Caster(op->ytype(), av->type),
+              yb = ValueBuf(op->ytype()->size())](
+                 void* z, const void* x, Index, Index) mutable {
+        a2y.run(yb.data(), x);
+        op.apply(z, sv.data(), yb.data());
+      };
+    });
+    auto c_old = c->current_data();
+    c->publish(
+        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+Info apply_bind2nd(Matrix* c, const Matrix* mask, const BinaryOp* accum,
+                   const BinaryOp* op, const Matrix* a, const void* s,
+                   const Type* stype, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  GRB_RETURN_IF_ERROR(
+      validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->ytype(), s, stype));
+  std::shared_ptr<const MatrixData> a_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  bool t0 = d.tran0();
+  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t0 ? transpose_data(*a_snap) : a_snap;
+    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+      return [&op = *op, &sv, a2x = Caster(op->xtype(), av->type),
+              xb = ValueBuf(op->xtype()->size())](
+                 void* z, const void* x, Index, Index) mutable {
+        a2x.run(xb.data(), x);
+        op.apply(z, xb.data(), sv.data());
+      };
+    });
+    auto c_old = c->current_data();
+    c->publish(
+        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+// ---- index-unary apply (GraphBLAS 2.0) -------------------------------------
+
+Info apply_indexop(Vector* w, const Vector* mask, const BinaryOp* accum,
+                   const IndexUnaryOp* op, const Vector* u, const void* s,
+                   const Type* stype, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(
+      validate_apply_v(w, mask, accum, op->xtype(), op->ztype(), u));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->stype(), s, stype));
+  const Descriptor& d = resolve_desc(desc);
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
+    const bool agnostic = op->value_agnostic();
+    Caster u2x(agnostic ? u_snap->type : op->xtype(), u_snap->type);
+    ValueBuf xb(agnostic ? u_snap->type->size() : op->xtype()->size());
+    auto t = map_vector(*u_snap, op->ztype(),
+                        [&](void* z, const void* x, Index i) {
+                          Index indices[1] = {i};
+                          u2x.run(xb.data(), x);
+                          op->apply(z, xb.data(), indices, 1, sv.data());
+                        });
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+Info apply_indexop(Matrix* c, const Matrix* mask, const BinaryOp* accum,
+                   const IndexUnaryOp* op, const Matrix* a, const void* s,
+                   const Type* stype, const Descriptor* desc) {
+  if (op == nullptr) return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  GRB_RETURN_IF_ERROR(
+      validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
+  ValueBuf sv;
+  GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->stype(), s, stype));
+  std::shared_ptr<const MatrixData> a_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  bool t0 = d.tran0();
+  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t0 ? transpose_data(*a_snap) : a_snap;
+    const bool agnostic = op->value_agnostic();
+    const Type* xt = agnostic ? av->type : op->xtype();
+    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+      return [&op = *op, &sv, a2x = Caster(xt, av->type),
+              xb = ValueBuf(xt->size())](void* z, const void* x, Index i,
+                                         Index j) mutable {
+        Index indices[2] = {i, j};
+        a2x.run(xb.data(), x);
+        op.apply(z, xb.data(), indices, 2, sv.data());
+      };
+    });
+    auto c_old = c->current_data();
+    c->publish(
+        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+}  // namespace grb

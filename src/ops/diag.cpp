@@ -1,0 +1,41 @@
+// GrB_Matrix_diag: builds a new square matrix whose k'th diagonal holds
+// the entries of vector v (k > 0: superdiagonal; k < 0: subdiagonal).
+#include "ops/common.hpp"
+
+namespace grb {
+
+Info matrix_diag(Matrix** c, const Vector* v, int64_t k) {
+  if (c == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(validate_objects({v}));
+  std::shared_ptr<const VectorData> v_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(v)->snapshot(&v_snap));
+  Index n = v_snap->n + static_cast<Index>(k < 0 ? -k : k);
+  Matrix* out = nullptr;
+  GRB_RETURN_IF_ERROR(Matrix::new_(&out, v_snap->type, n, n,
+                                   const_cast<Vector*>(v)->context()));
+  auto data = std::make_shared<MatrixData>(v_snap->type, n, n);
+  // Entry v(i) lands at (i, i+k) for k >= 0, or (i-k, i) for k < 0;
+  // rows are visited in increasing order so CSR comes out sorted.
+  std::vector<Index> rows(v_snap->ind.size());
+  std::vector<Index> cols(v_snap->ind.size());
+  for (size_t t = 0; t < v_snap->ind.size(); ++t) {
+    Index i = v_snap->ind[t];
+    rows[t] = k >= 0 ? i : i + static_cast<Index>(-k);
+    cols[t] = k >= 0 ? i + static_cast<Index>(k) : i;
+  }
+  for (size_t t = 0; t < rows.size(); ++t) data->ptr[rows[t] + 1] += 1;
+  for (Index r = 0; r < n; ++r) data->ptr[r + 1] += data->ptr[r];
+  data->col.resize(rows.size());
+  data->vals.resize(rows.size());
+  for (size_t t = 0; t < rows.size(); ++t) {
+    // rows[] is already strictly increasing, so slots fill in order.
+    Index slot = data->ptr[rows[t]];
+    data->col[slot] = cols[t];
+    data->vals.set(slot, v_snap->vals.at(t));
+  }
+  out->publish(std::move(data));
+  *c = out;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,109 @@
+// eWiseMult (set intersection) and eWiseAdd (set union) for vectors.
+#include "ops/common.hpp"
+#include "ops/op_apply.hpp"
+
+namespace grb {
+namespace {
+
+Info validate_ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
+                      const BinaryOp* op, const Vector* u, const Vector* v) {
+  GRB_RETURN_IF_ERROR(validate_objects({w, mask, u, v}));
+  if (op == nullptr || u == nullptr || v == nullptr)
+    return Info::kNullPointer;
+  if (u->size() != w->size() || v->size() != w->size())
+    return Info::kDimensionMismatch;
+  if (mask != nullptr && mask->size() != w->size())
+    return Info::kDimensionMismatch;
+  GRB_RETURN_IF_ERROR(check_cast(op->xtype(), u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(op->ytype(), v->type()));
+  GRB_RETURN_IF_ERROR(check_cast(w->type(), op->ztype()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, w->type(), op->ztype()));
+  return Info::kSuccess;
+}
+
+template <bool kUnion>
+std::shared_ptr<VectorData> compute_ewise(const VectorData& u,
+                                          const VectorData& v,
+                                          const BinaryOp* op) {
+  auto t = std::make_shared<VectorData>(op->ztype(), u.n);
+  BinRunner run(op, u.type, v.type);
+  // For union, single-sided entries are typecast into the op's ztype.
+  Caster u2z(op->ztype(), u.type);
+  Caster v2z(op->ztype(), v.type);
+  ValueBuf zb(op->ztype()->size());
+  size_t a = 0, b = 0;
+  while (a < u.ind.size() && b < v.ind.size()) {
+    if (u.ind[a] == v.ind[b]) {
+      run.run(zb.data(), u.vals.at(a), v.vals.at(b));
+      t->ind.push_back(u.ind[a]);
+      t->vals.push_back(zb.data());
+      ++a;
+      ++b;
+    } else if (u.ind[a] < v.ind[b]) {
+      if constexpr (kUnion) {
+        u2z.run(zb.data(), u.vals.at(a));
+        t->ind.push_back(u.ind[a]);
+        t->vals.push_back(zb.data());
+      }
+      ++a;
+    } else {
+      if constexpr (kUnion) {
+        v2z.run(zb.data(), v.vals.at(b));
+        t->ind.push_back(v.ind[b]);
+        t->vals.push_back(zb.data());
+      }
+      ++b;
+    }
+  }
+  if constexpr (kUnion) {
+    for (; a < u.ind.size(); ++a) {
+      u2z.run(zb.data(), u.vals.at(a));
+      t->ind.push_back(u.ind[a]);
+      t->vals.push_back(zb.data());
+    }
+    for (; b < v.ind.size(); ++b) {
+      v2z.run(zb.data(), v.vals.at(b));
+      t->ind.push_back(v.ind[b]);
+      t->vals.push_back(zb.data());
+    }
+  }
+  return t;
+}
+
+template <bool kUnion>
+Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
+             const BinaryOp* op, const Vector* u, const Vector* v,
+             const Descriptor* desc) {
+  GRB_RETURN_IF_ERROR(validate_ewise_v(w, mask, accum, op, u, v));
+  const Descriptor& d = resolve_desc(desc);
+  std::shared_ptr<const VectorData> u_snap, v_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(v)->snapshot(&v_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
+                     d.mask_comp(), d.replace()};
+  return defer_or_run(w, [w, u_snap, v_snap, m_snap, op, spec]() -> Info {
+    auto t = compute_ewise<kUnion>(*u_snap, *v_snap, op);
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+}  // namespace
+
+Info ewise_mult(Vector* w, const Vector* mask, const BinaryOp* accum,
+                const BinaryOp* op, const Vector* u, const Vector* v,
+                const Descriptor* desc) {
+  return ewise_v<false>(w, mask, accum, op, u, v, desc);
+}
+
+Info ewise_add(Vector* w, const Vector* mask, const BinaryOp* accum,
+               const BinaryOp* op, const Vector* u, const Vector* v,
+               const Descriptor* desc) {
+  return ewise_v<true>(w, mask, accum, op, u, v, desc);
+}
+
+}  // namespace grb

@@ -1,0 +1,71 @@
+// Mask cursors: streaming membership/truthiness tests over the sorted
+// index lists of mask containers.  A cursor is advanced with
+// monotonically nondecreasing queries (the write-back merges are sorted),
+// so each test is amortized O(1).
+#pragma once
+
+#include "containers/matrix.hpp"
+#include "containers/vector.hpp"
+#include "ops/common.hpp"
+
+namespace grb {
+
+class VectorMaskCursor {
+ public:
+  VectorMaskCursor(const VectorData* mask, const WritebackSpec& spec)
+      : m_(spec.have_mask ? mask : nullptr),
+        structure_(spec.mask_structure),
+        comp_(spec.mask_comp) {}
+
+  // Queries must be nondecreasing in i.
+  bool test(Index i) {
+    if (m_ == nullptr) return !comp_;  // no mask: all-true (comp: all-false)
+    while (pos_ < m_->ind.size() && m_->ind[pos_] < i) ++pos_;
+    bool present = pos_ < m_->ind.size() && m_->ind[pos_] == i;
+    bool v = structure_ ? present
+                        : (present &&
+                           value_as_bool(m_->type, m_->vals.at(pos_)));
+    return v != comp_;
+  }
+
+ private:
+  const VectorData* m_;
+  bool structure_;
+  bool comp_;
+  size_t pos_ = 0;
+};
+
+class MatrixRowMaskCursor {
+ public:
+  MatrixRowMaskCursor(const MatrixData* mask, Index row,
+                      const WritebackSpec& spec)
+      : structure_(spec.mask_structure), comp_(spec.mask_comp) {
+    if (spec.have_mask && mask != nullptr && row < mask->nrows) {
+      m_ = mask;
+      pos_ = mask->ptr[row];
+      end_ = mask->ptr[row + 1];
+    }
+  }
+
+  // Queries must be nondecreasing in j within the row.
+  bool test(Index j) {
+    if (m_ == nullptr) return !comp_;  // no mask
+    while (pos_ < end_ && m_->col[pos_] < j) ++pos_;
+    bool present = pos_ < end_ && m_->col[pos_] == j;
+    bool v = structure_ ? present
+                        : (present &&
+                           value_as_bool(m_->type, m_->vals.at(pos_)));
+    return v != comp_;
+  }
+
+  bool no_mask() const { return m_ == nullptr; }
+
+ private:
+  const MatrixData* m_ = nullptr;
+  bool structure_;
+  bool comp_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
+}  // namespace grb

@@ -1,0 +1,327 @@
+// Internal mxm/mxv/vxm kernel interfaces and the typed fast-path hooks.
+#pragma once
+
+#include "ops/common.hpp"
+#include "ops/op_apply.hpp"
+
+namespace grb {
+
+// Generic semiring runner over type-erased values: multiply casts the
+// stored a/b values into the multiplier's domains, add folds a ztype
+// product into a ztype accumulator with the monoid.  This is the
+// "function-pointer call per scalar operation" path the paper's §II
+// motivation describes; fastpath.cpp provides statically typed
+// replacements for hot (semiring, type) pairs.
+class SemiringRunner {
+ public:
+  SemiringRunner(const Semiring* s, const Type* atype, const Type* btype)
+      : mul_(s->mul(), atype, btype),
+        add_(s->add()->op(), s->mul()->ztype(), s->mul()->ztype()) {}
+
+  // z (mul ztype) = a * b
+  void mul(void* z, const void* a, const void* b) { mul_.run(z, a, b); }
+  // acc = acc (+) z, both in mul ztype
+  void add(void* acc, const void* z) { add_.run(acc, acc, z); }
+
+ private:
+  BinRunner mul_;
+  BinRunner add_;
+};
+
+// Gustavson row-wise SpGEMM with a sparse accumulator; returns T with
+// type == s->mul()->ztype().  make_runner() is invoked once per parallel
+// chunk so runner scratch is chunk-private.
+template <class MakeRunner>
+std::shared_ptr<MatrixData> mxm_kernel(Context* ctx, const MatrixData& a,
+                                       const MatrixData& b,
+                                       const Type* ztype,
+                                       MakeRunner&& make_runner) {
+  auto t = std::make_shared<MatrixData>(ztype, a.nrows, b.ncols);
+  Index nrows = a.nrows, ncols = b.ncols;
+  size_t zsize = ztype->size();
+
+  // Symbolic pass: structural row counts.
+  std::vector<Index> counts(nrows, 0);
+  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
+    std::vector<uint8_t> flag(ncols, 0);
+    std::vector<Index> touched;
+    for (Index i = lo; i < hi; ++i) {
+      touched.clear();
+      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+        Index k = a.col[ka];
+        for (size_t kb = b.ptr[k]; kb < b.ptr[k + 1]; ++kb) {
+          Index j = b.col[kb];
+          if (!flag[j]) {
+            flag[j] = 1;
+            touched.push_back(j);
+          }
+        }
+      }
+      counts[i] = static_cast<Index>(touched.size());
+      for (Index j : touched) flag[j] = 0;
+    }
+  });
+  for (Index i = 0; i < nrows; ++i) t->ptr[i + 1] = t->ptr[i] + counts[i];
+  t->col.resize(t->ptr[nrows]);
+  t->vals.resize(t->ptr[nrows]);
+
+  // Numeric pass.
+  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
+    auto runner = make_runner();
+    std::vector<uint8_t> flag(ncols, 0);
+    std::vector<std::byte> spa(static_cast<size_t>(ncols) * zsize);
+    std::vector<Index> touched;
+    ValueBuf prod(zsize);
+    for (Index i = lo; i < hi; ++i) {
+      touched.clear();
+      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+        Index k = a.col[ka];
+        const void* aval = a.vals.at(ka);
+        for (size_t kb = b.ptr[k]; kb < b.ptr[k + 1]; ++kb) {
+          Index j = b.col[kb];
+          void* slot = spa.data() + static_cast<size_t>(j) * zsize;
+          if (!flag[j]) {
+            flag[j] = 1;
+            touched.push_back(j);
+            runner.mul(slot, aval, b.vals.at(kb));
+          } else {
+            runner.mul(prod.data(), aval, b.vals.at(kb));
+            runner.add(slot, prod.data());
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      size_t w = t->ptr[i];
+      for (Index j : touched) {
+        t->col[w] = j;
+        std::memcpy(t->vals.at(w), spa.data() + static_cast<size_t>(j) * zsize,
+                    zsize);
+        flag[j] = 0;
+        ++w;
+      }
+    }
+  });
+  return t;
+}
+
+// Sparse vector SPA kernel for vxm (u^T * A, scatter along rows of A) and
+// mxv-with-transposed-A.  Returns T with type == s->mul()->ztype().
+template <class MakeRunner>
+std::shared_ptr<VectorData> vxm_kernel(const VectorData& u,
+                                       const MatrixData& a,
+                                       const Type* ztype,
+                                       MakeRunner&& make_runner) {
+  auto t = std::make_shared<VectorData>(ztype, a.ncols);
+  size_t zsize = ztype->size();
+  auto runner = make_runner();
+  std::vector<uint8_t> flag(a.ncols, 0);
+  std::vector<std::byte> spa(static_cast<size_t>(a.ncols) * zsize);
+  std::vector<Index> touched;
+  ValueBuf prod(zsize);
+  for (size_t ku = 0; ku < u.ind.size(); ++ku) {
+    Index i = u.ind[ku];
+    const void* uval = u.vals.at(ku);
+    for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+      Index j = a.col[ka];
+      void* slot = spa.data() + static_cast<size_t>(j) * zsize;
+      if (!flag[j]) {
+        flag[j] = 1;
+        touched.push_back(j);
+        runner.mul(slot, uval, a.vals.at(ka));
+      } else {
+        runner.mul(prod.data(), uval, a.vals.at(ka));
+        runner.add(slot, prod.data());
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  t->ind.reserve(touched.size());
+  t->vals.reserve(touched.size());
+  for (Index j : touched) {
+    t->ind.push_back(j);
+    t->vals.push_back(spa.data() + static_cast<size_t>(j) * zsize);
+  }
+  return t;
+}
+
+// Row-parallel dot-product kernel for mxv (A * u).  u is gathered into a
+// dense scratch (bitmap + values) once; each row of A then probes it.
+template <class MakeRunner>
+std::shared_ptr<VectorData> mxv_kernel(Context* ctx, const MatrixData& a,
+                                       const VectorData& u,
+                                       const Type* ztype,
+                                       MakeRunner&& make_runner) {
+  auto t = std::make_shared<VectorData>(ztype, a.nrows);
+  size_t zsize = ztype->size();
+  size_t usize = u.type->size();
+  std::vector<uint8_t> upresent(u.n, 0);
+  std::vector<std::byte> udense(static_cast<size_t>(u.n) * usize);
+  for (size_t k = 0; k < u.ind.size(); ++k) {
+    upresent[u.ind[k]] = 1;
+    std::memcpy(udense.data() + static_cast<size_t>(u.ind[k]) * usize,
+                u.vals.at(k), usize);
+  }
+  // Structural pass: does row i hit any entry of u?
+  std::vector<uint8_t> hit(a.nrows, 0);
+  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+        if (upresent[a.col[ka]]) {
+          hit[i] = 1;
+          break;
+        }
+      }
+    }
+  });
+  std::vector<Index> slot(a.nrows + 1, 0);
+  for (Index i = 0; i < a.nrows; ++i) slot[i + 1] = slot[i] + hit[i];
+  t->ind.resize(slot[a.nrows]);
+  t->vals.resize(slot[a.nrows]);
+  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
+    auto runner = make_runner();
+    ValueBuf acc(zsize), prod(zsize);
+    for (Index i = lo; i < hi; ++i) {
+      if (!hit[i]) continue;
+      bool first = true;
+      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+        Index j = a.col[ka];
+        if (!upresent[j]) continue;
+        const void* uval = udense.data() + static_cast<size_t>(j) * usize;
+        if (first) {
+          runner.mul(acc.data(), a.vals.at(ka), uval);
+          first = false;
+        } else {
+          runner.mul(prod.data(), a.vals.at(ka), uval);
+          runner.add(acc.data(), prod.data());
+        }
+      }
+      Index s = slot[i];
+      t->ind[s] = i;
+      t->vals.set(s, acc.data());
+    }
+  });
+  return t;
+}
+
+// Masked dot-product SpGEMM: computes T only at the structural-mask
+// positions, C(i,j) = A(i,:) . B(:,j), via sorted-intersection merges of
+// A's row i and B'(j,:).  This is the kernel masked multiplies like
+// triangle counting want: work is O(nnz(M) * avg-row) instead of the
+// full Gustavson expansion.  `bt` is B transposed (CSR of B').
+template <class MakeRunner>
+std::shared_ptr<MatrixData> mxm_masked_dot_kernel(Context* ctx,
+                                                  const MatrixData& a,
+                                                  const MatrixData& bt,
+                                                  const MatrixData& mask,
+                                                  const Type* ztype,
+                                                  MakeRunner&& make_runner) {
+  auto t = std::make_shared<MatrixData>(ztype, a.nrows, bt.nrows);
+  Index nrows = a.nrows;
+  size_t zsize = ztype->size();
+
+  // Pass 1: which mask positions have a nonempty intersection?
+  std::vector<Index> counts(nrows, 0);
+  auto intersects = [&](Index i, Index j) {
+    size_t ka = a.ptr[i], ea = a.ptr[i + 1];
+    size_t kb = bt.ptr[j], eb = bt.ptr[j + 1];
+    while (ka < ea && kb < eb) {
+      if (a.col[ka] == bt.col[kb]) return true;
+      if (a.col[ka] < bt.col[kb]) {
+        ++ka;
+      } else {
+        ++kb;
+      }
+    }
+    return false;
+  };
+  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      Index n = 0;
+      if (i < mask.nrows) {
+        for (size_t km = mask.ptr[i]; km < mask.ptr[i + 1]; ++km) {
+          Index j = mask.col[km];
+          if (j < bt.nrows && intersects(i, j)) ++n;
+        }
+      }
+      counts[i] = n;
+    }
+  });
+  for (Index i = 0; i < nrows; ++i) t->ptr[i + 1] = t->ptr[i] + counts[i];
+  t->col.resize(t->ptr[nrows]);
+  t->vals.resize(t->ptr[nrows]);
+
+  // Pass 2: dot products straight into place.
+  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
+    auto runner = make_runner();
+    ValueBuf acc(zsize), prod(zsize);
+    for (Index i = lo; i < hi; ++i) {
+      if (i >= mask.nrows) continue;
+      size_t w = t->ptr[i];
+      for (size_t km = mask.ptr[i]; km < mask.ptr[i + 1]; ++km) {
+        Index j = mask.col[km];
+        if (j >= bt.nrows) continue;
+        size_t ka = a.ptr[i], ea = a.ptr[i + 1];
+        size_t kb = bt.ptr[j], eb = bt.ptr[j + 1];
+        bool first = true;
+        while (ka < ea && kb < eb) {
+          if (a.col[ka] == bt.col[kb]) {
+            if (first) {
+              runner.mul(acc.data(), a.vals.at(ka), bt.vals.at(kb));
+              first = false;
+            } else {
+              runner.mul(prod.data(), a.vals.at(ka), bt.vals.at(kb));
+              runner.add(acc.data(), prod.data());
+            }
+            ++ka;
+            ++kb;
+          } else if (a.col[ka] < bt.col[kb]) {
+            ++ka;
+          } else {
+            ++kb;
+          }
+        }
+        if (!first) {
+          t->col[w] = j;
+          std::memcpy(t->vals.at(w), acc.data(), zsize);
+          ++w;
+        }
+      }
+    }
+  });
+  return t;
+}
+
+enum class MxmStrategy {
+  kAuto = 0,       // heuristic: masked-dot for sparse structural masks
+  kGustavson = 1,  // always row-wise SPA
+  kMaskedDot = 2,  // always masked dot products (needs structural mask)
+};
+
+// Global strategy override for the masked-mxm ablation bench.
+MxmStrategy mxm_strategy();
+void set_mxm_strategy(MxmStrategy strategy);
+
+// ---- typed fast path (ops/fastpath.cpp) -----------------------------------
+
+// Global switch so the M2 ablation bench can force the generic path.
+bool fastpath_enabled();
+void set_fastpath_enabled(bool enabled);
+
+// Attempt a statically typed mxm/vxm/mxv; returns nullptr when the
+// (semiring, types) combination has no registered fast kernel.
+std::shared_ptr<MatrixData> fastpath_mxm(Context* ctx, const MatrixData& a,
+                                         const MatrixData& b,
+                                         const Semiring* s);
+std::shared_ptr<MatrixData> fastpath_masked_dot_mxm(Context* ctx,
+                                                    const MatrixData& a,
+                                                    const MatrixData& bt,
+                                                    const MatrixData& mask,
+                                                    const Semiring* s);
+std::shared_ptr<VectorData> fastpath_vxm(const VectorData& u,
+                                         const MatrixData& a,
+                                         const Semiring* s);
+std::shared_ptr<VectorData> fastpath_mxv(Context* ctx, const MatrixData& a,
+                                         const VectorData& u,
+                                         const Semiring* s);
+
+}  // namespace grb

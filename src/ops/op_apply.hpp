@@ -1,0 +1,71 @@
+// Cast-wrapped operator application helpers (internal).
+//
+// GraphBLAS operations typecast stored values into the operator's input
+// domains and the operator's result into the output domain.  These small
+// runners hoist the cast-function lookups out of the inner loops.
+#pragma once
+
+#include "core/binary_op.hpp"
+#include "core/unary_op.hpp"
+
+namespace grb {
+
+// dst (dst_type) <- src (src_type); memcpy when identical.
+class Caster {
+ public:
+  Caster(const Type* dst_type, const Type* src_type)
+      : fn_(cast_fn(dst_type, src_type)), size_(dst_type->size()) {}
+
+  void run(void* dst, const void* src) const {
+    if (fn_ != nullptr) {
+      fn_(dst, src);
+    } else {
+      std::memcpy(dst, src, size_);
+    }
+  }
+
+ private:
+  CastFn fn_;
+  size_t size_;
+};
+
+// z (op->ztype) = op(cast(x), cast(y)) where x/y arrive in xt/yt domains.
+class BinRunner {
+ public:
+  BinRunner(const BinaryOp* op, const Type* xt, const Type* yt)
+      : op_(op),
+        x_cast_(op->xtype(), xt),
+        y_cast_(op->ytype(), yt),
+        xb_(op->xtype()->size()),
+        yb_(op->ytype()->size()) {}
+
+  void run(void* z, const void* x, const void* y) {
+    x_cast_.run(xb_.data(), x);
+    y_cast_.run(yb_.data(), y);
+    op_->apply(z, xb_.data(), yb_.data());
+  }
+
+ private:
+  const BinaryOp* op_;
+  Caster x_cast_, y_cast_;
+  ValueBuf xb_, yb_;
+};
+
+// z (op->ztype) = op(cast(x)).
+class UnRunner {
+ public:
+  UnRunner(const UnaryOp* op, const Type* xt)
+      : op_(op), x_cast_(op->xtype(), xt), xb_(op->xtype()->size()) {}
+
+  void run(void* z, const void* x) {
+    x_cast_.run(xb_.data(), x);
+    op_->apply(z, xb_.data());
+  }
+
+ private:
+  const UnaryOp* op_;
+  Caster x_cast_;
+  ValueBuf xb_;
+};
+
+}  // namespace grb

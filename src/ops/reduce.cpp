@@ -1,0 +1,306 @@
+// GrB_reduce: matrix -> vector (row reduce), and vector/matrix -> scalar.
+//
+// Scalar-producing variants come in two flavours (paper §VI):
+//  * typed-output (GraphBLAS 1.X style): an empty input reduces to the
+//    monoid identity, and execution cannot be deferred;
+//  * GrB_Scalar-output: an empty input yields an EMPTY scalar, and the
+//    reduction joins the scalar's deferred sequence like any other op.
+// The GrB_Scalar flavour also admits a plain associative BinaryOp in
+// place of a monoid (Table II) since no identity value is needed.
+#include <mutex>
+
+#include "ops/common.hpp"
+#include "ops/op_apply.hpp"
+
+namespace grb {
+namespace {
+
+// Folds all stored values of `a` with the monoid; returns presence.
+// Parallel: per-chunk partials combined under a mutex (the monoid is
+// commutative and associative by definition).
+bool reduce_all_matrix(Context* ctx, const MatrixData& a, const Monoid* m,
+                       void* out) {
+  const Type* mt = m->type();
+  std::mutex combine_mu;
+  bool any = false;
+  ValueBuf global(mt->size());
+  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
+    BinRunner run(m->op(), mt, a.type);
+    ValueBuf local(mt->size());
+    std::memcpy(local.data(), m->identity(), mt->size());
+    bool local_any = false;
+    for (Index r = lo; r < hi; ++r) {
+      for (size_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k) {
+        run.run(local.data(), local.data(), a.vals.at(k));
+        local_any = true;
+      }
+      if (local_any && m->is_terminal(local.data())) break;
+    }
+    if (local_any) {
+      std::lock_guard<std::mutex> lock(combine_mu);
+      if (any) {
+        BinRunner comb(m->op(), mt, mt);
+        comb.run(global.data(), global.data(), local.data());
+      } else {
+        std::memcpy(global.data(), local.data(), mt->size());
+        any = true;
+      }
+    }
+  });
+  if (any) std::memcpy(out, global.data(), mt->size());
+  return any;
+}
+
+bool reduce_all_vector(const VectorData& u, const Monoid* m, void* out) {
+  if (u.ind.empty()) return false;
+  const Type* mt = m->type();
+  BinRunner run(m->op(), mt, u.type);
+  Caster u2m(mt, u.type);
+  u2m.run(out, u.vals.at(0));
+  for (size_t k = 1; k < u.ind.size(); ++k) {
+    if (m->is_terminal(out)) break;
+    run.run(out, out, u.vals.at(k));
+  }
+  return true;
+}
+
+// Ordered fold with a plain binary op (no identity): z = op(z, next).
+bool reduce_all_vector_binop(const VectorData& u, const BinaryOp* op,
+                             void* out) {
+  if (u.ind.empty()) return false;
+  const Type* zt = op->ztype();
+  Caster u2z(zt, u.type);
+  u2z.run(out, u.vals.at(0));
+  BinRunner run(op, zt, u.type);
+  for (size_t k = 1; k < u.ind.size(); ++k)
+    run.run(out, out, u.vals.at(k));
+  return true;
+}
+
+bool reduce_all_matrix_binop(const MatrixData& a, const BinaryOp* op,
+                             void* out) {
+  if (a.col.empty()) return false;
+  const Type* zt = op->ztype();
+  Caster a2z(zt, a.type);
+  a2z.run(out, a.vals.at(0));
+  BinRunner run(op, zt, a.type);
+  for (size_t k = 1; k < a.col.size(); ++k)
+    run.run(out, out, a.vals.at(k));
+  return true;
+}
+
+// Writes `sum` (in sum_type, or nothing when !present) into the scalar
+// handle honoring the optional accumulator.
+Info scalar_writeback(Scalar* out, const BinaryOp* accum,
+                      const Type* sum_type, const void* sum, bool present) {
+  auto old = out->current_data();
+  const Type* st = old->type;
+  auto next = std::make_shared<ScalarData>(st);
+  if (accum != nullptr && old->present && present) {
+    BinRunner run(accum, st, sum_type);
+    ValueBuf z(accum->ztype()->size());
+    run.run(z.data(), old->value.data(), sum);
+    next->present = true;
+    cast_value(st, next->value.data(), accum->ztype(), z.data());
+  } else if (present) {
+    next->present = true;
+    cast_value(st, next->value.data(), sum_type, sum);
+  } else if (accum != nullptr && old->present) {
+    next->present = true;
+    std::memcpy(next->value.data(), old->value.data(), st->size());
+  }
+  out->publish(std::move(next));
+  return Info::kSuccess;
+}
+
+}  // namespace
+
+Info reduce_to_vector(Vector* w, const Vector* mask, const BinaryOp* accum,
+                      const Monoid* monoid, const Matrix* a,
+                      const Descriptor* desc) {
+  GRB_RETURN_IF_ERROR(validate_objects({w, mask, a}));
+  if (monoid == nullptr || a == nullptr) return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  Index ar = d.tran0() ? a->ncols() : a->nrows();
+  Index ac = d.tran0() ? a->nrows() : a->ncols();
+  (void)ac;
+  if (ar != w->size()) return Info::kDimensionMismatch;
+  if (mask != nullptr && mask->size() != w->size())
+    return Info::kDimensionMismatch;
+  GRB_RETURN_IF_ERROR(check_cast(monoid->type(), a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(w->type(), monoid->type()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, w->type(), monoid->type()));
+
+  std::shared_ptr<const MatrixData> a_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  std::shared_ptr<const VectorData> m_snap;
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
+                     d.mask_comp(), d.replace()};
+  bool t0 = d.tran0();
+  return defer_or_run(w, [w, a_snap, m_snap, monoid, spec, t0]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t0 ? transpose_data(*a_snap) : a_snap;
+    const Type* mt = monoid->type();
+    auto t = std::make_shared<VectorData>(mt, av->nrows);
+    // Count nonempty rows first, then fill in parallel.
+    std::vector<Index> slot(av->nrows + 1, 0);
+    for (Index r = 0; r < av->nrows; ++r)
+      slot[r + 1] = slot[r] + (av->ptr[r + 1] > av->ptr[r] ? 1 : 0);
+    t->ind.resize(slot[av->nrows]);
+    t->vals.resize(slot[av->nrows]);
+    w->context()->parallel_for(0, av->nrows, [&](Index lo, Index hi) {
+      BinRunner run(monoid->op(), mt, av->type);
+      Caster a2m(mt, av->type);
+      for (Index r = lo; r < hi; ++r) {
+        size_t k = av->ptr[r], kend = av->ptr[r + 1];
+        if (k == kend) continue;
+        Index s = slot[r];
+        t->ind[s] = r;
+        void* acc = t->vals.at(s);
+        a2m.run(acc, av->vals.at(k));
+        for (++k; k < kend; ++k) {
+          if (monoid->is_terminal(acc)) break;
+          run.run(acc, acc, av->vals.at(k));
+        }
+      }
+    });
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+// ---- typed-output scalar reduce (1.X style, always immediate) -------------
+
+Info reduce_to_scalar(void* out, const Type* out_type, const BinaryOp* accum,
+                      const Monoid* monoid, const Vector* u,
+                      const Descriptor* /*desc*/) {
+  if (out == nullptr || out_type == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(validate_objects({u}));
+  if (monoid == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(check_cast(monoid->type(), u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out_type, monoid->type()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out_type, monoid->type()));
+  std::shared_ptr<const VectorData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
+  ValueBuf sum(monoid->type()->size());
+  if (!reduce_all_vector(*snap, monoid, sum.data()))
+    std::memcpy(sum.data(), monoid->identity(), monoid->type()->size());
+  if (accum != nullptr) {
+    BinRunner run(accum, out_type, monoid->type());
+    ValueBuf z(accum->ztype()->size());
+    run.run(z.data(), out, sum.data());
+    cast_value(out_type, out, accum->ztype(), z.data());
+  } else {
+    cast_value(out_type, out, monoid->type(), sum.data());
+  }
+  return Info::kSuccess;
+}
+
+Info reduce_to_scalar(void* out, const Type* out_type, const BinaryOp* accum,
+                      const Monoid* monoid, const Matrix* a,
+                      const Descriptor* /*desc*/) {
+  if (out == nullptr || out_type == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(validate_objects({a}));
+  if (monoid == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(check_cast(monoid->type(), a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out_type, monoid->type()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out_type, monoid->type()));
+  std::shared_ptr<const MatrixData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
+  ValueBuf sum(monoid->type()->size());
+  Matrix* am = const_cast<Matrix*>(a);
+  if (!reduce_all_matrix(am->context(), *snap, monoid, sum.data()))
+    std::memcpy(sum.data(), monoid->identity(), monoid->type()->size());
+  if (accum != nullptr) {
+    BinRunner run(accum, out_type, monoid->type());
+    ValueBuf z(accum->ztype()->size());
+    run.run(z.data(), out, sum.data());
+    cast_value(out_type, out, accum->ztype(), z.data());
+  } else {
+    cast_value(out_type, out, monoid->type(), sum.data());
+  }
+  return Info::kSuccess;
+}
+
+// ---- GrB_Scalar-output reduce (2.0, deferrable, empty-aware) --------------
+
+Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
+                      const Monoid* monoid, const Vector* u,
+                      const Descriptor* /*desc*/) {
+  GRB_RETURN_IF_ERROR(validate_objects({out, u}));
+  if (monoid == nullptr || u == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(check_cast(monoid->type(), u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out->type(), monoid->type()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out->type(), monoid->type()));
+  std::shared_ptr<const VectorData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
+  return defer_or_run(out, [out, accum, monoid, snap]() -> Info {
+    ValueBuf sum(monoid->type()->size());
+    bool present = reduce_all_vector(*snap, monoid, sum.data());
+    return scalar_writeback(out, accum, monoid->type(), sum.data(), present);
+  });
+}
+
+Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
+                      const Monoid* monoid, const Matrix* a,
+                      const Descriptor* /*desc*/) {
+  GRB_RETURN_IF_ERROR(validate_objects({out, a}));
+  if (monoid == nullptr || a == nullptr) return Info::kNullPointer;
+  GRB_RETURN_IF_ERROR(check_cast(monoid->type(), a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out->type(), monoid->type()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out->type(), monoid->type()));
+  std::shared_ptr<const MatrixData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
+  return defer_or_run(out, [out, accum, monoid, snap]() -> Info {
+    ValueBuf sum(monoid->type()->size());
+    bool present =
+        reduce_all_matrix(out->context(), *snap, monoid, sum.data());
+    return scalar_writeback(out, accum, monoid->type(), sum.data(), present);
+  });
+}
+
+// ---- GrB_Scalar-output reduce with a plain BinaryOp (Table II) ------------
+
+Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
+                            const BinaryOp* op, const Vector* u,
+                            const Descriptor* /*desc*/) {
+  GRB_RETURN_IF_ERROR(validate_objects({out, u}));
+  if (op == nullptr || u == nullptr) return Info::kNullPointer;
+  if (op->ztype() != op->xtype() || op->ztype() != op->ytype())
+    return Info::kDomainMismatch;
+  GRB_RETURN_IF_ERROR(check_cast(op->ztype(), u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out->type(), op->ztype()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out->type(), op->ztype()));
+  std::shared_ptr<const VectorData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
+  return defer_or_run(out, [out, accum, op, snap]() -> Info {
+    ValueBuf sum(op->ztype()->size());
+    bool present = reduce_all_vector_binop(*snap, op, sum.data());
+    return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
+  });
+}
+
+Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
+                            const BinaryOp* op, const Matrix* a,
+                            const Descriptor* /*desc*/) {
+  GRB_RETURN_IF_ERROR(validate_objects({out, a}));
+  if (op == nullptr || a == nullptr) return Info::kNullPointer;
+  if (op->ztype() != op->xtype() || op->ztype() != op->ytype())
+    return Info::kDomainMismatch;
+  GRB_RETURN_IF_ERROR(check_cast(op->ztype(), a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(out->type(), op->ztype()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, out->type(), op->ztype()));
+  std::shared_ptr<const MatrixData> snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
+  return defer_or_run(out, [out, accum, op, snap]() -> Info {
+    ValueBuf sum(op->ztype()->size());
+    bool present = reduce_all_matrix_binop(*snap, op, sum.data());
+    return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
+  });
+}
+
+}  // namespace grb

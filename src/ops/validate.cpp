@@ -1,0 +1,34 @@
+#include "ops/common.hpp"
+
+namespace grb {
+
+Info validate_objects(std::initializer_list<const ObjectBase*> objs) {
+  // The first entry is the operation's output and is mandatory; the
+  // remaining entries may be nullptr (optional mask, etc.).
+  if (objs.size() == 0 || *objs.begin() == nullptr)
+    return Info::kNullPointer;
+  const ObjectBase* first = *objs.begin();
+  Context* ctx = first->context();
+  if (ctx == nullptr || !context_is_live(ctx))
+    return Info::kUninitializedObject;
+  for (const ObjectBase* o : objs) {
+    if (o == nullptr) continue;
+    // Paper §V: a method involving an object whose sequence has a deferred
+    // execution error reports that error.
+    GRB_RETURN_IF_ERROR(o->pending_error());
+    // Paper §IV: all GraphBLAS objects in a method must share a context.
+    if (o->context() != ctx) return Info::kInvalidValue;
+  }
+  return Info::kSuccess;
+}
+
+Info check_accum(const BinaryOp* accum, const Type* ctype,
+                 const Type* ttype) {
+  if (accum == nullptr) return Info::kSuccess;
+  GRB_RETURN_IF_ERROR(check_cast(accum->xtype(), ctype));
+  GRB_RETURN_IF_ERROR(check_cast(accum->ytype(), ttype));
+  GRB_RETURN_IF_ERROR(check_cast(ctype, accum->ztype()));
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,70 @@
+// GrB_vxm: w<m,r> = w (+) u^T * A over a semiring.
+#include <algorithm>
+
+#include "ops/mxm.hpp"
+
+namespace grb {
+namespace {
+
+// Adapter flipping mul's operand order: vxm feeds (u_i, a_ij) but the
+// multiplier's x operand is the vector value and y the matrix value,
+// while vxm_kernel streams (uval, aval) already in that order.
+class VxmRunner {
+ public:
+  VxmRunner(const Semiring* s, const Type* utype, const Type* atype)
+      : mul_(s->mul(), utype, atype),
+        add_(s->add()->op(), s->mul()->ztype(), s->mul()->ztype()) {}
+  void mul(void* z, const void* u, const void* a) { mul_.run(z, u, a); }
+  void add(void* acc, const void* z) { add_.run(acc, acc, z); }
+
+ private:
+  BinRunner mul_;
+  BinRunner add_;
+};
+
+}  // namespace
+
+Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
+         const Semiring* s, const Vector* u, const Matrix* a,
+         const Descriptor* desc) {
+  GRB_RETURN_IF_ERROR(validate_objects({w, mask, u, a}));
+  if (s == nullptr || a == nullptr || u == nullptr)
+    return Info::kNullPointer;
+  const Descriptor& d = resolve_desc(desc);
+  // In vxm, INP1 is the matrix.
+  Index ar = d.tran1() ? a->ncols() : a->nrows();
+  Index ac = d.tran1() ? a->nrows() : a->ncols();
+  if (ar != u->size() || ac != w->size()) return Info::kDimensionMismatch;
+  if (mask != nullptr && mask->size() != w->size())
+    return Info::kDimensionMismatch;
+  GRB_RETURN_IF_ERROR(check_cast(s->mul()->xtype(), u->type()));
+  GRB_RETURN_IF_ERROR(check_cast(s->mul()->ytype(), a->type()));
+  GRB_RETURN_IF_ERROR(check_cast(w->type(), s->mul()->ztype()));
+  GRB_RETURN_IF_ERROR(check_accum(accum, w->type(), s->mul()->ztype()));
+
+  std::shared_ptr<const MatrixData> a_snap;
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
+                     d.mask_comp(), d.replace()};
+  bool t1 = d.tran1();
+  return defer_or_run(w, [w, a_snap, u_snap, m_snap, s, spec, t1]() -> Info {
+    std::shared_ptr<const MatrixData> av =
+        t1 ? transpose_data(*a_snap) : a_snap;
+    std::shared_ptr<VectorData> t = fastpath_vxm(*u_snap, *av, s);
+    if (t == nullptr) {
+      t = vxm_kernel(*u_snap, *av, s->mul()->ztype(), [&] {
+        return VxmRunner(s, u_snap->type, av->type);
+      });
+    }
+    auto c_old = w->current_data();
+    w->publish(
+        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    return Info::kSuccess;
+  });
+}
+
+}  // namespace grb

@@ -1,0 +1,96 @@
+// Masked/accumulated write-back for vectors:
+//   Z = accum ? (C odot T) : T ;  w<M, replace> = Z
+#include "ops/common.hpp"
+#include "ops/mask.hpp"
+
+namespace grb {
+
+std::shared_ptr<VectorData> writeback_vector(Context* /*ctx*/,
+                                             const VectorData& c_old,
+                                             const VectorData& t,
+                                             const VectorData* mask,
+                                             const WritebackSpec& spec) {
+  const Type* ctype = c_old.type;
+  auto out = std::make_shared<VectorData>(ctype, c_old.n);
+  out->ind.reserve(c_old.ind.size() + t.ind.size());
+  out->vals.reserve(c_old.ind.size() + t.ind.size());
+
+  VectorMaskCursor mcur(mask, spec);
+  const BinaryOp* accum = spec.accum;
+  CastFn t2c = cast_fn(ctype, t.type);
+  CastFn c2x = accum != nullptr ? cast_fn(accum->xtype(), ctype) : nullptr;
+  CastFn t2y = accum != nullptr ? cast_fn(accum->ytype(), t.type) : nullptr;
+  CastFn z2c = accum != nullptr ? cast_fn(ctype, accum->ztype()) : nullptr;
+  ValueBuf xbuf(accum != nullptr ? accum->xtype()->size() : 0);
+  ValueBuf ybuf(accum != nullptr ? accum->ytype()->size() : 0);
+  ValueBuf zbuf(accum != nullptr ? accum->ztype()->size() : 0);
+  ValueBuf cvt(ctype->size());
+
+  auto push_cast_t = [&](size_t tk) {
+    if (t2c != nullptr) {
+      t2c(cvt.data(), t.vals.at(tk));
+      out->vals.push_back(cvt.data());
+    } else {
+      out->vals.push_back(t.vals.at(tk));
+    }
+  };
+  auto push_accum = [&](size_t ck, size_t tk) {
+    if (c2x != nullptr) {
+      c2x(xbuf.data(), c_old.vals.at(ck));
+    } else {
+      std::memcpy(xbuf.data(), c_old.vals.at(ck), ctype->size());
+    }
+    if (t2y != nullptr) {
+      t2y(ybuf.data(), t.vals.at(tk));
+    } else {
+      std::memcpy(ybuf.data(), t.vals.at(tk), t.type->size());
+    }
+    accum->apply(zbuf.data(), xbuf.data(), ybuf.data());
+    if (z2c != nullptr) {
+      z2c(cvt.data(), zbuf.data());
+      out->vals.push_back(cvt.data());
+    } else {
+      out->vals.push_back(zbuf.data());
+    }
+  };
+
+  size_t ck = 0, tk = 0;
+  while (ck < c_old.ind.size() || tk < t.ind.size()) {
+    bool has_c = ck < c_old.ind.size();
+    bool has_t = tk < t.ind.size();
+    Index i;
+    if (has_c && has_t) {
+      i = std::min(c_old.ind[ck], t.ind[tk]);
+      has_c = c_old.ind[ck] == i;
+      has_t = t.ind[tk] == i;
+    } else {
+      i = has_c ? c_old.ind[ck] : t.ind[tk];
+    }
+    bool m = mcur.test(i);
+    if (m) {
+      if (has_t) {
+        out->ind.push_back(i);
+        if (accum != nullptr && has_c) {
+          push_accum(ck, tk);
+        } else {
+          push_cast_t(tk);
+        }
+      } else if (accum != nullptr) {
+        // Z keeps C-only entries when accumulating.
+        out->ind.push_back(i);
+        out->vals.push_back(c_old.vals.at(ck));
+      }
+      // no accum, only C: entry is annihilated (Z = T).
+    } else {
+      if (!spec.replace && has_c) {
+        out->ind.push_back(i);
+        out->vals.push_back(c_old.vals.at(ck));
+      }
+    }
+    if (has_c) ++ck;
+    if (has_t) ++tk;
+  }
+  return out;
+}
+
+}  // namespace grb

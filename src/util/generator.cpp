@@ -1,0 +1,161 @@
+#include "util/generator.hpp"
+
+#include <algorithm>
+
+namespace grb {
+namespace {
+
+Info build_fp64(Matrix** out, Index nrows, Index ncols,
+                std::vector<Index>& ri, std::vector<Index>& ci,
+                std::vector<double>& vals, Context* ctx) {
+  Matrix* a = nullptr;
+  GRB_RETURN_IF_ERROR(Matrix::new_(&a, TypeFP64(), nrows, ncols, ctx));
+  const BinaryOp* dup = get_binary_op(BinOpCode::kPlus, TypeCode::kFP64);
+  Info info = a->build(ri.data(), ci.data(), vals.data(),
+                       static_cast<Index>(ri.size()), dup, TypeFP64());
+  if (static_cast<int>(info) >= 0) info = a->wait(WaitMode::kMaterialize);
+  if (static_cast<int>(info) < 0) {
+    Matrix::free(a);
+    return info;
+  }
+  *out = a;
+  return Info::kSuccess;
+}
+
+}  // namespace
+
+Info rmat_matrix(Matrix** out, int scale, Index edge_factor,
+                 const RmatParams& p, Context* ctx) {
+  if (out == nullptr) return Info::kNullPointer;
+  if (scale < 1 || scale > 30) return Info::kInvalidValue;
+  Index n = Index{1} << scale;
+  Index m = edge_factor * n;
+  Prng rng(p.seed);
+  std::vector<Index> ri, ci;
+  std::vector<double> vals;
+  ri.reserve(m);
+  ci.reserve(m);
+  vals.reserve(m);
+  for (Index e = 0; e < m; ++e) {
+    Index i = 0, j = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng.uniform();
+      int quadrant = r < p.a                ? 0
+                     : r < p.a + p.b        ? 1
+                     : r < p.a + p.b + p.c  ? 2
+                                            : 3;
+      i = (i << 1) | (quadrant >> 1);
+      j = (j << 1) | (quadrant & 1);
+    }
+    if (p.remove_self_loops && i == j) continue;
+    double w = rng.uniform();
+    ri.push_back(i);
+    ci.push_back(j);
+    vals.push_back(w == 0.0 ? 1.0 : w);
+    if (p.symmetrize) {
+      ri.push_back(j);
+      ci.push_back(i);
+      vals.push_back(w == 0.0 ? 1.0 : w);
+    }
+  }
+  return build_fp64(out, n, n, ri, ci, vals, ctx);
+}
+
+Info erdos_renyi_matrix(Matrix** out, Index n, Index m, uint64_t seed,
+                        Context* ctx) {
+  if (out == nullptr) return Info::kNullPointer;
+  if (n == 0) return Info::kInvalidValue;
+  Prng rng(seed);
+  std::vector<Index> ri(m), ci(m);
+  std::vector<double> vals(m);
+  for (Index e = 0; e < m; ++e) {
+    ri[e] = rng.below(n);
+    ci[e] = rng.below(n);
+    double w = rng.uniform();
+    vals[e] = w == 0.0 ? 1.0 : w;
+  }
+  return build_fp64(out, n, n, ri, ci, vals, ctx);
+}
+
+Info ring_matrix(Matrix** out, Index n, Context* ctx) {
+  if (out == nullptr) return Info::kNullPointer;
+  if (n == 0) return Info::kInvalidValue;
+  std::vector<Index> ri(n), ci(n);
+  std::vector<double> vals(n, 1.0);
+  for (Index i = 0; i < n; ++i) {
+    ri[i] = i;
+    ci[i] = (i + 1) % n;
+  }
+  return build_fp64(out, n, n, ri, ci, vals, ctx);
+}
+
+Info grid_matrix(Matrix** out, Index rows, Index cols, Context* ctx) {
+  if (out == nullptr) return Info::kNullPointer;
+  if (rows == 0 || cols == 0) return Info::kInvalidValue;
+  Index n = rows * cols;
+  std::vector<Index> ri, ci;
+  std::vector<double> vals;
+  auto vid = [cols](Index r, Index c) { return r * cols + c; };
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        ri.push_back(vid(r, c));
+        ci.push_back(vid(r, c + 1));
+        vals.push_back(1.0);
+        ri.push_back(vid(r, c + 1));
+        ci.push_back(vid(r, c));
+        vals.push_back(1.0);
+      }
+      if (r + 1 < rows) {
+        ri.push_back(vid(r, c));
+        ci.push_back(vid(r + 1, c));
+        vals.push_back(1.0);
+        ri.push_back(vid(r + 1, c));
+        ci.push_back(vid(r, c));
+        vals.push_back(1.0);
+      }
+    }
+  }
+  return build_fp64(out, n, n, ri, ci, vals, ctx);
+}
+
+Info random_vector(Vector** out, Index n, Index nvals, uint64_t seed,
+                   Context* ctx) {
+  if (out == nullptr) return Info::kNullPointer;
+  if (nvals > n) return Info::kInvalidValue;
+  Prng rng(seed);
+  // Sample distinct indices by rejection into a sorted set.
+  std::vector<Index> ind;
+  ind.reserve(nvals);
+  if (nvals * 2 >= n) {
+    // Dense-ish: sample by inclusion to guarantee termination.
+    ind.resize(n);
+    for (Index i = 0; i < n; ++i) ind[i] = i;
+    for (Index i = 0; i < n; ++i) std::swap(ind[i], ind[rng.below(n)]);
+    ind.resize(nvals);
+    std::sort(ind.begin(), ind.end());
+  } else {
+    while (ind.size() < nvals) {
+      Index i = rng.below(n);
+      auto it = std::lower_bound(ind.begin(), ind.end(), i);
+      if (it == ind.end() || *it != i) ind.insert(it, i);
+    }
+  }
+  std::vector<double> vals(nvals);
+  for (auto& v : vals) {
+    double w = rng.uniform();
+    v = w == 0.0 ? 1.0 : w;
+  }
+  Vector* v = nullptr;
+  GRB_RETURN_IF_ERROR(Vector::new_(&v, TypeFP64(), n, ctx));
+  Info info = v->build(ind.data(), vals.data(), nvals, nullptr, TypeFP64());
+  if (static_cast<int>(info) >= 0) info = v->wait(WaitMode::kMaterialize);
+  if (static_cast<int>(info) < 0) {
+    Vector::free(v);
+    return info;
+  }
+  *out = v;
+  return Info::kSuccess;
+}
+
+}  // namespace grb

@@ -1,0 +1,37 @@
+// Synthetic graph/workload generators (the paper prescribes no datasets;
+// see DESIGN.md "Substitutions").  All generators are deterministic in
+// their seed.
+#pragma once
+
+#include "ops/common.hpp"
+#include "util/prng.hpp"
+
+namespace grb {
+
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool remove_self_loops = true;
+  bool symmetrize = false;  // make the graph undirected
+  uint64_t seed = 42;
+};
+
+// R-MAT graph: n = 2^scale vertices, ~edge_factor*n edges, FP64 weights
+// in (0, 1].  Duplicate edges are summed.
+Info rmat_matrix(Matrix** out, int scale, Index edge_factor,
+                 const RmatParams& params, Context* ctx);
+
+// Erdős–Rényi G(n, m): m distinct-ish edges uniformly at random.
+Info erdos_renyi_matrix(Matrix** out, Index n, Index m, uint64_t seed,
+                        Context* ctx);
+
+// Directed ring of n vertices (i -> (i+1) % n), weight 1.0.
+Info ring_matrix(Matrix** out, Index n, Context* ctx);
+
+// 2D grid graph (rows x cols vertices, 4-neighbourhood, symmetric).
+Info grid_matrix(Matrix** out, Index rows, Index cols, Context* ctx);
+
+// Random sparse vector with `nvals` distinct entries, values in (0, 1].
+Info random_vector(Vector** out, Index n, Index nvals, uint64_t seed,
+                   Context* ctx);
+
+}  // namespace grb

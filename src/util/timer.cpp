@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// Header-only; this TU anchors the target's util sources.

@@ -1,0 +1,149 @@
+// Betweenness centrality against a brute-force Brandes reference.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "algorithms/algorithms.hpp"
+#include "tests/grb_test_util.hpp"
+#include "util/generator.hpp"
+
+namespace {
+
+std::vector<std::vector<GrB_Index>> adjacency(GrB_Matrix a) {
+  GrB_Index n, nv;
+  EXPECT_EQ(GrB_Matrix_nrows(&n, a), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_nvals(&nv, a), GrB_SUCCESS);
+  std::vector<GrB_Index> ri(nv), ci(nv);
+  GrB_Index got = nv;
+  EXPECT_EQ(GrB_Matrix_extractTuples(ri.data(), ci.data(),
+                                     static_cast<double*>(nullptr), &got,
+                                     a),
+            GrB_SUCCESS);
+  std::vector<std::vector<GrB_Index>> adj(n);
+  for (GrB_Index k = 0; k < got; ++k) adj[ri[k]].push_back(ci[k]);
+  return adj;
+}
+
+// Textbook Brandes for the same source set (unweighted, directed).
+std::vector<double> brandes_reference(
+    const std::vector<std::vector<GrB_Index>>& adj,
+    const std::vector<GrB_Index>& sources) {
+  const size_t n = adj.size();
+  std::vector<double> bc(n, 0.0);
+  for (GrB_Index s : sources) {
+    std::vector<std::vector<GrB_Index>> pred(n);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<int64_t> dist(n, -1);
+    std::vector<GrB_Index> order;
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    std::queue<GrB_Index> q;
+    q.push(s);
+    while (!q.empty()) {
+      GrB_Index v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (GrB_Index w : adj[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          pred[w].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      GrB_Index w = *it;
+      for (GrB_Index v : pred[w]) {
+        delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  return bc;
+}
+
+void check_bc(GrB_Matrix a, const std::vector<GrB_Index>& sources) {
+  auto adj = adjacency(a);
+  auto want = brandes_reference(adj, sources);
+  GrB_Vector bc = nullptr;
+  ASSERT_EQ(grb_algo::betweenness_centrality(&bc, a, sources.data(),
+                                             sources.size()),
+            GrB_SUCCESS);
+  for (GrB_Index v = 0; v < adj.size(); ++v) {
+    double got = 0.0;
+    GrB_Info info = GrB_Vector_extractElement(&got, bc, v);
+    double g = info == GrB_SUCCESS ? got : 0.0;
+    EXPECT_NEAR(g, want[v], 1e-9) << "vertex " << v;
+  }
+  GrB_free(&bc);
+}
+
+TEST(BcTest, PathGraph) {
+  // 0 -> 1 -> 2 -> 3: vertex 1 and 2 lie on shortest paths.
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 4, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 1, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 2, 3), GrB_SUCCESS);
+  check_bc(a, {0, 1, 2, 3});
+  GrB_free(&a);
+}
+
+TEST(BcTest, DiamondSplitsCredit) {
+  // 0 -> {1,2} -> 3: two shortest paths; 1 and 2 get half credit each.
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 4, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 0, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 1, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 2, 3), GrB_SUCCESS);
+  check_bc(a, {0});
+  GrB_free(&a);
+}
+
+TEST(BcTest, RandomGraphsAllSources) {
+  for (uint64_t seed : {3u, 9u}) {
+    grb::RmatParams params;
+    params.seed = seed;
+    GrB_Matrix a = nullptr;
+    ASSERT_EQ(grb::rmat_matrix(&a, 6, 4, params, nullptr),
+              grb::Info::kSuccess);
+    GrB_Index n;
+    ASSERT_EQ(GrB_Matrix_nrows(&n, a), GrB_SUCCESS);
+    std::vector<GrB_Index> sources(n);
+    for (GrB_Index s = 0; s < n; ++s) sources[s] = s;
+    check_bc(a, sources);
+    GrB_free(&a);
+  }
+}
+
+TEST(BcTest, BatchSubsetOfSources) {
+  grb::RmatParams params;
+  params.symmetrize = true;
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(grb::rmat_matrix(&a, 7, 4, params, nullptr),
+            grb::Info::kSuccess);
+  check_bc(a, {0, 5, 17, 40});
+  GrB_free(&a);
+}
+
+TEST(BcTest, ArgumentValidation) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 4, 4), GrB_SUCCESS);
+  GrB_Vector bc = nullptr;
+  GrB_Index src[] = {9};
+  EXPECT_EQ(grb_algo::betweenness_centrality(&bc, a, src, 1),
+            GrB_INVALID_INDEX);
+  EXPECT_EQ(grb_algo::betweenness_centrality(&bc, a, src, 0),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(grb_algo::betweenness_centrality(nullptr, a, src, 1),
+            GrB_NULL_POINTER);
+  GrB_free(&a);
+}
+
+}  // namespace

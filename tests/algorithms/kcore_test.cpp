@@ -1,0 +1,129 @@
+// k-core decomposition against a reference peeling implementation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/algorithms.hpp"
+#include "tests/grb_test_util.hpp"
+#include "util/generator.hpp"
+
+namespace {
+
+std::vector<std::vector<GrB_Index>> adjacency(GrB_Matrix a) {
+  GrB_Index n, nv;
+  EXPECT_EQ(GrB_Matrix_nrows(&n, a), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_nvals(&nv, a), GrB_SUCCESS);
+  std::vector<GrB_Index> ri(nv), ci(nv);
+  GrB_Index got = nv;
+  EXPECT_EQ(GrB_Matrix_extractTuples(ri.data(), ci.data(),
+                                     static_cast<double*>(nullptr), &got,
+                                     a),
+            GrB_SUCCESS);
+  std::vector<std::vector<GrB_Index>> adj(n);
+  for (GrB_Index k = 0; k < got; ++k)
+    if (ri[k] != ci[k]) adj[ri[k]].push_back(ci[k]);
+  return adj;
+}
+
+// Textbook peeling (O(V^2) is fine at test sizes).
+std::vector<int64_t> kcore_reference(
+    const std::vector<std::vector<GrB_Index>>& adj) {
+  const size_t n = adj.size();
+  std::vector<int64_t> deg(n), core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (size_t v = 0; v < n; ++v) deg[v] = adj[v].size();
+  for (int64_t k = 1;; ++k) {
+    bool all_removed = true;
+    for (size_t v = 0; v < n; ++v) all_removed &= removed[v];
+    if (all_removed) break;
+    bool peeled;
+    do {
+      peeled = false;
+      for (size_t v = 0; v < n; ++v) {
+        if (!removed[v] && deg[v] < k) {
+          removed[v] = true;
+          core[v] = k - 1;
+          for (GrB_Index u : adj[v])
+            if (!removed[u]) --deg[u];
+          peeled = true;
+        }
+      }
+    } while (peeled);
+  }
+  return core;
+}
+
+void check_kcore(GrB_Matrix a) {
+  auto adj = adjacency(a);
+  auto want = kcore_reference(adj);
+  GrB_Vector core = nullptr;
+  ASSERT_EQ(grb_algo::kcore(&core, a), GrB_SUCCESS);
+  for (GrB_Index v = 0; v < adj.size(); ++v) {
+    int64_t got = 0;
+    GrB_Info info = GrB_Vector_extractElement(&got, core, v);
+    int64_t g = info == GrB_SUCCESS ? got : 0;  // absent == isolated == 0
+    EXPECT_EQ(g, want[v]) << "vertex " << v;
+  }
+  GrB_free(&core);
+}
+
+TEST(KcoreTest, CliqueWithTail) {
+  // K5 (coreness 4) with a path hanging off (coreness 1) and an isolated
+  // vertex (coreness 0).
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 9, 9), GrB_SUCCESS);
+  auto edge = [&](GrB_Index u, GrB_Index v) {
+    ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, u, v), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, v, u), GrB_SUCCESS);
+  };
+  for (GrB_Index i = 0; i < 5; ++i)
+    for (GrB_Index j = i + 1; j < 5; ++j) edge(i, j);
+  edge(4, 5);
+  edge(5, 6);
+  edge(6, 7);
+  // vertex 8 isolated
+  check_kcore(a);
+  // Spot-check the headline values.
+  GrB_Vector core = nullptr;
+  ASSERT_EQ(grb_algo::kcore(&core, a), GrB_SUCCESS);
+  int64_t c = -1;
+  ASSERT_EQ(GrB_Vector_extractElement(&c, core, 0), GrB_SUCCESS);
+  EXPECT_EQ(c, 4);
+  ASSERT_EQ(GrB_Vector_extractElement(&c, core, 6), GrB_SUCCESS);
+  EXPECT_EQ(c, 1);
+  EXPECT_EQ(GrB_Vector_extractElement(&c, core, 8), GrB_NO_VALUE);
+  GrB_free(&core);
+  GrB_free(&a);
+}
+
+TEST(KcoreTest, RandomSymmetricGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    grb::RmatParams params;
+    params.symmetrize = true;
+    params.seed = seed;
+    GrB_Matrix a = nullptr;
+    ASSERT_EQ(grb::rmat_matrix(&a, 7, 6, params, nullptr),
+              grb::Info::kSuccess);
+    check_kcore(a);
+    GrB_free(&a);
+  }
+}
+
+TEST(KcoreTest, RingIsTwoCore) {
+  GrB_Matrix ring = nullptr;
+  ASSERT_EQ(grb::ring_matrix(&ring, 8, nullptr), grb::Info::kSuccess);
+  GrB_Matrix sym = nullptr;
+  ASSERT_EQ(grb_algo::make_undirected(&sym, ring), GrB_SUCCESS);
+  GrB_Vector core = nullptr;
+  ASSERT_EQ(grb_algo::kcore(&core, sym), GrB_SUCCESS);
+  for (GrB_Index v = 0; v < 8; ++v) {
+    int64_t c = 0;
+    ASSERT_EQ(GrB_Vector_extractElement(&c, core, v), GrB_SUCCESS);
+    EXPECT_EQ(c, 2) << "vertex " << v;
+  }
+  GrB_free(&core);
+  GrB_free(&sym);
+  GrB_free(&ring);
+}
+
+}  // namespace

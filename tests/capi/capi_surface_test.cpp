@@ -1,0 +1,165 @@
+// C API surface behaviours not covered elsewhere: lifecycle rules,
+// GrB_free nulling, uninitialized handles, and polymorphic overload
+// resolution corners.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+TEST(CapiLifecycleTest, DoubleInitFails) {
+  // The environment already called GrB_init.
+  EXPECT_EQ(GrB_init(GrB_NONBLOCKING), GrB_INVALID_VALUE);
+  EXPECT_EQ(GrB_init(GrB_BLOCKING), GrB_INVALID_VALUE);
+}
+
+TEST(CapiLifecycleTest, BadModeRejected) {
+  EXPECT_EQ(GrB_init(static_cast<GrB_Mode>(42)), GrB_INVALID_VALUE);
+  GrB_Context ctx = nullptr;
+  EXPECT_EQ(GrB_Context_new(&ctx, static_cast<GrB_Mode>(42), GrB_NULL,
+                            GrB_NULL),
+            GrB_INVALID_VALUE);
+}
+
+TEST(CapiLifecycleTest, GetVersionNullArgs) {
+  unsigned v;
+  EXPECT_EQ(GrB_getVersion(nullptr, &v), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_getVersion(&v, nullptr), GrB_NULL_POINTER);
+}
+
+TEST(CapiFreeTest, FreeNullsTheHandle) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 2, 2), GrB_SUCCESS);
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(GrB_free(&a), GrB_SUCCESS);
+  EXPECT_EQ(a, nullptr);
+  // Freeing an already-nulled handle reports NULL_POINTER, harmlessly.
+  EXPECT_EQ(GrB_free(&a), GrB_NULL_POINTER);
+}
+
+TEST(CapiFreeTest, FreeWithPendingWorkIsSafe) {
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 32, 32), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 32, 32), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, 3, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, a, GrB_NULL),
+            GrB_SUCCESS);
+  // c still has deferred work; free must resolve it, not leak or crash.
+  EXPECT_EQ(GrB_free(&c), GrB_SUCCESS);
+  EXPECT_EQ(GrB_free(&a), GrB_SUCCESS);
+}
+
+TEST(CapiNullHandleTest, MethodsRejectNullHandles) {
+  GrB_Matrix null_m = nullptr;
+  GrB_Vector null_v = nullptr;
+  GrB_Scalar null_s = nullptr;
+  GrB_Index n;
+  EXPECT_EQ(GrB_Matrix_nrows(&n, null_m), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(GrB_Vector_size(&n, null_v), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(GrB_Scalar_nvals(&n, null_s), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(GrB_Matrix_clear(null_m), GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(GrB_wait(null_m, GrB_COMPLETE), GrB_UNINITIALIZED_OBJECT);
+  const char* msg;
+  EXPECT_EQ(GrB_error(&msg, null_m), GrB_UNINITIALIZED_OBJECT);
+  // Ops with null output handles.
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 2, 2), GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(null_m, GrB_NULL, GrB_NULL,
+                    GrB_PLUS_TIMES_SEMIRING_FP64, a, a, GrB_NULL),
+            GrB_NULL_POINTER);
+  GrB_free(&a);
+}
+
+TEST(CapiPolymorphismTest, OverloadsPickTheRightVariant) {
+  // The same GrB_assign name must route int, double, GrB_Scalar, and
+  // GrB_Vector sources to their respective implementations.
+  GrB_Vector w = nullptr, u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, 2.0, 1), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 3.0), GrB_SUCCESS);
+
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, 7, GrB_ALL, 4, GrB_NULL),
+            GrB_SUCCESS);  // int scalar
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, 7.5, GrB_ALL, 4, GrB_NULL),
+            GrB_SUCCESS);  // double scalar
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, s, GrB_ALL, 4, GrB_NULL),
+            GrB_SUCCESS);  // GrB_Scalar
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, u, GrB_ALL, 4, GrB_NULL),
+            GrB_SUCCESS);  // GrB_Vector
+  // After the vector assign, w mirrors u exactly.
+  GrB_Index nv;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 1u);
+  double out = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 1), GrB_SUCCESS);
+  EXPECT_EQ(out, 2.0);
+  GrB_free(&w);
+  GrB_free(&u);
+  GrB_free(&s);
+}
+
+TEST(CapiPolymorphismTest, ApplyOverloadsDisambiguate) {
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, 4.0, 0), GrB_SUCCESS);
+  // unary
+  EXPECT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_AINV_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 0), GrB_SUCCESS);
+  EXPECT_EQ(out, -4.0);
+  // bind-first vs bind-second with the SAME binary op
+  EXPECT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_DIV_FP64, 8.0, u,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 0), GrB_SUCCESS);
+  EXPECT_EQ(out, 2.0);  // 8 / u(0)
+  EXPECT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_DIV_FP64, u, 8.0,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 0), GrB_SUCCESS);
+  EXPECT_EQ(out, 0.5);  // u(0) / 8
+  // index-unary with typed s
+  GrB_Vector wi = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&wi, GrB_INT64, 4), GrB_SUCCESS);
+  EXPECT_EQ(GrB_apply(wi, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, u,
+                      int64_t{100}, GrB_NULL),
+            GrB_SUCCESS);
+  int64_t iv = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&iv, wi, 0), GrB_SUCCESS);
+  EXPECT_EQ(iv, 100);
+  GrB_free(&u);
+  GrB_free(&w);
+  GrB_free(&wi);
+}
+
+TEST(CapiErrorStringTest, MentionsErrorCodeName) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 2, 2), GrB_SUCCESS);
+  GrB_Index ri[] = {0, 0};
+  GrB_Index ci[] = {0, 0};
+  double vals[] = {1, 2};
+  ASSERT_EQ(GrB_Matrix_build(a, ri, ci, vals, 2, GrB_NULL), GrB_SUCCESS);
+  GrB_Index nv;
+  (void)GrB_Matrix_nvals(&nv, a);
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_error(&msg, a), GrB_SUCCESS);
+  EXPECT_NE(std::string(msg).find("GrB_"), std::string::npos);
+  GrB_free(&a);
+}
+
+TEST(CapiIndexMaxTest, DimensionLimits) {
+  GrB_Matrix a = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&a, GrB_FP64, GrB_INDEX_MAX + 1, 4),
+            GrB_INVALID_VALUE);
+  GrB_Vector v = nullptr;
+  EXPECT_EQ(GrB_Vector_new(&v, GrB_FP64, GrB_INDEX_MAX + 1),
+            GrB_INVALID_VALUE);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Paper §IX: "any tables in the specification that list the elements of
+// an enumeration will now also specify the values they must correspond
+// to" — so separately compiled programs link against any conforming
+// library.  These assertions pin the ABI.
+#include <gtest/gtest.h>
+
+#include "graphblas/GraphBLAS.h"
+
+namespace {
+
+TEST(EnumValuesTest, GrBInfoValuesArePinned) {
+  EXPECT_EQ(static_cast<int>(GrB_SUCCESS), 0);
+  EXPECT_EQ(static_cast<int>(GrB_NO_VALUE), 1);
+  EXPECT_EQ(static_cast<int>(GrB_UNINITIALIZED_OBJECT), -1);
+  EXPECT_EQ(static_cast<int>(GrB_NULL_POINTER), -2);
+  EXPECT_EQ(static_cast<int>(GrB_INVALID_VALUE), -3);
+  EXPECT_EQ(static_cast<int>(GrB_INVALID_INDEX), -4);
+  EXPECT_EQ(static_cast<int>(GrB_DOMAIN_MISMATCH), -5);
+  EXPECT_EQ(static_cast<int>(GrB_DIMENSION_MISMATCH), -6);
+  EXPECT_EQ(static_cast<int>(GrB_OUTPUT_NOT_EMPTY), -7);
+  EXPECT_EQ(static_cast<int>(GrB_NOT_IMPLEMENTED), -8);
+  EXPECT_EQ(static_cast<int>(GrB_PANIC), -101);
+  EXPECT_EQ(static_cast<int>(GrB_OUT_OF_MEMORY), -102);
+  EXPECT_EQ(static_cast<int>(GrB_INSUFFICIENT_SPACE), -103);
+  EXPECT_EQ(static_cast<int>(GrB_INVALID_OBJECT), -104);
+  EXPECT_EQ(static_cast<int>(GrB_INDEX_OUT_OF_BOUNDS), -105);
+  EXPECT_EQ(static_cast<int>(GrB_EMPTY_OBJECT), -106);
+}
+
+TEST(EnumValuesTest, GrBFormatValuesArePinned) {
+  // The new GrB_Format enumeration (§IX names it explicitly).
+  EXPECT_EQ(static_cast<int>(GrB_CSR_MATRIX), 0);
+  EXPECT_EQ(static_cast<int>(GrB_CSC_MATRIX), 1);
+  EXPECT_EQ(static_cast<int>(GrB_COO_MATRIX), 2);
+  EXPECT_EQ(static_cast<int>(GrB_DENSE_ROW_MATRIX), 3);
+  EXPECT_EQ(static_cast<int>(GrB_DENSE_COL_MATRIX), 4);
+  EXPECT_EQ(static_cast<int>(GrB_SPARSE_VECTOR), 5);
+  EXPECT_EQ(static_cast<int>(GrB_DENSE_VECTOR), 6);
+}
+
+TEST(EnumValuesTest, ModeAndWaitValues) {
+  EXPECT_EQ(static_cast<int>(GrB_NONBLOCKING), 0);
+  EXPECT_EQ(static_cast<int>(GrB_BLOCKING), 1);
+  EXPECT_EQ(static_cast<int>(GrB_COMPLETE), 0);
+  EXPECT_EQ(static_cast<int>(GrB_MATERIALIZE), 1);
+}
+
+TEST(EnumValuesTest, ErrorBandPredicates) {
+  // API errors occupy [-100, -1]; execution errors <= -101.
+  EXPECT_TRUE(grb::is_api_error(grb::Info::kDomainMismatch));
+  EXPECT_FALSE(grb::is_api_error(grb::Info::kOutOfMemory));
+  EXPECT_TRUE(grb::is_execution_error(grb::Info::kPanic));
+  EXPECT_FALSE(grb::is_execution_error(grb::Info::kNullPointer));
+  EXPECT_FALSE(grb::is_api_error(grb::Info::kSuccess));
+  EXPECT_FALSE(grb::is_execution_error(grb::Info::kNoValue));
+}
+
+TEST(EnumValuesTest, InfoNames) {
+  EXPECT_STREQ(grb::info_name(grb::Info::kSuccess), "GrB_SUCCESS");
+  EXPECT_STREQ(grb::info_name(grb::Info::kIndexOutOfBounds),
+               "GrB_INDEX_OUT_OF_BOUNDS");
+  EXPECT_STREQ(grb::info_name(grb::Info::kEmptyObject),
+               "GrB_EMPTY_OBJECT");
+}
+
+TEST(EnumValuesTest, VersionIsTwoDotZero) {
+  unsigned v = 0, sub = 99;
+  ASSERT_EQ(GrB_getVersion(&v, &sub), GrB_SUCCESS);
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(sub, 0u);
+}
+
+TEST(EnumValuesTest, PredefinedObjectsAreNonNull) {
+  EXPECT_NE(GrB_BOOL, nullptr);
+  EXPECT_NE(GrB_FP64, nullptr);
+  EXPECT_NE(GrB_PLUS_FP64, nullptr);
+  EXPECT_NE(GrB_PLUS_INT8, nullptr);
+  EXPECT_NE(GrB_LOR, nullptr);
+  EXPECT_NE(GrB_ABS_FP32, nullptr);
+  EXPECT_NE(GrB_BNOT_UINT16, nullptr);
+  EXPECT_NE(GrB_PLUS_MONOID_FP64, nullptr);
+  EXPECT_NE(GrB_LXNOR_MONOID_BOOL, nullptr);
+  EXPECT_NE(GrB_PLUS_TIMES_SEMIRING_FP64, nullptr);
+  EXPECT_NE(GrB_MIN_PLUS_SEMIRING_INT32, nullptr);
+  EXPECT_NE(GrB_LOR_LAND_SEMIRING_BOOL, nullptr);
+  EXPECT_NE(GrB_TRIL, nullptr);
+  EXPECT_NE(GrB_ROWINDEX_INT64, nullptr);
+  EXPECT_NE(GrB_VALUEGT_FP32, nullptr);
+  EXPECT_NE(GrB_DESC_RSC, nullptr);
+  EXPECT_NE(GrB_ALL, nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Table II: the GrB_Scalar variants of setElement / extractElement /
+// assign / apply / select / reduce / Monoid_new — §VI's two claims:
+// fewer nonpolymorphic variants and more uniform behaviour.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+TEST(ScalarVariantsTest, MonoidNewFromScalar) {
+  GrB_Scalar id = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&id, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(id, 0.0), GrB_SUCCESS);
+  GrB_Monoid m = nullptr;
+  ASSERT_EQ(GrB_Monoid_new(&m, GrB_PLUS_FP64, id), GrB_SUCCESS);
+  double stored = -1;
+  std::memcpy(&stored, m->identity(), sizeof(double));
+  EXPECT_EQ(stored, 0.0);
+  GrB_free(&m);
+  // Empty identity scalar is an error.
+  ASSERT_EQ(GrB_Scalar_clear(id), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Monoid_new(&m, GrB_PLUS_FP64, id), GrB_EMPTY_OBJECT);
+  GrB_free(&id);
+}
+
+TEST(ScalarVariantsTest, SetElementFromScalar) {
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 5), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 6.5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, s, 2), GrB_SUCCESS);
+  double out = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&out, v, 2), GrB_SUCCESS);
+  EXPECT_EQ(out, 6.5);
+  // Empty scalar removes the element (uniform with empty containers).
+  ASSERT_EQ(GrB_Scalar_clear(s), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, s, 2), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_extractElement(&out, v, 2), GrB_NO_VALUE);
+  GrB_free(&v);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, ExtractElementIntoScalarAvoidsNoValueDance) {
+  // §VI: "the program has to (i) test for ... GrB_NO_VALUE ... A variant
+  // with GrB_Scalar as the output bypasses both of these problems."
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, 3.0, 1), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  // Present element: scalar gets the value.
+  ASSERT_EQ(GrB_Vector_extractElement(s, v, 1), GrB_SUCCESS);
+  GrB_Index nvals = 0;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 1u);
+  // Absent element: SUCCESS (not GrB_NO_VALUE) and an empty scalar.
+  ASSERT_EQ(GrB_Vector_extractElement(s, v, 3), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&v);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, MatrixExtractElementIntoScalar) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_INT32, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 42, 1, 2), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_INT32), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_extractElement(s, a, 1, 2), GrB_SUCCESS);
+  int32_t out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 42);
+  ASSERT_EQ(GrB_Matrix_extractElement(s, a, 0, 0), GrB_SUCCESS);
+  GrB_Index nvals = 1;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  // Matrix setElement from a scalar.
+  ASSERT_EQ(GrB_Scalar_setElement(s, 7), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, s, 0, 0), GrB_SUCCESS);
+  int32_t got = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&got, a, 0, 0), GrB_SUCCESS);
+  EXPECT_EQ(got, 7);
+  GrB_free(&a);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, SelectWithScalarS) {
+  ref::Mat ra = testutil::random_mat(8, 8, 0.5, 1);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c1 = nullptr, c2 = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c1, GrB_FP64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c2, GrB_FP64, 8, 8), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 4.0), GrB_SUCCESS);
+  // Scalar-s and typed-s variants must agree.
+  ASSERT_EQ(GrB_select(c1, GrB_NULL, GrB_NULL, GrB_VALUEGE_FP64, a, s,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_select(c2, GrB_NULL, GrB_NULL, GrB_VALUEGE_FP64, a, 4.0,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_TRUE(testutil::mats_equal(testutil::to_ref(c2),
+                                   testutil::to_ref(c1)));
+  // Empty s: EMPTY_OBJECT.
+  ASSERT_EQ(GrB_Scalar_clear(s), GrB_SUCCESS);
+  EXPECT_EQ(GrB_select(c1, GrB_NULL, GrB_NULL, GrB_VALUEGE_FP64, a, s,
+                       GrB_NULL),
+            GrB_EMPTY_OBJECT);
+  GrB_free(&a);
+  GrB_free(&c1);
+  GrB_free(&c2);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, ApplyIndexOpWithScalarS) {
+  ref::Mat ra = testutil::random_mat(6, 6, 0.5, 2);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c1 = nullptr, c2 = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c1, GrB_INT64, 6, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c2, GrB_INT64, 6, 6), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_INT64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, int64_t{3}), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c1, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, a, s,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c2, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, a,
+                      int64_t{3}, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_TRUE(testutil::mats_equal(testutil::to_ref(c2),
+                                   testutil::to_ref(c1)));
+  GrB_free(&a);
+  GrB_free(&c1);
+  GrB_free(&c2);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, AssignScalarVariantMatchesTyped) {
+  ref::Mat rc = testutil::random_mat(7, 7, 0.4, 3);
+  GrB_Matrix c1 = testutil::make_matrix(rc);
+  GrB_Matrix c2 = testutil::make_matrix(rc);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, -2.0), GrB_SUCCESS);
+  GrB_Index rows[] = {1, 5};
+  GrB_Index cols[] = {0, 2, 6};
+  ASSERT_EQ(GrB_assign(c1, GrB_NULL, GrB_NULL, s, rows, 2, cols, 3,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_assign(c2, GrB_NULL, GrB_NULL, -2.0, rows, 2, cols, 3,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_TRUE(testutil::mats_equal(testutil::to_ref(c2),
+                                   testutil::to_ref(c1)));
+  GrB_free(&c1);
+  GrB_free(&c2);
+  GrB_free(&s);
+}
+
+TEST(ScalarVariantsTest, ReduceChainsThroughScalarSequence) {
+  // reduce into a GrB_Scalar then read it through extractElement: the
+  // entire chain can defer and still produce the right answer.
+  ref::Vec ru = testutil::random_vec(50, 0.5, 4);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  ASSERT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, ref::reduce_all(ru, testutil::fn_plus).value_or(0.0));
+  GrB_free(&u);
+  GrB_free(&s);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// GrB_Scalar — every method of the paper's Table I, plus emptiness
+// semantics (§VI) and error paths.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+TEST(ScalarTest, NewStartsEmpty) {
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  GrB_Index nvals = 99;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  double out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_NO_VALUE);
+  EXPECT_EQ(GrB_free(&s), GrB_SUCCESS);
+  EXPECT_EQ(s, nullptr);
+}
+
+TEST(ScalarTest, SetExtractRoundTrip) {
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 3.25), GrB_SUCCESS);
+  GrB_Index nvals = 0;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 1u);
+  double out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 3.25);
+  // Overwrite.
+  ASSERT_EQ(GrB_Scalar_setElement(s, -1.0), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, -1.0);
+  GrB_free(&s);
+}
+
+TEST(ScalarTest, SetElementCastsIntoDomain) {
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_INT32), GrB_SUCCESS);
+  // §VI motivation: "true" is an int in C; the container still knows its
+  // own domain and casts on the way in and out.
+  ASSERT_EQ(GrB_Scalar_setElement(s, 7.9), GrB_SUCCESS);
+  int32_t i = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&i, s), GrB_SUCCESS);
+  EXPECT_EQ(i, 7);
+  double d = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&d, s), GrB_SUCCESS);
+  EXPECT_EQ(d, 7.0);
+  GrB_free(&s);
+}
+
+TEST(ScalarTest, Clear) {
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_UINT8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 200), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_clear(s), GrB_SUCCESS);
+  GrB_Index nvals = 1;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&s);
+}
+
+TEST(ScalarTest, Dup) {
+  GrB_Scalar s = nullptr, d = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP32), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 1.5f), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_dup(&d, s), GrB_SUCCESS);
+  // The duplicate carries the type assigned at creation (§VI).
+  float out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, d), GrB_SUCCESS);
+  EXPECT_EQ(out, 1.5f);
+  // Mutating the duplicate does not affect the original (COW isolation).
+  ASSERT_EQ(GrB_Scalar_setElement(d, 9.0f), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 1.5f);
+  GrB_free(&s);
+  GrB_free(&d);
+}
+
+TEST(ScalarTest, DupOfEmptyIsEmpty) {
+  GrB_Scalar s = nullptr, d = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_dup(&d, s), GrB_SUCCESS);
+  GrB_Index nvals = 1;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, d), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&s);
+  GrB_free(&d);
+}
+
+TEST(ScalarTest, UdtScalar) {
+  struct Pair {
+    int32_t a, b;
+  };
+  GrB_Type pair_type = nullptr;
+  ASSERT_EQ(GrB_Type_new(&pair_type, sizeof(Pair)), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, pair_type), GrB_SUCCESS);
+  Pair in{3, -4};
+  ASSERT_EQ(GrB_Scalar_setElement_UDT(s, &in, pair_type), GrB_SUCCESS);
+  Pair out{0, 0};
+  EXPECT_EQ(GrB_Scalar_extractElement_UDT(&out, pair_type, s), GrB_SUCCESS);
+  EXPECT_EQ(out.a, 3);
+  EXPECT_EQ(out.b, -4);
+  // A different type (even of the same size) is a domain mismatch.
+  GrB_Type other = nullptr;
+  ASSERT_EQ(GrB_Type_new(&other, sizeof(Pair)), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Scalar_extractElement_UDT(&out, other, s),
+            GrB_DOMAIN_MISMATCH);
+  GrB_free(&s);
+  GrB_free(&pair_type);
+  GrB_free(&other);
+}
+
+TEST(ScalarTest, NullArguments) {
+  GrB_Scalar s = nullptr;
+  EXPECT_EQ(GrB_Scalar_new(nullptr, GrB_FP64), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Scalar_new(&s, nullptr), GrB_NULL_POINTER);
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Scalar_nvals(nullptr, s), GrB_NULL_POINTER);
+  double* null_out = nullptr;
+  EXPECT_EQ(GrB_Scalar_extractElement(null_out, s), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Scalar_dup(nullptr, s), GrB_NULL_POINTER);
+  GrB_free(&s);
+}
+
+TEST(ScalarTest, NonblockingDeferredSet) {
+  // In nonblocking mode setElement may defer; nvals forces completion.
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_INT64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, int64_t{42}), GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(s, GrB_COMPLETE), GrB_SUCCESS);
+  int64_t out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 42);
+  GrB_free(&s);
+}
+
+TEST(ScalarTest, ContextHomedScalar) {
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64, testutil::blocking_context()),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 5.0), GrB_SUCCESS);
+  double out = 0;
+  EXPECT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 5.0);
+  EXPECT_EQ(GrB_Context_switch(s, GrB_NULL), GrB_SUCCESS);
+  GrB_free(&s);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Descriptor field semantics and the predefined GrB_DESC_* table.
+#include <gtest/gtest.h>
+
+#include "core/descriptor.hpp"
+#include "graphblas/GraphBLAS.h"
+
+namespace grb {
+namespace {
+
+TEST(DescriptorTest, DefaultsAreAllOff) {
+  const Descriptor& d = Descriptor::defaults();
+  EXPECT_FALSE(d.replace());
+  EXPECT_FALSE(d.mask_comp());
+  EXPECT_FALSE(d.mask_structure());
+  EXPECT_FALSE(d.tran0());
+  EXPECT_FALSE(d.tran1());
+  EXPECT_FALSE(resolve_desc(nullptr).replace());
+}
+
+TEST(DescriptorTest, SetFields) {
+  Descriptor* d = nullptr;
+  ASSERT_EQ(descriptor_new(&d), Info::kSuccess);
+  EXPECT_EQ(d->set(DescField::kOutp, DescValue::kReplace), Info::kSuccess);
+  EXPECT_TRUE(d->replace());
+  EXPECT_EQ(d->set(DescField::kOutp, DescValue::kDefault), Info::kSuccess);
+  EXPECT_FALSE(d->replace());
+  EXPECT_EQ(d->set(DescField::kMask, DescValue::kComp), Info::kSuccess);
+  EXPECT_TRUE(d->mask_comp());
+  EXPECT_FALSE(d->mask_structure());
+  EXPECT_EQ(d->set(DescField::kMask, DescValue::kStructure), Info::kSuccess);
+  EXPECT_TRUE(d->mask_structure());
+  EXPECT_FALSE(d->mask_comp());  // set replaces the whole field
+  EXPECT_EQ(d->set(DescField::kInp0, DescValue::kTran), Info::kSuccess);
+  EXPECT_TRUE(d->tran0());
+  EXPECT_EQ(d->set(DescField::kInp1, DescValue::kTran), Info::kSuccess);
+  EXPECT_TRUE(d->tran1());
+  EXPECT_EQ(descriptor_free(d), Info::kSuccess);
+}
+
+TEST(DescriptorTest, SetRejectsWrongValues) {
+  Descriptor* d = nullptr;
+  ASSERT_EQ(descriptor_new(&d), Info::kSuccess);
+  EXPECT_EQ(d->set(DescField::kOutp, DescValue::kTran), Info::kInvalidValue);
+  EXPECT_EQ(d->set(DescField::kInp0, DescValue::kComp), Info::kInvalidValue);
+  EXPECT_EQ(d->set(DescField::kMask, DescValue::kTran), Info::kInvalidValue);
+  EXPECT_EQ(descriptor_free(d), Info::kSuccess);
+}
+
+TEST(DescriptorTest, PredefinedTable) {
+  EXPECT_TRUE(GrB_DESC_R->replace());
+  EXPECT_FALSE(GrB_DESC_R->tran0());
+  EXPECT_TRUE(GrB_DESC_T0->tran0());
+  EXPECT_FALSE(GrB_DESC_T0->tran1());
+  EXPECT_TRUE(GrB_DESC_T1->tran1());
+  EXPECT_TRUE(GrB_DESC_T0T1->tran0());
+  EXPECT_TRUE(GrB_DESC_T0T1->tran1());
+  EXPECT_TRUE(GrB_DESC_C->mask_comp());
+  EXPECT_TRUE(GrB_DESC_S->mask_structure());
+  EXPECT_TRUE(GrB_DESC_SC->mask_structure());
+  EXPECT_TRUE(GrB_DESC_SC->mask_comp());
+  EXPECT_TRUE(GrB_DESC_RSC->replace());
+  EXPECT_TRUE(GrB_DESC_RSC->mask_structure());
+  EXPECT_TRUE(GrB_DESC_RSC->mask_comp());
+  EXPECT_TRUE(GrB_DESC_RST1->replace());
+  EXPECT_TRUE(GrB_DESC_RST1->mask_structure());
+  EXPECT_TRUE(GrB_DESC_RST1->tran1());
+}
+
+TEST(DescriptorTest, PredefinedAreDistinct) {
+  EXPECT_NE(GrB_DESC_R, GrB_DESC_C);
+  EXPECT_NE(GrB_DESC_T0, GrB_DESC_T1);
+  EXPECT_EQ(predefined_descriptor(0), nullptr);   // defaults == GrB_NULL
+  EXPECT_EQ(predefined_descriptor(32), nullptr);  // out of range
+}
+
+TEST(DescriptorTest, FreeErrors) {
+  EXPECT_EQ(descriptor_free(nullptr), Info::kNullPointer);
+  // Predefined descriptors are not user-freed.
+  EXPECT_EQ(descriptor_free(const_cast<Descriptor*>(GrB_DESC_R)),
+            Info::kInvalidValue);
+  EXPECT_EQ(descriptor_new(nullptr), Info::kNullPointer);
+}
+
+}  // namespace
+}  // namespace grb

@@ -1,0 +1,193 @@
+// Table IV: predefined index-unary operators, tested at the operator
+// level (select/apply integration is covered in ops/apply_select_test).
+#include <gtest/gtest.h>
+
+#include "core/index_unary_op.hpp"
+
+namespace grb {
+namespace {
+
+bool run_keep(const IndexUnaryOp* op, Index i, Index j, int64_t s) {
+  bool z = false;
+  Index ind[2] = {i, j};
+  double dummy = 3.5;
+  op->apply(&z, &dummy, ind, 2, &s);
+  return z;
+}
+
+template <class Z>
+Z run_replace(const IndexUnaryOp* op, Index i, Index j, Z s) {
+  Z z{};
+  Index ind[2] = {i, j};
+  double dummy = 0;
+  op->apply(&z, &dummy, ind, 2, &s);
+  return z;
+}
+
+TEST(IndexUnaryOpTest, RowColDiagIndex) {
+  const IndexUnaryOp* row =
+      get_index_unary_op(IdxOpCode::kRowIndex, TypeCode::kInt64);
+  const IndexUnaryOp* col =
+      get_index_unary_op(IdxOpCode::kColIndex, TypeCode::kInt64);
+  const IndexUnaryOp* diag =
+      get_index_unary_op(IdxOpCode::kDiagIndex, TypeCode::kInt64);
+  EXPECT_EQ(run_replace<int64_t>(row, 4, 9, 0), 4);
+  EXPECT_EQ(run_replace<int64_t>(row, 4, 9, 10), 14);
+  EXPECT_EQ(run_replace<int64_t>(col, 4, 9, 0), 9);
+  EXPECT_EQ(run_replace<int64_t>(col, 4, 9, 1), 10);  // paper's example op
+  EXPECT_EQ(run_replace<int64_t>(diag, 4, 9, 0), 5);
+  EXPECT_EQ(run_replace<int64_t>(diag, 9, 4, 0), -5);
+}
+
+TEST(IndexUnaryOpTest, RowIndexInt32Output) {
+  const IndexUnaryOp* row =
+      get_index_unary_op(IdxOpCode::kRowIndex, TypeCode::kInt32);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->ztype(), TypeInt32());
+  EXPECT_EQ(run_replace<int32_t>(row, 7, 2, 1), 8);
+}
+
+TEST(IndexUnaryOpTest, TrilTriu) {
+  const IndexUnaryOp* tril =
+      get_index_unary_op(IdxOpCode::kTril, TypeCode::kInt64);
+  const IndexUnaryOp* triu =
+      get_index_unary_op(IdxOpCode::kTriu, TypeCode::kInt64);
+  // tril: j <= i + s
+  EXPECT_TRUE(run_keep(tril, 3, 3, 0));
+  EXPECT_TRUE(run_keep(tril, 3, 1, 0));
+  EXPECT_FALSE(run_keep(tril, 3, 4, 0));
+  EXPECT_FALSE(run_keep(tril, 3, 3, -1));  // strict lower
+  EXPECT_TRUE(run_keep(tril, 3, 2, -1));
+  // triu: j >= i + s
+  EXPECT_TRUE(run_keep(triu, 3, 3, 0));
+  EXPECT_TRUE(run_keep(triu, 3, 5, 0));
+  EXPECT_FALSE(run_keep(triu, 3, 2, 0));
+  EXPECT_FALSE(run_keep(triu, 3, 3, 1));  // strict upper
+}
+
+TEST(IndexUnaryOpTest, DiagOffdiag) {
+  const IndexUnaryOp* diag =
+      get_index_unary_op(IdxOpCode::kDiag, TypeCode::kInt64);
+  const IndexUnaryOp* off =
+      get_index_unary_op(IdxOpCode::kOffdiag, TypeCode::kInt64);
+  EXPECT_TRUE(run_keep(diag, 2, 2, 0));
+  EXPECT_FALSE(run_keep(diag, 2, 3, 0));
+  EXPECT_TRUE(run_keep(diag, 2, 3, 1));  // superdiagonal s=1
+  EXPECT_FALSE(run_keep(off, 2, 2, 0));
+  EXPECT_TRUE(run_keep(off, 2, 3, 0));
+}
+
+TEST(IndexUnaryOpTest, RowColBounds) {
+  const IndexUnaryOp* rowle =
+      get_index_unary_op(IdxOpCode::kRowLE, TypeCode::kInt64);
+  const IndexUnaryOp* rowgt =
+      get_index_unary_op(IdxOpCode::kRowGT, TypeCode::kInt64);
+  const IndexUnaryOp* colle =
+      get_index_unary_op(IdxOpCode::kColLE, TypeCode::kInt64);
+  const IndexUnaryOp* colgt =
+      get_index_unary_op(IdxOpCode::kColGT, TypeCode::kInt64);
+  EXPECT_TRUE(run_keep(rowle, 2, 9, 2));
+  EXPECT_FALSE(run_keep(rowle, 3, 9, 2));
+  EXPECT_TRUE(run_keep(rowgt, 3, 9, 2));
+  EXPECT_FALSE(run_keep(rowgt, 2, 9, 2));
+  EXPECT_TRUE(run_keep(colle, 9, 2, 2));
+  EXPECT_FALSE(run_keep(colle, 9, 3, 2));
+  EXPECT_TRUE(run_keep(colgt, 9, 3, 2));
+  EXPECT_FALSE(run_keep(colgt, 9, 2, 2));
+}
+
+TEST(IndexUnaryOpTest, ValueComparisons) {
+  const IndexUnaryOp* eq =
+      get_index_unary_op(IdxOpCode::kValueEQ, TypeCode::kFP64);
+  const IndexUnaryOp* lt =
+      get_index_unary_op(IdxOpCode::kValueLT, TypeCode::kFP64);
+  const IndexUnaryOp* ge =
+      get_index_unary_op(IdxOpCode::kValueGE, TypeCode::kFP64);
+  Index ind[2] = {0, 0};
+  double x = 2.5, s = 2.5;
+  bool z = false;
+  eq->apply(&z, &x, ind, 2, &s);
+  EXPECT_TRUE(z);
+  s = 3.0;
+  eq->apply(&z, &x, ind, 2, &s);
+  EXPECT_FALSE(z);
+  lt->apply(&z, &x, ind, 2, &s);
+  EXPECT_TRUE(z);
+  ge->apply(&z, &x, ind, 2, &s);
+  EXPECT_FALSE(z);
+}
+
+TEST(IndexUnaryOpTest, ValueComparisonCoverage) {
+  // EQ/NE exist for every builtin type; orderings only for numerics.
+  for (int c = 0; c < kNumBuiltinTypes; ++c) {
+    TypeCode tc = static_cast<TypeCode>(c);
+    EXPECT_NE(get_index_unary_op(IdxOpCode::kValueEQ, tc), nullptr);
+    EXPECT_NE(get_index_unary_op(IdxOpCode::kValueNE, tc), nullptr);
+  }
+  EXPECT_EQ(get_index_unary_op(IdxOpCode::kValueLT, TypeCode::kBool),
+            nullptr);
+  EXPECT_NE(get_index_unary_op(IdxOpCode::kValueLT, TypeCode::kUInt8),
+            nullptr);
+}
+
+TEST(IndexUnaryOpTest, PositionalOpsAreValueAgnostic) {
+  EXPECT_TRUE(get_index_unary_op(IdxOpCode::kTril, TypeCode::kInt64)
+                  ->value_agnostic());
+  EXPECT_TRUE(get_index_unary_op(IdxOpCode::kRowIndex, TypeCode::kInt64)
+                  ->value_agnostic());
+  EXPECT_FALSE(get_index_unary_op(IdxOpCode::kValueEQ, TypeCode::kFP64)
+                   ->value_agnostic());
+}
+
+TEST(IndexUnaryOpTest, VectorQueriesUseRowOnly) {
+  // With n == 1 (vector), ROWLE consults indices[0].
+  const IndexUnaryOp* rowle =
+      get_index_unary_op(IdxOpCode::kRowLE, TypeCode::kInt64);
+  Index ind[1] = {3};
+  double x = 0;
+  int64_t s = 3;
+  bool z = false;
+  rowle->apply(&z, &x, ind, 1, &s);
+  EXPECT_TRUE(z);
+  s = 2;
+  rowle->apply(&z, &x, ind, 1, &s);
+  EXPECT_FALSE(z);
+}
+
+// The paper's §VIII.A user-defined example: keep strictly-upper entries
+// whose value exceeds s.
+void my_triu_eq_INT32(void* out, const void* in, Index* indices, Index n,
+                      const void* s) {
+  ASSERT_EQ(n, 2u);
+  int32_t a, sv;
+  std::memcpy(&a, in, 4);
+  std::memcpy(&sv, s, 4);
+  bool z = (indices[1] > indices[0]) && (a > sv);
+  std::memcpy(out, &z, sizeof(bool));
+}
+
+TEST(IndexUnaryOpTest, UserDefinedPaperExample) {
+  const IndexUnaryOp* op = nullptr;
+  ASSERT_EQ(index_unary_op_new(&op, &my_triu_eq_INT32, TypeBool(),
+                               TypeInt32(), TypeInt32()),
+            Info::kSuccess);
+  Index ind[2] = {1, 2};
+  int32_t x = 5, s = 3;
+  bool z = false;
+  op->apply(&z, &x, ind, 2, &s);
+  EXPECT_TRUE(z);  // j > i and 5 > 3
+  ind[1] = 1;
+  op->apply(&z, &x, ind, 2, &s);
+  EXPECT_FALSE(z);  // on diagonal
+  ind[1] = 2;
+  x = 3;
+  op->apply(&z, &x, ind, 2, &s);
+  EXPECT_FALSE(z);  // value not > s
+  EXPECT_EQ(index_unary_op_free(op), Info::kSuccess);
+  EXPECT_EQ(index_unary_op_free(
+                get_index_unary_op(IdxOpCode::kTril, TypeCode::kInt64)),
+            Info::kInvalidValue);
+}
+
+}  // namespace
+}  // namespace grb

@@ -1,0 +1,167 @@
+// Monoids (identities, terminals, user construction) and semirings.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/monoid.hpp"
+#include "core/semiring.hpp"
+
+namespace grb {
+namespace {
+
+template <class T>
+T identity_of(BinOpCode op) {
+  const Monoid* m = get_monoid(op, type_of<T>()->code());
+  EXPECT_NE(m, nullptr);
+  T v{};
+  std::memcpy(&v, m->identity(), sizeof(T));
+  return v;
+}
+
+TEST(MonoidTest, PredefinedIdentities) {
+  EXPECT_EQ(identity_of<double>(BinOpCode::kPlus), 0.0);
+  EXPECT_EQ(identity_of<double>(BinOpCode::kTimes), 1.0);
+  EXPECT_EQ(identity_of<double>(BinOpCode::kMin),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(identity_of<double>(BinOpCode::kMax),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(identity_of<int32_t>(BinOpCode::kMin),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(identity_of<int32_t>(BinOpCode::kMax),
+            std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(identity_of<uint16_t>(BinOpCode::kMin),
+            std::numeric_limits<uint16_t>::max());
+  EXPECT_EQ(identity_of<uint16_t>(BinOpCode::kMax), 0u);
+  EXPECT_EQ(identity_of<bool>(BinOpCode::kLor), false);
+  EXPECT_EQ(identity_of<bool>(BinOpCode::kLand), true);
+  EXPECT_EQ(identity_of<bool>(BinOpCode::kLxor), false);
+  EXPECT_EQ(identity_of<bool>(BinOpCode::kLxnor), true);
+}
+
+TEST(MonoidTest, IdentityIsNeutralForAllNumericTypes) {
+  const TypeCode codes[] = {TypeCode::kInt8,  TypeCode::kUInt8,
+                            TypeCode::kInt16, TypeCode::kUInt16,
+                            TypeCode::kInt32, TypeCode::kUInt32,
+                            TypeCode::kInt64, TypeCode::kUInt64,
+                            TypeCode::kFP32,  TypeCode::kFP64};
+  const BinOpCode ops[] = {BinOpCode::kPlus, BinOpCode::kTimes,
+                           BinOpCode::kMin, BinOpCode::kMax};
+  for (TypeCode tc : codes) {
+    for (BinOpCode oc : ops) {
+      const Monoid* m = get_monoid(oc, tc);
+      ASSERT_NE(m, nullptr);
+      // z = op(identity, x) must equal x for a handful of x values.
+      ValueBuf z(m->type()->size());
+      for (int xi : {0, 1, 5, 100}) {
+        ValueBuf x(m->type()->size());
+        int32_t xv = xi;
+        cast_value(m->type(), x.data(), TypeInt32(), &xv);
+        m->op()->apply(z.data(), m->identity(), x.data());
+        EXPECT_EQ(std::memcmp(z.data(), x.data(), m->type()->size()), 0)
+            << m->name() << " x=" << xi;
+      }
+    }
+  }
+}
+
+TEST(MonoidTest, Terminals) {
+  const Monoid* mn = get_monoid(BinOpCode::kMin, TypeCode::kInt32);
+  int32_t lo = std::numeric_limits<int32_t>::lowest();
+  EXPECT_TRUE(mn->has_terminal());
+  EXPECT_TRUE(mn->is_terminal(&lo));
+  int32_t five = 5;
+  EXPECT_FALSE(mn->is_terminal(&five));
+
+  const Monoid* plus = get_monoid(BinOpCode::kPlus, TypeCode::kFP64);
+  EXPECT_FALSE(plus->has_terminal());
+
+  const Monoid* times_int = get_monoid(BinOpCode::kTimes, TypeCode::kInt64);
+  int64_t zero = 0;
+  EXPECT_TRUE(times_int->has_terminal());
+  EXPECT_TRUE(times_int->is_terminal(&zero));
+  // TIMES over floats must NOT early-exit on 0 (0 * NaN != 0).
+  const Monoid* times_fp = get_monoid(BinOpCode::kTimes, TypeCode::kFP64);
+  EXPECT_FALSE(times_fp->has_terminal());
+}
+
+TEST(MonoidTest, UserMonoid) {
+  const BinaryOp* plus = get_binary_op(BinOpCode::kPlus, TypeCode::kInt32);
+  int32_t id = 0;
+  const Monoid* m = nullptr;
+  ASSERT_EQ(monoid_new(&m, plus, &id), Info::kSuccess);
+  EXPECT_EQ(m->type(), TypeInt32());
+  EXPECT_FALSE(m->has_terminal());
+  EXPECT_EQ(monoid_free(m), Info::kSuccess);
+
+  // Mismatched domains are rejected.
+  const BinaryOp* eq = get_binary_op(BinOpCode::kEq, TypeCode::kInt32);
+  bool bid = true;
+  EXPECT_EQ(monoid_new(&m, eq, &bid), Info::kDomainMismatch);
+  EXPECT_EQ(monoid_new(&m, plus, nullptr), Info::kNullPointer);
+}
+
+TEST(MonoidTest, UserMonoidWithTerminal) {
+  const BinaryOp* min = get_binary_op(BinOpCode::kMin, TypeCode::kFP64);
+  double id = std::numeric_limits<double>::infinity();
+  double term = 0.0;  // domain-specific floor
+  const Monoid* m = nullptr;
+  ASSERT_EQ(monoid_new_terminal(&m, min, &id, &term), Info::kSuccess);
+  EXPECT_TRUE(m->has_terminal());
+  EXPECT_TRUE(m->is_terminal(&term));
+  EXPECT_EQ(monoid_free(m), Info::kSuccess);
+}
+
+TEST(MonoidTest, FreeingPredefinedFails) {
+  EXPECT_EQ(monoid_free(get_monoid(BinOpCode::kPlus, TypeCode::kFP64)),
+            Info::kInvalidValue);
+}
+
+TEST(SemiringTest, PredefinedCoverage) {
+  const TypeCode numerics[] = {TypeCode::kInt8,  TypeCode::kUInt8,
+                               TypeCode::kInt16, TypeCode::kUInt16,
+                               TypeCode::kInt32, TypeCode::kUInt32,
+                               TypeCode::kInt64, TypeCode::kUInt64,
+                               TypeCode::kFP32,  TypeCode::kFP64};
+  for (TypeCode tc : numerics) {
+    EXPECT_NE(get_semiring(BinOpCode::kPlus, BinOpCode::kTimes, tc),
+              nullptr);
+    EXPECT_NE(get_semiring(BinOpCode::kMin, BinOpCode::kPlus, tc), nullptr);
+    EXPECT_NE(get_semiring(BinOpCode::kMax, BinOpCode::kPlus, tc), nullptr);
+    EXPECT_NE(get_semiring(BinOpCode::kMin, BinOpCode::kSecond, tc),
+              nullptr);
+  }
+  EXPECT_NE(get_semiring(BinOpCode::kLor, BinOpCode::kLand, TypeCode::kBool),
+            nullptr);
+  EXPECT_EQ(get_semiring(BinOpCode::kLor, BinOpCode::kLand, TypeCode::kFP64),
+            nullptr);
+}
+
+TEST(SemiringTest, Structure) {
+  const Semiring* s =
+      get_semiring(BinOpCode::kMin, BinOpCode::kPlus, TypeCode::kFP64);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->add()->op()->opcode(), BinOpCode::kMin);
+  EXPECT_EQ(s->mul()->opcode(), BinOpCode::kPlus);
+  EXPECT_EQ(s->mul()->ztype(), TypeFP64());
+}
+
+TEST(SemiringTest, UserSemiring) {
+  const Monoid* add = get_monoid(BinOpCode::kPlus, TypeCode::kFP64);
+  const BinaryOp* mul = get_binary_op(BinOpCode::kMin, TypeCode::kFP64);
+  const Semiring* s = nullptr;
+  ASSERT_EQ(semiring_new(&s, add, mul), Info::kSuccess);
+  EXPECT_EQ(s->add(), add);
+  EXPECT_EQ(s->mul(), mul);
+  EXPECT_EQ(semiring_free(s), Info::kSuccess);
+
+  // mul output must match the monoid domain.
+  const BinaryOp* eq = get_binary_op(BinOpCode::kEq, TypeCode::kFP64);
+  EXPECT_EQ(semiring_new(&s, add, eq), Info::kDomainMismatch);
+  EXPECT_EQ(semiring_new(&s, nullptr, mul), Info::kNullPointer);
+  EXPECT_EQ(semiring_free(get_semiring(BinOpCode::kPlus, BinOpCode::kTimes,
+                                       TypeCode::kFP64)),
+            Info::kInvalidValue);
+}
+
+}  // namespace
+}  // namespace grb

@@ -1,0 +1,270 @@
+// Predefined operator semantics across every builtin type, via
+// parameterized sweeps (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/binary_op.hpp"
+#include "core/unary_op.hpp"
+
+namespace grb {
+namespace {
+
+// ---- typed arithmetic sweep -------------------------------------------------
+
+template <class T>
+T run_bin(const BinaryOp* op, T x, T y) {
+  T z{};
+  op->apply(&z, &x, &y);
+  return z;
+}
+
+template <class T>
+void check_arith_ops() {
+  TypeCode tc = type_of<T>()->code();
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kFirst, tc), T(5), T(3)),
+            T(5));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kSecond, tc), T(5), T(3)),
+            T(3));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kOneb, tc), T(5), T(3)),
+            T(1));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kPlus, tc), T(5), T(3)),
+            T(8));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kMinus, tc), T(5), T(3)),
+            T(2));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kTimes, tc), T(5), T(3)),
+            T(15));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kMin, tc), T(5), T(3)),
+            T(3));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kMax, tc), T(5), T(3)),
+            T(5));
+  EXPECT_EQ(run_bin<T>(get_binary_op(BinOpCode::kDiv, tc), T(6), T(3)),
+            T(2));
+}
+
+template <class T>
+void check_cmp_ops() {
+  TypeCode tc = type_of<T>()->code();
+  auto cmp = [&](BinOpCode code, T x, T y) {
+    bool z = false;
+    get_binary_op(code, tc)->apply(&z, &x, &y);
+    return z;
+  };
+  EXPECT_TRUE(cmp(BinOpCode::kEq, T(4), T(4)));
+  EXPECT_FALSE(cmp(BinOpCode::kEq, T(4), T(5)));
+  EXPECT_TRUE(cmp(BinOpCode::kNe, T(4), T(5)));
+  EXPECT_TRUE(cmp(BinOpCode::kLt, T(4), T(5)));
+  EXPECT_FALSE(cmp(BinOpCode::kLt, T(5), T(5)));
+  EXPECT_TRUE(cmp(BinOpCode::kLe, T(5), T(5)));
+  EXPECT_TRUE(cmp(BinOpCode::kGt, T(6), T(5)));
+  EXPECT_TRUE(cmp(BinOpCode::kGe, T(5), T(5)));
+  EXPECT_FALSE(cmp(BinOpCode::kGe, T(4), T(5)));
+}
+
+TEST(BinaryOpTest, ArithmeticInt8) { check_arith_ops<int8_t>(); }
+TEST(BinaryOpTest, ArithmeticUInt8) { check_arith_ops<uint8_t>(); }
+TEST(BinaryOpTest, ArithmeticInt16) { check_arith_ops<int16_t>(); }
+TEST(BinaryOpTest, ArithmeticUInt16) { check_arith_ops<uint16_t>(); }
+TEST(BinaryOpTest, ArithmeticInt32) { check_arith_ops<int32_t>(); }
+TEST(BinaryOpTest, ArithmeticUInt32) { check_arith_ops<uint32_t>(); }
+TEST(BinaryOpTest, ArithmeticInt64) { check_arith_ops<int64_t>(); }
+TEST(BinaryOpTest, ArithmeticUInt64) { check_arith_ops<uint64_t>(); }
+TEST(BinaryOpTest, ArithmeticFP32) { check_arith_ops<float>(); }
+TEST(BinaryOpTest, ArithmeticFP64) { check_arith_ops<double>(); }
+
+TEST(BinaryOpTest, ComparisonsInt32) { check_cmp_ops<int32_t>(); }
+TEST(BinaryOpTest, ComparisonsUInt64) { check_cmp_ops<uint64_t>(); }
+TEST(BinaryOpTest, ComparisonsFP64) { check_cmp_ops<double>(); }
+TEST(BinaryOpTest, ComparisonsInt8) { check_cmp_ops<int8_t>(); }
+
+TEST(BinaryOpTest, BoolArithmeticConventions) {
+  TypeCode b = TypeCode::kBool;
+  EXPECT_EQ(run_bin<bool>(get_binary_op(BinOpCode::kPlus, b), true, false),
+            true);  // PLUS == LOR
+  EXPECT_EQ(run_bin<bool>(get_binary_op(BinOpCode::kTimes, b), true, false),
+            false);  // TIMES == LAND
+  EXPECT_EQ(run_bin<bool>(get_binary_op(BinOpCode::kMinus, b), true, true),
+            false);  // MINUS == LXOR
+  EXPECT_EQ(run_bin<bool>(get_binary_op(BinOpCode::kMin, b), true, false),
+            false);
+  EXPECT_EQ(run_bin<bool>(get_binary_op(BinOpCode::kMax, b), true, false),
+            true);
+}
+
+TEST(BinaryOpTest, IntegerDivisionByZeroIsZero) {
+  EXPECT_EQ(run_bin<int32_t>(
+                get_binary_op(BinOpCode::kDiv, TypeCode::kInt32), 7, 0),
+            0);
+  EXPECT_EQ(run_bin<uint64_t>(
+                get_binary_op(BinOpCode::kDiv, TypeCode::kUInt64), 7, 0),
+            0u);
+}
+
+TEST(BinaryOpTest, IntMinDivMinusOneWraps) {
+  int32_t lo = std::numeric_limits<int32_t>::min();
+  EXPECT_EQ(run_bin<int32_t>(
+                get_binary_op(BinOpCode::kDiv, TypeCode::kInt32), lo, -1),
+            lo);
+}
+
+TEST(BinaryOpTest, FloatDivisionByZeroIsInf) {
+  double z = run_bin<double>(
+      get_binary_op(BinOpCode::kDiv, TypeCode::kFP64), 1.0, 0.0);
+  EXPECT_TRUE(std::isinf(z));
+}
+
+TEST(BinaryOpTest, SignedOverflowWraps) {
+  int8_t z = run_bin<int8_t>(
+      get_binary_op(BinOpCode::kPlus, TypeCode::kInt8), int8_t(127),
+      int8_t(1));
+  EXPECT_EQ(z, int8_t(-128));
+}
+
+TEST(BinaryOpTest, FloatMinMaxHandleOrdering) {
+  const BinaryOp* mn = get_binary_op(BinOpCode::kMin, TypeCode::kFP64);
+  const BinaryOp* mx = get_binary_op(BinOpCode::kMax, TypeCode::kFP64);
+  EXPECT_EQ(run_bin<double>(mn, -0.5, 2.0), -0.5);
+  EXPECT_EQ(run_bin<double>(mx, -0.5, 2.0), 2.0);
+}
+
+TEST(BinaryOpTest, LogicalOpsBoolOnly) {
+  EXPECT_NE(get_binary_op(BinOpCode::kLor, TypeCode::kBool), nullptr);
+  EXPECT_EQ(get_binary_op(BinOpCode::kLor, TypeCode::kFP64), nullptr);
+  EXPECT_EQ(get_binary_op(BinOpCode::kLand, TypeCode::kInt32), nullptr);
+  bool z;
+  bool t = true, f = false;
+  get_binary_op(BinOpCode::kLor, TypeCode::kBool)->apply(&z, &t, &f);
+  EXPECT_TRUE(z);
+  get_binary_op(BinOpCode::kLand, TypeCode::kBool)->apply(&z, &t, &f);
+  EXPECT_FALSE(z);
+  get_binary_op(BinOpCode::kLxor, TypeCode::kBool)->apply(&z, &t, &f);
+  EXPECT_TRUE(z);
+  get_binary_op(BinOpCode::kLxnor, TypeCode::kBool)->apply(&z, &t, &f);
+  EXPECT_FALSE(z);
+}
+
+TEST(BinaryOpTest, BitwiseOpsIntegerOnly) {
+  EXPECT_EQ(get_binary_op(BinOpCode::kBor, TypeCode::kFP64), nullptr);
+  EXPECT_EQ(get_binary_op(BinOpCode::kBand, TypeCode::kBool), nullptr);
+  uint8_t z;
+  uint8_t x = 0b1100, y = 0b1010;
+  get_binary_op(BinOpCode::kBor, TypeCode::kUInt8)->apply(&z, &x, &y);
+  EXPECT_EQ(z, 0b1110);
+  get_binary_op(BinOpCode::kBand, TypeCode::kUInt8)->apply(&z, &x, &y);
+  EXPECT_EQ(z, 0b1000);
+  get_binary_op(BinOpCode::kBxor, TypeCode::kUInt8)->apply(&z, &x, &y);
+  EXPECT_EQ(z, 0b0110);
+  get_binary_op(BinOpCode::kBxnor, TypeCode::kUInt8)->apply(&z, &x, &y);
+  EXPECT_EQ(z, uint8_t(~uint8_t(0b0110)));
+}
+
+TEST(BinaryOpTest, ComparisonOutputDomainIsBool) {
+  const BinaryOp* eq = get_binary_op(BinOpCode::kEq, TypeCode::kFP64);
+  EXPECT_EQ(eq->ztype(), TypeBool());
+  EXPECT_EQ(eq->xtype(), TypeFP64());
+  const BinaryOp* plus = get_binary_op(BinOpCode::kPlus, TypeCode::kInt16);
+  EXPECT_EQ(plus->ztype(), TypeInt16());
+}
+
+TEST(BinaryOpTest, UserDefinedOpLifecycle) {
+  auto fn = [](void* z, const void* x, const void* y) {
+    double a, b;
+    std::memcpy(&a, x, 8);
+    std::memcpy(&b, y, 8);
+    double r = a * 10 + b;
+    std::memcpy(z, &r, 8);
+  };
+  const BinaryOp* op = nullptr;
+  ASSERT_EQ(binary_op_new(&op, fn, TypeFP64(), TypeFP64(), TypeFP64()),
+            Info::kSuccess);
+  EXPECT_EQ(op->opcode(), BinOpCode::kCustom);
+  double z;
+  double x = 3, y = 4;
+  op->apply(&z, &x, &y);
+  EXPECT_EQ(z, 34.0);
+  EXPECT_EQ(binary_op_free(op), Info::kSuccess);
+  EXPECT_EQ(binary_op_free(op), Info::kUninitializedObject);
+  EXPECT_EQ(binary_op_free(get_binary_op(BinOpCode::kPlus,
+                                         TypeCode::kFP64)),
+            Info::kInvalidValue);
+  EXPECT_EQ(binary_op_new(&op, nullptr, TypeFP64(), TypeFP64(), TypeFP64()),
+            Info::kNullPointer);
+}
+
+// ---- unary ops ---------------------------------------------------------------
+
+template <class T>
+T run_un(const UnaryOp* op, T x) {
+  T z{};
+  op->apply(&z, &x);
+  return z;
+}
+
+TEST(UnaryOpTest, IdentityAinvMinvAbs) {
+  EXPECT_EQ(run_un<int32_t>(
+                get_unary_op(UnOpCode::kIdentity, TypeCode::kInt32), -7),
+            -7);
+  EXPECT_EQ(run_un<int32_t>(
+                get_unary_op(UnOpCode::kAinv, TypeCode::kInt32), -7),
+            7);
+  EXPECT_EQ(run_un<double>(
+                get_unary_op(UnOpCode::kAinv, TypeCode::kFP64), 2.5),
+            -2.5);
+  EXPECT_EQ(run_un<double>(
+                get_unary_op(UnOpCode::kMinv, TypeCode::kFP64), 4.0),
+            0.25);
+  EXPECT_EQ(run_un<int32_t>(
+                get_unary_op(UnOpCode::kMinv, TypeCode::kInt32), 0),
+            0);  // documented: integer 1/0 -> 0
+  EXPECT_EQ(run_un<int32_t>(
+                get_unary_op(UnOpCode::kAbs, TypeCode::kInt32), -9),
+            9);
+  EXPECT_EQ(run_un<uint32_t>(
+                get_unary_op(UnOpCode::kAbs, TypeCode::kUInt32), 9u),
+            9u);
+  EXPECT_EQ(run_un<double>(
+                get_unary_op(UnOpCode::kAbs, TypeCode::kFP64), -1.25),
+            1.25);
+}
+
+TEST(UnaryOpTest, AbsIntMinWraps) {
+  int32_t lo = std::numeric_limits<int32_t>::min();
+  EXPECT_EQ(
+      run_un<int32_t>(get_unary_op(UnOpCode::kAbs, TypeCode::kInt32), lo),
+      lo);
+}
+
+TEST(UnaryOpTest, LnotBoolOnly) {
+  EXPECT_NE(get_unary_op(UnOpCode::kLnot, TypeCode::kBool), nullptr);
+  EXPECT_EQ(get_unary_op(UnOpCode::kLnot, TypeCode::kInt32), nullptr);
+  EXPECT_FALSE(run_un<bool>(
+      get_unary_op(UnOpCode::kLnot, TypeCode::kBool), true));
+}
+
+TEST(UnaryOpTest, BnotIntegerOnly) {
+  EXPECT_EQ(get_unary_op(UnOpCode::kBnot, TypeCode::kFP64), nullptr);
+  EXPECT_EQ(get_unary_op(UnOpCode::kBnot, TypeCode::kBool), nullptr);
+  EXPECT_EQ(run_un<uint8_t>(
+                get_unary_op(UnOpCode::kBnot, TypeCode::kUInt8), 0x0f),
+            0xf0);
+}
+
+TEST(UnaryOpTest, UserDefinedLifecycle) {
+  auto fn = [](void* z, const void* x) {
+    int32_t v;
+    std::memcpy(&v, x, 4);
+    v = v * 2 + 1;
+    std::memcpy(z, &v, 4);
+  };
+  const UnaryOp* op = nullptr;
+  ASSERT_EQ(unary_op_new(&op, fn, TypeInt32(), TypeInt32()), Info::kSuccess);
+  EXPECT_EQ(run_un<int32_t>(op, 10), 21);
+  EXPECT_EQ(unary_op_free(op), Info::kSuccess);
+  EXPECT_EQ(
+      unary_op_free(get_unary_op(UnOpCode::kAbs, TypeCode::kFP64)),
+      Info::kInvalidValue);
+}
+
+}  // namespace
+}  // namespace grb

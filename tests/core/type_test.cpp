@@ -1,0 +1,157 @@
+// Runtime type system: descriptors, casting, truthiness, UDT lifecycle.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/type.hpp"
+
+namespace grb {
+namespace {
+
+TEST(TypeTest, BuiltinSizesAndNames) {
+  EXPECT_EQ(TypeBool()->size(), sizeof(bool));
+  EXPECT_EQ(TypeInt8()->size(), 1u);
+  EXPECT_EQ(TypeUInt16()->size(), 2u);
+  EXPECT_EQ(TypeInt32()->size(), 4u);
+  EXPECT_EQ(TypeUInt64()->size(), 8u);
+  EXPECT_EQ(TypeFP32()->size(), 4u);
+  EXPECT_EQ(TypeFP64()->size(), 8u);
+  EXPECT_EQ(TypeFP64()->name(), "GrB_FP64");
+  EXPECT_TRUE(TypeFP64()->is_builtin());
+}
+
+TEST(TypeTest, BuiltinLookupByCode) {
+  for (int c = 0; c < kNumBuiltinTypes; ++c) {
+    const Type* t = Type::builtin(static_cast<TypeCode>(c));
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(static_cast<int>(t->code()), c);
+  }
+  EXPECT_EQ(Type::builtin(TypeCode::kUdt), nullptr);
+}
+
+TEST(TypeTest, BuiltinSingletons) {
+  EXPECT_EQ(TypeFP64(), Type::builtin(TypeCode::kFP64));
+  EXPECT_EQ(type_of<double>(), TypeFP64());
+  EXPECT_EQ(type_of<bool>(), TypeBool());
+  EXPECT_EQ(type_of<int32_t>(), TypeInt32());
+}
+
+TEST(TypeTest, CastIntToDouble) {
+  int32_t in = -42;
+  double out = 0;
+  cast_value(TypeFP64(), &out, TypeInt32(), &in);
+  EXPECT_EQ(out, -42.0);
+}
+
+TEST(TypeTest, CastDoubleToIntTruncates) {
+  double in = 3.9;
+  int32_t out = 0;
+  cast_value(TypeInt32(), &out, TypeFP64(), &in);
+  EXPECT_EQ(out, 3);
+}
+
+TEST(TypeTest, CastToBoolIsNonzeroTest) {
+  double in = 2.5;
+  bool out = false;
+  cast_value(TypeBool(), &out, TypeFP64(), &in);
+  EXPECT_TRUE(out);
+  in = 0.0;
+  cast_value(TypeBool(), &out, TypeFP64(), &in);
+  EXPECT_FALSE(out);
+}
+
+TEST(TypeTest, CastIdentityIsMemcpy) {
+  uint64_t in = 0xdeadbeefcafef00dull, out = 0;
+  cast_value(TypeUInt64(), &out, TypeUInt64(), &in);
+  EXPECT_EQ(out, in);
+}
+
+TEST(TypeTest, CastUnsignedNarrowingWraps) {
+  uint32_t in = 0x1ff;
+  uint8_t out = 0;
+  cast_value(TypeUInt8(), &out, TypeUInt32(), &in);
+  EXPECT_EQ(out, 0xff);
+}
+
+TEST(TypeTest, CompatibilityRules) {
+  EXPECT_TRUE(types_compatible(TypeFP64(), TypeInt8()));
+  EXPECT_TRUE(types_compatible(TypeBool(), TypeFP32()));
+  const Type* udt = nullptr;
+  ASSERT_EQ(type_new(&udt, 24), Info::kSuccess);
+  EXPECT_TRUE(types_compatible(udt, udt));
+  EXPECT_FALSE(types_compatible(udt, TypeFP64()));
+  EXPECT_FALSE(types_compatible(TypeFP64(), udt));
+  const Type* udt2 = nullptr;
+  ASSERT_EQ(type_new(&udt2, 24), Info::kSuccess);
+  EXPECT_FALSE(types_compatible(udt, udt2));  // same size, distinct types
+  EXPECT_EQ(type_free(udt), Info::kSuccess);
+  EXPECT_EQ(type_free(udt2), Info::kSuccess);
+}
+
+TEST(TypeTest, UdtLifecycleErrors) {
+  EXPECT_EQ(type_new(nullptr, 8), Info::kNullPointer);
+  const Type* t = nullptr;
+  EXPECT_EQ(type_new(&t, 0), Info::kInvalidValue);
+  ASSERT_EQ(type_new(&t, 16), Info::kSuccess);
+  EXPECT_FALSE(t->is_builtin());
+  EXPECT_EQ(t->size(), 16u);
+  EXPECT_EQ(type_free(t), Info::kSuccess);
+  EXPECT_EQ(type_free(t), Info::kUninitializedObject);  // double free
+  EXPECT_EQ(type_free(TypeFP64()), Info::kInvalidValue);
+  EXPECT_EQ(type_free(nullptr), Info::kNullPointer);
+}
+
+TEST(TypeTest, ValueAsBool) {
+  double d = 0.0;
+  EXPECT_FALSE(value_as_bool(TypeFP64(), &d));
+  d = -1.5;
+  EXPECT_TRUE(value_as_bool(TypeFP64(), &d));
+  int16_t i = 0;
+  EXPECT_FALSE(value_as_bool(TypeInt16(), &i));
+  i = 7;
+  EXPECT_TRUE(value_as_bool(TypeInt16(), &i));
+  bool b = true;
+  EXPECT_TRUE(value_as_bool(TypeBool(), &b));
+}
+
+TEST(TypeTest, ValueAsBoolUdtBytewise) {
+  const Type* udt = nullptr;
+  ASSERT_EQ(type_new(&udt, 4), Info::kSuccess);
+  unsigned char zero[4] = {0, 0, 0, 0};
+  unsigned char nz[4] = {0, 0, 1, 0};
+  EXPECT_FALSE(value_as_bool(udt, zero));
+  EXPECT_TRUE(value_as_bool(udt, nz));
+  EXPECT_EQ(type_free(udt), Info::kSuccess);
+}
+
+TEST(ValueArrayTest, PushAndAccess) {
+  ValueArray a(sizeof(double));
+  double x = 1.5, y = -2.25;
+  a.push_back(&x);
+  a.push_back(&y);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.get_as<double>(0), 1.5);
+  EXPECT_EQ(a.get_as<double>(1), -2.25);
+  a.set_as<double>(0, 9.0);
+  EXPECT_EQ(a.get_as<double>(0), 9.0);
+  ValueArray b(sizeof(double));
+  b.push_back_from(a, 1);
+  EXPECT_EQ(b.get_as<double>(0), -2.25);
+}
+
+TEST(ValueBufTest, SmallAndLarge) {
+  ValueBuf small(8);
+  uint64_t v = 77;
+  std::memcpy(small.data(), &v, 8);
+  uint64_t out;
+  std::memcpy(&out, small.data(), 8);
+  EXPECT_EQ(out, 77u);
+
+  ValueBuf large(1000);
+  EXPECT_EQ(large.size(), 1000u);
+  std::memset(large.data(), 0xab, 1000);
+  EXPECT_EQ(static_cast<const unsigned char*>(large.data())[999], 0xab);
+}
+
+}  // namespace
+}  // namespace grb

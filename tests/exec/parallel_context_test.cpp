@@ -1,0 +1,176 @@
+// The row-parallel kernels (mxm two-phase, eWise, select, apply,
+// write-back, mask pass) must produce identical results regardless of
+// the context's thread count.  These tests run the same workloads in a
+// 1-thread and a 4-thread context and compare.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+#include "algorithms/algorithms.hpp"
+#include "util/generator.hpp"
+
+namespace {
+
+GrB_Context threaded_context(int nthreads) {
+  GrB_ContextConfig cfg;
+  cfg.nthreads = nthreads;
+  cfg.chunk = 4;  // tiny chunk so even small tests fan out
+  GrB_Context ctx = nullptr;
+  EXPECT_EQ(GrB_Context_new(&ctx, GrB_NONBLOCKING, GrB_NULL, &cfg),
+            GrB_SUCCESS);
+  return ctx;
+}
+
+// Runs a representative op pipeline in `ctx`, returns the final matrix.
+ref::Mat run_pipeline(const ref::Mat& ra, const ref::Mat& rb,
+                      const ref::Mat& rm, GrB_Context ctx) {
+  GrB_Matrix a = testutil::make_matrix(ra, ctx);
+  GrB_Matrix b = testutil::make_matrix(rb, ctx);
+  GrB_Matrix m = testutil::make_matrix(rm, ctx);
+  GrB_Matrix x = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&x, GrB_FP64, ra.nrows, ra.ncols, ctx),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(x, m, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, b,
+                    GrB_DESC_S),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_eWiseAdd(x, GrB_NULL, GrB_PLUS_FP64, GrB_MIN_FP64, x, a,
+                         GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_select(x, GrB_NULL, GrB_NULL, GrB_OFFDIAG, x, int64_t{0},
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_apply(x, GrB_NULL, GrB_NULL, GrB_AINV_FP64, x, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_transpose(x, m, GrB_PLUS_FP64, x, GrB_DESC_S),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_wait(x, GrB_MATERIALIZE), GrB_SUCCESS);
+  ref::Mat out = testutil::to_ref(x);
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&m);
+  GrB_free(&x);
+  return out;
+}
+
+TEST(ParallelContextTest, PipelineMatchesSingleThread) {
+  GrB_Context one = threaded_context(1);
+  GrB_Context four = threaded_context(4);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ref::Mat ra = testutil::random_mat(40, 40, 0.2, seed * 11 + 1);
+    ref::Mat rb = testutil::random_mat(40, 40, 0.2, seed * 11 + 2);
+    ref::Mat rm = testutil::random_mat(40, 40, 0.3, seed * 11 + 3);
+    ref::Mat serial = run_pipeline(ra, rb, rm, one);
+    ref::Mat parallel = run_pipeline(ra, rb, rm, four);
+    EXPECT_TRUE(testutil::mats_equal(serial, parallel)) << "seed " << seed;
+  }
+  GrB_free(&one);
+  GrB_free(&four);
+}
+
+TEST(ParallelContextTest, LargeMxmMatchesAcrossThreadCounts) {
+  GrB_Matrix g = nullptr;
+  ASSERT_EQ(grb::rmat_matrix(&g, 9, 8, grb::RmatParams{}, nullptr),
+            grb::Info::kSuccess);
+  ref::Mat rg = testutil::to_ref(g);
+  GrB_free(&g);
+
+  ref::Mat want;
+  bool first = true;
+  for (int nthreads : {1, 2, 4, 8}) {
+    GrB_Context ctx = threaded_context(nthreads);
+    GrB_Matrix a = testutil::make_matrix(rg, ctx);
+    GrB_Matrix c = nullptr;
+    ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, rg.nrows, rg.ncols, ctx),
+              GrB_SUCCESS);
+    ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      a, a, GrB_NULL),
+              GrB_SUCCESS);
+    ref::Mat got = testutil::to_ref(c);
+    if (first) {
+      want = got;
+      first = false;
+    } else {
+      EXPECT_TRUE(testutil::mats_equal(want, got))
+          << "nthreads " << nthreads;
+    }
+    GrB_free(&a);
+    GrB_free(&c);
+    GrB_free(&ctx);
+  }
+}
+
+TEST(ParallelContextTest, ReduceAndKroneckerUnderThreads) {
+  GrB_Context ctx = threaded_context(4);
+  ref::Mat ra = testutil::random_mat(30, 30, 0.3, 77);
+  ref::Mat rb = testutil::random_mat(4, 4, 0.7, 78);
+  GrB_Matrix a = testutil::make_matrix(ra, ctx);
+  GrB_Matrix b = testutil::make_matrix(rb, ctx);
+  // Parallel full reduce.
+  double sum = 0;
+  ASSERT_EQ(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, a, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(sum, ref::reduce_all(ra, testutil::fn_plus).value_or(0.0));
+  // Parallel row reduce.
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 30, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(w, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64, a,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::reduce_rows(ra, testutil::fn_plus));
+  // Parallel kronecker.
+  GrB_Matrix k = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&k, GrB_FP64, 120, 120, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(k, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, b,
+                          GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(k, ref::kronecker(ra, rb, testutil::fn_times));
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&w);
+  GrB_free(&k);
+  GrB_free(&ctx);
+}
+
+TEST(ParallelContextTest, AlgorithmsRunInThreadedContext) {
+  // End-to-end: BFS on a graph homed in a 4-thread context; the outputs
+  // the algorithm allocates live in the top-level context, so re-home
+  // the graph instead.
+  GrB_Matrix g = nullptr;
+  ASSERT_EQ(grb::rmat_matrix(&g, 8, 8, grb::RmatParams{}, nullptr),
+            grb::Info::kSuccess);
+  // Compute the expected level structure in the default context first.
+  GrB_Vector w1 = nullptr;
+  GrB_Matrix gc = nullptr;
+  ASSERT_EQ(GrB_Matrix_dup(&gc, g), GrB_SUCCESS);
+  GrB_Context ctx = threaded_context(4);
+  // Run the same vxm expansion manually inside the threaded context.
+  ASSERT_EQ(GrB_Context_switch(gc, ctx), GrB_SUCCESS);
+  GrB_Vector q = nullptr, v = nullptr;
+  GrB_Index n;
+  ASSERT_EQ(GrB_Matrix_nrows(&n, gc), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&q, GrB_BOOL, n, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_INT32, n, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(q, true, 0), GrB_SUCCESS);
+  for (int32_t depth = 0;; ++depth) {
+    GrB_Index nq = 0;
+    ASSERT_EQ(GrB_Vector_nvals(&nq, q), GrB_SUCCESS);
+    if (nq == 0) break;
+    ASSERT_EQ(GrB_assign(v, q, GrB_NULL, depth, GrB_ALL, n, GrB_DESC_S),
+              GrB_SUCCESS);
+    ASSERT_EQ(GrB_vxm(q, v, GrB_NULL, GrB_LOR_LAND_SEMIRING_BOOL, q, gc,
+                      GrB_DESC_RSC),
+              GrB_SUCCESS);
+  }
+  // Reference BFS in the default context via the algorithm library.
+  ASSERT_EQ(grb_algo::bfs_level(&w1, g, 0), GrB_SUCCESS);
+  ref::Vec want = testutil::to_ref(w1);
+  ref::Vec got = testutil::to_ref(v);
+  EXPECT_TRUE(testutil::vecs_equal(want, got));
+  GrB_free(&g);
+  GrB_free(&gc);
+  GrB_free(&q);
+  GrB_free(&v);
+  GrB_free(&w1);
+  GrB_free(&ctx);
+}
+
+}  // namespace

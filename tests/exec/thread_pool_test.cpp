@@ -1,0 +1,77 @@
+// ThreadPool: partition correctness, reuse, degenerate cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace grb {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, 10000, 16, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, NonzeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, 200, 8, [&](Index lo, Index hi) {
+    long local = 0;
+    for (Index i = lo; i < hi; ++i) local += static_cast<long>(i);
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  long want = 0;
+  for (long i = 100; i < 200; ++i) want += i;
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.nthreads(), 1);
+  int calls = 0;
+  pool.parallel_for(0, 100, 1, [&](Index lo, Index hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](Index, Index) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SmallRangeStaysInline) {
+  ThreadPool pool(4);
+  // n <= grain runs on the caller (no fan-out).
+  int calls = 0;
+  pool.parallel_for(0, 10, 100, [&](Index, Index) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 1000, 8, [&](Index lo, Index hi) {
+      count.fetch_add(static_cast<int>(hi - lo),
+                      std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 1000);
+  }
+}
+
+}  // namespace
+}  // namespace grb

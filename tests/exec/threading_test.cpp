@@ -1,0 +1,193 @@
+// Multithreading (paper §III): thread safety of independent method
+// calls, and the Figure 1 sharing pattern (GrB_wait + acquire/release).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+TEST(ThreadingTest, IndependentCallsFromManyThreads) {
+  // "independent method calls from multiple threads in a race-free
+  // program return the same results as ... sequential execution".
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20;
+  std::vector<std::thread> threads;
+  std::vector<double> results(kThreads, 0.0);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results, &failures] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        ref::Mat ra = testutil::random_mat(16, 16, 0.3, 100 + t);
+        ref::Mat rb = testutil::random_mat(16, 16, 0.3, 200 + t);
+        GrB_Matrix a = testutil::make_matrix(ra);
+        GrB_Matrix b = testutil::make_matrix(rb);
+        GrB_Matrix c = nullptr;
+        if (GrB_Matrix_new(&c, GrB_FP64, 16, 16) != GrB_SUCCESS ||
+            GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    b, GrB_NULL) != GrB_SUCCESS) {
+          failures.fetch_add(1);
+          return;
+        }
+        double sum = 0;
+        if (GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, c, GrB_NULL) !=
+            GrB_SUCCESS) {
+          failures.fetch_add(1);
+          return;
+        }
+        results[t] = sum;
+        GrB_free(&a);
+        GrB_free(&b);
+        GrB_free(&c);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  // Same seeds per thread on a single thread must reproduce the result.
+  for (int t = 0; t < kThreads; ++t) {
+    ref::Mat ra = testutil::random_mat(16, 16, 0.3, 100 + t);
+    ref::Mat rb = testutil::random_mat(16, 16, 0.3, 200 + t);
+    ref::Mat rc =
+        ref::mxm(ra, rb, testutil::fn_plus, testutil::fn_times);
+    double want = ref::reduce_all(rc, testutil::fn_plus).value_or(0.0);
+    EXPECT_EQ(results[t], want) << "thread " << t;
+  }
+}
+
+TEST(ThreadingTest, Figure1SharingPattern) {
+  // The paper's Figure 1: thread 0 produces Esh, completes it, releases a
+  // flag; thread 1 acquires the flag and consumes Esh.
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> flag{0};
+    GrB_Matrix esh = nullptr;
+    GrB_Matrix hres = nullptr;
+    double expected_sum = 0;
+
+    std::thread t0([&] {
+      ref::Mat rd = testutil::random_mat(24, 24, 0.3, 300 + round);
+      ref::Mat rc = testutil::random_mat(24, 24, 0.3, 400 + round);
+      GrB_Matrix d = testutil::make_matrix(rd);
+      GrB_Matrix c = testutil::make_matrix(rc);
+      ASSERT_EQ(GrB_Matrix_new(&esh, GrB_FP64, 24, 24), GrB_SUCCESS);
+      ASSERT_EQ(GrB_mxm(esh, GrB_NULL, GrB_NULL,
+                        GrB_PLUS_TIMES_SEMIRING_FP64, d, c, GrB_NULL),
+                GrB_SUCCESS);
+      ASSERT_EQ(GrB_wait(esh, GrB_COMPLETE), GrB_SUCCESS);
+      ref::Mat resh =
+          ref::mxm(rd, rc, testutil::fn_plus, testutil::fn_times);
+      expected_sum = ref::reduce_all(resh, testutil::fn_plus).value_or(0.0);
+      flag.store(1, std::memory_order_release);
+      GrB_free(&d);
+      GrB_free(&c);
+    });
+    std::thread t1([&] {
+      while (flag.load(std::memory_order_acquire) == 0) {
+      }
+      // Esh is complete and visible; consume it.
+      ASSERT_EQ(GrB_Matrix_new(&hres, GrB_FP64, 24, 24), GrB_SUCCESS);
+      ASSERT_EQ(GrB_apply(hres, GrB_NULL, GrB_NULL, GrB_IDENTITY_FP64, esh,
+                          GrB_NULL),
+                GrB_SUCCESS);
+      ASSERT_EQ(GrB_wait(hres, GrB_COMPLETE), GrB_SUCCESS);
+    });
+    t0.join();
+    t1.join();
+    double got = 0;
+    ASSERT_EQ(GrB_reduce(&got, GrB_NULL, GrB_PLUS_MONOID_FP64, hres,
+                         GrB_NULL),
+              GrB_SUCCESS);
+    EXPECT_EQ(got, expected_sum);
+    GrB_free(&esh);
+    GrB_free(&hres);
+  }
+}
+
+TEST(ThreadingTest, SequenceSplitAcrossThreads) {
+  // §V: one thread runs part of a sequence and completes it; a second
+  // thread (after synchronization) continues the sequence and ends with
+  // a materializing wait.
+  std::atomic<int> flag{0};
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 10), GrB_SUCCESS);
+  std::thread t0([&] {
+    for (GrB_Index i = 0; i < 5; ++i)
+      ASSERT_EQ(GrB_Vector_setElement(v, 1.0, i), GrB_SUCCESS);
+    ASSERT_EQ(GrB_wait(v, GrB_COMPLETE), GrB_SUCCESS);
+    flag.store(1, std::memory_order_release);
+  });
+  std::thread t1([&] {
+    while (flag.load(std::memory_order_acquire) == 0) {
+    }
+    for (GrB_Index i = 5; i < 10; ++i)
+      ASSERT_EQ(GrB_Vector_setElement(v, 2.0, i), GrB_SUCCESS);
+    ASSERT_EQ(GrB_wait(v, GrB_MATERIALIZE), GrB_SUCCESS);
+  });
+  t0.join();
+  t1.join();
+  GrB_Index nv = 0;
+  ASSERT_EQ(GrB_Vector_nvals(&nv, v), GrB_SUCCESS);
+  EXPECT_EQ(nv, 10u);
+  double sum = 0;
+  ASSERT_EQ(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, v, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(sum, 15.0);
+  GrB_free(&v);
+}
+
+TEST(ThreadingTest, ConcurrentReadsOfCompletedObject) {
+  // Multiple threads may read a completed object without synchronization
+  // (reads don't mutate the COW data block).
+  ref::Mat ra = testutil::random_mat(32, 32, 0.3, 777);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  ASSERT_EQ(GrB_wait(a, GrB_COMPLETE), GrB_SUCCESS);
+  double want = 0;
+  ASSERT_EQ(GrB_reduce(&want, GrB_NULL, GrB_PLUS_MONOID_FP64, a, GrB_NULL),
+            GrB_SUCCESS);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 50; ++k) {
+        double sum = 0;
+        if (GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, a, GrB_NULL) !=
+                GrB_SUCCESS ||
+            sum != want)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  GrB_free(&a);
+}
+
+TEST(ThreadingTest, GrBErrorIsThreadSafe) {
+  // §V: two threads may call GrB_error concurrently on the same object.
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 4), GrB_SUCCESS);
+  GrB_Index idx[] = {0, 0};
+  double vals[] = {1, 2};
+  ASSERT_EQ(GrB_Vector_build(v, idx, vals, 2, GrB_NULL), GrB_SUCCESS);
+  GrB_Index nv;
+  (void)GrB_Vector_nvals(&nv, v);  // trigger the deferred failure
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 100; ++k) {
+        const char* msg = nullptr;
+        if (GrB_error(&msg, v) != GrB_SUCCESS || msg == nullptr)
+          bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  GrB_free(&v);
+}
+
+}  // namespace

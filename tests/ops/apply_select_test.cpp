@@ -1,0 +1,361 @@
+// apply (unary / bound-binary / index-unary) and select (paper §VIII),
+// including a faithful reconstruction of the paper's Figure 3 example.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+using testutil::fn_plus;
+
+TEST(ApplyTest, UnaryVectorAndMatrix) {
+  ref::Vec ru = testutil::random_vec(20, 0.5, 1);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 20), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_AINV_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::apply(ru, [](double x) { return -x; }));
+  GrB_free(&u);
+  GrB_free(&w);
+
+  ref::Mat ra = testutil::random_mat(9, 9, 0.4, 2);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 9, 9), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_MINV_FP64, a, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::apply(ra, [](double x) { return 1.0 / x; }));
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ApplyTest, UnaryTransposedMatrix) {
+  ref::Mat ra = testutil::random_mat(6, 11, 0.5, 3);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 11, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_IDENTITY_FP64, a,
+                      GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::transpose(ra));
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ApplyTest, BindFirstAndSecond) {
+  ref::Vec ru = testutil::random_vec(15, 0.6, 4);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 15), GrB_SUCCESS);
+  // w = 100 - u  (bind-first on MINUS)
+  ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_MINUS_FP64, 100.0, u,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::apply(ru, [](double x) { return 100.0 - x; }));
+  // w = u - 1  (bind-second)
+  ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_MINUS_FP64, u, 1.0,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::apply(ru, [](double x) { return x - 1.0; }));
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST(ApplyTest, BindOnMatrixWithGrBScalar) {
+  ref::Mat ra = testutil::random_mat(7, 7, 0.5, 5);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 7, 7), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 3.0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, s,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::apply(ra, [](double x) { return x * 3.0; }));
+  // Empty scalar -> GrB_EMPTY_OBJECT (§VI uniform behaviour).
+  ASSERT_EQ(GrB_Scalar_clear(s), GrB_SUCCESS);
+  EXPECT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, s,
+                      GrB_NULL),
+            GrB_EMPTY_OBJECT);
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&s);
+}
+
+// ---- index-unary apply (§VIII.B) -------------------------------------------
+
+TEST(ApplyIndexTest, RowIndexOnVector) {
+  ref::Vec ru = testutil::random_vec(10, 0.5, 6);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_INT64, 10), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, u,
+                      int64_t{5}, GrB_NULL),
+            GrB_SUCCESS);
+  // Every stored entry's value becomes its index + 5.
+  ref::Vec want(10);
+  for (GrB_Index i = 0; i < 10; ++i)
+    if (ru.at(i)) want.at(i) = double(i + 5);
+  EXPECT_VECTOR_EQ(w, want);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST(ApplyIndexTest, ColIndexReplacesEdgeDestinations) {
+  // The paper's §VIII.B use case: replace edge weights with destination
+  // vertex ids via COLINDEX.
+  ref::Mat ra = testutil::random_mat(8, 8, 0.4, 7);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_INT64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_COLINDEX_INT64, a,
+                      int64_t{0}, GrB_NULL),
+            GrB_SUCCESS);
+  ref::Mat want(8, 8);
+  for (GrB_Index i = 0; i < 8; ++i)
+    for (GrB_Index j = 0; j < 8; ++j)
+      if (ra.at(i, j)) want.at(i, j) = double(j);
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ApplyIndexTest, TransposeAppliesPostTransposeIndices) {
+  // Paper §VIII.B: "the index values used correspond to locations AFTER
+  // the transpose is applied".
+  ref::Mat ra = testutil::random_mat(5, 9, 0.5, 8);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_INT64, 9, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_ROWINDEX_INT64, a,
+                      int64_t{0}, GrB_DESC_T0),
+            GrB_SUCCESS);
+  ref::Mat at = ref::transpose(ra);
+  ref::Mat want(9, 5);
+  for (GrB_Index i = 0; i < 9; ++i)
+    for (GrB_Index j = 0; j < 5; ++j)
+      if (at.at(i, j)) want.at(i, j) = double(i);
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ApplyIndexTest, DiagIndexValues) {
+  ref::Mat ra = testutil::random_mat(6, 6, 0.6, 9);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_INT32, 6, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(c, GrB_NULL, GrB_NULL, GrB_DIAGINDEX_INT32, a,
+                      int32_t{0}, GrB_NULL),
+            GrB_SUCCESS);
+  ref::Mat want(6, 6);
+  for (GrB_Index i = 0; i < 6; ++i)
+    for (GrB_Index j = 0; j < 6; ++j)
+      if (ra.at(i, j))
+        want.at(i, j) = double(int64_t(j) - int64_t(i));
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+// ---- select (§VIII.C) --------------------------------------------------------
+
+TEST(SelectTest, TrilTriuDiagOffdiag) {
+  ref::Mat ra = testutil::random_mat(10, 10, 0.5, 10);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  struct Case {
+    GrB_IndexUnaryOp op;
+    int64_t s;
+    std::function<bool(GrB_Index, GrB_Index, double)> keep;
+  };
+  const Case cases[] = {
+      {GrB_TRIL, 0,
+       [](GrB_Index i, GrB_Index j, double) { return j <= i; }},
+      {GrB_TRIL, -1,
+       [](GrB_Index i, GrB_Index j, double) { return j + 1 <= i; }},
+      {GrB_TRIU, 0,
+       [](GrB_Index i, GrB_Index j, double) { return j >= i; }},
+      {GrB_TRIU, 2,
+       [](GrB_Index i, GrB_Index j, double) { return j >= i + 2; }},
+      {GrB_DIAG, 0,
+       [](GrB_Index i, GrB_Index j, double) { return i == j; }},
+      {GrB_OFFDIAG, 0,
+       [](GrB_Index i, GrB_Index j, double) { return i != j; }},
+      {GrB_ROWLE, 4,
+       [](GrB_Index i, GrB_Index, double) { return i <= 4; }},
+      {GrB_ROWGT, 4,
+       [](GrB_Index i, GrB_Index, double) { return i > 4; }},
+      {GrB_COLLE, 3,
+       [](GrB_Index, GrB_Index j, double) { return j <= 3; }},
+      {GrB_COLGT, 3,
+       [](GrB_Index, GrB_Index j, double) { return j > 3; }},
+  };
+  for (const Case& tc : cases) {
+    GrB_Matrix c = nullptr;
+    ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 10, 10), GrB_SUCCESS);
+    ASSERT_EQ(GrB_select(c, GrB_NULL, GrB_NULL, tc.op, a, tc.s, GrB_NULL),
+              GrB_SUCCESS);
+    EXPECT_MATRIX_EQ(c, ref::select(ra, tc.keep));
+    GrB_free(&c);
+  }
+  GrB_free(&a);
+}
+
+TEST(SelectTest, ValueComparisons) {
+  ref::Mat ra = testutil::random_mat(12, 12, 0.5, 11);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  struct Case {
+    GrB_IndexUnaryOp op;
+    std::function<bool(double)> keep;
+  };
+  const double s = 5.0;
+  const Case cases[] = {
+      {GrB_VALUEEQ_FP64, [&](double v) { return v == s; }},
+      {GrB_VALUENE_FP64, [&](double v) { return v != s; }},
+      {GrB_VALUELT_FP64, [&](double v) { return v < s; }},
+      {GrB_VALUELE_FP64, [&](double v) { return v <= s; }},
+      {GrB_VALUEGT_FP64, [&](double v) { return v > s; }},
+      {GrB_VALUEGE_FP64, [&](double v) { return v >= s; }},
+  };
+  for (const Case& tc : cases) {
+    GrB_Matrix c = nullptr;
+    ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 12, 12), GrB_SUCCESS);
+    ASSERT_EQ(GrB_select(c, GrB_NULL, GrB_NULL, tc.op, a, s, GrB_NULL),
+              GrB_SUCCESS);
+    EXPECT_MATRIX_EQ(c, ref::select(ra, [&](GrB_Index, GrB_Index, double v) {
+                       return tc.keep(v);
+                     }));
+    GrB_free(&c);
+  }
+  GrB_free(&a);
+}
+
+TEST(SelectTest, VectorSelect) {
+  ref::Vec ru = testutil::random_vec(25, 0.6, 12);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 25), GrB_SUCCESS);
+  ASSERT_EQ(GrB_select(w, GrB_NULL, GrB_NULL, GrB_ROWLE, u, int64_t{10},
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(
+      w, ref::select(ru, [](GrB_Index i, double) { return i <= 10; }));
+  ASSERT_EQ(GrB_select(w, GrB_NULL, GrB_NULL, GrB_VALUEGE_FP64, u, 4.0,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(
+      w, ref::select(ru, [](GrB_Index, double v) { return v >= 4.0; }));
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST(SelectTest, SelectKeepsValuesUnchanged) {
+  // Select is a functional MASK: survivors keep their original value
+  // (unlike apply, which computes new ones).
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 7.25, 2, 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_select(c, GrB_NULL, GrB_NULL, GrB_TRIL, a, int64_t{0},
+                       GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&out, c, 2, 0), GrB_SUCCESS);
+  EXPECT_EQ(out, 7.25);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+// ---- Figure 3 ------------------------------------------------------------------
+
+// The paper's §VIII.A user-defined operator: keep strictly-upper entries
+// with value > s.
+void my_triu_eq_INT32(void* out, const void* in, GrB_Index* indices,
+                      GrB_Index n, const void* s) {
+  (void)n;
+  int32_t a, sv;
+  std::memcpy(&a, in, 4);
+  std::memcpy(&sv, s, 4);
+  bool z = (indices[1] > indices[0]) && (a > sv);
+  std::memcpy(out, &z, sizeof(bool));
+}
+
+TEST(Fig3Test, SelectAndApplyOnWeightedGraph) {
+  // A small weighted digraph standing in for Figure 3(a); the figure's
+  // pixel values are not in the text, so the *operations* are reproduced
+  // exactly on a concrete instance and checked against first principles.
+  const GrB_Index n = 5;
+  GrB_Index ri[] = {0, 0, 1, 2, 2, 3, 3, 4, 4};
+  GrB_Index ci[] = {1, 3, 2, 0, 4, 1, 4, 0, 2};
+  int32_t w[] = {2, 5, 1, 4, 3, 7, 2, 6, 1};
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_INT32, n, n), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_build(a, ri, ci, w, 9, GrB_NULL), GrB_SUCCESS);
+
+  // (b) top: select with the user-defined myTriuEq operator, s = 0.
+  GrB_IndexUnaryOp my_op = nullptr;
+  ASSERT_EQ(GrB_IndexUnaryOp_new(&my_op, &my_triu_eq_INT32, GrB_BOOL,
+                                 GrB_INT32, GrB_INT32),
+            GrB_SUCCESS);
+  GrB_Matrix sel = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&sel, GrB_INT32, n, n), GrB_SUCCESS);
+  ASSERT_EQ(GrB_select(sel, GrB_NULL, GrB_NULL, my_op, a, int32_t{2},
+                       GrB_NULL),
+            GrB_SUCCESS);
+  // Expected survivors: strictly-upper entries with value > 2:
+  // (0,3)=5, (2,4)=3.  ((0,1)=2 fails the value test.)
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Matrix_nvals(&nv, sel), GrB_SUCCESS);
+  EXPECT_EQ(nv, 2u);
+  int32_t out = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&out, sel, 0, 3), GrB_SUCCESS);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(GrB_Matrix_extractElement(&out, sel, 2, 4), GrB_SUCCESS);
+  EXPECT_EQ(out, 3);
+
+  // (b) bottom / paper's apply snippet: replace values with the column
+  // index plus one, GrB_apply(C, NULL, NULL, GrB_COLINDEX, A, 1, NULL).
+  GrB_Matrix app = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&app, GrB_INT64, n, n), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(app, GrB_NULL, GrB_NULL, GrB_COLINDEX_INT64, a,
+                      int64_t{1}, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_nvals(&nv, app), GrB_SUCCESS);
+  EXPECT_EQ(nv, 9u);  // apply keeps the full structure
+  int64_t iv = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&iv, app, 0, 3), GrB_SUCCESS);
+  EXPECT_EQ(iv, 4);  // j + 1
+  EXPECT_EQ(GrB_Matrix_extractElement(&iv, app, 4, 0), GrB_SUCCESS);
+  EXPECT_EQ(iv, 1);
+
+  GrB_free(&a);
+  GrB_free(&sel);
+  GrB_free(&app);
+  GrB_free(&my_op);
+}
+
+TEST(SelectTest, MaskedAccumSelect) {
+  ref::Mat ra = testutil::random_mat(8, 8, 0.5, 13);
+  ref::Mat rc = testutil::random_mat(8, 8, 0.3, 14);
+  ref::Mat rm = testutil::random_mat(8, 8, 0.5, 15);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Matrix m = testutil::make_matrix(rm);
+  ASSERT_EQ(GrB_select(c, m, GrB_PLUS_FP64, GrB_TRIU, a, int64_t{0},
+                       GrB_DESC_S),
+            GrB_SUCCESS);
+  ref::Mat t = ref::select(
+      ra, [](GrB_Index i, GrB_Index j, double) { return j >= i; });
+  ref::Spec spec;
+  spec.have_mask = true;
+  spec.structure = true;
+  spec.accum = fn_plus;
+  EXPECT_MATRIX_EQ(c, ref::writeback(rc, t, &rm, spec));
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&m);
+}
+
+}  // namespace

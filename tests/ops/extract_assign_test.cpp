@@ -1,0 +1,325 @@
+// GrB_extract and GrB_assign in all their variants, against the dense
+// reference.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+using testutil::fn_plus;
+
+TEST(ExtractTest, VectorSubset) {
+  ref::Vec ru = testutil::random_vec(20, 0.6, 1);
+  GrB_Vector u = testutil::make_vector(ru);
+  std::vector<GrB_Index> idx = {3, 17, 0, 3, 9};  // repeats + unsorted
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, idx.size()), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(w, GrB_NULL, GrB_NULL, u, idx.data(), idx.size(),
+                        GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::extract(ru, idx));
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST(ExtractTest, VectorAll) {
+  ref::Vec ru = testutil::random_vec(12, 0.5, 2);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 12), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(w, GrB_NULL, GrB_NULL, u, GrB_ALL, 0, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ru);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST(ExtractTest, MatrixSubmatrix) {
+  ref::Mat ra = testutil::random_mat(10, 12, 0.5, 3);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  std::vector<GrB_Index> rows = {7, 2, 2, 9};
+  std::vector<GrB_Index> cols = {0, 11, 5};
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, rows.size(), cols.size()),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(c, GrB_NULL, GrB_NULL, a, rows.data(), rows.size(),
+                        cols.data(), cols.size(), GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::extract(ra, rows, cols));
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ExtractTest, MatrixAllAndTransposed) {
+  ref::Mat ra = testutil::random_mat(8, 6, 0.5, 4);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(c, GrB_NULL, GrB_NULL, a, GrB_ALL, 0, GrB_ALL, 0,
+                        GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ra);
+  GrB_free(&c);
+  // Transposed extract: C = A'(I, J).
+  std::vector<GrB_Index> rows = {5, 0};  // indices into A' rows (A cols)
+  std::vector<GrB_Index> cols = {1, 7};
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 2, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(c, GrB_NULL, GrB_NULL, a, rows.data(), 2,
+                        cols.data(), 2, GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::extract(ref::transpose(ra), rows, cols));
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(ExtractTest, ColumnExtract) {
+  ref::Mat ra = testutil::random_mat(9, 7, 0.6, 5);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 9), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(w, GrB_NULL, GrB_NULL, a, GrB_ALL, 0, 3, GrB_NULL),
+            GrB_SUCCESS);
+  ref::Vec want(9);
+  for (GrB_Index i = 0; i < 9; ++i) want.at(i) = ra.at(i, 3);
+  EXPECT_VECTOR_EQ(w, want);
+  // Row extraction via T0: w = A(4, :).
+  GrB_Vector r = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&r, GrB_FP64, 7), GrB_SUCCESS);
+  ASSERT_EQ(GrB_extract(r, GrB_NULL, GrB_NULL, a, GrB_ALL, 0, 4,
+                        GrB_DESC_T0),
+            GrB_SUCCESS);
+  ref::Vec want_row(7);
+  for (GrB_Index j = 0; j < 7; ++j) want_row.at(j) = ra.at(4, j);
+  EXPECT_VECTOR_EQ(r, want_row);
+  GrB_free(&a);
+  GrB_free(&w);
+  GrB_free(&r);
+}
+
+TEST(ExtractTest, OutOfRangeIndexIsApiError) {
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 2), GrB_SUCCESS);
+  GrB_Index idx[] = {0, 7};
+  EXPECT_EQ(GrB_extract(w, GrB_NULL, GrB_NULL, u, idx, 2, GrB_NULL),
+            GrB_INVALID_INDEX);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+// ---- assign -------------------------------------------------------------------
+
+TEST(AssignTest, VectorBasic) {
+  ref::Vec rw = testutil::random_vec(15, 0.4, 10);
+  ref::Vec ru = testutil::random_vec(4, 0.9, 11);
+  std::vector<GrB_Index> idx = {2, 7, 11, 14};
+  GrB_Vector w = testutil::make_vector(rw);
+  GrB_Vector u = testutil::make_vector(ru);
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, u, idx.data(), idx.size(),
+                       GrB_NULL),
+            GrB_SUCCESS);
+  ref::Spec spec;
+  EXPECT_VECTOR_EQ(w, ref::assign(rw, ru, idx, nullptr, spec));
+  GrB_free(&w);
+  GrB_free(&u);
+}
+
+TEST(AssignTest, VectorHolesDeleteWithoutAccum) {
+  // A hole in the source deletes the target entry (no accum)...
+  GrB_Vector w = nullptr, u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(w, 1.0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(w, 2.0, 3), GrB_SUCCESS);
+  GrB_Index idx[] = {1, 3};
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, u, idx, 2, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nv = 9;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 0u);
+  // ... but with an accumulator the old entries survive.
+  ASSERT_EQ(GrB_Vector_setElement(w, 1.0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_PLUS_FP64, u, idx, 2, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 1u);
+  GrB_free(&w);
+  GrB_free(&u);
+}
+
+TEST(AssignTest, VectorMaskedReplaceSweep) {
+  ref::Vec rw = testutil::random_vec(18, 0.5, 12);
+  ref::Vec ru = testutil::random_vec(6, 0.7, 13);
+  ref::Vec rm = testutil::random_vec(18, 0.5, 14);
+  std::vector<GrB_Index> idx = {0, 3, 6, 9, 12, 15};
+  struct Combo {
+    GrB_Descriptor desc;
+    bool structure, comp, replace;
+    bool accum;
+  };
+  const Combo combos[] = {
+      {GrB_NULL, false, false, false, false},
+      {GrB_DESC_R, false, false, true, false},
+      {GrB_DESC_S, true, false, false, true},
+      {GrB_DESC_RC, false, true, true, false},
+  };
+  for (const Combo& cb : combos) {
+    GrB_Vector w = testutil::make_vector(rw);
+    GrB_Vector u = testutil::make_vector(ru);
+    GrB_Vector m = testutil::make_vector(rm);
+    ASSERT_EQ(GrB_assign(w, m, cb.accum ? GrB_PLUS_FP64 : GrB_NULL, u,
+                         idx.data(), idx.size(), cb.desc),
+              GrB_SUCCESS);
+    ref::Spec spec;
+    spec.have_mask = true;
+    spec.structure = cb.structure;
+    spec.comp = cb.comp;
+    spec.replace = cb.replace;
+    if (cb.accum) spec.accum = fn_plus;
+    EXPECT_VECTOR_EQ(w, ref::assign(rw, ru, idx, &rm, spec));
+    GrB_free(&w);
+    GrB_free(&u);
+    GrB_free(&m);
+  }
+}
+
+TEST(AssignTest, MatrixGrid) {
+  ref::Mat rc = testutil::random_mat(9, 9, 0.3, 20);
+  ref::Mat ra = testutil::random_mat(3, 2, 0.8, 21);
+  std::vector<GrB_Index> rows = {1, 4, 7};
+  std::vector<GrB_Index> cols = {2, 5};
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  ASSERT_EQ(GrB_assign(c, GrB_NULL, GrB_NULL, a, rows.data(), rows.size(),
+                       cols.data(), cols.size(), GrB_NULL),
+            GrB_SUCCESS);
+  ref::Spec spec;
+  EXPECT_MATRIX_EQ(c, ref::assign(rc, ra, rows, cols, nullptr, spec));
+  GrB_free(&c);
+  GrB_free(&a);
+}
+
+TEST(AssignTest, MatrixAccumMasked) {
+  ref::Mat rc = testutil::random_mat(8, 8, 0.4, 22);
+  ref::Mat ra = testutil::random_mat(2, 3, 0.9, 23);
+  ref::Mat rm = testutil::random_mat(8, 8, 0.5, 24);
+  std::vector<GrB_Index> rows = {6, 1};
+  std::vector<GrB_Index> cols = {0, 4, 7};
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix m = testutil::make_matrix(rm);
+  ASSERT_EQ(GrB_assign(c, m, GrB_PLUS_FP64, a, rows.data(), rows.size(),
+                       cols.data(), cols.size(), GrB_DESC_S),
+            GrB_SUCCESS);
+  ref::Spec spec;
+  spec.have_mask = true;
+  spec.structure = true;
+  spec.accum = fn_plus;
+  EXPECT_MATRIX_EQ(c, ref::assign(rc, ra, rows, cols, &rm, spec));
+  GrB_free(&c);
+  GrB_free(&a);
+  GrB_free(&m);
+}
+
+TEST(AssignTest, ScalarToVectorRegion) {
+  ref::Vec rw = testutil::random_vec(10, 0.4, 30);
+  GrB_Vector w = testutil::make_vector(rw);
+  GrB_Index idx[] = {1, 5, 8};
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, 7.5, idx, 3, GrB_NULL),
+            GrB_SUCCESS);
+  ref::Vec want = rw;
+  for (GrB_Index i : {1, 5, 8}) want.at(i) = 7.5;
+  EXPECT_VECTOR_EQ(w, want);
+  // Scalar to ALL makes the vector dense.
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, 1.0, GrB_ALL, 0, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 10u);
+  GrB_free(&w);
+}
+
+TEST(AssignTest, ScalarToMatrixRegionWithAccum) {
+  ref::Mat rc = testutil::random_mat(6, 6, 0.5, 31);
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Index rows[] = {0, 3};
+  GrB_Index cols[] = {1, 4};
+  ASSERT_EQ(GrB_assign(c, GrB_NULL, GrB_PLUS_FP64, 10.0, rows, 2, cols, 2,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  ref::Mat want = rc;
+  for (GrB_Index r : {0, 3})
+    for (GrB_Index k : {1, 4})
+      want.at(r, k) = want.at(r, k) ? *want.at(r, k) + 10.0 : 10.0;
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&c);
+}
+
+TEST(AssignTest, GrBScalarVariantAndEmptyDeletes) {
+  // Table II GrB_Scalar-assign: a full scalar assigns its value; an
+  // EMPTY scalar deletes the targeted entries.
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 6), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 6; ++i)
+    ASSERT_EQ(GrB_Vector_setElement(w, double(i + 1), i), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 99.0), GrB_SUCCESS);
+  GrB_Index idx[] = {0, 2};
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, s, idx, 2, GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 0), GrB_SUCCESS);
+  EXPECT_EQ(out, 99.0);
+  // Now with an empty scalar: deletes at the targeted indices.
+  ASSERT_EQ(GrB_Scalar_clear(s), GrB_SUCCESS);
+  ASSERT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, s, idx, 2, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 4u);
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 0), GrB_NO_VALUE);
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 1), GrB_SUCCESS);
+  GrB_free(&w);
+  GrB_free(&s);
+}
+
+TEST(AssignTest, RowAndColAssign) {
+  ref::Mat rc = testutil::random_mat(5, 7, 0.4, 40);
+  ref::Vec ru = testutil::random_vec(7, 0.8, 41);
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Vector u = testutil::make_vector(ru);
+  ASSERT_EQ(GrB_Row_assign(c, GrB_NULL, GrB_NULL, u, 2, GrB_ALL, 0,
+                           GrB_NULL),
+            GrB_SUCCESS);
+  ref::Mat want = rc;
+  for (GrB_Index j = 0; j < 7; ++j) want.at(2, j) = ru.at(j);
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&u);
+  // Column assign.
+  ref::Vec rv = testutil::random_vec(5, 0.8, 42);
+  GrB_Vector v = testutil::make_vector(rv);
+  ASSERT_EQ(GrB_Col_assign(c, GrB_NULL, GrB_NULL, v, GrB_ALL, 0, 3,
+                           GrB_NULL),
+            GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 5; ++i) want.at(i, 3) = rv.at(i);
+  EXPECT_MATRIX_EQ(c, want);
+  GrB_free(&c);
+  GrB_free(&v);
+}
+
+TEST(AssignTest, DimensionErrors) {
+  GrB_Vector w = nullptr, u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 3), GrB_SUCCESS);
+  GrB_Index idx[] = {0, 1};  // wrong count vs u
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, u, idx, 2, GrB_NULL),
+            GrB_DIMENSION_MISMATCH);
+  GrB_Index bad[] = {0, 1, 9};
+  EXPECT_EQ(GrB_assign(w, GrB_NULL, GrB_NULL, u, bad, 3, GrB_NULL),
+            GrB_INVALID_INDEX);
+  GrB_free(&w);
+  GrB_free(&u);
+}
+
+}  // namespace

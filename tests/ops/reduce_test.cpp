@@ -1,0 +1,205 @@
+// GrB_reduce: matrix->vector, typed scalar output (1.X style), and the
+// GraphBLAS 2.0 GrB_Scalar-output variants (§VI, Table II).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+using testutil::fn_max;
+using testutil::fn_min;
+using testutil::fn_plus;
+
+TEST(ReduceTest, MatrixToVectorRows) {
+  ref::Mat ra = testutil::random_mat(9, 14, 0.4, 1);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 9), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(w, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64, a,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::reduce_rows(ra, fn_plus));
+  GrB_free(&a);
+  GrB_free(&w);
+}
+
+TEST(ReduceTest, MatrixToVectorColumnsViaTranspose) {
+  ref::Mat ra = testutil::random_mat(9, 14, 0.4, 2);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 14), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(w, GrB_NULL, GrB_NULL, GrB_MAX_MONOID_FP64, a,
+                       GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_VECTOR_EQ(w, ref::reduce_rows(ref::transpose(ra), fn_max));
+  GrB_free(&a);
+  GrB_free(&w);
+}
+
+TEST(ReduceTest, MatrixToVectorMaskedAccum) {
+  ref::Mat ra = testutil::random_mat(10, 10, 0.4, 3);
+  ref::Vec rw = testutil::random_vec(10, 0.4, 4);
+  ref::Vec rm = testutil::random_vec(10, 0.5, 5);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Vector w = testutil::make_vector(rw);
+  GrB_Vector m = testutil::make_vector(rm);
+  ASSERT_EQ(GrB_reduce(w, m, GrB_PLUS_FP64, GrB_PLUS_MONOID_FP64, a,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  ref::Spec spec;
+  spec.have_mask = true;
+  spec.accum = fn_plus;
+  EXPECT_VECTOR_EQ(
+      w, ref::writeback(rw, ref::reduce_rows(ra, fn_plus), &rm, spec));
+  GrB_free(&a);
+  GrB_free(&w);
+  GrB_free(&m);
+}
+
+TEST(ReduceTest, TypedScalarFromVector) {
+  ref::Vec ru = testutil::random_vec(30, 0.5, 6);
+  GrB_Vector u = testutil::make_vector(ru);
+  double sum = 0;
+  ASSERT_EQ(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  ref::Cell want = ref::reduce_all(ru, fn_plus);
+  EXPECT_EQ(sum, want.value_or(0.0));
+  // With an accumulator the old value folds in.
+  double acc = 100;
+  ASSERT_EQ(GrB_reduce(&acc, GrB_PLUS_FP64, GrB_PLUS_MONOID_FP64, u,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(acc, 100 + want.value_or(0.0));
+  GrB_free(&u);
+}
+
+TEST(ReduceTest, TypedScalarFromEmptyIsIdentity) {
+  // GraphBLAS 1.X behaviour the paper's §VI contrasts against: typed
+  // output cannot represent "empty", so the identity comes back.
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 10), GrB_SUCCESS);
+  double sum = -1;
+  ASSERT_EQ(GrB_reduce(&sum, GrB_NULL, GrB_PLUS_MONOID_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(sum, 0.0);
+  double mn = -1;
+  ASSERT_EQ(GrB_reduce(&mn, GrB_NULL, GrB_MIN_MONOID_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_EQ(mn, std::numeric_limits<double>::infinity());
+  GrB_free(&u);
+}
+
+TEST(ReduceTest, ScalarOutputFromEmptyIsEmpty) {
+  // The 2.0 GrB_Scalar variant "can instead return an empty container"
+  // (paper §VI) — the headline behavioural difference.
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 10), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nvals = 9;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&u);
+  GrB_free(&s);
+}
+
+TEST(ReduceTest, ScalarOutputMonoidMatrix) {
+  ref::Mat ra = testutil::random_mat(12, 12, 0.4, 7);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_MIN_MONOID_FP64, a, GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  ASSERT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, ref::reduce_all(ra, fn_min).value());
+  GrB_free(&a);
+  GrB_free(&s);
+}
+
+TEST(ReduceTest, ScalarOutputWithBinaryOp) {
+  // Table II: "we can now define reduction to scalar that takes
+  // GrB_BinaryOp as the reducing function".
+  ref::Vec ru = testutil::random_vec(20, 0.6, 8);
+  GrB_Vector u = testutil::make_vector(ru);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_MAX_FP64, u, GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  ASSERT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, ref::reduce_all(ru, fn_max).value());
+  // Empty input with a plain binary op: empty output, no identity needed.
+  GrB_Vector empty = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&empty, GrB_FP64, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_MAX_FP64, empty, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nvals = 9;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&u);
+  GrB_free(&empty);
+  GrB_free(&s);
+}
+
+TEST(ReduceTest, ScalarOutputAccumKeepsOldWhenEmpty) {
+  GrB_Vector empty = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&empty, GrB_FP64, 5), GrB_SUCCESS);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_FP64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Scalar_setElement(s, 42.0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_PLUS_FP64, GrB_PLUS_MONOID_FP64, empty,
+                       GrB_NULL),
+            GrB_SUCCESS);
+  double out = 0;
+  ASSERT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(out, 42.0);  // accumulator keeps the old value
+  // Without accum, the empty reduction clears the scalar.
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_FP64, empty, GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nvals = 1;
+  EXPECT_EQ(GrB_Scalar_nvals(&nvals, s), GrB_SUCCESS);
+  EXPECT_EQ(nvals, 0u);
+  GrB_free(&empty);
+  GrB_free(&s);
+}
+
+TEST(ReduceTest, ScalarReduceIsDeferrable) {
+  // §VI: the GrB_Scalar variant joins the deferred sequence; the typed
+  // variant cannot defer.  Observable: results are identical after wait.
+  ref::Mat ra = testutil::random_mat(10, 10, 0.5, 9);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Scalar s = nullptr;
+  ASSERT_EQ(GrB_Scalar_new(&s, GrB_INT64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_reduce(s, GrB_NULL, GrB_PLUS_MONOID_INT64, a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(s, GrB_MATERIALIZE), GrB_SUCCESS);
+  int64_t out = 0;
+  ASSERT_EQ(GrB_Scalar_extractElement(&out, s), GrB_SUCCESS);
+  EXPECT_EQ(double(out), ref::reduce_all(ra, fn_plus).value());
+  GrB_free(&a);
+  GrB_free(&s);
+}
+
+TEST(ReduceTest, TerminalEarlyExitStillCorrect) {
+  // LOR over a vector with an early `true` exercises the terminal path.
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_BOOL, 1000), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 1000; ++i)
+    ASSERT_EQ(GrB_Vector_setElement(u, i == 3, i), GrB_SUCCESS);
+  bool any = false;
+  ASSERT_EQ(GrB_reduce(&any, GrB_NULL, GrB_LOR_MONOID_BOOL, u, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_TRUE(any);
+  bool all = true;
+  ASSERT_EQ(GrB_reduce(&all, GrB_NULL, GrB_LAND_MONOID_BOOL, u, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_FALSE(all);
+  GrB_free(&u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// GrB_transpose and GrB_kronecker against the dense reference.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+using testutil::fn_plus;
+using testutil::fn_times;
+
+TEST(TransposeTest, Basic) {
+  ref::Mat ra = testutil::random_mat(7, 11, 0.5, 1);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 11, 7), GrB_SUCCESS);
+  ASSERT_EQ(GrB_transpose(c, GrB_NULL, GrB_NULL, a, GrB_NULL), GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::transpose(ra));
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  ref::Mat ra = testutil::random_mat(9, 9, 0.4, 2);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 9, 9), GrB_SUCCESS);
+  // With GrB_DESC_T0 the transposes cancel: C = A.
+  ASSERT_EQ(GrB_transpose(c, GrB_NULL, GrB_NULL, a, GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ra);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(TransposeTest, MaskedAccum) {
+  ref::Mat ra = testutil::random_mat(8, 8, 0.4, 3);
+  ref::Mat rc = testutil::random_mat(8, 8, 0.3, 4);
+  ref::Mat rm = testutil::random_mat(8, 8, 0.5, 5);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix c = testutil::make_matrix(rc);
+  GrB_Matrix m = testutil::make_matrix(rm);
+  ASSERT_EQ(GrB_transpose(c, m, GrB_PLUS_FP64, a, GrB_DESC_S),
+            GrB_SUCCESS);
+  ref::Spec spec;
+  spec.have_mask = true;
+  spec.structure = true;
+  spec.accum = fn_plus;
+  EXPECT_MATRIX_EQ(c, ref::writeback(rc, ref::transpose(ra), &rm, spec));
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&m);
+}
+
+TEST(TransposeTest, DimensionMismatch) {
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 3, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 3, 5), GrB_SUCCESS);
+  EXPECT_EQ(GrB_transpose(c, GrB_NULL, GrB_NULL, a, GrB_NULL),
+            GrB_DIMENSION_MISMATCH);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST(KroneckerTest, SmallExact) {
+  // kron([[1,2],[0,3]], [[0,5],[6,0]]) has a closed form.
+  ref::Mat ra(2, 2);
+  ra.at(0, 0) = 1;
+  ra.at(0, 1) = 2;
+  ra.at(1, 1) = 3;
+  ref::Mat rb(2, 2);
+  rb.at(0, 1) = 5;
+  rb.at(1, 0) = 6;
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix b = testutil::make_matrix(rb);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 4, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(c, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, b,
+                          GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::kronecker(ra, rb, fn_times));
+  double out = 0;
+  EXPECT_EQ(GrB_Matrix_extractElement(&out, c, 0, 1), GrB_SUCCESS);
+  EXPECT_EQ(out, 5.0);  // a00*b01
+  EXPECT_EQ(GrB_Matrix_extractElement(&out, c, 1, 2), GrB_SUCCESS);
+  EXPECT_EQ(out, 12.0);  // a01*b10
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&c);
+}
+
+TEST(KroneckerTest, RandomRectangular) {
+  ref::Mat ra = testutil::random_mat(3, 4, 0.6, 6);
+  ref::Mat rb = testutil::random_mat(5, 2, 0.6, 7);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix b = testutil::make_matrix(rb);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 15, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(c, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, b,
+                          GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c, ref::kronecker(ra, rb, fn_times));
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&c);
+}
+
+TEST(KroneckerTest, TransposedInputs) {
+  ref::Mat ra = testutil::random_mat(3, 4, 0.6, 8);
+  ref::Mat rb = testutil::random_mat(2, 5, 0.6, 9);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix b = testutil::make_matrix(rb);
+  GrB_Matrix c = nullptr;
+  // C = kron(A', B'): (4*5) x (3*2)
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 20, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(c, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, b,
+                          GrB_DESC_T0T1),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(
+      c, ref::kronecker(ref::transpose(ra), ref::transpose(rb), fn_times));
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&c);
+}
+
+TEST(KroneckerTest, SemiringAndMonoidVariantsUseMul) {
+  ref::Mat ra = testutil::random_mat(2, 2, 1.0, 10);
+  ref::Mat rb = testutil::random_mat(3, 3, 0.7, 11);
+  GrB_Matrix a = testutil::make_matrix(ra);
+  GrB_Matrix b = testutil::make_matrix(rb);
+  GrB_Matrix c1 = nullptr, c2 = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c1, GrB_FP64, 6, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c2, GrB_FP64, 6, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(c1, GrB_NULL, GrB_NULL,
+                          GrB_PLUS_TIMES_SEMIRING_FP64, a, b, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_kronecker(c2, GrB_NULL, GrB_NULL, GrB_PLUS_MONOID_FP64, a,
+                          b, GrB_NULL),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(c1, ref::kronecker(ra, rb, fn_times));
+  EXPECT_MATRIX_EQ(c2, ref::kronecker(ra, rb, fn_plus));
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&c1);
+  GrB_free(&c2);
+}
+
+}  // namespace

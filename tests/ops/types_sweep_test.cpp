@@ -1,0 +1,212 @@
+// Systematic per-type coverage: containers and core operations behave
+// for EVERY builtin domain (typed tests over the 11 types).
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+template <class T>
+class TypedContainerTest : public ::testing::Test {};
+
+using AllTypes =
+    ::testing::Types<bool, int8_t, uint8_t, int16_t, uint16_t, int32_t,
+                     uint32_t, int64_t, uint64_t, float, double>;
+TYPED_TEST_SUITE(TypedContainerTest, AllTypes);
+
+TYPED_TEST(TypedContainerTest, VectorRoundTrip) {
+  using T = TypeParam;
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, grb::type_of<T>(), 16), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 16; i += 3) {
+    ASSERT_EQ(GrB_Vector_setElement(v, static_cast<T>(i % 7), i),
+              GrB_SUCCESS);
+  }
+  for (GrB_Index i = 0; i < 16; i += 3) {
+    T out{};
+    ASSERT_EQ(GrB_Vector_extractElement(&out, v, i), GrB_SUCCESS);
+    EXPECT_EQ(out, static_cast<T>(i % 7));
+  }
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, v), GrB_SUCCESS);
+  EXPECT_EQ(nv, 6u);
+  GrB_free(&v);
+}
+
+TYPED_TEST(TypedContainerTest, MatrixRoundTrip) {
+  using T = TypeParam;
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, grb::type_of<T>(), 8, 8), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 8; ++i) {
+    ASSERT_EQ(
+        GrB_Matrix_setElement(a, static_cast<T>((i * 3) % 5), i, 7 - i),
+        GrB_SUCCESS);
+  }
+  for (GrB_Index i = 0; i < 8; ++i) {
+    T out{};
+    ASSERT_EQ(GrB_Matrix_extractElement(&out, a, i, 7 - i), GrB_SUCCESS);
+    EXPECT_EQ(out, static_cast<T>((i * 3) % 5));
+  }
+  GrB_free(&a);
+}
+
+TYPED_TEST(TypedContainerTest, BuildExtractTuples) {
+  using T = TypeParam;
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, grb::type_of<T>(), 10), GrB_SUCCESS);
+  GrB_Index idx[] = {9, 0, 4};
+  T vals[] = {static_cast<T>(1), static_cast<T>(0), static_cast<T>(1)};
+  ASSERT_EQ(GrB_Vector_build(v, idx, vals, 3, GrB_NULL), GrB_SUCCESS);
+  GrB_Index oidx[3];
+  T ovals[3];
+  GrB_Index n = 3;
+  ASSERT_EQ(GrB_Vector_extractTuples(oidx, ovals, &n, v), GrB_SUCCESS);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(oidx[0], 0u);
+  EXPECT_EQ(ovals[0], static_cast<T>(0));
+  EXPECT_EQ(oidx[2], 9u);
+  EXPECT_EQ(ovals[2], static_cast<T>(1));
+  GrB_free(&v);
+}
+
+TYPED_TEST(TypedContainerTest, EwiseAddInDomain) {
+  using T = TypeParam;
+  const GrB_BinaryOp plus = grb::get_binary_op(
+      grb::BinOpCode::kPlus, grb::type_of<T>()->code());
+  ASSERT_NE(plus, nullptr);
+  GrB_Vector u = nullptr, v = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, grb::type_of<T>(), 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&v, grb::type_of<T>(), 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, grb::type_of<T>(), 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(1), 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, static_cast<T>(1), 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, static_cast<T>(1), 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_eWiseAdd(w, GrB_NULL, GrB_NULL, plus, u, v, GrB_NULL),
+            GrB_SUCCESS);
+  T out{};
+  ASSERT_EQ(GrB_Vector_extractElement(&out, w, 2), GrB_SUCCESS);
+  // bool PLUS is logical-or; numeric PLUS is 1+1.
+  EXPECT_EQ(out, static_cast<T>(static_cast<T>(1) + static_cast<T>(1)));
+  ASSERT_EQ(GrB_Vector_extractElement(&out, w, 4), GrB_SUCCESS);
+  EXPECT_EQ(out, static_cast<T>(1));
+  GrB_free(&u);
+  GrB_free(&v);
+  GrB_free(&w);
+}
+
+TYPED_TEST(TypedContainerTest, SerializeRoundTripPerType) {
+  using T = TypeParam;
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, grb::type_of<T>(), 6, 6), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, static_cast<T>(1), 1, 4),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, static_cast<T>(0), 5, 0),
+            GrB_SUCCESS);
+  GrB_Index size = 0;
+  ASSERT_EQ(GrB_Matrix_serializeSize(&size, a), GrB_SUCCESS);
+  std::vector<char> buf(size);
+  GrB_Index written = size;
+  ASSERT_EQ(GrB_Matrix_serialize(buf.data(), &written, a), GrB_SUCCESS);
+  GrB_Matrix back = nullptr;
+  ASSERT_EQ(GrB_Matrix_deserialize(&back, GrB_NULL, buf.data(), written),
+            GrB_SUCCESS);
+  EXPECT_EQ(back->type(), grb::type_of<T>());
+  T out{};
+  ASSERT_EQ(GrB_Matrix_extractElement(&out, back, 1, 4), GrB_SUCCESS);
+  EXPECT_EQ(out, static_cast<T>(1));
+  GrB_free(&a);
+  GrB_free(&back);
+}
+
+TYPED_TEST(TypedContainerTest, SelectValueNePerType) {
+  using T = TypeParam;
+  const GrB_IndexUnaryOp ne = grb::get_index_unary_op(
+      grb::IdxOpCode::kValueNE, grb::type_of<T>()->code());
+  ASSERT_NE(ne, nullptr);
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, grb::type_of<T>(), 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, grb::type_of<T>(), 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(0), 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(1), 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_select(w, GrB_NULL, GrB_NULL, ne, u, static_cast<T>(0),
+                       GrB_NULL),
+            GrB_SUCCESS);
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&nv, w), GrB_SUCCESS);
+  EXPECT_EQ(nv, 1u);
+  T out{};
+  EXPECT_EQ(GrB_Vector_extractElement(&out, w, 1), GrB_SUCCESS);
+  EXPECT_EQ(out, static_cast<T>(1));
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TYPED_TEST(TypedContainerTest, ReduceToScalarPerType) {
+  using T = TypeParam;
+  const GrB_Monoid monoid = grb::get_monoid(
+      std::is_same_v<T, bool> ? grb::BinOpCode::kLor
+                              : grb::BinOpCode::kPlus,
+      grb::type_of<T>()->code());
+  ASSERT_NE(monoid, nullptr);
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, grb::type_of<T>(), 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(1), 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(1), 3), GrB_SUCCESS);
+  T out{};
+  ASSERT_EQ(GrB_reduce(&out, GrB_NULL, monoid, u, GrB_NULL), GrB_SUCCESS);
+  if constexpr (std::is_same_v<T, bool>) {
+    EXPECT_EQ(out, true);
+  } else {
+    EXPECT_EQ(out, static_cast<T>(2));
+  }
+  GrB_free(&u);
+}
+
+TYPED_TEST(TypedContainerTest, MxmInDomain) {
+  using T = TypeParam;
+  grb::BinOpCode add = std::is_same_v<T, bool> ? grb::BinOpCode::kLor
+                                               : grb::BinOpCode::kPlus;
+  grb::BinOpCode mul = std::is_same_v<T, bool> ? grb::BinOpCode::kLand
+                                               : grb::BinOpCode::kTimes;
+  const GrB_Semiring ring =
+      grb::get_semiring(add, mul, grb::type_of<T>()->code());
+  ASSERT_NE(ring, nullptr);
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, grb::type_of<T>(), 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, grb::type_of<T>(), 3, 3), GrB_SUCCESS);
+  // Path 0 -> 1 -> 2.
+  ASSERT_EQ(GrB_Matrix_setElement(a, static_cast<T>(1), 0, 1),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, static_cast<T>(1), 1, 2),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, ring, a, a, GrB_NULL),
+            GrB_SUCCESS);
+  T out{};
+  ASSERT_EQ(GrB_Matrix_extractElement(&out, c, 0, 2), GrB_SUCCESS);
+  EXPECT_EQ(out, static_cast<T>(1));
+  GrB_Index nv = 0;
+  EXPECT_EQ(GrB_Matrix_nvals(&nv, c), GrB_SUCCESS);
+  EXPECT_EQ(nv, 1u);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TYPED_TEST(TypedContainerTest, ApplyIdentityPreservesValues) {
+  using T = TypeParam;
+  const GrB_UnaryOp ident = grb::get_unary_op(
+      grb::UnOpCode::kIdentity, grb::type_of<T>()->code());
+  ASSERT_NE(ident, nullptr);
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&u, grb::type_of<T>(), 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, grb::type_of<T>(), 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(u, static_cast<T>(1), 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, ident, u, GrB_NULL),
+            GrB_SUCCESS);
+  T out{};
+  ASSERT_EQ(GrB_Vector_extractElement(&out, w, 1), GrB_SUCCESS);
+  EXPECT_EQ(out, static_cast<T>(1));
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+}  // namespace

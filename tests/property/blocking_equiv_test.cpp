@@ -1,0 +1,114 @@
+// Property test: random operation sequences produce identical results in
+// blocking and nonblocking mode (the spec's core execution-model
+// guarantee — deferral must be unobservable apart from error timing).
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+// Runs a deterministic pseudo-random sequence of matrix ops in the given
+// context and returns the final state of the two working matrices.
+std::pair<ref::Mat, ref::Mat> run_sequence(uint64_t seed, GrB_Context ctx) {
+  const GrB_Index n = 12;
+  grb::Prng rng(seed);
+  ref::Mat ra = testutil::random_mat(n, n, 0.3, seed * 7 + 1);
+  ref::Mat rb = testutil::random_mat(n, n, 0.3, seed * 7 + 2);
+  GrB_Matrix a = testutil::make_matrix(ra, ctx);
+  GrB_Matrix b = testutil::make_matrix(rb, ctx);
+  GrB_Matrix x = nullptr, y = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&x, GrB_FP64, n, n, ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_new(&y, GrB_FP64, n, n, ctx), GrB_SUCCESS);
+
+  for (int step = 0; step < 25; ++step) {
+    switch (rng.below(7)) {
+      case 0:
+        EXPECT_EQ(GrB_mxm(x, GrB_NULL, GrB_NULL,
+                          GrB_PLUS_TIMES_SEMIRING_FP64, a, b, GrB_NULL),
+                  GrB_SUCCESS);
+        break;
+      case 1:
+        EXPECT_EQ(GrB_eWiseAdd(y, GrB_NULL, GrB_PLUS_FP64, GrB_MIN_FP64, x,
+                               a, GrB_NULL),
+                  GrB_SUCCESS);
+        break;
+      case 2:
+        EXPECT_EQ(GrB_apply(x, GrB_NULL, GrB_NULL, GrB_AINV_FP64, x,
+                            GrB_NULL),
+                  GrB_SUCCESS);
+        break;
+      case 3:
+        EXPECT_EQ(GrB_select(y, GrB_NULL, GrB_NULL, GrB_TRIU, y,
+                             int64_t{-1}, GrB_NULL),
+                  GrB_SUCCESS);
+        break;
+      case 4: {
+        GrB_Index i = rng.below(n), j = rng.below(n);
+        EXPECT_EQ(GrB_Matrix_setElement(x, double(1 + rng.below(9)), i, j),
+                  GrB_SUCCESS);
+        break;
+      }
+      case 5:
+        EXPECT_EQ(GrB_transpose(y, GrB_NULL, GrB_NULL, x, GrB_NULL),
+                  GrB_SUCCESS);
+        break;
+      case 6:
+        EXPECT_EQ(GrB_eWiseMult(x, y, GrB_NULL, GrB_TIMES_FP64, a, b,
+                                GrB_DESC_S),
+                  GrB_SUCCESS);
+        break;
+    }
+  }
+  EXPECT_EQ(GrB_wait(x, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(GrB_wait(y, GrB_MATERIALIZE), GrB_SUCCESS);
+  auto result = std::pair<ref::Mat, ref::Mat>{testutil::to_ref(x),
+                                              testutil::to_ref(y)};
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&x);
+  GrB_free(&y);
+  return result;
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModeEquivalence, BlockingEqualsNonblocking) {
+  uint64_t seed = GetParam();
+  auto nonblocking = run_sequence(seed, GrB_NULL);  // top-level: nonblocking
+  auto blocking = run_sequence(seed, testutil::blocking_context());
+  EXPECT_TRUE(testutil::mats_equal(blocking.first, nonblocking.first));
+  EXPECT_TRUE(testutil::mats_equal(blocking.second, nonblocking.second));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Lazy chains only force at observation points.
+TEST(LazinessTest, LongChainResolvesOnce) {
+  const GrB_Index n = 16;
+  GrB_Matrix a = nullptr, x = nullptr;
+  ref::Mat ra = testutil::random_mat(n, n, 0.3, 99);
+  a = testutil::make_matrix(ra);
+  ASSERT_EQ(GrB_Matrix_new(&x, GrB_FP64, n, n), GrB_SUCCESS);
+  // Chain 10 deferred ops into x without any forcing read.
+  ASSERT_EQ(GrB_apply(x, GrB_NULL, GrB_NULL, GrB_IDENTITY_FP64, a,
+                      GrB_NULL),
+            GrB_SUCCESS);
+  for (int k = 0; k < 9; ++k) {
+    ASSERT_EQ(GrB_eWiseAdd(x, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, x, a,
+                           GrB_NULL),
+              GrB_SUCCESS);
+  }
+  EXPECT_TRUE(x->has_pending_ops());
+  ASSERT_EQ(GrB_wait(x, GrB_COMPLETE), GrB_SUCCESS);
+  // x == 10 * a.
+  ref::Mat want = ra;
+  for (auto& c : want.cells)
+    if (c) c = *c * 10;
+  EXPECT_MATRIX_EQ(x, want);
+  GrB_free(&a);
+  GrB_free(&x);
+}
+
+}  // namespace

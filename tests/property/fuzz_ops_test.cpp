@@ -1,0 +1,180 @@
+// Differential fuzzing: long pseudo-random operation sequences over
+// matrices AND vectors, executed in lock-step against the dense
+// reference engine.  Any divergence in structure or values fails.
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using testutil::fn_max;
+using testutil::fn_min;
+using testutil::fn_plus;
+using testutil::fn_times;
+
+struct World {
+  static constexpr GrB_Index kN = 14;
+  // Two matrices, two vectors, both live in GraphBLAS and the oracle.
+  GrB_Matrix ma = nullptr, mb = nullptr;
+  GrB_Vector va = nullptr, vb = nullptr;
+  ref::Mat ra, rb;
+  ref::Vec qa, qb;
+
+  explicit World(uint64_t seed) {
+    ra = testutil::random_mat(kN, kN, 0.3, seed * 17 + 1);
+    rb = testutil::random_mat(kN, kN, 0.3, seed * 17 + 2);
+    qa = testutil::random_vec(kN, 0.5, seed * 17 + 3);
+    qb = testutil::random_vec(kN, 0.5, seed * 17 + 4);
+    ma = testutil::make_matrix(ra);
+    mb = testutil::make_matrix(rb);
+    va = testutil::make_vector(qa);
+    vb = testutil::make_vector(qb);
+  }
+  ~World() {
+    GrB_free(&ma);
+    GrB_free(&mb);
+    GrB_free(&va);
+    GrB_free(&vb);
+  }
+
+  void check() const {
+    ASSERT_TRUE(testutil::mats_equal(ra, testutil::to_ref(ma)));
+    ASSERT_TRUE(testutil::mats_equal(rb, testutil::to_ref(mb)));
+    ASSERT_TRUE(testutil::vecs_equal(qa, testutil::to_ref(va)));
+    ASSERT_TRUE(testutil::vecs_equal(qb, testutil::to_ref(vb)));
+  }
+};
+
+class FuzzOps : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzOps, LockStepAgainstOracle) {
+  const uint64_t seed = GetParam();
+  grb::Prng rng(seed);
+  World w(seed);
+  constexpr GrB_Index kN = World::kN;
+
+  for (int step = 0; step < 60; ++step) {
+    switch (rng.below(12)) {
+      case 0: {  // mb = ma * mb (plus/times)
+        ASSERT_EQ(GrB_mxm(w.mb, GrB_NULL, GrB_NULL,
+                          GrB_PLUS_TIMES_SEMIRING_FP64, w.ma, w.mb,
+                          GrB_NULL),
+                  GrB_SUCCESS);
+        w.rb = ref::mxm(w.ra, w.rb, fn_plus, fn_times);
+        break;
+      }
+      case 1: {  // ma = eWiseAdd(ma, mb, min)
+        ASSERT_EQ(GrB_eWiseAdd(w.ma, GrB_NULL, GrB_NULL, GrB_MIN_FP64,
+                               w.ma, w.mb, GrB_NULL),
+                  GrB_SUCCESS);
+        w.ra = ref::ewise_add(w.ra, w.rb, fn_min);
+        break;
+      }
+      case 2: {  // mb = eWiseMult(ma, mb, times), masked by ma (struct)
+        ASSERT_EQ(GrB_eWiseMult(w.mb, w.ma, GrB_NULL, GrB_TIMES_FP64,
+                                w.ma, w.mb, GrB_DESC_S),
+                  GrB_SUCCESS);
+        ref::Spec spec;
+        spec.have_mask = true;
+        spec.structure = true;
+        w.rb = ref::writeback(w.rb, ref::ewise_mult(w.ra, w.rb, fn_times),
+                              &w.ra, spec);
+        break;
+      }
+      case 3: {  // va = mxv(ma, vb) min.plus with accum
+        ASSERT_EQ(GrB_mxv(w.va, GrB_NULL, GrB_PLUS_FP64,
+                          GrB_MIN_PLUS_SEMIRING_FP64, w.ma, w.vb,
+                          GrB_NULL),
+                  GrB_SUCCESS);
+        ref::Spec spec;
+        spec.accum = fn_plus;
+        w.qa = ref::writeback(w.qa, ref::mxv(w.ra, w.qb, fn_min, fn_plus),
+                              nullptr, spec);
+        break;
+      }
+      case 4: {  // vb = vxm(va, mb)
+        ASSERT_EQ(GrB_vxm(w.vb, GrB_NULL, GrB_NULL,
+                          GrB_PLUS_TIMES_SEMIRING_FP64, w.va, w.mb,
+                          GrB_NULL),
+                  GrB_SUCCESS);
+        w.qb = ref::vxm(w.qa, w.rb, fn_plus, fn_times);
+        break;
+      }
+      case 5: {  // ma = select TRIU(ma, s)
+        int64_t s = static_cast<int64_t>(rng.below(5)) - 2;
+        ASSERT_EQ(GrB_select(w.ma, GrB_NULL, GrB_NULL, GrB_TRIU, w.ma, s,
+                             GrB_NULL),
+                  GrB_SUCCESS);
+        w.ra = ref::select(w.ra, [s](GrB_Index i, GrB_Index j, double) {
+          return static_cast<int64_t>(j) >= static_cast<int64_t>(i) + s;
+        });
+        break;
+      }
+      case 6: {  // va = apply ainv(va)
+        ASSERT_EQ(GrB_apply(w.va, GrB_NULL, GrB_NULL, GrB_AINV_FP64, w.va,
+                            GrB_NULL),
+                  GrB_SUCCESS);
+        w.qa = ref::apply(w.qa, [](double x) { return -x; });
+        break;
+      }
+      case 7: {  // setElement / removeElement on ma
+        GrB_Index i = rng.below(kN), j = rng.below(kN);
+        if (rng.below(2) == 0) {
+          double v = static_cast<double>(1 + rng.below(9));
+          ASSERT_EQ(GrB_Matrix_setElement(w.ma, v, i, j), GrB_SUCCESS);
+          w.ra.at(i, j) = v;
+        } else {
+          ASSERT_EQ(GrB_Matrix_removeElement(w.ma, i, j), GrB_SUCCESS);
+          w.ra.at(i, j).reset();
+        }
+        break;
+      }
+      case 8: {  // mb = transpose(ma) with accum plus
+        ASSERT_EQ(GrB_transpose(w.mb, GrB_NULL, GrB_PLUS_FP64, w.ma,
+                                GrB_NULL),
+                  GrB_SUCCESS);
+        ref::Spec spec;
+        spec.accum = fn_plus;
+        w.rb =
+            ref::writeback(w.rb, ref::transpose(w.ra), nullptr, spec);
+        break;
+      }
+      case 9: {  // vb = extract(va, shuffled indices)
+        std::vector<GrB_Index> idx(kN);
+        for (GrB_Index k = 0; k < kN; ++k) idx[k] = rng.below(kN);
+        ASSERT_EQ(GrB_extract(w.vb, GrB_NULL, GrB_NULL, w.va, idx.data(),
+                              kN, GrB_NULL),
+                  GrB_SUCCESS);
+        w.qb = ref::extract(w.qa, idx);
+        break;
+      }
+      case 10: {  // assign scalar into a row band of ma
+        GrB_Index r = rng.below(kN);
+        double v = static_cast<double>(1 + rng.below(9));
+        std::vector<GrB_Index> rows = {r};
+        std::vector<GrB_Index> cols(kN);
+        for (GrB_Index k = 0; k < kN; ++k) cols[k] = k;
+        ASSERT_EQ(GrB_assign(w.ma, GrB_NULL, GrB_NULL, v, rows.data(), 1,
+                             cols.data(), kN, GrB_NULL),
+                  GrB_SUCCESS);
+        for (GrB_Index k = 0; k < kN; ++k) w.ra.at(r, k) = v;
+        break;
+      }
+      case 11: {  // va = reduce rows of ma (max monoid)
+        ASSERT_EQ(GrB_reduce(w.va, GrB_NULL, GrB_NULL,
+                             GrB_MAX_MONOID_FP64, w.ma, GrB_NULL),
+                  GrB_SUCCESS);
+        w.qa = ref::reduce_rows(w.ra, fn_max);
+        break;
+      }
+    }
+    if (step % 15 == 14) w.check();  // periodic deep compare
+  }
+  w.check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOps,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace

@@ -1,0 +1,357 @@
+// A deliberately simple dense reference engine used as the oracle for
+// property tests: every GraphBLAS operation is re-implemented here over
+// std::optional<double> cells with O(n^2) loops and no sharing with the
+// library's code paths.  Tests populate matrices with small integers so
+// floating-point summation order cannot cause spurious mismatches.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graphblas/GraphBLAS.h"
+
+namespace ref {
+
+using Cell = std::optional<double>;
+using BinFn = std::function<double(double, double)>;
+using UnFn = std::function<double(double)>;
+
+struct Mat {
+  GrB_Index nrows = 0, ncols = 0;
+  std::vector<Cell> cells;
+
+  Mat() = default;
+  Mat(GrB_Index r, GrB_Index c) : nrows(r), ncols(c), cells(r * c) {}
+
+  Cell& at(GrB_Index i, GrB_Index j) { return cells[i * ncols + j]; }
+  const Cell& at(GrB_Index i, GrB_Index j) const {
+    return cells[i * ncols + j];
+  }
+  GrB_Index nvals() const {
+    GrB_Index n = 0;
+    for (const auto& c : cells) n += c.has_value();
+    return n;
+  }
+};
+
+struct Vec {
+  GrB_Index n = 0;
+  std::vector<Cell> cells;
+
+  Vec() = default;
+  explicit Vec(GrB_Index size) : n(size), cells(size) {}
+
+  Cell& at(GrB_Index i) { return cells[i]; }
+  const Cell& at(GrB_Index i) const { return cells[i]; }
+  GrB_Index nvals() const {
+    GrB_Index nv = 0;
+    for (const auto& c : cells) nv += c.has_value();
+    return nv;
+  }
+};
+
+// ---- mask / accumulate / replace write-back --------------------------------
+
+struct Spec {
+  bool have_mask = false;
+  bool structure = false;
+  bool comp = false;
+  bool replace = false;
+  std::optional<BinFn> accum;
+};
+
+inline bool mask_bit(const Cell& m, const Spec& s) {
+  if (!s.have_mask) return !s.comp;
+  bool v = s.structure ? m.has_value() : (m.has_value() && *m != 0.0);
+  return v != s.comp;
+}
+
+// Z = accum ? (C odot T) : T ; C<M,replace> = Z, one cell at a time.
+inline Cell writeback_cell(const Cell& c, const Cell& t, const Cell& m,
+                           const Spec& s) {
+  Cell z;
+  if (s.accum.has_value()) {
+    if (c && t) {
+      z = (*s.accum)(*c, *t);
+    } else if (c) {
+      z = c;
+    } else if (t) {
+      z = t;
+    }
+  } else {
+    z = t;
+  }
+  if (mask_bit(m, s)) return z;
+  return s.replace ? Cell{} : c;
+}
+
+inline Mat writeback(const Mat& c, const Mat& t, const Mat* mask,
+                     const Spec& s) {
+  Mat out(c.nrows, c.ncols);
+  for (GrB_Index i = 0; i < c.nrows; ++i)
+    for (GrB_Index j = 0; j < c.ncols; ++j)
+      out.at(i, j) = writeback_cell(
+          c.at(i, j), t.at(i, j),
+          mask != nullptr ? mask->at(i, j) : Cell{}, s);
+  return out;
+}
+
+inline Vec writeback(const Vec& c, const Vec& t, const Vec* mask,
+                     const Spec& s) {
+  Vec out(c.n);
+  for (GrB_Index i = 0; i < c.n; ++i)
+    out.at(i) = writeback_cell(c.at(i), t.at(i),
+                               mask != nullptr ? mask->at(i) : Cell{}, s);
+  return out;
+}
+
+// ---- compute kernels --------------------------------------------------------
+
+inline Mat transpose(const Mat& a) {
+  Mat out(a.ncols, a.nrows);
+  for (GrB_Index i = 0; i < a.nrows; ++i)
+    for (GrB_Index j = 0; j < a.ncols; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+inline Mat ewise_add(const Mat& a, const Mat& b, const BinFn& f) {
+  Mat out(a.nrows, a.ncols);
+  for (GrB_Index k = 0; k < a.cells.size(); ++k) {
+    const Cell& x = a.cells[k];
+    const Cell& y = b.cells[k];
+    if (x && y) {
+      out.cells[k] = f(*x, *y);
+    } else if (x) {
+      out.cells[k] = x;
+    } else if (y) {
+      out.cells[k] = y;
+    }
+  }
+  return out;
+}
+
+inline Mat ewise_mult(const Mat& a, const Mat& b, const BinFn& f) {
+  Mat out(a.nrows, a.ncols);
+  for (GrB_Index k = 0; k < a.cells.size(); ++k) {
+    if (a.cells[k] && b.cells[k])
+      out.cells[k] = f(*a.cells[k], *b.cells[k]);
+  }
+  return out;
+}
+
+inline Vec ewise_add(const Vec& a, const Vec& b, const BinFn& f) {
+  Vec out(a.n);
+  for (GrB_Index k = 0; k < a.n; ++k) {
+    const Cell& x = a.cells[k];
+    const Cell& y = b.cells[k];
+    if (x && y) {
+      out.cells[k] = f(*x, *y);
+    } else if (x) {
+      out.cells[k] = x;
+    } else if (y) {
+      out.cells[k] = y;
+    }
+  }
+  return out;
+}
+
+inline Vec ewise_mult(const Vec& a, const Vec& b, const BinFn& f) {
+  Vec out(a.n);
+  for (GrB_Index k = 0; k < a.n; ++k)
+    if (a.cells[k] && b.cells[k])
+      out.cells[k] = f(*a.cells[k], *b.cells[k]);
+  return out;
+}
+
+// C = A (add.mul) B with the monoid fold running in column order.
+inline Mat mxm(const Mat& a, const Mat& b, const BinFn& add,
+               const BinFn& mul) {
+  Mat out(a.nrows, b.ncols);
+  for (GrB_Index i = 0; i < a.nrows; ++i) {
+    for (GrB_Index j = 0; j < b.ncols; ++j) {
+      Cell acc;
+      for (GrB_Index k = 0; k < a.ncols; ++k) {
+        if (a.at(i, k) && b.at(k, j)) {
+          double p = mul(*a.at(i, k), *b.at(k, j));
+          acc = acc ? add(*acc, p) : p;
+        }
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+inline Vec mxv(const Mat& a, const Vec& u, const BinFn& add,
+               const BinFn& mul) {
+  Vec out(a.nrows);
+  for (GrB_Index i = 0; i < a.nrows; ++i) {
+    Cell acc;
+    for (GrB_Index j = 0; j < a.ncols; ++j) {
+      if (a.at(i, j) && u.at(j)) {
+        double p = mul(*a.at(i, j), *u.at(j));
+        acc = acc ? add(*acc, p) : p;
+      }
+    }
+    out.at(i) = acc;
+  }
+  return out;
+}
+
+inline Vec vxm(const Vec& u, const Mat& a, const BinFn& add,
+               const BinFn& mul) {
+  Vec out(a.ncols);
+  for (GrB_Index j = 0; j < a.ncols; ++j) {
+    Cell acc;
+    for (GrB_Index i = 0; i < a.nrows; ++i) {
+      if (u.at(i) && a.at(i, j)) {
+        double p = mul(*u.at(i), *a.at(i, j));
+        acc = acc ? add(*acc, p) : p;
+      }
+    }
+    out.at(j) = acc;
+  }
+  return out;
+}
+
+inline Mat apply(const Mat& a, const UnFn& f) {
+  Mat out(a.nrows, a.ncols);
+  for (GrB_Index k = 0; k < a.cells.size(); ++k)
+    if (a.cells[k]) out.cells[k] = f(*a.cells[k]);
+  return out;
+}
+
+inline Vec apply(const Vec& u, const UnFn& f) {
+  Vec out(u.n);
+  for (GrB_Index k = 0; k < u.n; ++k)
+    if (u.cells[k]) out.cells[k] = f(*u.cells[k]);
+  return out;
+}
+
+// select with an index-aware predicate keep(i, j, value).
+inline Mat select(
+    const Mat& a,
+    const std::function<bool(GrB_Index, GrB_Index, double)>& keep) {
+  Mat out(a.nrows, a.ncols);
+  for (GrB_Index i = 0; i < a.nrows; ++i)
+    for (GrB_Index j = 0; j < a.ncols; ++j)
+      if (a.at(i, j) && keep(i, j, *a.at(i, j))) out.at(i, j) = a.at(i, j);
+  return out;
+}
+
+inline Vec select(const Vec& u,
+                  const std::function<bool(GrB_Index, double)>& keep) {
+  Vec out(u.n);
+  for (GrB_Index i = 0; i < u.n; ++i)
+    if (u.at(i) && keep(i, *u.at(i))) out.at(i) = u.at(i);
+  return out;
+}
+
+inline Vec reduce_rows(const Mat& a, const BinFn& add) {
+  Vec out(a.nrows);
+  for (GrB_Index i = 0; i < a.nrows; ++i) {
+    Cell acc;
+    for (GrB_Index j = 0; j < a.ncols; ++j)
+      if (a.at(i, j)) acc = acc ? add(*acc, *a.at(i, j)) : *a.at(i, j);
+    out.at(i) = acc;
+  }
+  return out;
+}
+
+inline Cell reduce_all(const Mat& a, const BinFn& add) {
+  Cell acc;
+  for (const auto& c : a.cells)
+    if (c) acc = acc ? add(*acc, *c) : *c;
+  return acc;
+}
+
+inline Cell reduce_all(const Vec& u, const BinFn& add) {
+  Cell acc;
+  for (const auto& c : u.cells)
+    if (c) acc = acc ? add(*acc, *c) : *c;
+  return acc;
+}
+
+inline Mat kronecker(const Mat& a, const Mat& b, const BinFn& mul) {
+  Mat out(a.nrows * b.nrows, a.ncols * b.ncols);
+  for (GrB_Index i1 = 0; i1 < a.nrows; ++i1)
+    for (GrB_Index j1 = 0; j1 < a.ncols; ++j1)
+      for (GrB_Index i2 = 0; i2 < b.nrows; ++i2)
+        for (GrB_Index j2 = 0; j2 < b.ncols; ++j2)
+          if (a.at(i1, j1) && b.at(i2, j2))
+            out.at(i1 * b.nrows + i2, j1 * b.ncols + j2) =
+                mul(*a.at(i1, j1), *b.at(i2, j2));
+  return out;
+}
+
+inline Vec extract(const Vec& u, const std::vector<GrB_Index>& idx) {
+  Vec out(idx.size());
+  for (GrB_Index k = 0; k < idx.size(); ++k) out.at(k) = u.at(idx[k]);
+  return out;
+}
+
+inline Mat extract(const Mat& a, const std::vector<GrB_Index>& rows,
+                   const std::vector<GrB_Index>& cols) {
+  Mat out(rows.size(), cols.size());
+  for (GrB_Index r = 0; r < rows.size(); ++r)
+    for (GrB_Index c = 0; c < cols.size(); ++c)
+      out.at(r, c) = a.at(rows[r], cols[c]);
+  return out;
+}
+
+// assign: Z = C with region updates (accum-aware), then mask pass.
+inline Vec assign(const Vec& c, const Vec& u,
+                  const std::vector<GrB_Index>& idx, const Vec* mask,
+                  const Spec& s) {
+  Vec z = c;
+  for (GrB_Index k = 0; k < idx.size(); ++k) {
+    const Cell& src = u.at(k);
+    Cell& dst = z.at(idx[k]);
+    if (src) {
+      dst = (s.accum && dst) ? (*s.accum)(*dst, *src) : *src;
+    } else if (!s.accum) {
+      dst.reset();
+    }
+  }
+  Vec out(c.n);
+  for (GrB_Index i = 0; i < c.n; ++i) {
+    if (mask_bit(mask != nullptr ? mask->at(i) : Cell{}, s)) {
+      out.at(i) = z.at(i);
+    } else if (!s.replace) {
+      out.at(i) = c.at(i);
+    }
+  }
+  return out;
+}
+
+inline Mat assign(const Mat& c, const Mat& a,
+                  const std::vector<GrB_Index>& rows,
+                  const std::vector<GrB_Index>& cols, const Mat* mask,
+                  const Spec& s) {
+  Mat z = c;
+  for (GrB_Index r = 0; r < rows.size(); ++r) {
+    for (GrB_Index k = 0; k < cols.size(); ++k) {
+      const Cell& src = a.at(r, k);
+      Cell& dst = z.at(rows[r], cols[k]);
+      if (src) {
+        dst = (s.accum && dst) ? (*s.accum)(*dst, *src) : *src;
+      } else if (!s.accum) {
+        dst.reset();
+      }
+    }
+  }
+  Mat out(c.nrows, c.ncols);
+  for (GrB_Index i = 0; i < c.nrows; ++i) {
+    for (GrB_Index j = 0; j < c.ncols; ++j) {
+      if (mask_bit(mask != nullptr ? mask->at(i, j) : Cell{}, s)) {
+        out.at(i, j) = z.at(i, j);
+      } else if (!s.replace) {
+        out.at(i, j) = c.at(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ref

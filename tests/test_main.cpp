@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+
+#include "tests/grb_test_util.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::AddGlobalTestEnvironment(new testutil::GrbEnvironment);
+  return RUN_ALL_TESTS();
+}
