@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_context.dir/bench_fig2_context.cpp.o"
+  "CMakeFiles/bench_fig2_context.dir/bench_fig2_context.cpp.o.d"
+  "bench_fig2_context"
+  "bench_fig2_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_index_vs_packed.dir/bench_fig3_index_vs_packed.cpp.o"
+  "CMakeFiles/bench_fig3_index_vs_packed.dir/bench_fig3_index_vs_packed.cpp.o.d"
+  "bench_fig3_index_vs_packed"
+  "bench_fig3_index_vs_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_index_vs_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

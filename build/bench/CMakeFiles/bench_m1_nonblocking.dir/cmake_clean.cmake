@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_nonblocking.dir/bench_m1_nonblocking.cpp.o"
+  "CMakeFiles/bench_m1_nonblocking.dir/bench_m1_nonblocking.cpp.o.d"
+  "bench_m1_nonblocking"
+  "bench_m1_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

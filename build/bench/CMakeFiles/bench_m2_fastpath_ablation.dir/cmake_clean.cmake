@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m2_fastpath_ablation.dir/bench_m2_fastpath_ablation.cpp.o"
+  "CMakeFiles/bench_m2_fastpath_ablation.dir/bench_m2_fastpath_ablation.cpp.o.d"
+  "bench_m2_fastpath_ablation"
+  "bench_m2_fastpath_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m2_fastpath_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

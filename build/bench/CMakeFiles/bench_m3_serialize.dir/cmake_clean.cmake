@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m3_serialize.dir/bench_m3_serialize.cpp.o"
+  "CMakeFiles/bench_m3_serialize.dir/bench_m3_serialize.cpp.o.d"
+  "bench_m3_serialize"
+  "bench_m3_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m3_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

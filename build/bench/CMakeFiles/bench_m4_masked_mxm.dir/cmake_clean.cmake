@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m4_masked_mxm.dir/bench_m4_masked_mxm.cpp.o"
+  "CMakeFiles/bench_m4_masked_mxm.dir/bench_m4_masked_mxm.cpp.o.d"
+  "bench_m4_masked_mxm"
+  "bench_m4_masked_mxm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m4_masked_mxm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

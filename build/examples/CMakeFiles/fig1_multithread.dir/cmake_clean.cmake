@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_multithread.dir/fig1_multithread.cpp.o"
+  "CMakeFiles/fig1_multithread.dir/fig1_multithread.cpp.o.d"
+  "fig1_multithread"
+  "fig1_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

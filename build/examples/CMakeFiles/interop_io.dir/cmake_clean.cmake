@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_io.dir/interop_io.cpp.o"
+  "CMakeFiles/interop_io.dir/interop_io.cpp.o.d"
+  "interop_io"
+  "interop_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

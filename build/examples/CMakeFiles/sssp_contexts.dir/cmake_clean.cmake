@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_contexts.dir/sssp_contexts.cpp.o"
+  "CMakeFiles/sssp_contexts.dir/sssp_contexts.cpp.o.d"
+  "sssp_contexts"
+  "sssp_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

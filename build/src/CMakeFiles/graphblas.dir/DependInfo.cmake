@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bc.cpp" "src/CMakeFiles/graphblas.dir/algorithms/bc.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/bc.cpp.o.d"
+  "/root/repo/src/algorithms/bfs.cpp" "src/CMakeFiles/graphblas.dir/algorithms/bfs.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/bfs.cpp.o.d"
+  "/root/repo/src/algorithms/components.cpp" "src/CMakeFiles/graphblas.dir/algorithms/components.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/components.cpp.o.d"
+  "/root/repo/src/algorithms/kcore.cpp" "src/CMakeFiles/graphblas.dir/algorithms/kcore.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/kcore.cpp.o.d"
+  "/root/repo/src/algorithms/ktruss.cpp" "src/CMakeFiles/graphblas.dir/algorithms/ktruss.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/ktruss.cpp.o.d"
+  "/root/repo/src/algorithms/lcc.cpp" "src/CMakeFiles/graphblas.dir/algorithms/lcc.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/lcc.cpp.o.d"
+  "/root/repo/src/algorithms/mis.cpp" "src/CMakeFiles/graphblas.dir/algorithms/mis.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/mis.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank.cpp" "src/CMakeFiles/graphblas.dir/algorithms/pagerank.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/pagerank.cpp.o.d"
+  "/root/repo/src/algorithms/sssp.cpp" "src/CMakeFiles/graphblas.dir/algorithms/sssp.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/sssp.cpp.o.d"
+  "/root/repo/src/algorithms/triangle.cpp" "src/CMakeFiles/graphblas.dir/algorithms/triangle.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/algorithms/triangle.cpp.o.d"
+  "/root/repo/src/capi/capi.cpp" "src/CMakeFiles/graphblas.dir/capi/capi.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/capi/capi.cpp.o.d"
+  "/root/repo/src/containers/matrix.cpp" "src/CMakeFiles/graphblas.dir/containers/matrix.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/containers/matrix.cpp.o.d"
+  "/root/repo/src/containers/scalar.cpp" "src/CMakeFiles/graphblas.dir/containers/scalar.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/containers/scalar.cpp.o.d"
+  "/root/repo/src/containers/vector.cpp" "src/CMakeFiles/graphblas.dir/containers/vector.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/containers/vector.cpp.o.d"
+  "/root/repo/src/core/binary_op.cpp" "src/CMakeFiles/graphblas.dir/core/binary_op.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/binary_op.cpp.o.d"
+  "/root/repo/src/core/descriptor.cpp" "src/CMakeFiles/graphblas.dir/core/descriptor.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/descriptor.cpp.o.d"
+  "/root/repo/src/core/global.cpp" "src/CMakeFiles/graphblas.dir/core/global.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/global.cpp.o.d"
+  "/root/repo/src/core/index_unary_op.cpp" "src/CMakeFiles/graphblas.dir/core/index_unary_op.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/index_unary_op.cpp.o.d"
+  "/root/repo/src/core/info.cpp" "src/CMakeFiles/graphblas.dir/core/info.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/info.cpp.o.d"
+  "/root/repo/src/core/monoid.cpp" "src/CMakeFiles/graphblas.dir/core/monoid.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/monoid.cpp.o.d"
+  "/root/repo/src/core/semiring.cpp" "src/CMakeFiles/graphblas.dir/core/semiring.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/semiring.cpp.o.d"
+  "/root/repo/src/core/type.cpp" "src/CMakeFiles/graphblas.dir/core/type.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/type.cpp.o.d"
+  "/root/repo/src/core/unary_op.cpp" "src/CMakeFiles/graphblas.dir/core/unary_op.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/core/unary_op.cpp.o.d"
+  "/root/repo/src/exec/context.cpp" "src/CMakeFiles/graphblas.dir/exec/context.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/exec/context.cpp.o.d"
+  "/root/repo/src/exec/object_base.cpp" "src/CMakeFiles/graphblas.dir/exec/object_base.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/exec/object_base.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/CMakeFiles/graphblas.dir/exec/thread_pool.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/io/import_export.cpp" "src/CMakeFiles/graphblas.dir/io/import_export.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/io/import_export.cpp.o.d"
+  "/root/repo/src/io/mmio.cpp" "src/CMakeFiles/graphblas.dir/io/mmio.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/io/mmio.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/graphblas.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/ops/apply.cpp" "src/CMakeFiles/graphblas.dir/ops/apply.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/apply.cpp.o.d"
+  "/root/repo/src/ops/assign.cpp" "src/CMakeFiles/graphblas.dir/ops/assign.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/assign.cpp.o.d"
+  "/root/repo/src/ops/build.cpp" "src/CMakeFiles/graphblas.dir/ops/build.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/build.cpp.o.d"
+  "/root/repo/src/ops/diag.cpp" "src/CMakeFiles/graphblas.dir/ops/diag.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/diag.cpp.o.d"
+  "/root/repo/src/ops/element.cpp" "src/CMakeFiles/graphblas.dir/ops/element.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/element.cpp.o.d"
+  "/root/repo/src/ops/ewise_matrix.cpp" "src/CMakeFiles/graphblas.dir/ops/ewise_matrix.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/ewise_matrix.cpp.o.d"
+  "/root/repo/src/ops/ewise_vector.cpp" "src/CMakeFiles/graphblas.dir/ops/ewise_vector.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/ewise_vector.cpp.o.d"
+  "/root/repo/src/ops/extract.cpp" "src/CMakeFiles/graphblas.dir/ops/extract.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/extract.cpp.o.d"
+  "/root/repo/src/ops/fastpath.cpp" "src/CMakeFiles/graphblas.dir/ops/fastpath.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/fastpath.cpp.o.d"
+  "/root/repo/src/ops/kronecker.cpp" "src/CMakeFiles/graphblas.dir/ops/kronecker.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/kronecker.cpp.o.d"
+  "/root/repo/src/ops/mxm.cpp" "src/CMakeFiles/graphblas.dir/ops/mxm.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/mxm.cpp.o.d"
+  "/root/repo/src/ops/mxv.cpp" "src/CMakeFiles/graphblas.dir/ops/mxv.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/mxv.cpp.o.d"
+  "/root/repo/src/ops/reduce.cpp" "src/CMakeFiles/graphblas.dir/ops/reduce.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/reduce.cpp.o.d"
+  "/root/repo/src/ops/select.cpp" "src/CMakeFiles/graphblas.dir/ops/select.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/select.cpp.o.d"
+  "/root/repo/src/ops/transpose.cpp" "src/CMakeFiles/graphblas.dir/ops/transpose.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/transpose.cpp.o.d"
+  "/root/repo/src/ops/validate.cpp" "src/CMakeFiles/graphblas.dir/ops/validate.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/validate.cpp.o.d"
+  "/root/repo/src/ops/vxm.cpp" "src/CMakeFiles/graphblas.dir/ops/vxm.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/vxm.cpp.o.d"
+  "/root/repo/src/ops/writeback_matrix.cpp" "src/CMakeFiles/graphblas.dir/ops/writeback_matrix.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/writeback_matrix.cpp.o.d"
+  "/root/repo/src/ops/writeback_vector.cpp" "src/CMakeFiles/graphblas.dir/ops/writeback_vector.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/ops/writeback_vector.cpp.o.d"
+  "/root/repo/src/util/generator.cpp" "src/CMakeFiles/graphblas.dir/util/generator.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/util/generator.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/graphblas.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/graphblas.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/graphblas.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

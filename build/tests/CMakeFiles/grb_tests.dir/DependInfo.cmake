@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms/algorithms_test.cpp" "tests/CMakeFiles/grb_tests.dir/algorithms/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/algorithms/algorithms_test.cpp.o.d"
+  "/root/repo/tests/algorithms/bc_test.cpp" "tests/CMakeFiles/grb_tests.dir/algorithms/bc_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/algorithms/bc_test.cpp.o.d"
+  "/root/repo/tests/algorithms/kcore_test.cpp" "tests/CMakeFiles/grb_tests.dir/algorithms/kcore_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/algorithms/kcore_test.cpp.o.d"
+  "/root/repo/tests/capi/capi_surface_test.cpp" "tests/CMakeFiles/grb_tests.dir/capi/capi_surface_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/capi/capi_surface_test.cpp.o.d"
+  "/root/repo/tests/capi/enum_values_test.cpp" "tests/CMakeFiles/grb_tests.dir/capi/enum_values_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/capi/enum_values_test.cpp.o.d"
+  "/root/repo/tests/capi/scalar_variants_test.cpp" "tests/CMakeFiles/grb_tests.dir/capi/scalar_variants_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/capi/scalar_variants_test.cpp.o.d"
+  "/root/repo/tests/containers/matrix_test.cpp" "tests/CMakeFiles/grb_tests.dir/containers/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/containers/matrix_test.cpp.o.d"
+  "/root/repo/tests/containers/scalar_test.cpp" "tests/CMakeFiles/grb_tests.dir/containers/scalar_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/containers/scalar_test.cpp.o.d"
+  "/root/repo/tests/containers/vector_test.cpp" "tests/CMakeFiles/grb_tests.dir/containers/vector_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/containers/vector_test.cpp.o.d"
+  "/root/repo/tests/core/descriptor_test.cpp" "tests/CMakeFiles/grb_tests.dir/core/descriptor_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/core/descriptor_test.cpp.o.d"
+  "/root/repo/tests/core/index_unary_test.cpp" "tests/CMakeFiles/grb_tests.dir/core/index_unary_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/core/index_unary_test.cpp.o.d"
+  "/root/repo/tests/core/monoid_semiring_test.cpp" "tests/CMakeFiles/grb_tests.dir/core/monoid_semiring_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/core/monoid_semiring_test.cpp.o.d"
+  "/root/repo/tests/core/ops_test.cpp" "tests/CMakeFiles/grb_tests.dir/core/ops_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/core/ops_test.cpp.o.d"
+  "/root/repo/tests/core/type_test.cpp" "tests/CMakeFiles/grb_tests.dir/core/type_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/core/type_test.cpp.o.d"
+  "/root/repo/tests/exec/context_test.cpp" "tests/CMakeFiles/grb_tests.dir/exec/context_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/exec/context_test.cpp.o.d"
+  "/root/repo/tests/exec/parallel_context_test.cpp" "tests/CMakeFiles/grb_tests.dir/exec/parallel_context_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/exec/parallel_context_test.cpp.o.d"
+  "/root/repo/tests/exec/thread_pool_test.cpp" "tests/CMakeFiles/grb_tests.dir/exec/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/exec/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/exec/threading_test.cpp" "tests/CMakeFiles/grb_tests.dir/exec/threading_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/exec/threading_test.cpp.o.d"
+  "/root/repo/tests/exec/wait_test.cpp" "tests/CMakeFiles/grb_tests.dir/exec/wait_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/exec/wait_test.cpp.o.d"
+  "/root/repo/tests/io/import_export_test.cpp" "tests/CMakeFiles/grb_tests.dir/io/import_export_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/io/import_export_test.cpp.o.d"
+  "/root/repo/tests/io/serialize_test.cpp" "tests/CMakeFiles/grb_tests.dir/io/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/io/serialize_test.cpp.o.d"
+  "/root/repo/tests/ops/apply_select_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/apply_select_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/apply_select_test.cpp.o.d"
+  "/root/repo/tests/ops/ewise_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/ewise_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/ewise_test.cpp.o.d"
+  "/root/repo/tests/ops/extract_assign_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/extract_assign_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/extract_assign_test.cpp.o.d"
+  "/root/repo/tests/ops/masked_mxm_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/masked_mxm_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/masked_mxm_test.cpp.o.d"
+  "/root/repo/tests/ops/mxm_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/mxm_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/mxm_test.cpp.o.d"
+  "/root/repo/tests/ops/reduce_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/reduce_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/reduce_test.cpp.o.d"
+  "/root/repo/tests/ops/transpose_kron_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/transpose_kron_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/transpose_kron_test.cpp.o.d"
+  "/root/repo/tests/ops/types_sweep_test.cpp" "tests/CMakeFiles/grb_tests.dir/ops/types_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/ops/types_sweep_test.cpp.o.d"
+  "/root/repo/tests/property/blocking_equiv_test.cpp" "tests/CMakeFiles/grb_tests.dir/property/blocking_equiv_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/property/blocking_equiv_test.cpp.o.d"
+  "/root/repo/tests/property/fuzz_ops_test.cpp" "tests/CMakeFiles/grb_tests.dir/property/fuzz_ops_test.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/property/fuzz_ops_test.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/grb_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/grb_tests.dir/test_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphblas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
