@@ -14,7 +14,9 @@ void BM_MxmUnderContextThreads(benchmark::State& state) {
   BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, GrB_NULL, &cfg));
   grb::RmatParams params;
   GrB_Matrix a = nullptr;
-  BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, 12, 8, params, ctx));
+  // Scale 14 x factor 8 ~ 130k edges: comfortably above the serial-fallback
+  // threshold, so every thread count exercises the parallel kernels.
+  BENCH_TRY((GrB_Info)grb::rmat_matrix(&a, 14, 8, params, ctx));
   GrB_Index n;
   BENCH_TRY(GrB_Matrix_nrows(&n, a));
   GrB_Matrix c = nullptr;

@@ -1,10 +1,25 @@
 #include "core/global.hpp"
 
+#include <atomic>
+
 namespace grb {
+namespace {
+
+std::atomic<size_t> g_parallel_threshold{kDefaultParallelThreshold};
+
+}  // namespace
 
 const Index* all_indices() {
   static const Index sentinel = 0;
   return &sentinel;
+}
+
+size_t parallel_threshold() {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+void set_parallel_threshold(size_t nnz) {
+  g_parallel_threshold.store(nnz, std::memory_order_relaxed);
 }
 
 }  // namespace grb

@@ -1,5 +1,7 @@
-// Library-wide sentinels and constants.
+// Library-wide sentinels, constants, and tunables.
 #pragma once
+
+#include <cstddef>
 
 #include "core/type.hpp"
 
@@ -11,5 +13,22 @@ const Index* all_indices();
 
 // Sentinel count used with all_indices in the C API convenience layer.
 inline constexpr Index kAllCount = ~Index{0};
+
+// ---- parallel execution tunables -----------------------------------------
+
+// Minimum number of stored entries an operation must process before its
+// kernel takes the parallel path; anything smaller runs serially to avoid
+// the fork/join overhead dwarfing the work.  The default favors staying
+// serial for the small containers typical of unit tests and tight
+// algorithm inner loops.
+inline constexpr size_t kDefaultParallelThreshold = 8192;
+
+// Current threshold (stored entries).  Thread-safe.
+size_t parallel_threshold();
+
+// Overrides the threshold; 0 means "always take the parallel path when the
+// context has more than one thread" (used by the differential tests to
+// force parallel kernels onto tiny inputs).
+void set_parallel_threshold(size_t nnz);
 
 }  // namespace grb

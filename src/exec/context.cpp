@@ -3,6 +3,8 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "core/global.hpp"
+
 namespace grb {
 namespace {
 
@@ -32,12 +34,14 @@ Context::Context(Mode mode, Context* parent, ContextConfig cfg)
       depth_(parent == nullptr ? 0 : parent->depth() + 1) {}
 
 int Context::effective_nthreads() const {
-  const Context* c = this;
-  while (c != nullptr) {
-    if (c->cfg_.nthreads > 0) return c->cfg_.nthreads;
-    c = c->parent_;
+  // Walk the ancestor chain taking the minimum over every explicit
+  // budget: the nearest one supplies the request, the rest cap it.
+  int budget = 0;
+  for (const Context* c = this; c != nullptr; c = c->parent_) {
+    int n = c->cfg_.nthreads;
+    if (n > 0) budget = budget == 0 ? n : std::min(budget, n);
   }
-  return default_hw_threads();
+  return budget > 0 ? budget : default_hw_threads();
 }
 
 ThreadPool* Context::pool() {
@@ -49,12 +53,17 @@ ThreadPool* Context::pool() {
 
 void Context::parallel_for(Index begin, Index end,
                            const std::function<void(Index, Index)>& body) {
+  parallel_for(begin, end, cfg_.chunk, body);
+}
+
+void Context::parallel_for(Index begin, Index end, Index grain,
+                           const std::function<void(Index, Index)>& body) {
   if (begin >= end) return;
-  ThreadPool* p = (end - begin > cfg_.chunk) ? pool() : nullptr;
+  ThreadPool* p = (end - begin > grain) ? pool() : nullptr;
   if (p == nullptr) {
     body(begin, end);
   } else {
-    p->parallel_for(begin, end, cfg_.chunk, body);
+    p->parallel_for(begin, end, grain, body);
   }
 }
 
@@ -138,6 +147,22 @@ bool context_is_live(const Context* ctx) {
 
 Context* resolve_context(Context* ctx) {
   return ctx != nullptr ? ctx : top_context();
+}
+
+Context* serial_context() {
+  // Deliberately leaked, never in the live set: survives GrB_finalize so
+  // in-flight serial fallbacks can't dangle across re-initialization.
+  static Context* serial =
+      new Context(Mode::kBlocking, nullptr, ContextConfig{1, 4096});
+  return serial;
+}
+
+Context* exec_context(Context* ctx, size_t work) {
+  if (ctx == nullptr || ctx->effective_nthreads() <= 1) {
+    return serial_context();
+  }
+  size_t threshold = parallel_threshold();
+  return work >= threshold ? ctx : serial_context();
 }
 
 }  // namespace grb

@@ -45,15 +45,26 @@ class Context {
   const ContextConfig& config() const { return cfg_; }
   int depth() const { return depth_; }
 
-  // Effective thread count (resolving nthreads == 0 through ancestors).
+  // Effective thread count.  A context's own request (nthreads > 0) is
+  // capped by every ancestor's explicit budget, so nested contexts carve
+  // up their parent's allotment hierarchically and can never exceed it.
+  // nthreads == 0 inherits the nearest ancestor's budget; with no explicit
+  // budget anywhere on the chain the hardware decides.
   int effective_nthreads() const;
 
   // The pool used for internal parallelism; nullptr means "run inline".
   // Created lazily on first use.
   ThreadPool* pool();
 
-  // Convenience: partitioned parallel loop on this context's resources.
+  // Convenience: partitioned parallel loop on this context's resources,
+  // with chunks of at least config().chunk iterations.
   void parallel_for(Index begin, Index end,
+                    const std::function<void(Index, Index)>& body);
+
+  // Same, but with a caller-chosen grain.  Kernels that iterate over
+  // coarse work blocks (rather than rows/entries) pass grain 1 so the
+  // blocks actually fan out.
+  void parallel_for(Index begin, Index end, Index grain,
                     const std::function<void(Index, Index)>& body);
 
  private:
@@ -87,6 +98,17 @@ bool context_is_live(const Context* ctx);
 
 // Resolves a possibly-null context pointer (null = top-level).
 Context* resolve_context(Context* ctx);
+
+// A library-internal single-thread context whose parallel_for always runs
+// inline.  Used as the serial fallback target; never in the live set.
+Context* serial_context();
+
+// Picks the context a kernel should run on: `ctx` itself when the job is
+// big enough (`work` stored entries >= parallel_threshold()) and the
+// context's budget allows more than one thread; otherwise the inline
+// serial context.  This is the single serial-fallback gate every
+// parallelized kernel goes through.
+Context* exec_context(Context* ctx, size_t work);
 
 // Library version (GrB_getVersion): 2.0.
 inline constexpr unsigned kVersion = 2;

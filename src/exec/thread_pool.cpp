@@ -3,6 +3,15 @@
 #include <algorithm>
 
 namespace grb {
+namespace {
+
+std::atomic<void (*)(std::thread::id)> g_thread_observer{nullptr};
+
+}  // namespace
+
+void set_thread_observer(void (*observer)(std::thread::id)) {
+  g_thread_observer.store(observer, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
   // nthreads_ - 1 workers; the caller of parallel_for is the last lane.
@@ -24,6 +33,8 @@ bool ThreadPool::grab_and_run(Job& job) {
   Index i = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
   if (i >= job.end) return false;
   Index hi = std::min(job.end, i + job.chunk);
+  if (auto* obs = g_thread_observer.load(std::memory_order_acquire))
+    obs(std::this_thread::get_id());
   (*job.body)(i, hi);
   if (job.pending_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(mu_);

@@ -19,6 +19,13 @@
 
 namespace grb {
 
+// Test hook: when installed, every pool lane (worker threads and the
+// thread calling parallel_for) reports its id once per chunk it executes.
+// Tests use this to assert that a context's thread budget actually caps
+// the number of distinct threads a kernel runs on.  Pass nullptr to
+// uninstall.  The observer must be thread-safe.
+void set_thread_observer(void (*observer)(std::thread::id));
+
 class ThreadPool {
  public:
   explicit ThreadPool(int nthreads);

@@ -14,16 +14,24 @@ namespace {
 
 // ---- generic "map stored values" kernels ---------------------------------
 
-// fn(z, x, i): z is in ztype's domain.
-template <class Fn>
-std::shared_ptr<VectorData> map_vector(const VectorData& u,
-                                       const Type* ztype, Fn&& fn) {
+// make_mapper() yields a per-chunk callable fn(z, x, i) so mapper
+// scratch buffers are private to each parallel chunk; every output
+// entry depends only on its own input entry, so chunking cannot change
+// the result.
+template <class MakeMapper>
+std::shared_ptr<VectorData> map_vector(Context* ctx, const VectorData& u,
+                                       const Type* ztype,
+                                       MakeMapper&& make_mapper) {
   auto t = std::make_shared<VectorData>(ztype, u.n);
   t->ind = u.ind;
   t->vals.resize(u.ind.size());
-  for (size_t k = 0; k < u.ind.size(); ++k) {
-    fn(t->vals.at(k), u.vals.at(k), u.ind[k]);
-  }
+  Index nvals = static_cast<Index>(u.ind.size());
+  ctx->parallel_for(0, nvals, [&](Index lo, Index hi) {
+    auto fn = make_mapper();
+    for (Index k = lo; k < hi; ++k) {
+      fn(t->vals.at(k), u.vals.at(k), u.ind[k]);
+    }
+  });
   return t;
 }
 
@@ -113,11 +121,13 @@ Info apply(Vector* w, const Vector* mask, const BinaryOp* accum,
     GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
   WritebackSpec spec = make_spec(accum, mask != nullptr, d);
   return defer_or_run(w, [w, u_snap, m_snap, op, spec]() -> Info {
-    UnRunner run(op, u_snap->type);
-    auto t = map_vector(*u_snap, op->ztype(),
-                        [&](void* z, const void* x, Index) {
-                          run.run(z, x);
-                        });
+    Context* ectx = exec_context(w->context(), u_snap->nvals());
+    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
+      return [run = UnRunner(op, u_snap->type)](void* z, const void* x,
+                                                Index) mutable {
+        run.run(z, x);
+      };
+    });
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
@@ -140,7 +150,8 @@ Info apply(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(c, [c, a_snap, m_snap, op, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
         t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
+                        op->ztype(), [&] {
       return [run = UnRunner(op, av->type)](void* z, const void* x, Index,
                                             Index) mutable {
         run.run(z, x);
@@ -170,13 +181,15 @@ Info apply_bind1st(Vector* w, const Vector* mask, const BinaryOp* accum,
     GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
   WritebackSpec spec = make_spec(accum, mask != nullptr, d);
   return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    Caster u2y(op->ytype(), u_snap->type);
-    ValueBuf yb(op->ytype()->size());
-    auto t = map_vector(*u_snap, op->ztype(),
-                        [&](void* z, const void* x, Index) {
-                          u2y.run(yb.data(), x);
-                          op->apply(z, sv.data(), yb.data());
-                        });
+    Context* ectx = exec_context(w->context(), u_snap->nvals());
+    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
+      return [&op = *op, &sv, u2y = Caster(op->ytype(), u_snap->type),
+              yb = ValueBuf(op->ytype()->size())](void* z, const void* x,
+                                                  Index) mutable {
+        u2y.run(yb.data(), x);
+        op.apply(z, sv.data(), yb.data());
+      };
+    });
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
@@ -199,13 +212,15 @@ Info apply_bind2nd(Vector* w, const Vector* mask, const BinaryOp* accum,
     GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
   WritebackSpec spec = make_spec(accum, mask != nullptr, d);
   return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    Caster u2x(op->xtype(), u_snap->type);
-    ValueBuf xb(op->xtype()->size());
-    auto t = map_vector(*u_snap, op->ztype(),
-                        [&](void* z, const void* x, Index) {
-                          u2x.run(xb.data(), x);
-                          op->apply(z, xb.data(), sv.data());
-                        });
+    Context* ectx = exec_context(w->context(), u_snap->nvals());
+    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
+      return [&op = *op, &sv, u2x = Caster(op->xtype(), u_snap->type),
+              xb = ValueBuf(op->xtype()->size())](void* z, const void* x,
+                                                  Index) mutable {
+        u2x.run(xb.data(), x);
+        op.apply(z, xb.data(), sv.data());
+      };
+    });
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
@@ -231,7 +246,8 @@ Info apply_bind1st(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
         t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
+                        op->ztype(), [&] {
       return [&op = *op, &sv, a2y = Caster(op->ytype(), av->type),
               yb = ValueBuf(op->ytype()->size())](
                  void* z, const void* x, Index, Index) mutable {
@@ -264,7 +280,8 @@ Info apply_bind2nd(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
         t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
+                        op->ztype(), [&] {
       return [&op = *op, &sv, a2x = Caster(op->xtype(), av->type),
               xb = ValueBuf(op->xtype()->size())](
                  void* z, const void* x, Index, Index) mutable {
@@ -297,14 +314,17 @@ Info apply_indexop(Vector* w, const Vector* mask, const BinaryOp* accum,
   WritebackSpec spec = make_spec(accum, mask != nullptr, d);
   return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
     const bool agnostic = op->value_agnostic();
-    Caster u2x(agnostic ? u_snap->type : op->xtype(), u_snap->type);
-    ValueBuf xb(agnostic ? u_snap->type->size() : op->xtype()->size());
-    auto t = map_vector(*u_snap, op->ztype(),
-                        [&](void* z, const void* x, Index i) {
-                          Index indices[1] = {i};
-                          u2x.run(xb.data(), x);
-                          op->apply(z, xb.data(), indices, 1, sv.data());
-                        });
+    const Type* xt = agnostic ? u_snap->type : op->xtype();
+    Context* ectx = exec_context(w->context(), u_snap->nvals());
+    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
+      return [&op = *op, &sv, u2x = Caster(xt, u_snap->type),
+              xb = ValueBuf(xt->size())](void* z, const void* x,
+                                         Index i) mutable {
+        Index indices[1] = {i};
+        u2x.run(xb.data(), x);
+        op.apply(z, xb.data(), indices, 1, sv.data());
+      };
+    });
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
@@ -332,7 +352,8 @@ Info apply_indexop(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         t0 ? transpose_data(*a_snap) : a_snap;
     const bool agnostic = op->value_agnostic();
     const Type* xt = agnostic ? av->type : op->xtype();
-    auto t = map_matrix(c->context(), *av, op->ztype(), [&] {
+    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
+                        op->ztype(), [&] {
       return [&op = *op, &sv, a2x = Caster(xt, av->type),
               xb = ValueBuf(xt->size())](void* z, const void* x, Index i,
                                          Index j) mutable {

@@ -117,7 +117,9 @@ Info ewise_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             t0 ? transpose_data(*a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
             t1 ? transpose_data(*b_snap) : b_snap;
-        auto t = compute_ewise_m<kUnion>(c->context(), *av, *bv, op);
+        Context* ectx =
+            exec_context(c->context(), av->nvals() + bv->nvals());
+        auto t = compute_ewise_m<kUnion>(ectx, *av, *bv, op);
         auto c_old = c->current_data();
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));

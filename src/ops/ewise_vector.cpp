@@ -1,4 +1,13 @@
 // eWiseMult (set intersection) and eWiseAdd (set union) for vectors.
+//
+// Two paths produce identical bits: a single-pass serial merge, and a
+// range-blocked parallel merge that partitions the index space [0, n)
+// into fixed blocks, locates each block's start in both operand streams
+// by binary search, counts survivors per block, prefix-sums, and fills
+// values straight into place.  Every output entry depends only on the
+// operands at its own index, so the partition cannot change the result.
+#include <algorithm>
+
 #include "ops/common.hpp"
 #include "ops/op_apply.hpp"
 
@@ -70,6 +79,88 @@ std::shared_ptr<VectorData> compute_ewise(const VectorData& u,
   return t;
 }
 
+// Walks the merged streams of u and v over indices < ihi starting at
+// stream offsets a/b; emit(i, uk, vk) with VectorData::npos for the
+// absent side (union only).
+template <bool kUnion, class Emit>
+void merge_ewise_range(const VectorData& u, const VectorData& v, size_t a,
+                       size_t b, Index ihi, Emit&& emit) {
+  size_t ae = u.ind.size(), be = v.ind.size();
+  while (a < ae && u.ind[a] < ihi && b < be && v.ind[b] < ihi) {
+    if (u.ind[a] == v.ind[b]) {
+      emit(u.ind[a], a, b);
+      ++a;
+      ++b;
+    } else if (u.ind[a] < v.ind[b]) {
+      if constexpr (kUnion) emit(u.ind[a], a, VectorData::npos);
+      ++a;
+    } else {
+      if constexpr (kUnion) emit(v.ind[b], VectorData::npos, b);
+      ++b;
+    }
+  }
+  if constexpr (kUnion) {
+    for (; a < ae && u.ind[a] < ihi; ++a)
+      emit(u.ind[a], a, VectorData::npos);
+    for (; b < be && v.ind[b] < ihi; ++b)
+      emit(v.ind[b], VectorData::npos, b);
+  }
+}
+
+template <bool kUnion>
+std::shared_ptr<VectorData> compute_ewise_blocked(Context* ctx,
+                                                  const VectorData& u,
+                                                  const VectorData& v,
+                                                  const BinaryOp* op) {
+  auto t = std::make_shared<VectorData>(op->ztype(), u.n);
+  Index block = std::max<Index>(1, ctx->config().chunk);
+  Index nb = (u.n + block - 1) / block;
+  std::vector<size_t> ustart(nb), vstart(nb);
+  std::vector<Index> counts(nb, 0);
+  ctx->parallel_for(0, nb, 1, [&](Index blo, Index bhi) {
+    for (Index b = blo; b < bhi; ++b) {
+      Index ilo = b * block;
+      Index ihi = std::min<Index>(u.n, ilo + block);
+      ustart[b] = std::lower_bound(u.ind.begin(), u.ind.end(), ilo) -
+                  u.ind.begin();
+      vstart[b] = std::lower_bound(v.ind.begin(), v.ind.end(), ilo) -
+                  v.ind.begin();
+      Index n = 0;
+      merge_ewise_range<kUnion>(u, v, ustart[b], vstart[b], ihi,
+                                [&](Index, size_t, size_t) { ++n; });
+      counts[b] = n;
+    }
+  });
+  std::vector<size_t> offs(nb + 1, 0);
+  for (Index b = 0; b < nb; ++b) offs[b + 1] = offs[b] + counts[b];
+  t->ind.resize(offs[nb]);
+  t->vals.resize(offs[nb]);
+  ctx->parallel_for(0, nb, 1, [&](Index blo, Index bhi) {
+    BinRunner run(op, u.type, v.type);
+    Caster u2z(op->ztype(), u.type);
+    Caster v2z(op->ztype(), v.type);
+    for (Index b = blo; b < bhi; ++b) {
+      Index ihi = std::min<Index>(u.n, (b + 1) * block);
+      size_t w = offs[b];
+      merge_ewise_range<kUnion>(
+          u, v, ustart[b], vstart[b], ihi,
+          [&](Index i, size_t uk, size_t vk) {
+            t->ind[w] = i;
+            void* dst = t->vals.at(w);
+            if (uk == VectorData::npos) {
+              v2z.run(dst, v.vals.at(vk));
+            } else if (vk == VectorData::npos) {
+              u2z.run(dst, u.vals.at(uk));
+            } else {
+              run.run(dst, u.vals.at(uk), v.vals.at(vk));
+            }
+            ++w;
+          });
+    }
+  });
+  return t;
+}
+
 template <bool kUnion>
 Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
              const BinaryOp* op, const Vector* u, const Vector* v,
@@ -84,7 +175,11 @@ Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
                      d.mask_comp(), d.replace()};
   return defer_or_run(w, [w, u_snap, v_snap, m_snap, op, spec]() -> Info {
-    auto t = compute_ewise<kUnion>(*u_snap, *v_snap, op);
+    Context* ectx = exec_context(w->context(),
+                                 u_snap->nvals() + v_snap->nvals());
+    auto t = ectx->effective_nthreads() > 1
+                 ? compute_ewise_blocked<kUnion>(ectx, *u_snap, *v_snap, op)
+                 : compute_ewise<kUnion>(*u_snap, *v_snap, op);
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));

@@ -162,6 +162,17 @@ std::shared_ptr<VectorData> fastpath_vxm(const VectorData& u,
   });
 }
 
+std::shared_ptr<VectorData> fastpath_vxm_dot(Context* ctx,
+                                             const VectorData& u,
+                                             const MatrixData& at,
+                                             const Semiring* s) {
+  if (!fastpath_enabled()) return nullptr;
+  return dispatch(s, u.type, at.type, [&](auto runner) {
+    return vxm_dot_kernel(ctx, u, at, s->mul()->ztype(),
+                          [runner] { return runner; });
+  });
+}
+
 std::shared_ptr<VectorData> fastpath_mxv(Context* ctx, const MatrixData& a,
                                          const VectorData& u,
                                          const Semiring* s) {

@@ -17,6 +17,16 @@ class VectorMaskCursor {
         structure_(spec.mask_structure),
         comp_(spec.mask_comp) {}
 
+  // Starts the cursor at the first mask entry >= start, so range-blocked
+  // parallel merges don't rescan the mask prefix per block.
+  VectorMaskCursor(const VectorData* mask, const WritebackSpec& spec,
+                   Index start)
+      : VectorMaskCursor(mask, spec) {
+    if (m_ != nullptr)
+      pos_ = std::lower_bound(m_->ind.begin(), m_->ind.end(), start) -
+             m_->ind.begin();
+  }
+
   // Queries must be nondecreasing in i.
   bool test(Index i) {
     if (m_ == nullptr) return !comp_;  // no mask: all-true (comp: all-false)

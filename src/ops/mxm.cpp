@@ -40,7 +40,8 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             t0 ? transpose_data(*a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
             t1 ? transpose_data(*b_snap) : b_snap;
-        Context* ctx = c->context();
+        Context* ctx =
+            exec_context(c->context(), av->nvals() + bv->nvals());
         std::shared_ptr<MatrixData> t;
         // Masked dot-product strategy: correct whenever the mask is
         // structural and not complemented (T is only ever read at

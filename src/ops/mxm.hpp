@@ -144,6 +144,69 @@ std::shared_ptr<VectorData> vxm_kernel(const VectorData& u,
   return t;
 }
 
+// Column-parallel dot-product kernel for vxm (u^T * A).  `at` is A
+// transposed (CSR of A'), so output entry j folds the products of u(i)
+// and A(i,j) over at's row j in ascending i — exactly the order the
+// serial SPA kernel above accumulates them in, which makes the two paths
+// bitwise-identical even for non-associative floating-point rounding.
+template <class MakeRunner>
+std::shared_ptr<VectorData> vxm_dot_kernel(Context* ctx,
+                                           const VectorData& u,
+                                           const MatrixData& at,
+                                           const Type* ztype,
+                                           MakeRunner&& make_runner) {
+  auto t = std::make_shared<VectorData>(ztype, at.nrows);
+  size_t zsize = ztype->size();
+  size_t usize = u.type->size();
+  std::vector<uint8_t> upresent(u.n, 0);
+  std::vector<std::byte> udense(static_cast<size_t>(u.n) * usize);
+  for (size_t k = 0; k < u.ind.size(); ++k) {
+    upresent[u.ind[k]] = 1;
+    std::memcpy(udense.data() + static_cast<size_t>(u.ind[k]) * usize,
+                u.vals.at(k), usize);
+  }
+  // Structural pass: does output position j receive any product?
+  std::vector<uint8_t> hit(at.nrows, 0);
+  ctx->parallel_for(0, at.nrows, [&](Index lo, Index hi) {
+    for (Index j = lo; j < hi; ++j) {
+      for (size_t ka = at.ptr[j]; ka < at.ptr[j + 1]; ++ka) {
+        if (upresent[at.col[ka]]) {
+          hit[j] = 1;
+          break;
+        }
+      }
+    }
+  });
+  std::vector<Index> slot(at.nrows + 1, 0);
+  for (Index j = 0; j < at.nrows; ++j) slot[j + 1] = slot[j] + hit[j];
+  t->ind.resize(slot[at.nrows]);
+  t->vals.resize(slot[at.nrows]);
+  ctx->parallel_for(0, at.nrows, [&](Index lo, Index hi) {
+    auto runner = make_runner();
+    ValueBuf acc(zsize), prod(zsize);
+    for (Index j = lo; j < hi; ++j) {
+      if (!hit[j]) continue;
+      bool first = true;
+      for (size_t ka = at.ptr[j]; ka < at.ptr[j + 1]; ++ka) {
+        Index i = at.col[ka];
+        if (!upresent[i]) continue;
+        const void* uval = udense.data() + static_cast<size_t>(i) * usize;
+        if (first) {
+          runner.mul(acc.data(), uval, at.vals.at(ka));
+          first = false;
+        } else {
+          runner.mul(prod.data(), uval, at.vals.at(ka));
+          runner.add(acc.data(), prod.data());
+        }
+      }
+      Index s = slot[j];
+      t->ind[s] = j;
+      t->vals.set(s, acc.data());
+    }
+  });
+  return t;
+}
+
 // Row-parallel dot-product kernel for mxv (A * u).  u is gathered into a
 // dense scratch (bitmap + values) once; each row of A then probes it.
 template <class MakeRunner>
@@ -320,6 +383,11 @@ std::shared_ptr<MatrixData> fastpath_masked_dot_mxm(Context* ctx,
 std::shared_ptr<VectorData> fastpath_vxm(const VectorData& u,
                                          const MatrixData& a,
                                          const Semiring* s);
+// Parallel variant over A transposed (see vxm_dot_kernel).
+std::shared_ptr<VectorData> fastpath_vxm_dot(Context* ctx,
+                                             const VectorData& u,
+                                             const MatrixData& at,
+                                             const Semiring* s);
 std::shared_ptr<VectorData> fastpath_mxv(Context* ctx, const MatrixData& a,
                                          const VectorData& u,
                                          const Semiring* s);

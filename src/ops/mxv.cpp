@@ -34,7 +34,8 @@ Info mxv(Vector* w, const Vector* mask, const BinaryOp* accum,
   return defer_or_run(w, [w, a_snap, u_snap, m_snap, s, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
         t0 ? transpose_data(*a_snap) : a_snap;
-    Context* ctx = w->context();
+    Context* ctx =
+        exec_context(w->context(), av->nvals() + u_snap->nvals());
     std::shared_ptr<VectorData> t = fastpath_mxv(ctx, *av, *u_snap, s);
     if (t == nullptr) {
       // mul's x comes from the matrix, y from the vector.

@@ -7,7 +7,7 @@
 //    reduction joins the scalar's deferred sequence like any other op.
 // The GrB_Scalar flavour also admits a plain associative BinaryOp in
 // place of a monoid (Table II) since no identity value is needed.
-#include <mutex>
+#include <algorithm>
 
 #include "ops/common.hpp"
 #include "ops/op_apply.hpp"
@@ -15,77 +15,135 @@
 namespace grb {
 namespace {
 
-// Folds all stored values of `a` with the monoid; returns presence.
-// Parallel: per-chunk partials combined under a mutex (the monoid is
-// commutative and associative by definition).
-bool reduce_all_matrix(Context* ctx, const MatrixData& a, const Monoid* m,
+// Scalar reductions use a fixed blocked association: the stored values
+// are split into constant-size blocks, each block is folded
+// left-to-right (seeded by a cast of its first value), and the block
+// partials are combined in ascending block order.  The block size is a
+// compile-time constant -- never the thread count or a context's chunk
+// -- so the association, and therefore the result bits, depend only on
+// the input.  Serial and parallel execution walk the identical fold
+// tree.
+constexpr size_t kReduceBlock = 4096;
+
+// Folds all stored values with the monoid; returns presence.
+bool reduce_all_vector(Context* ctx, const VectorData& u, const Monoid* m,
                        void* out) {
+  size_t n = u.ind.size();
+  if (n == 0) return false;
   const Type* mt = m->type();
-  std::mutex combine_mu;
-  bool any = false;
-  ValueBuf global(mt->size());
-  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
-    BinRunner run(m->op(), mt, a.type);
-    ValueBuf local(mt->size());
-    std::memcpy(local.data(), m->identity(), mt->size());
-    bool local_any = false;
-    for (Index r = lo; r < hi; ++r) {
-      for (size_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k) {
-        run.run(local.data(), local.data(), a.vals.at(k));
-        local_any = true;
-      }
-      if (local_any && m->is_terminal(local.data())) break;
-    }
-    if (local_any) {
-      std::lock_guard<std::mutex> lock(combine_mu);
-      if (any) {
-        BinRunner comb(m->op(), mt, mt);
-        comb.run(global.data(), global.data(), local.data());
-      } else {
-        std::memcpy(global.data(), local.data(), mt->size());
-        any = true;
+  Context* ectx = exec_context(ctx, n);
+  size_t nb = (n + kReduceBlock - 1) / kReduceBlock;
+  ValueArray partials(mt->size());
+  partials.resize(nb);
+  ectx->parallel_for(0, static_cast<Index>(nb), 1,
+                     [&](Index blo, Index bhi) {
+    BinRunner run(m->op(), mt, u.type);
+    Caster u2m(mt, u.type);
+    for (Index b = blo; b < bhi; ++b) {
+      size_t k = static_cast<size_t>(b) * kReduceBlock;
+      size_t kend = std::min(n, k + kReduceBlock);
+      void* acc = partials.at(b);
+      u2m.run(acc, u.vals.at(k));
+      for (++k; k < kend; ++k) {
+        if (m->is_terminal(acc)) break;
+        run.run(acc, acc, u.vals.at(k));
       }
     }
   });
-  if (any) std::memcpy(out, global.data(), mt->size());
-  return any;
-}
-
-bool reduce_all_vector(const VectorData& u, const Monoid* m, void* out) {
-  if (u.ind.empty()) return false;
-  const Type* mt = m->type();
-  BinRunner run(m->op(), mt, u.type);
-  Caster u2m(mt, u.type);
-  u2m.run(out, u.vals.at(0));
-  for (size_t k = 1; k < u.ind.size(); ++k) {
+  std::memcpy(out, partials.at(0), mt->size());
+  BinRunner comb(m->op(), mt, mt);
+  for (size_t b = 1; b < nb; ++b) {
     if (m->is_terminal(out)) break;
-    run.run(out, out, u.vals.at(k));
+    comb.run(out, out, partials.at(b));
   }
   return true;
 }
 
-// Ordered fold with a plain binary op (no identity): z = op(z, next).
-bool reduce_all_vector_binop(const VectorData& u, const BinaryOp* op,
-                             void* out) {
-  if (u.ind.empty()) return false;
-  const Type* zt = op->ztype();
-  Caster u2z(zt, u.type);
-  u2z.run(out, u.vals.at(0));
-  BinRunner run(op, zt, u.type);
-  for (size_t k = 1; k < u.ind.size(); ++k)
-    run.run(out, out, u.vals.at(k));
+bool reduce_all_matrix(Context* ctx, const MatrixData& a, const Monoid* m,
+                       void* out) {
+  size_t n = a.col.size();
+  if (n == 0) return false;
+  const Type* mt = m->type();
+  Context* ectx = exec_context(ctx, n);
+  size_t nb = (n + kReduceBlock - 1) / kReduceBlock;
+  ValueArray partials(mt->size());
+  partials.resize(nb);
+  ectx->parallel_for(0, static_cast<Index>(nb), 1,
+                     [&](Index blo, Index bhi) {
+    BinRunner run(m->op(), mt, a.type);
+    Caster a2m(mt, a.type);
+    for (Index b = blo; b < bhi; ++b) {
+      size_t k = static_cast<size_t>(b) * kReduceBlock;
+      size_t kend = std::min(n, k + kReduceBlock);
+      void* acc = partials.at(b);
+      a2m.run(acc, a.vals.at(k));
+      for (++k; k < kend; ++k) {
+        if (m->is_terminal(acc)) break;
+        run.run(acc, acc, a.vals.at(k));
+      }
+    }
+  });
+  std::memcpy(out, partials.at(0), mt->size());
+  BinRunner comb(m->op(), mt, mt);
+  for (size_t b = 1; b < nb; ++b) {
+    if (m->is_terminal(out)) break;
+    comb.run(out, out, partials.at(b));
+  }
   return true;
 }
 
-bool reduce_all_matrix_binop(const MatrixData& a, const BinaryOp* op,
-                             void* out) {
-  if (a.col.empty()) return false;
+// Blocked fold with a plain binary op (no identity, no terminal).
+bool reduce_all_vector_binop(Context* ctx, const VectorData& u,
+                             const BinaryOp* op, void* out) {
+  size_t n = u.ind.size();
+  if (n == 0) return false;
   const Type* zt = op->ztype();
-  Caster a2z(zt, a.type);
-  a2z.run(out, a.vals.at(0));
-  BinRunner run(op, zt, a.type);
-  for (size_t k = 1; k < a.col.size(); ++k)
-    run.run(out, out, a.vals.at(k));
+  Context* ectx = exec_context(ctx, n);
+  size_t nb = (n + kReduceBlock - 1) / kReduceBlock;
+  ValueArray partials(zt->size());
+  partials.resize(nb);
+  ectx->parallel_for(0, static_cast<Index>(nb), 1,
+                     [&](Index blo, Index bhi) {
+    BinRunner run(op, zt, u.type);
+    Caster u2z(zt, u.type);
+    for (Index b = blo; b < bhi; ++b) {
+      size_t k = static_cast<size_t>(b) * kReduceBlock;
+      size_t kend = std::min(n, k + kReduceBlock);
+      void* acc = partials.at(b);
+      u2z.run(acc, u.vals.at(k));
+      for (++k; k < kend; ++k) run.run(acc, acc, u.vals.at(k));
+    }
+  });
+  std::memcpy(out, partials.at(0), zt->size());
+  BinRunner comb(op, zt, zt);
+  for (size_t b = 1; b < nb; ++b) comb.run(out, out, partials.at(b));
+  return true;
+}
+
+bool reduce_all_matrix_binop(Context* ctx, const MatrixData& a,
+                             const BinaryOp* op, void* out) {
+  size_t n = a.col.size();
+  if (n == 0) return false;
+  const Type* zt = op->ztype();
+  Context* ectx = exec_context(ctx, n);
+  size_t nb = (n + kReduceBlock - 1) / kReduceBlock;
+  ValueArray partials(zt->size());
+  partials.resize(nb);
+  ectx->parallel_for(0, static_cast<Index>(nb), 1,
+                     [&](Index blo, Index bhi) {
+    BinRunner run(op, zt, a.type);
+    Caster a2z(zt, a.type);
+    for (Index b = blo; b < bhi; ++b) {
+      size_t k = static_cast<size_t>(b) * kReduceBlock;
+      size_t kend = std::min(n, k + kReduceBlock);
+      void* acc = partials.at(b);
+      a2z.run(acc, a.vals.at(k));
+      for (++k; k < kend; ++k) run.run(acc, acc, a.vals.at(k));
+    }
+  });
+  std::memcpy(out, partials.at(0), zt->size());
+  BinRunner comb(op, zt, zt);
+  for (size_t b = 1; b < nb; ++b) comb.run(out, out, partials.at(b));
   return true;
 }
 
@@ -150,7 +208,8 @@ Info reduce_to_vector(Vector* w, const Vector* mask, const BinaryOp* accum,
       slot[r + 1] = slot[r] + (av->ptr[r + 1] > av->ptr[r] ? 1 : 0);
     t->ind.resize(slot[av->nrows]);
     t->vals.resize(slot[av->nrows]);
-    w->context()->parallel_for(0, av->nrows, [&](Index lo, Index hi) {
+    Context* ectx = exec_context(w->context(), av->nvals());
+    ectx->parallel_for(0, av->nrows, [&](Index lo, Index hi) {
       BinRunner run(monoid->op(), mt, av->type);
       Caster a2m(mt, av->type);
       for (Index r = lo; r < hi; ++r) {
@@ -187,7 +246,8 @@ Info reduce_to_scalar(void* out, const Type* out_type, const BinaryOp* accum,
   std::shared_ptr<const VectorData> snap;
   GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
   ValueBuf sum(monoid->type()->size());
-  if (!reduce_all_vector(*snap, monoid, sum.data()))
+  Vector* uv = const_cast<Vector*>(u);
+  if (!reduce_all_vector(uv->context(), *snap, monoid, sum.data()))
     std::memcpy(sum.data(), monoid->identity(), monoid->type()->size());
   if (accum != nullptr) {
     BinRunner run(accum, out_type, monoid->type());
@@ -240,7 +300,8 @@ Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
   GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
   return defer_or_run(out, [out, accum, monoid, snap]() -> Info {
     ValueBuf sum(monoid->type()->size());
-    bool present = reduce_all_vector(*snap, monoid, sum.data());
+    bool present =
+        reduce_all_vector(out->context(), *snap, monoid, sum.data());
     return scalar_writeback(out, accum, monoid->type(), sum.data(), present);
   });
 }
@@ -279,7 +340,8 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
   GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
   return defer_or_run(out, [out, accum, op, snap]() -> Info {
     ValueBuf sum(op->ztype()->size());
-    bool present = reduce_all_vector_binop(*snap, op, sum.data());
+    bool present =
+        reduce_all_vector_binop(out->context(), *snap, op, sum.data());
     return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
   });
 }
@@ -298,7 +360,8 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
   GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
   return defer_or_run(out, [out, accum, op, snap]() -> Info {
     ValueBuf sum(op->ztype()->size());
-    bool present = reduce_all_matrix_binop(*snap, op, sum.data());
+    bool present =
+        reduce_all_matrix_binop(out->context(), *snap, op, sum.data());
     return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
   });
 }

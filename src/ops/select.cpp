@@ -3,6 +3,8 @@
 //   C<M,r> = C (+) A'<f(A', ind(A'), 2, s)>
 // Entries where the boolean index-unary operator returns true are kept
 // with their original values; the rest are annihilated.
+#include <algorithm>
+
 #include "ops/common.hpp"
 #include "ops/op_apply.hpp"
 
@@ -68,15 +70,45 @@ Info select(Vector* w, const Vector* mask, const BinaryOp* accum,
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
                      d.mask_comp(), d.replace()};
   return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    Keeper keeper(op, u_snap->type, sv.data());
-    auto t = std::make_shared<VectorData>(u_snap->type, u_snap->n);
-    for (size_t k = 0; k < u_snap->ind.size(); ++k) {
-      Index indices[1] = {u_snap->ind[k]};
-      if (keeper.keep(u_snap->vals.at(k), indices, 1)) {
-        t->ind.push_back(u_snap->ind[k]);
-        t->vals.push_back(u_snap->vals.at(k));
+    // Entry-parallel two-phase: evaluate the keep bits once into a
+    // bitmap, prefix-sum per fixed block, then gather survivors in
+    // place.  Survivor order is input order, so the result is the same
+    // stable compaction whatever the chunking.
+    Index nvals = u_snap->nvals();
+    Context* ectx = exec_context(w->context(), nvals);
+    std::vector<uint8_t> keep_bits(nvals);
+    ectx->parallel_for(0, nvals, [&](Index lo, Index hi) {
+      Keeper keeper(op, u_snap->type, sv.data());
+      for (Index k = lo; k < hi; ++k) {
+        Index indices[1] = {u_snap->ind[k]};
+        keep_bits[k] = keeper.keep(u_snap->vals.at(k), indices, 1);
       }
+    });
+    Index block = std::max<Index>(1, ectx->config().chunk);
+    Index nb = nvals == 0 ? 0 : (nvals + block - 1) / block;
+    std::vector<size_t> offs(nb + 1, 0);
+    for (Index b = 0; b < nb; ++b) {
+      Index hi = std::min<Index>(nvals, (b + 1) * block);
+      size_t n = 0;
+      for (Index k = b * block; k < hi; ++k) n += keep_bits[k];
+      offs[b + 1] = offs[b] + n;
     }
+    auto t = std::make_shared<VectorData>(u_snap->type, u_snap->n);
+    t->ind.resize(offs[nb]);
+    t->vals.resize(offs[nb]);
+    ectx->parallel_for(0, nb, 1, [&](Index blo, Index bhi) {
+      for (Index b = blo; b < bhi; ++b) {
+        Index hi = std::min<Index>(nvals, (b + 1) * block);
+        size_t w = offs[b];
+        for (Index k = b * block; k < hi; ++k) {
+          if (keep_bits[k]) {
+            t->ind[w] = u_snap->ind[k];
+            t->vals.set(w, u_snap->vals.at(k));
+            ++w;
+          }
+        }
+      }
+    });
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
@@ -121,7 +153,7 @@ Info select(Matrix* c, const Matrix* mask, const BinaryOp* accum,
     Index nrows = av->nrows;
     std::vector<uint8_t> keep_bits(av->col.size());
     std::vector<Index> counts(nrows, 0);
-    Context* ctx = c->context();
+    Context* ctx = exec_context(c->context(), av->nvals());
     ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
       Keeper keeper(op, av->type, sv.data());
       for (Index r = lo; r < hi; ++r) {

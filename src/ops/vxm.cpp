@@ -54,11 +54,27 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
   return defer_or_run(w, [w, a_snap, u_snap, m_snap, s, spec, t1]() -> Info {
     std::shared_ptr<const MatrixData> av =
         t1 ? transpose_data(*a_snap) : a_snap;
-    std::shared_ptr<VectorData> t = fastpath_vxm(*u_snap, *av, s);
-    if (t == nullptr) {
-      t = vxm_kernel(*u_snap, *av, s->mul()->ztype(), [&] {
-        return VxmRunner(s, u_snap->type, av->type);
-      });
+    size_t work = av->nvals() + u_snap->nvals();
+    Context* ectx = exec_context(w->context(), work);
+    std::shared_ptr<VectorData> t;
+    if (ectx->effective_nthreads() > 1) {
+      // Parallel path: column dot products over A'.  Fold order per
+      // output entry matches the serial SPA (ascending row index), so
+      // the result is bitwise-identical to the serial path.
+      auto at = transpose_data(*av);
+      t = fastpath_vxm_dot(ectx, *u_snap, *at, s);
+      if (t == nullptr) {
+        t = vxm_dot_kernel(ectx, *u_snap, *at, s->mul()->ztype(), [&] {
+          return VxmRunner(s, u_snap->type, at->type);
+        });
+      }
+    } else {
+      t = fastpath_vxm(*u_snap, *av, s);
+      if (t == nullptr) {
+        t = vxm_kernel(*u_snap, *av, s->mul()->ztype(), [&] {
+          return VxmRunner(s, u_snap->type, av->type);
+        });
+      }
     }
     auto c_old = w->current_data();
     w->publish(

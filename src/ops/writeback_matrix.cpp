@@ -57,6 +57,7 @@ std::shared_ptr<MatrixData> writeback_matrix(Context* ctx,
   const Type* ctype = c_old.type;
   auto out = std::make_shared<MatrixData>(ctype, c_old.nrows, c_old.ncols);
   Index nrows = c_old.nrows;
+  Context* ectx = exec_context(ctx, c_old.nvals() + t.nvals());
 
   // Phase 1: structural row counts.
   std::vector<Index> counts(nrows, 0);
@@ -68,11 +69,7 @@ std::shared_ptr<MatrixData> writeback_matrix(Context* ctx,
       counts[r] = n;
     }
   };
-  if (ctx != nullptr) {
-    ctx->parallel_for(0, nrows, count_rows);
-  } else {
-    count_rows(0, nrows);
-  }
+  ectx->parallel_for(0, nrows, count_rows);
   for (Index r = 0; r < nrows; ++r) out->ptr[r + 1] = out->ptr[r] + counts[r];
   Index total = out->ptr[nrows];
   out->col.resize(total);
@@ -125,11 +122,7 @@ std::shared_ptr<MatrixData> writeback_matrix(Context* ctx,
       });
     }
   };
-  if (ctx != nullptr) {
-    ctx->parallel_for(0, nrows, fill_rows);
-  } else {
-    fill_rows(0, nrows);
-  }
+  ectx->parallel_for(0, nrows, fill_rows);
   return out;
 }
 

@@ -4,11 +4,38 @@
 // 1-thread and a 4-thread context and compare.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "core/global.hpp"
+#include "exec/thread_pool.hpp"
 #include "tests/grb_test_util.hpp"
 #include "algorithms/algorithms.hpp"
 #include "util/generator.hpp"
 
 namespace {
+
+// Forces every gated kernel onto its parallel path for the test's scope
+// (these instances are far below the default parallel threshold).
+struct ThresholdGuard {
+  size_t saved;
+  ThresholdGuard() : saved(grb::parallel_threshold()) {
+    grb::set_parallel_threshold(1);
+  }
+  ~ThresholdGuard() { grb::set_parallel_threshold(saved); }
+};
+
+// Target of the pool's thread-observer hook: records which OS threads
+// execute parallel_for chunks.
+std::mutex g_ids_mu;
+std::set<std::thread::id>* g_ids = nullptr;
+void record_thread(std::thread::id id) {
+  std::lock_guard<std::mutex> lock(g_ids_mu);
+  if (g_ids != nullptr) g_ids->insert(id);
+}
 
 GrB_Context threaded_context(int nthreads) {
   GrB_ContextConfig cfg;
@@ -52,6 +79,7 @@ ref::Mat run_pipeline(const ref::Mat& ra, const ref::Mat& rb,
 }
 
 TEST(ParallelContextTest, PipelineMatchesSingleThread) {
+  ThresholdGuard guard;
   GrB_Context one = threaded_context(1);
   GrB_Context four = threaded_context(4);
   for (uint64_t seed = 1; seed <= 4; ++seed) {
@@ -67,6 +95,7 @@ TEST(ParallelContextTest, PipelineMatchesSingleThread) {
 }
 
 TEST(ParallelContextTest, LargeMxmMatchesAcrossThreadCounts) {
+  ThresholdGuard guard;
   GrB_Matrix g = nullptr;
   ASSERT_EQ(grb::rmat_matrix(&g, 9, 8, grb::RmatParams{}, nullptr),
             grb::Info::kSuccess);
@@ -99,6 +128,7 @@ TEST(ParallelContextTest, LargeMxmMatchesAcrossThreadCounts) {
 }
 
 TEST(ParallelContextTest, ReduceAndKroneckerUnderThreads) {
+  ThresholdGuard guard;
   GrB_Context ctx = threaded_context(4);
   ref::Mat ra = testutil::random_mat(30, 30, 0.3, 77);
   ref::Mat rb = testutil::random_mat(4, 4, 0.7, 78);
@@ -170,6 +200,102 @@ TEST(ParallelContextTest, AlgorithmsRunInThreadedContext) {
   GrB_free(&q);
   GrB_free(&v);
   GrB_free(&w1);
+  GrB_free(&ctx);
+}
+
+TEST(ParallelContextTest, NestedContextBudgetIsHierarchical) {
+  GrB_Context parent = threaded_context(4);
+  // A child asking for less gets what it asked for...
+  GrB_ContextConfig modest;
+  modest.nthreads = 2;
+  modest.chunk = 4;
+  GrB_Context child = nullptr;
+  ASSERT_EQ(GrB_Context_new(&child, GrB_NONBLOCKING, parent, &modest),
+            GrB_SUCCESS);
+  EXPECT_EQ(child->effective_nthreads(), 2);
+  // ...one asking for more is capped by the parent's budget...
+  GrB_ContextConfig greedy;
+  greedy.nthreads = 8;
+  greedy.chunk = 4;
+  GrB_Context wide = nullptr;
+  ASSERT_EQ(GrB_Context_new(&wide, GrB_NONBLOCKING, parent, &greedy),
+            GrB_SUCCESS);
+  EXPECT_EQ(wide->effective_nthreads(), 4);
+  // ...and a grandchild is capped by every ancestor on the chain.
+  GrB_Context grand = nullptr;
+  ASSERT_EQ(GrB_Context_new(&grand, GrB_NONBLOCKING, child, &greedy),
+            GrB_SUCCESS);
+  EXPECT_EQ(grand->effective_nthreads(), 2);
+  GrB_free(&grand);
+  GrB_free(&wide);
+  GrB_free(&child);
+  GrB_free(&parent);
+}
+
+TEST(ParallelContextTest, NestedContextCapsWorkerThreads) {
+  // Operations homed in a 2-thread child of a 4-thread parent must never
+  // touch more than 2 distinct OS threads, however many the parent owns.
+  ThresholdGuard guard;
+  GrB_Context parent = threaded_context(4);
+  GrB_ContextConfig ccfg;
+  ccfg.nthreads = 2;
+  ccfg.chunk = 4;
+  GrB_Context child = nullptr;
+  ASSERT_EQ(GrB_Context_new(&child, GrB_NONBLOCKING, parent, &ccfg),
+            GrB_SUCCESS);
+
+  ref::Mat ra = testutil::random_mat(40, 40, 0.3, 901);
+  ref::Mat rb = testutil::random_mat(40, 40, 0.3, 902);
+  GrB_Matrix a = testutil::make_matrix(ra, child);
+  GrB_Matrix b = testutil::make_matrix(rb, child);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 40, 40, child), GrB_SUCCESS);
+
+  std::set<std::thread::id> ids;
+  {
+    std::lock_guard<std::mutex> lock(g_ids_mu);
+    g_ids = &ids;
+  }
+  grb::set_thread_observer(&record_thread);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, b, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  grb::set_thread_observer(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(g_ids_mu);
+    g_ids = nullptr;
+  }
+
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u) << "child context leaked past its budget";
+
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&c);
+  GrB_free(&child);
+  GrB_free(&parent);
+}
+
+TEST(ParallelContextTest, PoolWorkersParticipate) {
+  // Rendezvous: the first thread into the loop waits (bounded) for a
+  // second distinct thread, proving chunks really fan out to the pool
+  // rather than all running on the caller.
+  GrB_Context ctx = threaded_context(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::set<std::thread::id> seen;
+  ctx->parallel_for(0, 64, [&](grb::Index, grb::Index) {
+    std::unique_lock<std::mutex> lk(mu);
+    seen.insert(std::this_thread::get_id());
+    if (seen.size() >= 2) {
+      cv.notify_all();
+    } else {
+      cv.wait_for(lk, std::chrono::seconds(10),
+                  [&] { return seen.size() >= 2; });
+    }
+  });
+  EXPECT_GE(seen.size(), 2u);
   GrB_free(&ctx);
 }
 
