@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <type_traits>
 
 #include "containers/matrix.hpp"
@@ -130,6 +131,24 @@ inline grb::Format to_format(GrB_Format f) {
 template <class T>
 inline constexpr bool is_grb_scalar_v =
     std::is_arithmetic_v<std::remove_cv_t<std::remove_reference_t<T>>>;
+
+// Catch-all veneer for the C boundary: the GraphBLAS C API is a no-throw
+// interface, so no C++ exception may escape a GrB_* entry point.  The only
+// exceptions the grb:: core can surface are allocation failure (mapped to
+// the GrB_OUT_OF_MEMORY execution error) and the unexpected, which the
+// spec's error model reserves GrB_PANIC for.  Every GrB_* function body is
+// `return grb_detail::guarded([&]() -> GrB_Info { ... });` — a property
+// tools/grb_lint.py enforces.
+template <class F>
+inline GrB_Info guarded(F&& body) noexcept {
+  try {
+    return static_cast<F&&>(body)();
+  } catch (const std::bad_alloc&) {
+    return GrB_OUT_OF_MEMORY;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
 
 }  // namespace grb_detail
 
@@ -362,8 +381,16 @@ GRB_DESC(GrB_DESC_SCT0, 14)
 GRB_DESC(GrB_DESC_SCT1, 22)
 GRB_DESC(GrB_DESC_RCT0, 11)
 GRB_DESC(GrB_DESC_RST0, 13)
+GRB_DESC(GrB_DESC_RSCT0, 15)
 GRB_DESC(GrB_DESC_RCT1, 19)
 GRB_DESC(GrB_DESC_RST1, 21)
+GRB_DESC(GrB_DESC_RSCT1, 23)
+GRB_DESC(GrB_DESC_CT0T1, 26)
+GRB_DESC(GrB_DESC_RCT0T1, 27)
+GRB_DESC(GrB_DESC_ST0T1, 28)
+GRB_DESC(GrB_DESC_RST0T1, 29)
+GRB_DESC(GrB_DESC_SCT0T1, 30)
+GRB_DESC(GrB_DESC_RSCT0T1, 31)
 #undef GRB_DESC
 
 // ---------------------------------------------------------------------------
@@ -371,19 +398,25 @@ GRB_DESC(GrB_DESC_RST1, 21)
 // ---------------------------------------------------------------------------
 
 inline GrB_Info GrB_init(GrB_Mode mode) {
-  if (mode != GrB_BLOCKING && mode != GrB_NONBLOCKING)
-    return GrB_INVALID_VALUE;
-  return grb_detail::to_c(grb::library_init(grb_detail::to_mode(mode)));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (mode != GrB_BLOCKING && mode != GrB_NONBLOCKING)
+      return GrB_INVALID_VALUE;
+    return grb_detail::to_c(grb::library_init(grb_detail::to_mode(mode)));
+  });
 }
 inline GrB_Info GrB_finalize() {
-  return grb_detail::to_c(grb::library_finalize());
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::library_finalize());
+  });
 }
 inline GrB_Info GrB_getVersion(unsigned int* version,
                                unsigned int* subversion) {
-  if (version == nullptr || subversion == nullptr) return GrB_NULL_POINTER;
-  *version = grb::kVersion;
-  *subversion = grb::kSubversion;
-  return GrB_SUCCESS;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (version == nullptr || subversion == nullptr) return GrB_NULL_POINTER;
+    *version = grb::kVersion;
+    *subversion = grb::kSubversion;
+    return GrB_SUCCESS;
+  });
 }
 
 // The documented implementation-defined `exec` structure (paper §IV).
@@ -391,35 +424,47 @@ typedef grb::ContextConfig GrB_ContextConfig;
 
 inline GrB_Info GrB_Context_new(GrB_Context* ctx, GrB_Mode mode,
                                 GrB_Context parent, void* exec) {
-  if (mode != GrB_BLOCKING && mode != GrB_NONBLOCKING)
-    return GrB_INVALID_VALUE;
-  return grb_detail::to_c(grb::context_new(
-      ctx, grb_detail::to_mode(mode), parent,
-      static_cast<const grb::ContextConfig*>(exec)));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (mode != GrB_BLOCKING && mode != GrB_NONBLOCKING)
+      return GrB_INVALID_VALUE;
+    return grb_detail::to_c(grb::context_new(
+        ctx, grb_detail::to_mode(mode), parent,
+        static_cast<const grb::ContextConfig*>(exec)));
+  });
 }
 inline GrB_Info GrB_Context_switch(GrB_Matrix a, GrB_Context ctx) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->switch_context(ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->switch_context(ctx));
+  });
 }
 inline GrB_Info GrB_Context_switch(GrB_Vector v, GrB_Context ctx) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->switch_context(ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->switch_context(ctx));
+  });
 }
 inline GrB_Info GrB_Context_switch(GrB_Scalar s, GrB_Context ctx) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->switch_context(ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->switch_context(ctx));
+  });
 }
 
 #define GRB_DEFINE_WAIT_ERROR(HANDLE)                                   \
   inline GrB_Info GrB_wait(HANDLE obj, GrB_WaitMode mode) {             \
-    if (obj == nullptr) return GrB_UNINITIALIZED_OBJECT;                \
-    return grb_detail::to_c(obj->wait(grb_detail::to_wait(mode)));      \
+    return grb_detail::guarded([&]() -> GrB_Info {                      \
+      if (obj == nullptr) return GrB_UNINITIALIZED_OBJECT;              \
+      return grb_detail::to_c(obj->wait(grb_detail::to_wait(mode)));    \
+    });                                                                 \
   }                                                                     \
   inline GrB_Info GrB_error(const char** str, HANDLE obj) {             \
-    if (str == nullptr) return GrB_NULL_POINTER;                        \
-    if (obj == nullptr) return GrB_UNINITIALIZED_OBJECT;                \
-    *str = obj->error_string();                                        \
-    return GrB_SUCCESS;                                                 \
+    return grb_detail::guarded([&]() -> GrB_Info {                      \
+      if (str == nullptr) return GrB_NULL_POINTER;                      \
+      if (obj == nullptr) return GrB_UNINITIALIZED_OBJECT;              \
+      *str = obj->error_string();                                       \
+      return GrB_SUCCESS;                                               \
+    });                                                                 \
   }
 GRB_DEFINE_WAIT_ERROR(GrB_Matrix)
 GRB_DEFINE_WAIT_ERROR(GrB_Vector)
@@ -431,71 +476,93 @@ GRB_DEFINE_WAIT_ERROR(GrB_Scalar)
 // ---------------------------------------------------------------------------
 
 inline GrB_Info GrB_free(GrB_Matrix* a) {
-  if (a == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::Matrix::free(*a));
-  if (info == GrB_SUCCESS) *a = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::Matrix::free(*a));
+    if (info == GrB_SUCCESS) *a = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Vector* v) {
-  if (v == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::Vector::free(*v));
-  if (info == GrB_SUCCESS) *v = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::Vector::free(*v));
+    if (info == GrB_SUCCESS) *v = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Scalar* s) {
-  if (s == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::Scalar::free(*s));
-  if (info == GrB_SUCCESS) *s = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::Scalar::free(*s));
+    if (info == GrB_SUCCESS) *s = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Context* ctx) {
-  if (ctx == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::context_free(*ctx));
-  if (info == GrB_SUCCESS) *ctx = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (ctx == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::context_free(*ctx));
+    if (info == GrB_SUCCESS) *ctx = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Type* t) {
-  if (t == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::type_free(*t));
-  if (info == GrB_SUCCESS) *t = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (t == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::type_free(*t));
+    if (info == GrB_SUCCESS) *t = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_UnaryOp* op) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::unary_op_free(*op));
-  if (info == GrB_SUCCESS) *op = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::unary_op_free(*op));
+    if (info == GrB_SUCCESS) *op = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_BinaryOp* op) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::binary_op_free(*op));
-  if (info == GrB_SUCCESS) *op = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::binary_op_free(*op));
+    if (info == GrB_SUCCESS) *op = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_IndexUnaryOp* op) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::index_unary_op_free(*op));
-  if (info == GrB_SUCCESS) *op = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::index_unary_op_free(*op));
+    if (info == GrB_SUCCESS) *op = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Monoid* m) {
-  if (m == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::monoid_free(*m));
-  if (info == GrB_SUCCESS) *m = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (m == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::monoid_free(*m));
+    if (info == GrB_SUCCESS) *m = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Semiring* s) {
-  if (s == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(grb::semiring_free(*s));
-  if (info == GrB_SUCCESS) *s = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(grb::semiring_free(*s));
+    if (info == GrB_SUCCESS) *s = nullptr;
+    return info;
+  });
 }
 inline GrB_Info GrB_free(GrB_Descriptor* d) {
-  if (d == nullptr) return GrB_NULL_POINTER;
-  GrB_Info info = grb_detail::to_c(
-      grb::descriptor_free(const_cast<grb::Descriptor*>(*d)));
-  if (info == GrB_SUCCESS) *d = nullptr;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (d == nullptr) return GrB_NULL_POINTER;
+    GrB_Info info = grb_detail::to_c(
+        grb::descriptor_free(const_cast<grb::Descriptor*>(*d)));
+    if (info == GrB_SUCCESS) *d = nullptr;
+    return info;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -503,7 +570,9 @@ inline GrB_Info GrB_free(GrB_Descriptor* d) {
 // ---------------------------------------------------------------------------
 
 inline GrB_Info GrB_Type_new(GrB_Type* type, size_t size) {
-  return grb_detail::to_c(grb::type_new(type, size));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::type_new(type, size));
+  });
 }
 
 typedef void (*GrB_unary_function)(void*, const void*);
@@ -514,69 +583,87 @@ typedef void (*GrB_index_unary_function)(void*, const void*, GrB_Index*,
 
 inline GrB_Info GrB_UnaryOp_new(GrB_UnaryOp* op, GrB_unary_function fn,
                                 GrB_Type ztype, GrB_Type xtype) {
-  return grb_detail::to_c(grb::unary_op_new(op, fn, ztype, xtype));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::unary_op_new(op, fn, ztype, xtype));
+  });
 }
 inline GrB_Info GrB_BinaryOp_new(GrB_BinaryOp* op, GrB_binary_function fn,
                                  GrB_Type ztype, GrB_Type xtype,
                                  GrB_Type ytype) {
-  return grb_detail::to_c(grb::binary_op_new(op, fn, ztype, xtype, ytype));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::binary_op_new(op, fn, ztype, xtype, ytype));
+  });
 }
 inline GrB_Info GrB_IndexUnaryOp_new(GrB_IndexUnaryOp* op,
                                      GrB_index_unary_function fn,
                                      GrB_Type d_out, GrB_Type d_in,
                                      GrB_Type d_s) {
-  return grb_detail::to_c(grb::index_unary_op_new(op, fn, d_out, d_in, d_s));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::index_unary_op_new(op, fn, d_out, d_in, d_s));
+  });
 }
 
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Monoid_new(GrB_Monoid* monoid, GrB_BinaryOp op,
                                T identity) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  grb::ValueBuf id(op->ztype()->size());
-  if (!grb::types_compatible(op->ztype(), grb::type_of<T>()))
-    return GrB_DOMAIN_MISMATCH;
-  grb::cast_value(op->ztype(), id.data(), grb::type_of<T>(), &identity);
-  return grb_detail::to_c(grb::monoid_new(monoid, op, id.data()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    grb::ValueBuf id(op->ztype()->size());
+    if (!grb::types_compatible(op->ztype(), grb::type_of<T>()))
+      return GrB_DOMAIN_MISMATCH;
+    grb::cast_value(op->ztype(), id.data(), grb::type_of<T>(), &identity);
+    return grb_detail::to_c(grb::monoid_new(monoid, op, id.data()));
+  });
 }
 // UDT identity.
 inline GrB_Info GrB_Monoid_new_UDT(GrB_Monoid* monoid, GrB_BinaryOp op,
                                    const void* identity) {
-  return grb_detail::to_c(grb::monoid_new(monoid, op, identity));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::monoid_new(monoid, op, identity));
+  });
 }
 // Table II: GrB_Scalar identity variant.
 inline GrB_Info GrB_Monoid_new(GrB_Monoid* monoid, GrB_BinaryOp op,
                                GrB_Scalar identity) {
-  if (op == nullptr || identity == nullptr) return GrB_NULL_POINTER;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = identity->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  if (!grb::types_compatible(op->ztype(), snap->type))
-    return GrB_DOMAIN_MISMATCH;
-  grb::ValueBuf id(op->ztype()->size());
-  grb::cast_value(op->ztype(), id.data(), snap->type, snap->value.data());
-  return grb_detail::to_c(grb::monoid_new(monoid, op, id.data()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr || identity == nullptr) return GrB_NULL_POINTER;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = identity->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    if (!grb::types_compatible(op->ztype(), snap->type))
+      return GrB_DOMAIN_MISMATCH;
+    grb::ValueBuf id(op->ztype()->size());
+    grb::cast_value(op->ztype(), id.data(), snap->type, snap->value.data());
+    return grb_detail::to_c(grb::monoid_new(monoid, op, id.data()));
+  });
 }
 
 inline GrB_Info GrB_Semiring_new(GrB_Semiring* semiring, GrB_Monoid add,
                                  GrB_BinaryOp mul) {
-  return grb_detail::to_c(grb::semiring_new(semiring, add, mul));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::semiring_new(semiring, add, mul));
+  });
 }
 
 inline GrB_Info GrB_Descriptor_new(GrB_Descriptor* desc) {
-  if (desc == nullptr) return GrB_NULL_POINTER;
-  grb::Descriptor* d = nullptr;
-  GrB_Info info = grb_detail::to_c(grb::descriptor_new(&d));
-  if (info == GrB_SUCCESS) *desc = d;
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (desc == nullptr) return GrB_NULL_POINTER;
+    grb::Descriptor* d = nullptr;
+    GrB_Info info = grb_detail::to_c(grb::descriptor_new(&d));
+    if (info == GrB_SUCCESS) *desc = d;
+    return info;
+  });
 }
 inline GrB_Info GrB_Descriptor_set(GrB_Descriptor desc, GrB_Desc_Field field,
                                    GrB_Desc_Value value) {
-  if (desc == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(const_cast<grb::Descriptor*>(desc)->set(
-      static_cast<grb::DescField>(static_cast<int>(field)),
-      static_cast<grb::DescValue>(static_cast<int>(value))));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (desc == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(const_cast<grb::Descriptor*>(desc)->set(
+        static_cast<grb::DescField>(static_cast<int>(field)),
+        static_cast<grb::DescValue>(static_cast<int>(value))));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -584,44 +671,62 @@ inline GrB_Info GrB_Descriptor_set(GrB_Descriptor desc, GrB_Desc_Field field,
 // ---------------------------------------------------------------------------
 
 inline GrB_Info GrB_Scalar_new(GrB_Scalar* s, GrB_Type type) {
-  return grb_detail::to_c(grb::Scalar::new_(s, type, nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Scalar::new_(s, type, nullptr));
+  });
 }
 inline GrB_Info GrB_Scalar_new(GrB_Scalar* s, GrB_Type type,
                                GrB_Context ctx) {
-  return grb_detail::to_c(grb::Scalar::new_(s, type, ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Scalar::new_(s, type, ctx));
+  });
 }
 inline GrB_Info GrB_Scalar_dup(GrB_Scalar* out, GrB_Scalar in) {
-  return grb_detail::to_c(grb::Scalar::dup(out, in));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Scalar::dup(out, in));
+  });
 }
 inline GrB_Info GrB_Scalar_clear(GrB_Scalar s) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->clear());
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->clear());
+  });
 }
 inline GrB_Info GrB_Scalar_nvals(GrB_Index* nvals, GrB_Scalar s) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->nvals(nvals));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->nvals(nvals));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Scalar_setElement(GrB_Scalar s, T value) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->set_element(&value, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->set_element(&value, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Scalar_setElement_UDT(GrB_Scalar s, const void* value,
                                           GrB_Type type) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->set_element(value, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->set_element(value, type));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Scalar_extractElement(T* value, GrB_Scalar s) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->extract_element(value, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->extract_element(value, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Scalar_extractElement_UDT(void* value, GrB_Type type,
                                               GrB_Scalar s) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(s->extract_element(value, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(s->extract_element(value, type));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -629,113 +734,149 @@ inline GrB_Info GrB_Scalar_extractElement_UDT(void* value, GrB_Type type,
 // ---------------------------------------------------------------------------
 
 inline GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Type type, GrB_Index n) {
-  return grb_detail::to_c(grb::Vector::new_(v, type, n, nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Vector::new_(v, type, n, nullptr));
+  });
 }
 // GraphBLAS 2.0 constructor with a context (paper Figure 2).
 inline GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Type type, GrB_Index n,
                                GrB_Context ctx) {
-  return grb_detail::to_c(grb::Vector::new_(v, type, n, ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Vector::new_(v, type, n, ctx));
+  });
 }
 inline GrB_Info GrB_Vector_dup(GrB_Vector* out, GrB_Vector in) {
-  return grb_detail::to_c(grb::Vector::dup(out, in));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Vector::dup(out, in));
+  });
 }
 inline GrB_Info GrB_Vector_clear(GrB_Vector v) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->clear());
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->clear());
+  });
 }
 inline GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  if (n == nullptr) return GrB_NULL_POINTER;
-  *n = v->size();
-  return GrB_SUCCESS;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (n == nullptr) return GrB_NULL_POINTER;
+    *n = v->size();
+    return GrB_SUCCESS;
+  });
 }
 inline GrB_Info GrB_Vector_nvals(GrB_Index* nvals, GrB_Vector v) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->nvals(nvals));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->nvals(nvals));
+  });
 }
 inline GrB_Info GrB_Vector_resize(GrB_Vector v, GrB_Index n) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->resize(n));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->resize(n));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Vector_build(GrB_Vector v, const GrB_Index* indices,
                                  const T* values, GrB_Index n,
                                  GrB_BinaryOp dup) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(
-      v->build(indices, values, n, dup, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(
+        v->build(indices, values, n, dup, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Vector_build_UDT(GrB_Vector v, const GrB_Index* indices,
                                      const void* values, GrB_Index n,
                                      GrB_BinaryOp dup, GrB_Type type) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->build(indices, values, n, dup, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->build(indices, values, n, dup, type));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Vector_setElement(GrB_Vector v, T value, GrB_Index i) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->set_element(&value, grb::type_of<T>(), i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->set_element(&value, grb::type_of<T>(), i));
+  });
 }
 inline GrB_Info GrB_Vector_setElement_UDT(GrB_Vector v, const void* value,
                                           GrB_Type type, GrB_Index i) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->set_element(value, type, i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->set_element(value, type, i));
+  });
 }
 // Table II: GrB_Scalar variant (empty scalar removes the element).
 inline GrB_Info GrB_Vector_setElement(GrB_Vector v, GrB_Scalar s,
                                       GrB_Index i) {
-  if (v == nullptr || s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return grb_detail::to_c(v->remove_element(i));
-  return grb_detail::to_c(v->set_element(snap->value.data(), snap->type, i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr || s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return grb_detail::to_c(v->remove_element(i));
+    return grb_detail::to_c(v->set_element(snap->value.data(), snap->type, i));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Vector_extractElement(T* value, GrB_Vector v,
                                           GrB_Index i) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->extract_element(value, grb::type_of<T>(), i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->extract_element(value, grb::type_of<T>(), i));
+  });
 }
 inline GrB_Info GrB_Vector_extractElement_UDT(void* value, GrB_Type type,
                                               GrB_Vector v, GrB_Index i) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->extract_element(value, type, i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->extract_element(value, type, i));
+  });
 }
 // Table II: GrB_Scalar output variant — a missing element produces an
 // empty scalar instead of the GrB_NO_VALUE return-code dance (§VI).
 inline GrB_Info GrB_Vector_extractElement(GrB_Scalar out, GrB_Vector v,
                                           GrB_Index i) {
-  if (v == nullptr || out == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::VectorData> snap;
-  grb::Info info = v->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (i >= snap->n) return GrB_INVALID_INDEX;
-  size_t pos = snap->find(i);
-  if (pos == grb::VectorData::npos) return grb_detail::to_c(out->clear());
-  return grb_detail::to_c(
-      out->set_element(snap->vals.at(pos), snap->type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr || out == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::VectorData> snap;
+    grb::Info info = v->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (i >= snap->n) return GrB_INVALID_INDEX;
+    size_t pos = snap->find(i);
+    if (pos == grb::VectorData::npos) return grb_detail::to_c(out->clear());
+    return grb_detail::to_c(
+        out->set_element(snap->vals.at(pos), snap->type));
+  });
 }
 inline GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->remove_element(i));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->remove_element(i));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Vector_extractTuples(GrB_Index* indices, T* values,
                                          GrB_Index* n, GrB_Vector v) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(
-      v->extract_tuples(indices, values, n, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(
+        v->extract_tuples(indices, values, n, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Vector_extractTuples_UDT(GrB_Index* indices, void* values,
                                              GrB_Index* n, GrB_Type type,
                                              GrB_Vector v) {
-  if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(v->extract_tuples(indices, values, n, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(v->extract_tuples(indices, values, n, type));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -744,126 +885,166 @@ inline GrB_Info GrB_Vector_extractTuples_UDT(GrB_Index* indices, void* values,
 
 inline GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Type type, GrB_Index nrows,
                                GrB_Index ncols) {
-  return grb_detail::to_c(grb::Matrix::new_(a, type, nrows, ncols, nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Matrix::new_(a, type, nrows, ncols, nullptr));
+  });
 }
 inline GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Type type, GrB_Index nrows,
                                GrB_Index ncols, GrB_Context ctx) {
-  return grb_detail::to_c(grb::Matrix::new_(a, type, nrows, ncols, ctx));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Matrix::new_(a, type, nrows, ncols, ctx));
+  });
 }
 inline GrB_Info GrB_Matrix_dup(GrB_Matrix* out, GrB_Matrix in) {
-  return grb_detail::to_c(grb::Matrix::dup(out, in));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::Matrix::dup(out, in));
+  });
 }
 inline GrB_Info GrB_Matrix_clear(GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->clear());
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->clear());
+  });
 }
 inline GrB_Info GrB_Matrix_nrows(GrB_Index* n, GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  if (n == nullptr) return GrB_NULL_POINTER;
-  *n = a->nrows();
-  return GrB_SUCCESS;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (n == nullptr) return GrB_NULL_POINTER;
+    *n = a->nrows();
+    return GrB_SUCCESS;
+  });
 }
 inline GrB_Info GrB_Matrix_ncols(GrB_Index* n, GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  if (n == nullptr) return GrB_NULL_POINTER;
-  *n = a->ncols();
-  return GrB_SUCCESS;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (n == nullptr) return GrB_NULL_POINTER;
+    *n = a->ncols();
+    return GrB_SUCCESS;
+  });
 }
 inline GrB_Info GrB_Matrix_nvals(GrB_Index* nvals, GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->nvals(nvals));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->nvals(nvals));
+  });
 }
 inline GrB_Info GrB_Matrix_resize(GrB_Matrix a, GrB_Index nrows,
                                   GrB_Index ncols) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->resize(nrows, ncols));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->resize(nrows, ncols));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Matrix_build(GrB_Matrix a, const GrB_Index* rows,
                                  const GrB_Index* cols, const T* values,
                                  GrB_Index n, GrB_BinaryOp dup) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(
-      a->build(rows, cols, values, n, dup, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(
+        a->build(rows, cols, values, n, dup, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Matrix_build_UDT(GrB_Matrix a, const GrB_Index* rows,
                                      const GrB_Index* cols,
                                      const void* values, GrB_Index n,
                                      GrB_BinaryOp dup, GrB_Type type) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->build(rows, cols, values, n, dup, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->build(rows, cols, values, n, dup, type));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Matrix_setElement(GrB_Matrix a, T value, GrB_Index i,
                                       GrB_Index j) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->set_element(&value, grb::type_of<T>(), i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->set_element(&value, grb::type_of<T>(), i, j));
+  });
 }
 inline GrB_Info GrB_Matrix_setElement_UDT(GrB_Matrix a, const void* value,
                                           GrB_Type type, GrB_Index i,
                                           GrB_Index j) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->set_element(value, type, i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->set_element(value, type, i, j));
+  });
 }
 inline GrB_Info GrB_Matrix_setElement(GrB_Matrix a, GrB_Scalar s,
                                       GrB_Index i, GrB_Index j) {
-  if (a == nullptr || s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return grb_detail::to_c(a->remove_element(i, j));
-  return grb_detail::to_c(
-      a->set_element(snap->value.data(), snap->type, i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr || s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return grb_detail::to_c(a->remove_element(i, j));
+    return grb_detail::to_c(
+        a->set_element(snap->value.data(), snap->type, i, j));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Matrix_extractElement(T* value, GrB_Matrix a, GrB_Index i,
                                           GrB_Index j) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(
-      a->extract_element(value, grb::type_of<T>(), i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(
+        a->extract_element(value, grb::type_of<T>(), i, j));
+  });
 }
 inline GrB_Info GrB_Matrix_extractElement_UDT(void* value, GrB_Type type,
                                               GrB_Matrix a, GrB_Index i,
                                               GrB_Index j) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->extract_element(value, type, i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->extract_element(value, type, i, j));
+  });
 }
 inline GrB_Info GrB_Matrix_extractElement(GrB_Scalar out, GrB_Matrix a,
                                           GrB_Index i, GrB_Index j) {
-  if (a == nullptr || out == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::MatrixData> snap;
-  grb::Info info = a->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (i >= snap->nrows || j >= snap->ncols) return GrB_INVALID_INDEX;
-  size_t pos = snap->find(i, j);
-  if (pos == grb::MatrixData::npos) return grb_detail::to_c(out->clear());
-  return grb_detail::to_c(out->set_element(snap->vals.at(pos), snap->type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr || out == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::MatrixData> snap;
+    grb::Info info = a->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (i >= snap->nrows || j >= snap->ncols) return GrB_INVALID_INDEX;
+    size_t pos = snap->find(i, j);
+    if (pos == grb::MatrixData::npos) return grb_detail::to_c(out->clear());
+    return grb_detail::to_c(out->set_element(snap->vals.at(pos), snap->type));
+  });
 }
 inline GrB_Info GrB_Matrix_removeElement(GrB_Matrix a, GrB_Index i,
                                          GrB_Index j) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->remove_element(i, j));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->remove_element(i, j));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_Matrix_extractTuples(GrB_Index* rows, GrB_Index* cols,
                                          T* values, GrB_Index* n,
                                          GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(
-      a->extract_tuples(rows, cols, values, n, grb::type_of<T>()));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(
+        a->extract_tuples(rows, cols, values, n, grb::type_of<T>()));
+  });
 }
 inline GrB_Info GrB_Matrix_extractTuples_UDT(GrB_Index* rows, GrB_Index* cols,
                                              void* values, GrB_Index* n,
                                              GrB_Type type, GrB_Matrix a) {
-  if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  return grb_detail::to_c(a->extract_tuples(rows, cols, values, n, type));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (a == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    return grb_detail::to_c(a->extract_tuples(rows, cols, values, n, type));
+  });
 }
 inline GrB_Info GrB_Matrix_diag(GrB_Matrix* c, GrB_Vector v, int64_t k) {
-  return grb_detail::to_c(grb::matrix_diag(c, v, k));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_diag(c, v, k));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -873,17 +1054,23 @@ inline GrB_Info GrB_Matrix_diag(GrB_Matrix* c, GrB_Vector v, int64_t k) {
 inline GrB_Info GrB_mxm(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                         GrB_Semiring s, GrB_Matrix a, GrB_Matrix b,
                         GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::mxm(c, mask, accum, s, a, b, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::mxm(c, mask, accum, s, a, b, desc));
+  });
 }
 inline GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                         GrB_Semiring s, GrB_Matrix a, GrB_Vector u,
                         GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::mxv(w, mask, accum, s, a, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::mxv(w, mask, accum, s, a, u, desc));
+  });
 }
 inline GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                         GrB_Semiring s, GrB_Vector u, GrB_Matrix a,
                         GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::vxm(w, mask, accum, s, u, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::vxm(w, mask, accum, s, u, a, desc));
+  });
 }
 
 // eWiseAdd / eWiseMult: BinaryOp, Monoid, and Semiring flavours.
@@ -891,40 +1078,52 @@ inline GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
   inline GrB_Info NAME(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,  \
                        GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,        \
                        GrB_Descriptor desc) {                              \
-    return grb_detail::to_c(grb::IMPL(w, mask, accum, op, u, v, desc));    \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      return grb_detail::to_c(grb::IMPL(w, mask, accum, op, u, v, desc));  \
+    });                                                                    \
   }                                                                        \
   inline GrB_Info NAME(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,  \
                        GrB_Monoid op, GrB_Vector u, GrB_Vector v,          \
                        GrB_Descriptor desc) {                              \
-    if (op == nullptr) return GrB_NULL_POINTER;                            \
-    return grb_detail::to_c(                                               \
-        grb::IMPL(w, mask, accum, op->op(), u, v, desc));                  \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      if (op == nullptr) return GrB_NULL_POINTER;                          \
+      return grb_detail::to_c(                                             \
+          grb::IMPL(w, mask, accum, op->op(), u, v, desc));                \
+    });                                                                    \
   }                                                                        \
   inline GrB_Info NAME(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,  \
                        GrB_Semiring op, GrB_Vector u, GrB_Vector v,        \
                        GrB_Descriptor desc) {                              \
-    if (op == nullptr) return GrB_NULL_POINTER;                            \
-    return grb_detail::to_c(                                               \
-        grb::IMPL(w, mask, accum, op->mul(), u, v, desc));                 \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      if (op == nullptr) return GrB_NULL_POINTER;                          \
+      return grb_detail::to_c(                                             \
+          grb::IMPL(w, mask, accum, op->mul(), u, v, desc));               \
+    });                                                                    \
   }                                                                        \
   inline GrB_Info NAME(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,  \
                        GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,        \
                        GrB_Descriptor desc) {                              \
-    return grb_detail::to_c(grb::IMPL(c, mask, accum, op, a, b, desc));    \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      return grb_detail::to_c(grb::IMPL(c, mask, accum, op, a, b, desc));  \
+    });                                                                    \
   }                                                                        \
   inline GrB_Info NAME(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,  \
                        GrB_Monoid op, GrB_Matrix a, GrB_Matrix b,          \
                        GrB_Descriptor desc) {                              \
-    if (op == nullptr) return GrB_NULL_POINTER;                            \
-    return grb_detail::to_c(                                               \
-        grb::IMPL(c, mask, accum, op->op(), a, b, desc));                  \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      if (op == nullptr) return GrB_NULL_POINTER;                          \
+      return grb_detail::to_c(                                             \
+          grb::IMPL(c, mask, accum, op->op(), a, b, desc));                \
+    });                                                                    \
   }                                                                        \
   inline GrB_Info NAME(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,  \
                        GrB_Semiring op, GrB_Matrix a, GrB_Matrix b,        \
                        GrB_Descriptor desc) {                              \
-    if (op == nullptr) return GrB_NULL_POINTER;                            \
-    return grb_detail::to_c(                                               \
-        grb::IMPL(c, mask, accum, op->mul(), a, b, desc));                 \
+    return grb_detail::guarded([&]() -> GrB_Info {                         \
+      if (op == nullptr) return GrB_NULL_POINTER;                          \
+      return grb_detail::to_c(                                             \
+          grb::IMPL(c, mask, accum, op->mul(), a, b, desc));               \
+    });                                                                    \
   }
 GRB_DEFINE_EWISE(GrB_eWiseAdd, ewise_add)
 GRB_DEFINE_EWISE(GrB_eWiseMult, ewise_mult)
@@ -935,58 +1134,74 @@ inline GrB_Info GrB_extract(GrB_Vector w, GrB_Vector mask,
                             GrB_BinaryOp accum, GrB_Vector u,
                             const GrB_Index* indices, GrB_Index n,
                             GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::extract(w, mask, accum, u, indices, n, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::extract(w, mask, accum, u, indices, n, desc));
+  });
 }
 inline GrB_Info GrB_extract(GrB_Matrix c, GrB_Matrix mask,
                             GrB_BinaryOp accum, GrB_Matrix a,
                             const GrB_Index* rows, GrB_Index nrows,
                             const GrB_Index* cols, GrB_Index ncols,
                             GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::extract(c, mask, accum, a, rows, nrows, cols, ncols, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::extract(c, mask, accum, a, rows, nrows, cols, ncols, desc));
+  });
 }
 inline GrB_Info GrB_extract(GrB_Vector w, GrB_Vector mask,
                             GrB_BinaryOp accum, GrB_Matrix a,
                             const GrB_Index* rows, GrB_Index nrows,
                             GrB_Index col, GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::extract_col(w, mask, accum, a, rows, nrows, col, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::extract_col(w, mask, accum, a, rows, nrows, col, desc));
+  });
 }
 
 // assign
 inline GrB_Info GrB_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_Vector u, const GrB_Index* indices,
                            GrB_Index n, GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::assign(w, mask, accum, u, indices, n, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::assign(w, mask, accum, u, indices, n, desc));
+  });
 }
 inline GrB_Info GrB_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_Matrix a, const GrB_Index* rows,
                            GrB_Index nrows, const GrB_Index* cols,
                            GrB_Index ncols, GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign(c, mask, accum, a, rows, nrows, cols, ncols, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign(c, mask, accum, a, rows, nrows, cols, ncols, desc));
+  });
 }
 inline GrB_Info GrB_Row_assign(GrB_Matrix c, GrB_Vector mask,
                                GrB_BinaryOp accum, GrB_Vector u, GrB_Index i,
                                const GrB_Index* cols, GrB_Index ncols,
                                GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign_row(c, mask, accum, u, i, cols, ncols, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign_row(c, mask, accum, u, i, cols, ncols, desc));
+  });
 }
 inline GrB_Info GrB_Col_assign(GrB_Matrix c, GrB_Vector mask,
                                GrB_BinaryOp accum, GrB_Vector u,
                                const GrB_Index* rows, GrB_Index nrows,
                                GrB_Index j, GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign_col(c, mask, accum, u, rows, nrows, j, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign_col(c, mask, accum, u, rows, nrows, j, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            T value, const GrB_Index* indices, GrB_Index n,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::assign_scalar(
-      w, mask, accum, &value, grb::type_of<T>(), indices, n, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::assign_scalar(
+        w, mask, accum, &value, grb::type_of<T>(), indices, n, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
@@ -994,35 +1209,45 @@ inline GrB_Info GrB_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            T value, const GrB_Index* rows, GrB_Index nrows,
                            const GrB_Index* cols, GrB_Index ncols,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign_scalar(c, mask, accum, &value, grb::type_of<T>(), rows,
-                         nrows, cols, ncols, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign_scalar(c, mask, accum, &value, grb::type_of<T>(), rows,
+                           nrows, cols, ncols, desc));
+  });
 }
 // Table II: GrB_Scalar variants.
 inline GrB_Info GrB_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_Scalar s, const GrB_Index* indices,
                            GrB_Index n, GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign_scalar(w, mask, accum, s, indices, n, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign_scalar(w, mask, accum, s, indices, n, desc));
+  });
 }
 inline GrB_Info GrB_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_Scalar s, const GrB_Index* rows,
                            GrB_Index nrows, const GrB_Index* cols,
                            GrB_Index ncols, GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::assign_scalar(c, mask, accum, s, rows, nrows, cols, ncols, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::assign_scalar(c, mask, accum, s, rows, nrows, cols, ncols, desc));
+  });
 }
 
 // apply: unary op
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Vector u,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::apply(w, mask, accum, op, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::apply(w, mask, accum, op, u, desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Matrix a,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::apply(c, mask, accum, op, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::apply(c, mask, accum, op, a, desc));
+  });
 }
 // apply: bound binary op (bind-first / bind-second)
 template <class T,
@@ -1030,77 +1255,93 @@ template <class T,
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, T s, GrB_Vector u,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_bind1st(w, mask, accum, op, &s, grb::type_of<T>(), u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_bind1st(w, mask, accum, op, &s, grb::type_of<T>(), u, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Vector u, T s,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_bind2nd(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_bind2nd(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, T s, GrB_Matrix a,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_bind1st(c, mask, accum, op, &s, grb::type_of<T>(), a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_bind1st(c, mask, accum, op, &s, grb::type_of<T>(), a, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Matrix a, T s,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_bind2nd(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_bind2nd(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  });
 }
 // apply: GrB_Scalar-bound binary op (Table II)
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Scalar s, GrB_Vector u,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_bind1st(
-      w, mask, accum, op, snap->value.data(), snap->type, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_bind1st(
+        w, mask, accum, op, snap->value.data(), snap->type, u, desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Vector u, GrB_Scalar s,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_bind2nd(
-      w, mask, accum, op, u, snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_bind2nd(
+        w, mask, accum, op, u, snap->value.data(), snap->type, desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Scalar s, GrB_Matrix a,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_bind1st(
-      c, mask, accum, op, snap->value.data(), snap->type, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_bind1st(
+        c, mask, accum, op, snap->value.data(), snap->type, a, desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_BinaryOp op, GrB_Matrix a, GrB_Scalar s,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_bind2nd(
-      c, mask, accum, op, a, snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_bind2nd(
+        c, mask, accum, op, a, snap->value.data(), snap->type, desc));
+  });
 }
 // apply: index-unary op (paper §VIII.B)
 template <class T,
@@ -1108,38 +1349,46 @@ template <class T,
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_IndexUnaryOp op, GrB_Vector u, T s,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_indexop(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_indexop(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_IndexUnaryOp op, GrB_Matrix a, T s,
                           GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::apply_indexop(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::apply_indexop(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_IndexUnaryOp op, GrB_Vector u, GrB_Scalar s,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_indexop(
-      w, mask, accum, op, u, snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_indexop(
+        w, mask, accum, op, u, snap->value.data(), snap->type, desc));
+  });
 }
 inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_IndexUnaryOp op, GrB_Matrix a, GrB_Scalar s,
                           GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::apply_indexop(
-      c, mask, accum, op, a, snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::apply_indexop(
+        c, mask, accum, op, a, snap->value.data(), snap->type, desc));
+  });
 }
 
 // select (paper §VIII.C)
@@ -1148,112 +1397,142 @@ template <class T,
 inline GrB_Info GrB_select(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_IndexUnaryOp op, GrB_Vector u, T s,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::select(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::select(w, mask, accum, op, u, &s, grb::type_of<T>(), desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_select(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_IndexUnaryOp op, GrB_Matrix a, T s,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::select(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::select(c, mask, accum, op, a, &s, grb::type_of<T>(), desc));
+  });
 }
 inline GrB_Info GrB_select(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_IndexUnaryOp op, GrB_Vector u, GrB_Scalar s,
                            GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::select(w, mask, accum, op, u,
-                                      snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::select(w, mask, accum, op, u,
+                                        snap->value.data(), snap->type, desc));
+  });
 }
 inline GrB_Info GrB_select(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_IndexUnaryOp op, GrB_Matrix a, GrB_Scalar s,
                            GrB_Descriptor desc) {
-  if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
-  std::shared_ptr<const grb::ScalarData> snap;
-  grb::Info info = s->snapshot(&snap);
-  if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
-  if (!snap->present) return GrB_EMPTY_OBJECT;
-  return grb_detail::to_c(grb::select(c, mask, accum, op, a,
-                                      snap->value.data(), snap->type, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (s == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    std::shared_ptr<const grb::ScalarData> snap;
+    grb::Info info = s->snapshot(&snap);
+    if (static_cast<int>(info) < 0) return grb_detail::to_c(info);
+    if (!snap->present) return GrB_EMPTY_OBJECT;
+    return grb_detail::to_c(grb::select(c, mask, accum, op, a,
+                                        snap->value.data(), snap->type, desc));
+  });
 }
 
 // reduce
 inline GrB_Info GrB_reduce(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_Monoid monoid, GrB_Matrix a,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::reduce_to_vector(w, mask, accum, monoid, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::reduce_to_vector(w, mask, accum, monoid, a, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_reduce(T* value, GrB_BinaryOp accum, GrB_Monoid monoid,
                            GrB_Vector u, GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::reduce_to_scalar(value, grb::type_of<T>(),
-                                                accum, monoid, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::reduce_to_scalar(value, grb::type_of<T>(),
+                                                  accum, monoid, u, desc));
+  });
 }
 template <class T,
           class = std::enable_if_t<grb_detail::is_grb_scalar_v<T>>>
 inline GrB_Info GrB_reduce(T* value, GrB_BinaryOp accum, GrB_Monoid monoid,
                            GrB_Matrix a, GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::reduce_to_scalar(value, grb::type_of<T>(),
-                                                accum, monoid, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::reduce_to_scalar(value, grb::type_of<T>(),
+                                                  accum, monoid, a, desc));
+  });
 }
 // Table II: GrB_Scalar-output variants (monoid and plain binary op).
 inline GrB_Info GrB_reduce(GrB_Scalar out, GrB_BinaryOp accum,
                            GrB_Monoid monoid, GrB_Vector u,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::reduce_to_scalar(out, accum, monoid, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::reduce_to_scalar(out, accum, monoid, u, desc));
+  });
 }
 inline GrB_Info GrB_reduce(GrB_Scalar out, GrB_BinaryOp accum,
                            GrB_Monoid monoid, GrB_Matrix a,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::reduce_to_scalar(out, accum, monoid, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::reduce_to_scalar(out, accum, monoid, a, desc));
+  });
 }
 inline GrB_Info GrB_reduce(GrB_Scalar out, GrB_BinaryOp accum,
                            GrB_BinaryOp op, GrB_Vector u,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::reduce_to_scalar_binop(out, accum, op, u, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::reduce_to_scalar_binop(out, accum, op, u, desc));
+  });
 }
 inline GrB_Info GrB_reduce(GrB_Scalar out, GrB_BinaryOp accum,
                            GrB_BinaryOp op, GrB_Matrix a,
                            GrB_Descriptor desc) {
-  return grb_detail::to_c(
-      grb::reduce_to_scalar_binop(out, accum, op, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::reduce_to_scalar_binop(out, accum, op, a, desc));
+  });
 }
 
 // transpose / kronecker
 inline GrB_Info GrB_transpose(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_Matrix a,
                               GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::transpose(c, mask, accum, a, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::transpose(c, mask, accum, a, desc));
+  });
 }
 inline GrB_Info GrB_kronecker(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Matrix a, GrB_Matrix b,
                               GrB_Descriptor desc) {
-  return grb_detail::to_c(grb::kronecker(c, mask, accum, op, a, b, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::kronecker(c, mask, accum, op, a, b, desc));
+  });
 }
 inline GrB_Info GrB_kronecker(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_Semiring op,
                               GrB_Matrix a, GrB_Matrix b,
                               GrB_Descriptor desc) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  return grb_detail::to_c(
-      grb::kronecker(c, mask, accum, op->mul(), a, b, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    return grb_detail::to_c(
+        grb::kronecker(c, mask, accum, op->mul(), a, b, desc));
+  });
 }
 inline GrB_Info GrB_kronecker(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_Monoid op,
                               GrB_Matrix a, GrB_Matrix b,
                               GrB_Descriptor desc) {
-  if (op == nullptr) return GrB_NULL_POINTER;
-  return grb_detail::to_c(
-      grb::kronecker(c, mask, accum, op->op(), a, b, desc));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (op == nullptr) return GrB_NULL_POINTER;
+    return grb_detail::to_c(
+        grb::kronecker(c, mask, accum, op->op(), a, b, desc));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1267,78 +1546,106 @@ inline GrB_Info GrB_Matrix_import(GrB_Matrix* a, GrB_Type type,
                                   const void* values, GrB_Index indptr_len,
                                   GrB_Index indices_len,
                                   GrB_Index values_len, GrB_Format format) {
-  return grb_detail::to_c(grb::matrix_import(
-      a, type, nrows, ncols, indptr, indices, values, indptr_len,
-      indices_len, values_len, grb_detail::to_format(format), nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_import(
+        a, type, nrows, ncols, indptr, indices, values, indptr_len,
+        indices_len, values_len, grb_detail::to_format(format), nullptr));
+  });
 }
 inline GrB_Info GrB_Matrix_exportSize(GrB_Index* indptr_len,
                                       GrB_Index* indices_len,
                                       GrB_Index* values_len,
                                       GrB_Format format, GrB_Matrix a) {
-  return grb_detail::to_c(grb::matrix_export_size(
-      indptr_len, indices_len, values_len, grb_detail::to_format(format), a));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_export_size(
+        indptr_len, indices_len, values_len, grb_detail::to_format(format), a));
+  });
 }
 inline GrB_Info GrB_Matrix_export(GrB_Index* indptr, GrB_Index* indices,
                                   void* values, GrB_Format format,
                                   GrB_Matrix a) {
-  return grb_detail::to_c(grb::matrix_export(
-      indptr, indices, values, grb_detail::to_format(format), a));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_export(
+        indptr, indices, values, grb_detail::to_format(format), a));
+  });
 }
 inline GrB_Info GrB_Matrix_exportHint(GrB_Format* format, GrB_Matrix a) {
-  if (format == nullptr) return GrB_NULL_POINTER;
-  grb::Format f;
-  GrB_Info info = grb_detail::to_c(grb::matrix_export_hint(&f, a));
-  if (info == GrB_SUCCESS) *format = static_cast<GrB_Format>(f);
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (format == nullptr) return GrB_NULL_POINTER;
+    grb::Format f;
+    GrB_Info info = grb_detail::to_c(grb::matrix_export_hint(&f, a));
+    if (info == GrB_SUCCESS) *format = static_cast<GrB_Format>(f);
+    return info;
+  });
 }
 inline GrB_Info GrB_Vector_import(GrB_Vector* v, GrB_Type type, GrB_Index n,
                                   const GrB_Index* indices,
                                   const void* values, GrB_Index indices_len,
                                   GrB_Index values_len, GrB_Format format) {
-  return grb_detail::to_c(
-      grb::vector_import(v, type, n, indices, values, indices_len,
-                         values_len, grb_detail::to_format(format), nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::vector_import(v, type, n, indices, values, indices_len,
+                           values_len, grb_detail::to_format(format), nullptr));
+  });
 }
 inline GrB_Info GrB_Vector_exportSize(GrB_Index* indices_len,
                                       GrB_Index* values_len,
                                       GrB_Format format, GrB_Vector v) {
-  return grb_detail::to_c(grb::vector_export_size(
-      indices_len, values_len, grb_detail::to_format(format), v));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::vector_export_size(
+        indices_len, values_len, grb_detail::to_format(format), v));
+  });
 }
 inline GrB_Info GrB_Vector_export(GrB_Index* indices, void* values,
                                   GrB_Format format, GrB_Vector v) {
-  return grb_detail::to_c(
-      grb::vector_export(indices, values, grb_detail::to_format(format), v));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::vector_export(indices, values, grb_detail::to_format(format), v));
+  });
 }
 inline GrB_Info GrB_Vector_exportHint(GrB_Format* format, GrB_Vector v) {
-  if (format == nullptr) return GrB_NULL_POINTER;
-  grb::Format f;
-  GrB_Info info = grb_detail::to_c(grb::vector_export_hint(&f, v));
-  if (info == GrB_SUCCESS) *format = static_cast<GrB_Format>(f);
-  return info;
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (format == nullptr) return GrB_NULL_POINTER;
+    grb::Format f;
+    GrB_Info info = grb_detail::to_c(grb::vector_export_hint(&f, v));
+    if (info == GrB_SUCCESS) *format = static_cast<GrB_Format>(f);
+    return info;
+  });
 }
 
 inline GrB_Info GrB_Matrix_serializeSize(GrB_Index* size, GrB_Matrix a) {
-  return grb_detail::to_c(grb::matrix_serialize_size(size, a));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_serialize_size(size, a));
+  });
 }
 inline GrB_Info GrB_Matrix_serialize(void* buffer, GrB_Index* size,
                                      GrB_Matrix a) {
-  return grb_detail::to_c(grb::matrix_serialize(buffer, size, a));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::matrix_serialize(buffer, size, a));
+  });
 }
 inline GrB_Info GrB_Matrix_deserialize(GrB_Matrix* a, GrB_Type type,
                                        const void* buffer, GrB_Index size) {
-  return grb_detail::to_c(
-      grb::matrix_deserialize(a, type, buffer, size, nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::matrix_deserialize(a, type, buffer, size, nullptr));
+  });
 }
 inline GrB_Info GrB_Vector_serializeSize(GrB_Index* size, GrB_Vector v) {
-  return grb_detail::to_c(grb::vector_serialize_size(size, v));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::vector_serialize_size(size, v));
+  });
 }
 inline GrB_Info GrB_Vector_serialize(void* buffer, GrB_Index* size,
                                      GrB_Vector v) {
-  return grb_detail::to_c(grb::vector_serialize(buffer, size, v));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(grb::vector_serialize(buffer, size, v));
+  });
 }
 inline GrB_Info GrB_Vector_deserialize(GrB_Vector* v, GrB_Type type,
                                        const void* buffer, GrB_Index size) {
-  return grb_detail::to_c(
-      grb::vector_deserialize(v, type, buffer, size, nullptr));
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb_detail::to_c(
+        grb::vector_deserialize(v, type, buffer, size, nullptr));
+  });
 }

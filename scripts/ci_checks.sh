@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Pre-merge static-contract gate.  Run from the repo root:
+#
+#   scripts/ci_checks.sh
+#
+# Stages (in order):
+#   1. grb_lint        — spec-conformance linter (pure Python, always runs)
+#   2. build + ctest   — default preset, full tier-1 suite
+#   3. thread-safety   — Clang -Wthread-safety -Werror=thread-safety build
+#                        (skipped with a notice when clang++ is absent;
+#                        the annotations compile as no-ops elsewhere)
+#   4. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
+#                        (skipped with a notice when clang-tidy is absent)
+#   5. tsan            — ThreadSanitizer build + tsan-labeled tests
+#                        (skipped unless GRB_CI_TSAN=1; it is the slowest
+#                        stage and the tsan preset also runs in its own lane)
+#
+# Any stage that runs and fails fails the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+failed=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+note "grb_lint (spec conformance)"
+python3 tools/grb_lint.py --json grb_lint_report.json || failed=1
+
+note "default build + tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS") || failed=1
+
+note "thread-safety analysis (clang)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+        -DGRB_THREAD_SAFETY_ANALYSIS=ON >/dev/null
+  cmake --build build-tsa -j "$JOBS" || failed=1
+else
+  echo "SKIPPED: clang++ not found; capability annotations are no-ops" \
+       "under this toolchain"
+fi
+
+note "clang-tidy (bugprone/concurrency/performance)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Library sources only; tests follow looser idioms.
+  mapfile -t tidy_files < <(git ls-files 'src/**/*.cpp')
+  clang-tidy -p build --quiet "${tidy_files[@]}" || failed=1
+else
+  echo "SKIPPED: clang-tidy not found"
+fi
+
+note "thread sanitizer (tsan-labeled tests)"
+if [ "${GRB_CI_TSAN:-0}" = "1" ]; then
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan || failed=1
+else
+  echo "SKIPPED: set GRB_CI_TSAN=1 to run the ThreadSanitizer stage here"
+fi
+
+if [ "$failed" -ne 0 ]; then
+  note "FAILED"
+  exit 1
+fi
+note "OK"

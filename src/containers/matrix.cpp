@@ -16,13 +16,13 @@ size_t MatrixData::find(Index i, Index j) const {
 Info Matrix::snapshot(std::shared_ptr<const MatrixData>* out) {
   Info info = complete();
   if (static_cast<int>(info) < 0) return info;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out = data_;
   return Info::kSuccess;
 }
 
 void Matrix::publish(std::shared_ptr<const MatrixData> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   data_ = std::move(data);
 }
 
@@ -92,7 +92,7 @@ Info Matrix::flush_pending() {
   ValueArray pvals(type_->size());
   std::shared_ptr<const MatrixData> base;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pend_.empty()) return Info::kSuccess;
     pend.swap(pend_);
     pvals = std::move(pend_vals_);
@@ -100,7 +100,7 @@ Info Matrix::flush_pending() {
     base = data_;
   }
   auto folded = fold(*base, std::move(pend), std::move(pvals));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   data_ = std::move(folded);
   return Info::kSuccess;
 }
@@ -108,7 +108,7 @@ Info Matrix::flush_pending() {
 void Matrix::enqueue(std::function<Info()> op) {
   bool have_tuples;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     have_tuples = !pend_.empty();
   }
   if (have_tuples) {
@@ -151,7 +151,7 @@ Info Matrix::clear() {
   auto op = [this]() -> Info {
     Index r, c;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       r = nrows_;
       c = ncols_;
     }
@@ -174,14 +174,14 @@ Info Matrix::resize(Index new_nrows, Index new_ncols) {
     return Info::kInvalidValue;
   GRB_RETURN_IF_ERROR(pending_error());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nrows_ = new_nrows;
     ncols_ = new_ncols;
   }
   auto op = [this, new_nrows, new_ncols]() -> Info {
     std::shared_ptr<const MatrixData> base;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       base = data_;
     }
     auto out = std::make_shared<MatrixData>(base->type, new_nrows, new_ncols);

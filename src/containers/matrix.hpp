@@ -47,22 +47,23 @@ class Matrix : public ObjectBase {
         pend_vals_(type->size()) {}
 
   const Type* type() const { return type_; }
-  Index nrows() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Index nrows() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return nrows_;
   }
-  Index ncols() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Index ncols() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return ncols_;
   }
 
-  Info snapshot(std::shared_ptr<const MatrixData>* out);
-  void publish(std::shared_ptr<const MatrixData> data);
-  void enqueue(std::function<Info()> op) override;
+  Info snapshot(std::shared_ptr<const MatrixData>* out) GRB_EXCLUDES(mu_);
+  void publish(std::shared_ptr<const MatrixData> data) GRB_EXCLUDES(mu_);
+  void enqueue(std::function<Info()> op) override GRB_EXCLUDES(mu_);
 
   // The current data block, without forcing completion (see Vector).
-  std::shared_ptr<const MatrixData> current_data() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const MatrixData> current_data() const
+      GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return data_;
   }
 
@@ -88,15 +89,15 @@ class Matrix : public ObjectBase {
              const Type* value_type);
 
  protected:
-  Info flush_pending() override;
+  Info flush_pending() override GRB_EXCLUDES(mu_);
 
  private:
-  Index nrows_, ncols_;
-  const Type* type_;
-  std::shared_ptr<const MatrixData> data_;
+  Index nrows_ GRB_GUARDED_BY(mu_), ncols_ GRB_GUARDED_BY(mu_);
+  const Type* type_;  // immutable after construction
+  std::shared_ptr<const MatrixData> data_ GRB_GUARDED_BY(mu_);
 
-  std::vector<PendingTupleIJ> pend_;
-  ValueArray pend_vals_;
+  std::vector<PendingTupleIJ> pend_ GRB_GUARDED_BY(mu_);
+  ValueArray pend_vals_ GRB_GUARDED_BY(mu_);
 
   static std::shared_ptr<MatrixData> fold(
       const MatrixData& base, std::vector<PendingTupleIJ> pend,

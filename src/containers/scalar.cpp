@@ -5,13 +5,13 @@ namespace grb {
 Info Scalar::snapshot(std::shared_ptr<const ScalarData>* out) {
   Info info = complete();
   if (static_cast<int>(info) < 0) return info;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out = data_;
   return Info::kSuccess;
 }
 
 void Scalar::publish(std::shared_ptr<const ScalarData> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   data_ = std::move(data);
 }
 

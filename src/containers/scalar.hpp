@@ -28,14 +28,15 @@ class Scalar : public ObjectBase {
   const Type* type() const { return data_ptr()->type; }
 
   // Completes the sequence and returns an immutable snapshot.
-  Info snapshot(std::shared_ptr<const ScalarData>* out);
+  Info snapshot(std::shared_ptr<const ScalarData>* out) GRB_EXCLUDES(mu_);
 
   // Publishes new contents (operation layer; caller already completed).
-  void publish(std::shared_ptr<const ScalarData> data);
+  void publish(std::shared_ptr<const ScalarData> data) GRB_EXCLUDES(mu_);
 
   // Current data without forcing completion (safe inside deferred
   // closures; the sequence is FIFO).
-  std::shared_ptr<const ScalarData> current_data() const {
+  std::shared_ptr<const ScalarData> current_data() const
+      GRB_EXCLUDES(mu_) {
     return data_ptr();
   }
 
@@ -51,13 +52,12 @@ class Scalar : public ObjectBase {
   static Info free(Scalar* s);
 
  private:
-  std::shared_ptr<const ScalarData> data_ptr() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const ScalarData> data_ptr() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return data_;
   }
 
-  // Guarded by ObjectBase::mu_.
-  std::shared_ptr<const ScalarData> data_;
+  std::shared_ptr<const ScalarData> data_ GRB_GUARDED_BY(mu_);
 };
 
 }  // namespace grb

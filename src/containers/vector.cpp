@@ -13,13 +13,13 @@ size_t VectorData::find(Index i) const {
 Info Vector::snapshot(std::shared_ptr<const VectorData>* out) {
   Info info = complete();
   if (static_cast<int>(info) < 0) return info;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out = data_;
   return Info::kSuccess;
 }
 
 void Vector::publish(std::shared_ptr<const VectorData> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   data_ = std::move(data);
 }
 
@@ -81,7 +81,7 @@ Info Vector::flush_pending() {
   ValueArray pvals(type_->size());
   std::shared_ptr<const VectorData> base;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pend_.empty()) return Info::kSuccess;
     pend.swap(pend_);
     pvals = std::move(pend_vals_);
@@ -89,7 +89,7 @@ Info Vector::flush_pending() {
     base = data_;
   }
   auto folded = fold(*base, std::move(pend), std::move(pvals));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   data_ = std::move(folded);
   return Info::kSuccess;
 }
@@ -99,7 +99,7 @@ void Vector::enqueue(std::function<Info()> op) {
   // deferred op observes them in program order.
   bool have_tuples;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     have_tuples = !pend_.empty();
   }
   if (have_tuples) {
@@ -141,7 +141,7 @@ Info Vector::clear() {
   auto op = [this]() -> Info {
     Index n;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       n = size_;
     }
     publish(std::make_shared<VectorData>(type_, n));
@@ -162,13 +162,13 @@ Info Vector::resize(Index new_size) {
   if (new_size > kIndexMax) return Info::kInvalidValue;
   GRB_RETURN_IF_ERROR(pending_error());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_ = new_size;  // handle dims update eagerly for validation
   }
   auto op = [this, new_size]() -> Info {
     std::shared_ptr<const VectorData> base;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       base = data_;
     }
     auto out = std::make_shared<VectorData>(base->type, new_size);

@@ -50,28 +50,29 @@ class Vector : public ObjectBase {
         pend_vals_(type->size()) {}
 
   const Type* type() const { return type_; }
-  Index size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Index size() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return size_;
   }
 
   // Completes the sequence (drains deferred ops, folds pending tuples)
   // and returns an immutable snapshot.
-  Info snapshot(std::shared_ptr<const VectorData>* out);
+  Info snapshot(std::shared_ptr<const VectorData>* out) GRB_EXCLUDES(mu_);
 
   // Publishes new contents.  Called by operation closures; the data's
   // size must equal the handle size at the time the closure runs.
-  void publish(std::shared_ptr<const VectorData> data);
+  void publish(std::shared_ptr<const VectorData> data) GRB_EXCLUDES(mu_);
 
   // Folds any pending tuples into the sequence, then appends `op`, so
   // deferred operations observe setElement calls in program order.
-  void enqueue(std::function<Info()> op) override;
+  void enqueue(std::function<Info()> op) override GRB_EXCLUDES(mu_);
 
   // The current data block, without forcing completion.  Safe inside a
   // deferred closure: the sequence is FIFO, so every predecessor has
   // already published.
-  std::shared_ptr<const VectorData> current_data() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const VectorData> current_data() const
+      GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return data_;
   }
 
@@ -95,16 +96,16 @@ class Vector : public ObjectBase {
              const class BinaryOp* dup, const Type* value_type);
 
  protected:
-  Info flush_pending() override;
+  Info flush_pending() override GRB_EXCLUDES(mu_);
 
  private:
-  // All fields below are guarded by ObjectBase::mu_.
-  Index size_;
-  const Type* type_;
-  std::shared_ptr<const VectorData> data_;
+  Index size_ GRB_GUARDED_BY(mu_);
+  const Type* type_;  // immutable after construction
+  std::shared_ptr<const VectorData> data_ GRB_GUARDED_BY(mu_);
 
-  std::vector<PendingTuple> pend_;
-  ValueArray pend_vals_;  // values for non-delete tuples, insertion order
+  // Values for non-delete tuples, insertion order.
+  std::vector<PendingTuple> pend_ GRB_GUARDED_BY(mu_);
+  ValueArray pend_vals_ GRB_GUARDED_BY(mu_);
 
   // Folds `pend/pend_vals` (moved-from) into `base`, producing new data.
   static std::shared_ptr<VectorData> fold(

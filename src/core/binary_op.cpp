@@ -3,10 +3,10 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <unordered_set>
 #include <vector>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -283,8 +283,8 @@ const Registry& registry() {
 }
 
 struct UserOps {
-  std::mutex mu;
-  std::unordered_set<const BinaryOp*> live;
+  Mutex mu;
+  std::unordered_set<const BinaryOp*> live GRB_GUARDED_BY(mu);
 };
 UserOps& user_ops() {
   static UserOps* u = new UserOps;
@@ -386,7 +386,7 @@ Info binary_op_new(const BinaryOp** op, BinaryFn fn, const Type* ztype,
   auto* b = new BinaryOp(ztype, xtype, ytype, fn, BinOpCode::kCustom,
                          std::move(name));
   auto& u = user_ops();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   u.live.insert(b);
   *op = b;
   return Info::kSuccess;
@@ -400,7 +400,7 @@ Info binary_op_free(const BinaryOp* op) {
     for (int c = 0; c < kNumBuiltinTypes; ++c)
       if (registry().table[o][c].get() == op) return Info::kInvalidValue;
   auto& u = user_ops();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   auto it = u.live.find(op);
   if (it == u.live.end()) return Info::kUninitializedObject;
   u.live.erase(it);

@@ -1,15 +1,15 @@
 #include "core/descriptor.hpp"
 
 #include <memory>
-#include <mutex>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
 
 struct UserDescs {
-  std::mutex mu;
-  std::unordered_set<Descriptor*> live;
+  Mutex mu;
+  std::unordered_set<Descriptor*> live GRB_GUARDED_BY(mu);
 };
 UserDescs& user_descs() {
   static UserDescs* u = new UserDescs;
@@ -84,7 +84,7 @@ Info descriptor_new(Descriptor** desc) {
   if (desc == nullptr) return Info::kNullPointer;
   auto* d = new Descriptor();
   auto& u = user_descs();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   u.live.insert(d);
   *desc = d;
   return Info::kSuccess;
@@ -93,7 +93,7 @@ Info descriptor_new(Descriptor** desc) {
 Info descriptor_free(Descriptor* desc) {
   if (desc == nullptr) return Info::kNullPointer;
   auto& u = user_descs();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   auto it = u.live.find(desc);
   if (it == u.live.end()) return Info::kInvalidValue;
   u.live.erase(it);

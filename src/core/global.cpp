@@ -9,6 +9,11 @@ std::atomic<size_t> g_parallel_threshold{kDefaultParallelThreshold};
 
 }  // namespace
 
+GlobalRegistry& global_registry() {
+  static GlobalRegistry* g = new GlobalRegistry;
+  return *g;
+}
+
 const Index* all_indices() {
   static const Index sentinel = 0;
   return &sentinel;

@@ -1,11 +1,33 @@
-// Library-wide sentinels, constants, and tunables.
+// Library-wide sentinels, constants, tunables, and the lifecycle registry.
 #pragma once
 
 #include <cstddef>
+#include <unordered_set>
 
 #include "core/type.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace grb {
+
+class Context;
+
+// ---- library lifecycle registry ------------------------------------------
+
+// The single global registry behind GrB_init / GrB_finalize and the
+// live-context set (paper §IV: contexts form a tree torn down by
+// finalize).  Every field is guarded by `mu`; exec/context.cpp holds the
+// only accessors, so lock discipline is enforced at compile time under
+// the thread-safety preset rather than by convention.
+struct GlobalRegistry {
+  Mutex mu;
+  bool initialized GRB_GUARDED_BY(mu) = false;
+  Context* top GRB_GUARDED_BY(mu) = nullptr;
+  std::unordered_set<Context*> live GRB_GUARDED_BY(mu);  // incl. top
+};
+
+// The process-wide registry.  Deliberately leaked (never destroyed) so
+// teardown order can't race library calls from detached threads.
+GlobalRegistry& global_registry();
 
 // GrB_ALL: distinguished index-list sentinel meaning "all indices".
 // Compared by address, never dereferenced.

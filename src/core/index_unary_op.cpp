@@ -1,9 +1,9 @@
 #include "core/index_unary_op.hpp"
 
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -178,8 +178,8 @@ const Registry& registry() {
 }
 
 struct UserOps {
-  std::mutex mu;
-  std::unordered_set<const IndexUnaryOp*> live;
+  Mutex mu;
+  std::unordered_set<const IndexUnaryOp*> live GRB_GUARDED_BY(mu);
 };
 UserOps& user_ops() {
   static UserOps* u = new UserOps;
@@ -205,7 +205,7 @@ Info index_unary_op_new(const IndexUnaryOp** op, IndexUnaryFn fn,
   auto* o = new IndexUnaryOp(ztype, xtype, stype, fn, IdxOpCode::kCustom,
                              std::move(name));
   auto& u = user_ops();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   u.live.insert(o);
   *op = o;
   return Info::kSuccess;
@@ -217,7 +217,7 @@ Info index_unary_op_free(const IndexUnaryOp* op) {
     for (int c = 0; c < kNumBuiltinTypes; ++c)
       if (registry().table[o][c].get() == op) return Info::kInvalidValue;
   auto& u = user_ops();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   auto it = u.live.find(op);
   if (it == u.live.end()) return Info::kUninitializedObject;
   u.live.erase(it);

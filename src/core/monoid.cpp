@@ -1,8 +1,8 @@
 #include "core/monoid.hpp"
 
 #include <memory>
-#include <mutex>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -55,8 +55,8 @@ const Registry& registry() {
 }
 
 struct UserMonoids {
-  std::mutex mu;
-  std::unordered_set<const Monoid*> live;
+  Mutex mu;
+  std::unordered_set<const Monoid*> live GRB_GUARDED_BY(mu);
 };
 UserMonoids& user_monoids() {
   static UserMonoids* u = new UserMonoids;
@@ -78,7 +78,7 @@ Info monoid_new_impl(const Monoid** monoid, const BinaryOp* op,
   auto* m = new Monoid(op, std::move(id), has_term, std::move(term),
                        std::move(name));
   auto& u = user_monoids();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   u.live.insert(m);
   *monoid = m;
   return Info::kSuccess;
@@ -108,7 +108,7 @@ Info monoid_new_terminal(const Monoid** monoid, const BinaryOp* op,
 Info monoid_free(const Monoid* monoid) {
   if (monoid == nullptr) return Info::kNullPointer;
   auto& u = user_monoids();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   auto it = u.live.find(monoid);
   if (it == u.live.end()) return Info::kInvalidValue;  // predefined or dead
   u.live.erase(it);

@@ -2,8 +2,8 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -65,8 +65,8 @@ const Registry& registry() {
 }
 
 struct UserSemirings {
-  std::mutex mu;
-  std::unordered_set<const Semiring*> live;
+  Mutex mu;
+  std::unordered_set<const Semiring*> live GRB_GUARDED_BY(mu);
 };
 UserSemirings& user_semirings() {
   static UserSemirings* u = new UserSemirings;
@@ -88,7 +88,7 @@ Info semiring_new(const Semiring** semiring, const Monoid* add,
   if (mul->ztype() != add->type()) return Info::kDomainMismatch;
   auto* s = new Semiring(add, mul, std::move(name));
   auto& u = user_semirings();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   u.live.insert(s);
   *semiring = s;
   return Info::kSuccess;
@@ -97,7 +97,7 @@ Info semiring_new(const Semiring** semiring, const Monoid* add,
 Info semiring_free(const Semiring* semiring) {
   if (semiring == nullptr) return Info::kNullPointer;
   auto& u = user_semirings();
-  std::lock_guard<std::mutex> lock(u.mu);
+  MutexLock lock(u.mu);
   auto it = u.live.find(semiring);
   if (it == u.live.end()) return Info::kInvalidValue;
   u.live.erase(it);

@@ -1,8 +1,8 @@
 #include "core/type.hpp"
 
 #include <memory>
-#include <mutex>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -10,8 +10,8 @@ namespace {
 // Registry of live user-defined types so type_free / finalize can reclaim
 // them and validation can reject dangling descriptors.
 struct UdtRegistry {
-  std::mutex mu;
-  std::unordered_set<const Type*> live;
+  Mutex mu;
+  std::unordered_set<const Type*> live GRB_GUARDED_BY(mu);
 };
 
 UdtRegistry& udt_registry() {
@@ -117,7 +117,7 @@ Info type_new(const Type** type, size_t size, std::string name) {
   auto* t = new Type(TypeCode::kUdt, size, std::move(name));
   {
     auto& reg = udt_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     reg.live.insert(t);
   }
   *type = t;
@@ -134,7 +134,7 @@ Info type_free(const Type* type) {
       return Info::kInvalidValue;
   }
   auto& reg = udt_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.live.find(type);
   if (it == reg.live.end()) return Info::kUninitializedObject;
   reg.live.erase(it);

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <unordered_set>
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 namespace {
@@ -117,8 +117,8 @@ const Registry& registry() {
 }
 
 struct UserOps {
-  std::mutex mu;
-  std::unordered_set<const UnaryOp*> live;
+  Mutex mu;
+  std::unordered_set<const UnaryOp*> live GRB_GUARDED_BY(mu);
 };
 UserOps& user_ops() {
   static UserOps* u = new UserOps;
@@ -141,7 +141,7 @@ Info unary_op_new(const UnaryOp** op, UnaryFn fn, const Type* ztype,
   if (ztype == nullptr || xtype == nullptr) return Info::kNullPointer;
   auto* u = new UnaryOp(ztype, xtype, fn, UnOpCode::kCustom, std::move(name));
   auto& reg = user_ops();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.live.insert(u);
   *op = u;
   return Info::kSuccess;
@@ -153,7 +153,7 @@ Info unary_op_free(const UnaryOp* op) {
     for (int c = 0; c < kNumBuiltinTypes; ++c)
       if (registry().table[o][c].get() == op) return Info::kInvalidValue;
   auto& reg = user_ops();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.live.find(op);
   if (it == reg.live.end()) return Info::kUninitializedObject;
   reg.live.erase(it);

@@ -1,24 +1,14 @@
 #include "exec/context.hpp"
 
-#include <mutex>
-#include <unordered_set>
-
 #include "core/global.hpp"
 
 namespace grb {
 namespace {
 
-struct GlobalState {
-  std::mutex mu;
-  bool initialized = false;
-  Context* top = nullptr;
-  std::unordered_set<Context*> live;  // all contexts incl. top
-};
-
-GlobalState& global() {
-  static GlobalState* g = new GlobalState;
-  return *g;
-}
+// The live-context registry itself lives in core/global.{hpp,cpp}
+// (grb::GlobalRegistry) with its lock discipline annotated; this file is
+// its only accessor.
+GlobalRegistry& global() { return global_registry(); }
 
 int default_hw_threads() {
   unsigned hc = std::thread::hardware_concurrency();
@@ -69,7 +59,7 @@ void Context::parallel_for(Index begin, Index end, Index grain,
 
 Info library_init(Mode mode) {
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   if (g.initialized) return Info::kInvalidValue;
   if (mode != Mode::kBlocking && mode != Mode::kNonblocking)
     return Info::kInvalidValue;
@@ -81,7 +71,7 @@ Info library_init(Mode mode) {
 
 Info library_finalize() {
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   if (!g.initialized) return Info::kInvalidValue;
   // GrB_finalize frees every context object (paper §IV).
   for (Context* c : g.live) delete c;
@@ -93,13 +83,13 @@ Info library_finalize() {
 
 bool library_initialized() {
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   return g.initialized;
 }
 
 Context* top_context() {
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   return g.top;
 }
 
@@ -109,7 +99,7 @@ Info context_new(Context** ctx, Mode mode, Context* parent,
   if (mode != Mode::kBlocking && mode != Mode::kNonblocking)
     return Info::kInvalidValue;
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   if (!g.initialized) return Info::kPanic;
   Context* p = parent == nullptr ? g.top : parent;
   if (g.live.find(p) == g.live.end()) return Info::kUninitializedObject;
@@ -123,7 +113,7 @@ Info context_new(Context** ctx, Mode mode, Context* parent,
 Info context_free(Context* ctx) {
   if (ctx == nullptr) return Info::kNullPointer;
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   if (ctx == g.top) return Info::kInvalidValue;  // top dies with finalize
   auto it = g.live.find(ctx);
   if (it == g.live.end()) return Info::kUninitializedObject;
@@ -141,7 +131,7 @@ Info context_free(Context* ctx) {
 
 bool context_is_live(const Context* ctx) {
   auto& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   return g.live.find(const_cast<Context*>(ctx)) != g.live.end();
 }
 

@@ -8,13 +8,13 @@ Info ObjectBase::switch_context(Context* new_ctx) {
   // Re-homing an object first resolves its state in the old context.
   Info info = complete();
   if (is_execution_error(info)) return info;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ctx_ = c;
   return Info::kSuccess;
 }
 
 void ObjectBase::enqueue(std::function<Info()> op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_.push_back(std::move(op));
 }
 
@@ -24,7 +24,7 @@ Info ObjectBase::complete() {
   for (;;) {
     std::vector<std::function<Info()>> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (err_ != Info::kSuccess) {
         // A poisoned sequence stops executing; the error sticks.
         queue_.clear();
@@ -40,9 +40,12 @@ Info ObjectBase::complete() {
       // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
       // paper SIX) is numerically in the API band.
       if (static_cast<int>(info) < 0) {
-        poison(info, std::string("deferred method failed: ") +
-                         info_name(info));
-        std::lock_guard<std::mutex> lock(mu_);
+        // Record the error and discard the rest of the sequence in one
+        // critical section, so no other thread can observe the object
+        // poisoned but still holding methods it will never run.
+        MutexLock lock(mu_);
+        poison_locked(info, std::string("deferred method failed: ") +
+                                info_name(info));
         queue_.clear();
         return info;
       }
@@ -54,14 +57,14 @@ Info ObjectBase::complete() {
                      info_name(info));
     return info;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return err_;
 }
 
 Info ObjectBase::wait(WaitMode mode) {
   Info info = complete();
   if (mode == WaitMode::kMaterialize) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Info reported = err_;
     err_ = Info::kSuccess;
     // The message is kept for post-mortem GrB_error inspection.
@@ -71,7 +74,11 @@ Info ObjectBase::wait(WaitMode mode) {
 }
 
 void ObjectBase::poison(Info info, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  poison_locked(info, msg);
+}
+
+void ObjectBase::poison_locked(Info info, const std::string& msg) {
   if (err_ == Info::kSuccess) {
     err_ = info;
     errmsg_ = msg;
@@ -79,7 +86,7 @@ void ObjectBase::poison(Info info, const std::string& msg) {
 }
 
 const char* ObjectBase::error_string() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return errmsg_.c_str();
 }
 

@@ -15,12 +15,12 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/info.hpp"
 #include "exec/context.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 
@@ -37,11 +37,11 @@ class ObjectBase {
   ObjectBase(const ObjectBase&) = delete;
   ObjectBase& operator=(const ObjectBase&) = delete;
 
-  Context* context() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Context* context() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return ctx_;
   }
-  Info switch_context(Context* new_ctx);
+  Info switch_context(Context* new_ctx) GRB_EXCLUDES(mu_);
 
   Mode mode() const {
     Context* c = context();
@@ -52,49 +52,57 @@ class ObjectBase {
   // nonblocking mode, by the operation layer, after API validation.
   // Containers override it to fold outstanding pending tuples into the
   // sequence first, preserving program order.
-  virtual void enqueue(std::function<Info()> op);
+  virtual void enqueue(std::function<Info()> op) GRB_EXCLUDES(mu_);
 
   // Runs the sequence to completion (and folds pending tuples via
   // flush_pending).  Returns the first deferred execution error, which
   // stays stored (poisoning the object) until a materializing wait.
-  Info complete();
+  // Must be called with mu_ free: the deferred closures it runs publish
+  // their results under mu_ themselves.
+  Info complete() GRB_EXCLUDES(mu_);
 
   // GrB_wait.  kComplete == complete(); kMaterialize also clears the
   // stored error after reporting it.
-  Info wait(WaitMode mode);
+  Info wait(WaitMode mode) GRB_EXCLUDES(mu_);
 
   // The deferred-error check every method performs on its arguments
   // (paper §V: later methods in the sequence report earlier errors).
-  Info pending_error() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Info pending_error() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return err_;
   }
 
   // Records an execution error against this object (blocking mode or
   // deferred execution) along with a message for GrB_error.
-  void poison(Info info, const std::string& msg);
+  void poison(Info info, const std::string& msg) GRB_EXCLUDES(mu_);
 
   // GrB_error: pointer to a per-object string, stable until the next
   // error recorded on the object.
-  const char* error_string() const;
+  const char* error_string() const GRB_EXCLUDES(mu_);
 
-  bool has_pending_ops() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool has_pending_ops() const GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return !queue_.empty();
   }
 
  protected:
   // Containers fold fast-path pending tuples here (called with no locks
-  // held by complete()); default is a no-op.
-  virtual Info flush_pending() { return Info::kSuccess; }
+  // held by complete()); default is a no-op.  Implementations take mu_
+  // themselves, so the capability must be free on entry.
+  virtual Info flush_pending() GRB_EXCLUDES(mu_) { return Info::kSuccess; }
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
  private:
-  Context* ctx_;
-  std::vector<std::function<Info()>> queue_;
-  Info err_ = Info::kSuccess;
-  std::string errmsg_;
+  // The lock-held half of poison(): callers that already hold mu_ (e.g.
+  // complete() failing a deferred method and clearing the queue in the
+  // same critical section) record the error without a second acquire.
+  void poison_locked(Info info, const std::string& msg) GRB_REQUIRES(mu_);
+
+  Context* ctx_ GRB_GUARDED_BY(mu_);
+  std::vector<std::function<Info()>> queue_ GRB_GUARDED_BY(mu_);
+  Info err_ GRB_GUARDED_BY(mu_) = Info::kSuccess;
+  std::string errmsg_ GRB_GUARDED_BY(mu_);
 };
 
 // Shorthand used by the operation layer: execute `op` now (blocking mode)

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -37,7 +37,9 @@ bool ThreadPool::grab_and_run(Job& job) {
     obs(std::this_thread::get_id());
   (*job.body)(i, hi);
   if (job.pending_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Taking mu_ orders the notify after the waiter's condition check, so
+    // the last chunk's wakeup can never be lost.
+    MutexLock lock(mu_);
     done_cv_.notify_all();
   }
   return true;
@@ -48,9 +50,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || generation_ != seen; });
+      // The wait condition is an explicit loop (not a predicate lambda)
+      // so the capability analysis sees the guarded reads under mu_.
+      CvLock lock(mu_);
+      while (!shutdown_ && generation_ == seen) lock.wait(work_cv_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
@@ -80,17 +83,16 @@ void ThreadPool::parallel_for(Index begin, Index end, Index grain,
   job->pending_chunks.store(static_cast<Index>(nchunks),
                             std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = job;
     ++generation_;
   }
   work_cv_.notify_all();
   while (grab_and_run(*job)) {
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return job->pending_chunks.load(std::memory_order_acquire) == 0;
-  });
+  CvLock lock(mu_);
+  while (job->pending_chunks.load(std::memory_order_acquire) != 0)
+    lock.wait(done_cv_);
 }
 
 }  // namespace grb

@@ -11,11 +11,11 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/type.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace grb {
 
@@ -40,7 +40,8 @@ class ThreadPool {
   // least `grain` iterations.  Blocks until every chunk has finished.
   // body must not recursively call parallel_for on the same pool.
   void parallel_for(Index begin, Index end, Index grain,
-                    const std::function<void(Index, Index)>& body);
+                    const std::function<void(Index, Index)>& body)
+      GRB_EXCLUDES(mu_);
 
  private:
   // One parallel_for invocation.  The struct is immutable except for the
@@ -55,19 +56,22 @@ class ThreadPool {
     std::atomic<Index> pending_chunks{0};
   };
 
-  void worker_loop();
-  bool grab_and_run(Job& job);
+  void worker_loop() GRB_EXCLUDES(mu_);
+  bool grab_and_run(Job& job) GRB_EXCLUDES(mu_);
 
   int nthreads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  bool shutdown_ = false;
+  bool shutdown_ GRB_GUARDED_BY(mu_) = false;
 
-  std::shared_ptr<Job> job_;  // guarded by mu_
-  uint64_t generation_ = 0;
+  // The current job is *published* to workers under mu_ (the straggler
+  // comment on Job explains why); its own fields are immutable-or-atomic
+  // and are accessed lock-free once a worker holds the shared_ptr.
+  std::shared_ptr<Job> job_ GRB_GUARDED_BY(mu_);
+  uint64_t generation_ GRB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace grb

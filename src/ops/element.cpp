@@ -20,7 +20,7 @@ Info Vector::set_element(const void* value, const Type* value_type,
   if (!types_compatible(type_, value_type)) return Info::kDomainMismatch;
   if (i >= size()) return Info::kInvalidIndex;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pend_.push_back({i, false});
     ValueBuf cast(type_->size());
     cast_value(type_, cast.data(), value_type, value);
@@ -34,7 +34,7 @@ Info Vector::remove_element(Index i) {
   GRB_RETURN_IF_ERROR(pending_error());
   if (i >= size()) return Info::kInvalidIndex;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pend_.push_back({i, true});
   }
   if (mode() == Mode::kBlocking) return complete();
@@ -86,7 +86,7 @@ Info Matrix::set_element(const void* value, const Type* value_type, Index i,
   GRB_RETURN_IF_ERROR(pending_error());
   if (!types_compatible(type_, value_type)) return Info::kDomainMismatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (i >= nrows_ || j >= ncols_) return Info::kInvalidIndex;
     pend_.push_back({i, j, false});
     ValueBuf cast(type_->size());
@@ -100,7 +100,7 @@ Info Matrix::set_element(const void* value, const Type* value_type, Index i,
 Info Matrix::remove_element(Index i, Index j) {
   GRB_RETURN_IF_ERROR(pending_error());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (i >= nrows_ || j >= ncols_) return Info::kInvalidIndex;
     pend_.push_back({i, j, true});
   }
