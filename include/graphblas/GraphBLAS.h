@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 
@@ -23,6 +24,7 @@
 #include "core/global.hpp"
 #include "io/import_export.hpp"
 #include "io/serialize.hpp"
+#include "obs/telemetry.hpp"
 #include "ops/common.hpp"
 
 // ---------------------------------------------------------------------------
@@ -136,11 +138,11 @@ inline constexpr bool is_grb_scalar_v =
 // interface, so no C++ exception may escape a GrB_* entry point.  The only
 // exceptions the grb:: core can surface are allocation failure (mapped to
 // the GrB_OUT_OF_MEMORY execution error) and the unexpected, which the
-// spec's error model reserves GrB_PANIC for.  Every GrB_* function body is
-// `return grb_detail::guarded([&]() -> GrB_Info { ... });` — a property
-// tools/grb_lint.py enforces.
+// spec's error model reserves GrB_PANIC for.  Every GrB_*/GxB_* function
+// body is `return grb_detail::guarded([&]() -> GrB_Info { ... });` — a
+// property tools/grb_lint.py enforces.
 template <class F>
-inline GrB_Info guarded(F&& body) noexcept {
+inline GrB_Info run_caught(F&& body) noexcept {
   try {
     return static_cast<F&&>(body)();
   } catch (const std::bad_alloc&) {
@@ -148,6 +150,32 @@ inline GrB_Info guarded(F&& body) noexcept {
   } catch (...) {
     return GrB_PANIC;
   }
+}
+
+// Default-argument trick: evaluated at the call site, so `name` is the
+// GrB_*/GxB_* entry point that invoked the veneer — telemetry spans and
+// counters cover every entry point with no per-call-site edits.
+#if defined(__clang__) || defined(__GNUC__)
+#define GRB_DETAIL_CALLER() __builtin_FUNCTION()
+#else
+#define GRB_DETAIL_CALLER() "GrB_call"
+#endif
+
+// The veneer doubles as the telemetry hook for the whole C API surface.
+// It unconditionally publishes the entry-point name to the thread-local
+// current-op slot (this powers deferred-error diagnostics — GrB_error
+// names the failing method — so it is part of the error model, and costs
+// two TLS stores).  Everything else is behind one relaxed atomic flag
+// load: with telemetry disabled the body runs exactly as before.
+template <class F>
+inline GrB_Info guarded(F&& body,
+                        const char* name = GRB_DETAIL_CALLER()) noexcept {
+  grb::obs::CurrentOpScope op_scope(name);
+  if (!grb::obs::enabled()) return run_caught(static_cast<F&&>(body));
+  const uint64_t t0 = grb::obs::now_ns();
+  GrB_Info info = run_caught(static_cast<F&&>(body));
+  grb::obs::api_return(name, t0, static_cast<int>(info) < 0);
+  return info;
 }
 
 }  // namespace grb_detail
@@ -1647,5 +1675,116 @@ inline GrB_Info GrB_Vector_deserialize(GrB_Vector* v, GrB_Type type,
   return grb_detail::guarded([&]() -> GrB_Info {
     return grb_detail::to_c(
         grb::vector_deserialize(v, type, buffer, size, nullptr));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GxB_* extensions: telemetry introspection (not part of the GraphBLAS 2.0
+// specification; the GxB_ prefix marks implementation extensions, after
+// SuiteSparse:GraphBLAS practice).
+//
+// Counters and spans are recorded by the always-compiled src/obs/ layer
+// and are off by default; see obs/telemetry.hpp for the counter name
+// schema and DESIGN.md §9 for the trace format.  Every GxB_* entry point
+// must appear in the GxB_EXTENSIONS registry below and route through
+// grb_detail::guarded — tools/grb_lint.py enforces both.
+// ---------------------------------------------------------------------------
+
+// Registry of every GxB_* entry point this implementation provides, for
+// runtime introspection (GxB_Extension_name / capability probing).
+inline constexpr const char* const GxB_EXTENSIONS[] = {
+    "GxB_Extension_count",
+    "GxB_Extension_name",
+    "GxB_Stats_enable",
+    "GxB_Stats_get",
+    "GxB_Stats_reset",
+    "GxB_Stats_json",
+    "GxB_Trace_start",
+    "GxB_Trace_dump",
+};
+inline constexpr GrB_Index GxB_EXTENSION_COUNT =
+    sizeof(GxB_EXTENSIONS) / sizeof(GxB_EXTENSIONS[0]);
+
+// Number of GxB_* extension entry points.
+inline GrB_Info GxB_Extension_count(GrB_Index* n) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (n == nullptr) return GrB_NULL_POINTER;
+    *n = GxB_EXTENSION_COUNT;
+    return GrB_SUCCESS;
+  });
+}
+
+// Name of extension entry point `i` (0 <= i < GxB_EXTENSION_COUNT).  The
+// returned pointer has static storage duration.
+inline GrB_Info GxB_Extension_name(const char** name, GrB_Index i) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (name == nullptr) return GrB_NULL_POINTER;
+    if (i >= GxB_EXTENSION_COUNT) return GrB_INVALID_INDEX;
+    *name = GxB_EXTENSIONS[i];
+    return GrB_SUCCESS;
+  });
+}
+
+// Enables (on != 0) or disables (on == 0) per-operation counters.
+// Disabled is the default; the counters keep their values when disabled.
+inline GrB_Info GxB_Stats_enable(int on) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    grb::obs::stats_set_enabled(on != 0);
+    return GrB_SUCCESS;
+  });
+}
+
+// Reads one counter by dotted name (e.g. "GrB_mxm.calls", "GrB_mxm.flops",
+// "queue.high_water", "pool.steals"; full schema in obs/telemetry.hpp).
+// Unknown names return GrB_NO_VALUE with *value set to 0.
+inline GrB_Info GxB_Stats_get(const char* name, uint64_t* value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (name == nullptr || value == nullptr) return GrB_NULL_POINTER;
+    return grb::obs::stats_get(name, value) ? GrB_SUCCESS : GrB_NO_VALUE;
+  });
+}
+
+// Zeroes every counter (per-op, gauges, per-pool).
+inline GrB_Info GxB_Stats_reset(void) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    grb::obs::stats_reset();
+    return GrB_SUCCESS;
+  });
+}
+
+// Writes the full counter dump as JSON into `buf` (snprintf semantics:
+// always NUL-terminated when *len > 0; on return *len is the required
+// size including the terminator).  `buf` may be NULL to query the size.
+inline GrB_Info GxB_Stats_json(char* buf, GrB_Index* len) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (len == nullptr) return GrB_NULL_POINTER;
+    std::string json = grb::obs::stats_json();
+    GrB_Index need = static_cast<GrB_Index>(json.size()) + 1;
+    if (buf != nullptr && *len > 0) {
+      GrB_Index n = *len - 1 < json.size() ? *len - 1 : json.size();
+      std::memcpy(buf, json.data(), n);
+      buf[n] = '\0';
+    }
+    *len = need;
+    return GrB_SUCCESS;
+  });
+}
+
+// Starts span recording.  `path` (required) names the Chrome trace-event
+// JSON file a later GxB_Trace_dump(NULL) — or GrB_finalize under
+// GRB_TRACE — will write.  Restarting discards any buffered spans.
+inline GrB_Info GxB_Trace_start(const char* path) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (path == nullptr) return GrB_NULL_POINTER;
+    return grb::obs::trace_start(path) ? GrB_SUCCESS : GrB_INVALID_VALUE;
+  });
+}
+
+// Stops recording and writes the buffered spans as Chrome trace-event
+// JSON (chrome://tracing / Perfetto loadable).  `path` may be NULL to
+// use the GxB_Trace_start path.  The buffer is cleared either way.
+inline GrB_Info GxB_Trace_dump(const char* path) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb::obs::trace_dump(path) ? GrB_SUCCESS : GrB_INVALID_VALUE;
   });
 }

@@ -6,12 +6,14 @@
 # Stages (in order):
 #   1. grb_lint        — spec-conformance linter (pure Python, always runs)
 #   2. build + ctest   — default preset, full tier-1 suite
-#   3. thread-safety   — Clang -Wthread-safety -Werror=thread-safety build
+#   3. telemetry       — obs-labeled tests: counter oracles plus the
+#                        GRB_TRACE → grb_trace_summarize.py pipeline
+#   4. thread-safety   — Clang -Wthread-safety -Werror=thread-safety build
 #                        (skipped with a notice when clang++ is absent;
 #                        the annotations compile as no-ops elsewhere)
-#   4. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
+#   5. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
 #                        (skipped with a notice when clang-tidy is absent)
-#   5. tsan            — ThreadSanitizer build + tsan-labeled tests
+#   6. tsan            — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; it is the slowest
 #                        stage and the tsan preset also runs in its own lane)
 #
@@ -31,6 +33,9 @@ note "default build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS") || failed=1
+
+note "telemetry (obs-labeled tests: counters + trace pipeline)"
+(cd build && ctest -L obs --output-on-failure) || failed=1
 
 note "thread-safety analysis (clang)"
 if command -v clang++ >/dev/null 2>&1; then

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace grb {
 
 size_t MatrixData::find(Index i, Index j) const {
@@ -99,6 +101,7 @@ Info Matrix::flush_pending() {
     pend_vals_ = ValueArray(type_->size());
     base = data_;
   }
+  obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty
   auto folded = fold(*base, std::move(pend), std::move(pvals));
   MutexLock lock(mu_);
   data_ = std::move(folded);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace grb {
 
 size_t VectorData::find(Index i) const {
@@ -88,6 +90,7 @@ Info Vector::flush_pending() {
     pend_vals_ = ValueArray(type_->size());
     base = data_;
   }
+  obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty
   auto folded = fold(*base, std::move(pend), std::move(pvals));
   MutexLock lock(mu_);
   data_ = std::move(folded);

@@ -1,6 +1,7 @@
 #include "exec/context.hpp"
 
 #include "core/global.hpp"
+#include "obs/telemetry.hpp"
 
 namespace grb {
 namespace {
@@ -66,18 +67,27 @@ Info library_init(Mode mode) {
   g.top = new Context(mode, nullptr, ContextConfig{});
   g.live.insert(g.top);
   g.initialized = true;
+  // GRB_STATS / GRB_TRACE env activation, so benches and tests get
+  // telemetry with no code changes.
+  obs::env_activate();
   return Info::kSuccess;
 }
 
 Info library_finalize() {
-  auto& g = global();
-  MutexLock lock(g.mu);
-  if (!g.initialized) return Info::kInvalidValue;
-  // GrB_finalize frees every context object (paper §IV).
-  for (Context* c : g.live) delete c;
-  g.live.clear();
-  g.top = nullptr;
-  g.initialized = false;
+  {
+    auto& g = global();
+    MutexLock lock(g.mu);
+    if (!g.initialized) return Info::kInvalidValue;
+    // GrB_finalize frees every context object (paper §IV).
+    for (Context* c : g.live) delete c;
+    g.live.clear();
+    g.top = nullptr;
+    g.initialized = false;
+  }
+  // Flush env-activated telemetry (trace dump, stats summary) once the
+  // library state is down; worker pools are joined by the deletes above,
+  // so no hook can fire mid-dump.
+  obs::env_finalize();
   return Info::kSuccess;
 }
 
@@ -148,11 +158,15 @@ Context* serial_context() {
 }
 
 Context* exec_context(Context* ctx, size_t work) {
-  if (ctx == nullptr || ctx->effective_nthreads() <= 1) {
-    return serial_context();
+  Context* chosen = serial_context();
+  if (ctx != nullptr && ctx->effective_nthreads() > 1 &&
+      work >= parallel_threshold()) {
+    chosen = ctx;
   }
-  size_t threshold = parallel_threshold();
-  return work >= threshold ? ctx : serial_context();
+  // The single serial-fallback gate: record which path this kernel took,
+  // attributed to the GrB op currently on this thread.
+  if (obs::stats_enabled()) obs::count_path(chosen != serial_context());
+  return chosen;
 }
 
 }  // namespace grb

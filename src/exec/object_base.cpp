@@ -14,15 +14,21 @@ Info ObjectBase::switch_context(Context* new_ctx) {
 }
 
 void ObjectBase::enqueue(std::function<Info()> op) {
+  // The entry-point name travels with the closure so a later failure
+  // during complete() can name the method that caused it, and so the
+  // trace can show the deferral gap between call and execution.
+  const char* op_name = obs::current_op();
+  uint64_t enq_ns = obs::enabled() ? obs::now_ns() : 0;
   MutexLock lock(mu_);
-  queue_.push_back(std::move(op));
+  queue_.push_back(Deferred{std::move(op), op_name, enq_ns});
+  obs::queue_depth_sample(queue_.size());
 }
 
 Info ObjectBase::complete() {
   // Drain until the queue stays empty.  Closures publish results under
   // mu_ themselves; we must not hold mu_ while running them.
   for (;;) {
-    std::vector<std::function<Info()>> batch;
+    std::vector<Deferred> batch;
     {
       MutexLock lock(mu_);
       if (err_ != Info::kSuccess) {
@@ -33,8 +39,16 @@ Info ObjectBase::complete() {
       if (queue_.empty()) break;
       batch.swap(queue_);
     }
-    for (auto& op : batch) {
-      Info info = op();
+    obs::queue_drained(batch.size());
+    for (auto& d : batch) {
+      // Execution is attributed to the method that enqueued the closure
+      // (serial/parallel path counts, scalars, flops), not to the
+      // GrB_wait that happens to drain it.
+      obs::CurrentOpScope op_scope(d.op);
+      uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+      Info info = d.fn();
+      obs::deferred_return(d.op, t0, d.enqueued_ns,
+                           static_cast<int>(info) < 0);
       // Deferred methods only validated their API contract eagerly; any
       // failure here is an execution-class failure for this object, even
       // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
@@ -44,8 +58,8 @@ Info ObjectBase::complete() {
         // critical section, so no other thread can observe the object
         // poisoned but still holding methods it will never run.
         MutexLock lock(mu_);
-        poison_locked(info, std::string("deferred method failed: ") +
-                                info_name(info));
+        poison_locked(info, std::string("deferred ") + d.op +
+                                " failed: " + info_name(info));
         queue_.clear();
         return info;
       }
@@ -94,7 +108,8 @@ Info defer_or_run(ObjectBase* out, std::function<Info()> op) {
   if (out->mode() == Mode::kBlocking) {
     Info info = op();
     if (static_cast<int>(info) < 0) {
-      out->poison(info, std::string("method failed: ") + info_name(info));
+      out->poison(info, std::string(obs::current_op()) +
+                            " failed: " + info_name(info));
     }
     return info;
   }

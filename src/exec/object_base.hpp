@@ -20,6 +20,7 @@
 
 #include "core/info.hpp"
 #include "exec/context.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace grb {
@@ -47,6 +48,18 @@ class ObjectBase {
     Context* c = context();
     return c != nullptr ? c->mode() : Mode::kBlocking;
   }
+
+  // One deferred method in the object's sequence.  `op` is the GrB entry
+  // point that enqueued it (captured from obs::current_op(); static
+  // storage), so diagnostics and trace spans can name the originating
+  // method; `enqueued_ns` is the telemetry enqueue stamp (0 when
+  // telemetry was disabled at enqueue time) used to report the deferral
+  // gap between call and execution.
+  struct Deferred {
+    std::function<Info()> fn;
+    const char* op;
+    uint64_t enqueued_ns;
+  };
 
   // Appends a deferred method to this object's sequence.  Called only in
   // nonblocking mode, by the operation layer, after API validation.
@@ -100,7 +113,7 @@ class ObjectBase {
   void poison_locked(Info info, const std::string& msg) GRB_REQUIRES(mu_);
 
   Context* ctx_ GRB_GUARDED_BY(mu_);
-  std::vector<std::function<Info()>> queue_ GRB_GUARDED_BY(mu_);
+  std::vector<Deferred> queue_ GRB_GUARDED_BY(mu_);
   Info err_ GRB_GUARDED_BY(mu_) = Info::kSuccess;
   std::string errmsg_ GRB_GUARDED_BY(mu_);
 };

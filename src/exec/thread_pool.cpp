@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace grb {
 namespace {
 
@@ -13,7 +15,8 @@ void set_thread_observer(void (*observer)(std::thread::id)) {
   g_thread_observer.store(observer, std::memory_order_release);
 }
 
-ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+ThreadPool::ThreadPool(int nthreads)
+    : nthreads_(std::max(1, nthreads)), obs_id_(obs::next_pool_id()) {
   // nthreads_ - 1 workers; the caller of parallel_for is the last lane.
   for (int i = 1; i < nthreads_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -29,13 +32,19 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-bool ThreadPool::grab_and_run(Job& job) {
+bool ThreadPool::grab_and_run(Job& job, bool worker_lane) {
   Index i = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
   if (i >= job.end) return false;
   Index hi = std::min(job.end, i + job.chunk);
   if (auto* obs = g_thread_observer.load(std::memory_order_acquire))
     obs(std::this_thread::get_id());
+  const bool telemetry = obs::enabled();
+  if (telemetry) {
+    obs::pool_chunk(obs_id_, worker_lane);
+    obs::pool_busy_enter(obs_id_);
+  }
   (*job.body)(i, hi);
+  if (telemetry) obs::pool_busy_exit(obs_id_);
   if (job.pending_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Taking mu_ orders the notify after the waiter's condition check, so
     // the last chunk's wakeup can never be lost.
@@ -53,13 +62,21 @@ void ThreadPool::worker_loop() {
       // The wait condition is an explicit loop (not a predicate lambda)
       // so the capability analysis sees the guarded reads under mu_.
       CvLock lock(mu_);
-      while (!shutdown_ && generation_ == seen) lock.wait(work_cv_);
+      bool parked = false;
+      while (!shutdown_ && generation_ == seen) {
+        // One park per idle episode, not per spurious wakeup.
+        if (!parked && obs::enabled()) {
+          obs::pool_park(obs_id_);
+          parked = true;
+        }
+        lock.wait(work_cv_);
+      }
       if (shutdown_) return;
       seen = generation_;
       job = job_;
     }
     if (job == nullptr) continue;
-    while (grab_and_run(*job)) {
+    while (grab_and_run(*job, /*worker_lane=*/true)) {
     }
   }
 }
@@ -82,13 +99,14 @@ void ThreadPool::parallel_for(Index begin, Index end, Index grain,
   job->next.store(begin, std::memory_order_relaxed);
   job->pending_chunks.store(static_cast<Index>(nchunks),
                             std::memory_order_relaxed);
+  obs::pool_submit(obs_id_, static_cast<uint64_t>(nchunks));
   {
     MutexLock lock(mu_);
     job_ = job;
     ++generation_;
   }
   work_cv_.notify_all();
-  while (grab_and_run(*job)) {
+  while (grab_and_run(*job, /*worker_lane=*/false)) {
   }
   CvLock lock(mu_);
   while (job->pending_chunks.load(std::memory_order_acquire) != 0)

@@ -36,6 +36,9 @@ class ThreadPool {
 
   int nthreads() const { return nthreads_; }
 
+  // Stable id keying this pool's utilization gauges in obs::stats_json.
+  int obs_id() const { return obs_id_; }
+
   // Runs body(lo, hi) over a partition of [begin, end) with chunks of at
   // least `grain` iterations.  Blocks until every chunk has finished.
   // body must not recursively call parallel_for on the same pool.
@@ -57,9 +60,12 @@ class ThreadPool {
   };
 
   void worker_loop() GRB_EXCLUDES(mu_);
-  bool grab_and_run(Job& job) GRB_EXCLUDES(mu_);
+  // `worker_lane` distinguishes chunks taken by pool workers ("steals"
+  // in the utilization gauges) from chunks the parallel_for caller runs.
+  bool grab_and_run(Job& job, bool worker_lane) GRB_EXCLUDES(mu_);
 
   int nthreads_;
+  const int obs_id_;
   std::vector<std::thread> workers_;
 
   Mutex mu_;

@@ -1,0 +1,591 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grb {
+namespace obs {
+
+namespace detail {
+std::atomic<uint32_t> g_flags{0};
+}  // namespace detail
+
+namespace {
+
+// --- time -----------------------------------------------------------------
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// --- counters -------------------------------------------------------------
+
+struct OpCounters {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> ns{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> scalars{0};
+  std::atomic<uint64_t> flops{0};
+  std::atomic<uint64_t> serial{0};
+  std::atomic<uint64_t> parallel{0};
+  std::atomic<uint64_t> deferred{0};
+  std::atomic<uint64_t> deferred_ns{0};
+
+  void reset() {
+    calls = ns = errors = scalars = flops = 0;
+    serial = parallel = deferred = deferred_ns = 0;
+  }
+};
+
+struct PoolCounters {
+  std::atomic<uint64_t> submitted{0};   // chunks handed to parallel_for
+  std::atomic<uint64_t> chunks{0};      // chunks executed (any lane)
+  std::atomic<uint64_t> steals{0};      // chunks executed by worker lanes
+  std::atomic<uint64_t> parks{0};       // cv-wait episodes
+  std::atomic<uint64_t> busy{0};        // currently-running lanes (gauge)
+  std::atomic<uint64_t> busy_hw{0};     // high-water of busy
+
+  void reset() {
+    submitted = chunks = steals = parks = busy_hw = 0;
+    // busy is a live gauge; leave it to its owners.
+  }
+};
+
+struct Globals {
+  std::atomic<uint64_t> queue_enqueued{0};
+  std::atomic<uint64_t> queue_hw{0};
+  std::atomic<uint64_t> queue_drained{0};
+  std::atomic<uint64_t> pending_hw{0};
+  std::atomic<uint64_t> pool_busy{0};  // sum over pools, for the C event
+  std::atomic<uint64_t> trace_events{0};
+  std::atomic<uint64_t> trace_dropped{0};
+};
+
+Globals g_globals;
+
+void bump_high_water(std::atomic<uint64_t>& hw, uint64_t v) {
+  uint64_t cur = hw.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !hw.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Registries.  std::map keeps stats_json deterministic; lookups happen
+// only on enabled paths, so a lock per hook is acceptable there.
+std::mutex& reg_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<std::string, std::unique_ptr<OpCounters>>& op_registry() {
+  static auto* reg = new std::map<std::string, std::unique_ptr<OpCounters>>();
+  return *reg;
+}
+std::map<int, std::unique_ptr<PoolCounters>>& pool_registry() {
+  static auto* reg = new std::map<int, std::unique_ptr<PoolCounters>>();
+  return *reg;
+}
+
+OpCounters& op_counters(const char* name) {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  auto& slot = op_registry()[name];
+  if (slot == nullptr) slot = std::make_unique<OpCounters>();
+  return *slot;
+}
+
+PoolCounters& pool_counters(int pool_id) {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  auto& slot = pool_registry()[pool_id];
+  if (slot == nullptr) slot = std::make_unique<PoolCounters>();
+  return *slot;
+}
+
+// --- trace ------------------------------------------------------------------
+
+// One recorded event.  `name`/`cat`/`akey` point at static-storage
+// strings (function-name literals, hook-site literals), never owned.
+struct Event {
+  const char* name;
+  const char* cat;
+  char ph;        // 'X' complete span, 'C' counter
+  uint32_t tid;
+  uint64_t ts_ns;
+  uint64_t dur_ns;
+  const char* akey;  // optional single arg (nullptr = none)
+  uint64_t aval;
+};
+
+constexpr size_t kMaxTraceEvents = 1u << 20;
+
+std::mutex& trace_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<Event>& trace_buf() {
+  static auto* buf = new std::vector<Event>();
+  return *buf;
+}
+std::string& trace_path() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+uint32_t this_tid() {
+  static thread_local const uint32_t tid = static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffu);
+  return tid;
+}
+
+void record_event(const char* name, const char* cat, char ph, uint64_t ts_ns,
+                  uint64_t dur_ns, const char* akey, uint64_t aval) {
+  std::lock_guard<std::mutex> lock(trace_mu());
+  if (!trace_enabled()) return;  // raced with a dump/stop; drop silently
+  auto& buf = trace_buf();
+  if (buf.size() >= kMaxTraceEvents) {
+    g_globals.trace_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.push_back(Event{name, cat, ph, this_tid(), ts_ns, dur_ns, akey, aval});
+  g_globals.trace_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_flag(uint32_t flag, bool on) {
+  if (on) {
+    detail::g_flags.fetch_or(flag, std::memory_order_relaxed);
+  } else {
+    detail::g_flags.fetch_and(~flag, std::memory_order_relaxed);
+  }
+}
+
+// --- env activation state ---------------------------------------------------
+
+bool g_env_stats = false;
+bool g_env_trace = false;
+
+void json_append_escaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+// --- current op -------------------------------------------------------------
+
+namespace {
+thread_local const char* t_current_op = nullptr;
+}
+
+const char* current_op() {
+  return t_current_op != nullptr ? t_current_op : "(unknown)";
+}
+
+const char* set_current_op(const char* name) {
+  const char* prev = t_current_op;
+  t_current_op = name;
+  return prev;
+}
+
+// --- hooks ------------------------------------------------------------------
+
+void api_return(const char* op, uint64_t t0, bool failed) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  uint64_t t1 = now_ns();
+  if ((f & kStatsFlag) != 0) {
+    OpCounters& c = op_counters(op);
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+    c.ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    if (failed) c.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if ((f & kTraceFlag) != 0) {
+    record_event(op, "api", 'X', t0, t1 - t0,
+                 failed ? "failed" : nullptr, 1);
+  }
+}
+
+void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
+                     bool failed) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  uint64_t t1 = now_ns();
+  if ((f & kStatsFlag) != 0) {
+    OpCounters& c = op_counters(op);
+    c.deferred.fetch_add(1, std::memory_order_relaxed);
+    c.deferred_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    if (failed) c.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if ((f & kTraceFlag) != 0) {
+    uint64_t gap_us =
+        (enq_ns != 0 && t0 > enq_ns) ? (t0 - enq_ns) / 1000u : 0;
+    record_event(op, "deferred", 'X', t0, t1 - t0, "gap_us", gap_us);
+  }
+}
+
+void count_path(bool parallel) {
+  if (!stats_enabled()) return;
+  OpCounters& c = op_counters(current_op());
+  (parallel ? c.parallel : c.serial).fetch_add(1, std::memory_order_relaxed);
+}
+
+void add_scalars(uint64_t n) {
+  if (!stats_enabled()) return;
+  op_counters(current_op()).scalars.fetch_add(n, std::memory_order_relaxed);
+}
+
+void add_flops(uint64_t n) {
+  if (!stats_enabled()) return;
+  op_counters(current_op()).flops.fetch_add(n, std::memory_order_relaxed);
+}
+
+void queue_depth_sample(size_t depth) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  g_globals.queue_enqueued.fetch_add(1, std::memory_order_relaxed);
+  bump_high_water(g_globals.queue_hw, depth);
+  if ((f & kTraceFlag) != 0) {
+    record_event("queue.depth", "gauge", 'C', now_ns(), 0, "value", depth);
+  }
+}
+
+void queue_drained(size_t batch) {
+  if (!enabled()) return;
+  g_globals.queue_drained.fetch_add(batch, std::memory_order_relaxed);
+}
+
+void pending_tuples_sample(size_t count) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  bump_high_water(g_globals.pending_hw, count);
+  if ((f & kTraceFlag) != 0) {
+    record_event("pending.tuples", "gauge", 'C', now_ns(), 0, "value", count);
+  }
+}
+
+int next_pool_id() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pool_submit(int pool_id, uint64_t nchunks) {
+  if (!enabled()) return;
+  pool_counters(pool_id).submitted.fetch_add(nchunks,
+                                             std::memory_order_relaxed);
+}
+
+void pool_chunk(int pool_id, bool worker_lane) {
+  if (!enabled()) return;
+  PoolCounters& c = pool_counters(pool_id);
+  c.chunks.fetch_add(1, std::memory_order_relaxed);
+  if (worker_lane) c.steals.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pool_park(int pool_id) {
+  if (!enabled()) return;
+  pool_counters(pool_id).parks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pool_busy_enter(int pool_id) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  PoolCounters& c = pool_counters(pool_id);
+  uint64_t busy = c.busy.fetch_add(1, std::memory_order_relaxed) + 1;
+  bump_high_water(c.busy_hw, busy);
+  uint64_t total =
+      g_globals.pool_busy.fetch_add(1, std::memory_order_relaxed) + 1;
+  if ((f & kTraceFlag) != 0) {
+    record_event("pool.busy", "gauge", 'C', now_ns(), 0, "value", total);
+  }
+}
+
+void pool_busy_exit(int pool_id) {
+  uint32_t f = flags();
+  if (f == 0) return;
+  pool_counters(pool_id).busy.fetch_sub(1, std::memory_order_relaxed);
+  uint64_t total =
+      g_globals.pool_busy.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if ((f & kTraceFlag) != 0) {
+    record_event("pool.busy", "gauge", 'C', now_ns(), 0, "value", total);
+  }
+}
+
+// --- control / introspection ------------------------------------------------
+
+void stats_set_enabled(bool on) { set_flag(kStatsFlag, on); }
+
+void stats_reset() {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  for (auto& kv : op_registry()) kv.second->reset();
+  for (auto& kv : pool_registry()) kv.second->reset();
+  g_globals.queue_enqueued = 0;
+  g_globals.queue_hw = 0;
+  g_globals.queue_drained = 0;
+  g_globals.pending_hw = 0;
+  // trace_events / trace_dropped reset with the trace buffer, and the
+  // pool_busy live gauge belongs to in-flight parallel_for calls.
+}
+
+namespace {
+
+struct FieldRef {
+  const char* name;
+  const std::atomic<uint64_t>* value;
+};
+
+// The per-op fields, in stats_json order.
+std::vector<FieldRef> op_fields(const OpCounters& c) {
+  return {{"calls", &c.calls},       {"ns", &c.ns},
+          {"errors", &c.errors},     {"scalars", &c.scalars},
+          {"flops", &c.flops},       {"serial", &c.serial},
+          {"parallel", &c.parallel}, {"deferred", &c.deferred},
+          {"deferred_ns", &c.deferred_ns}};
+}
+
+std::vector<FieldRef> pool_fields(const PoolCounters& c) {
+  return {{"submitted", &c.submitted},
+          {"chunks", &c.chunks},
+          {"steals", &c.steals},
+          {"parks", &c.parks},
+          {"busy_high_water", &c.busy_hw}};
+}
+
+uint64_t ld(const std::atomic<uint64_t>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool stats_get(const char* name, uint64_t* value) {
+  *value = 0;
+  if (name == nullptr) return false;
+  // Globals first.
+  struct GlobalRef {
+    const char* name;
+    const std::atomic<uint64_t>* value;
+  };
+  const GlobalRef globals[] = {
+      {"queue.enqueued", &g_globals.queue_enqueued},
+      {"queue.high_water", &g_globals.queue_hw},
+      {"queue.drained", &g_globals.queue_drained},
+      {"pending.high_water", &g_globals.pending_hw},
+      {"trace.events", &g_globals.trace_events},
+      {"trace.dropped", &g_globals.trace_dropped},
+  };
+  for (const auto& g : globals) {
+    if (std::strcmp(name, g.name) == 0) {
+      *value = ld(*g.value);
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(reg_mu());
+  // Pool aggregates: "pool.<field>" sums over every pool.
+  if (std::strncmp(name, "pool.", 5) == 0) {
+    const char* field = name + 5;
+    bool known = false;
+    uint64_t sum = 0;
+    for (auto& kv : pool_registry()) {
+      for (const auto& f : pool_fields(*kv.second)) {
+        if (std::strcmp(field, f.name) == 0) {
+          sum += ld(*f.value);
+          known = true;
+        }
+      }
+    }
+    if (!known) {
+      // Field-name check against a throwaway instance, so "pool.parks"
+      // resolves (to 0) even before any pool exists.
+      static const PoolCounters probe;
+      for (const auto& f : pool_fields(probe)) {
+        if (std::strcmp(field, f.name) == 0) known = true;
+      }
+    }
+    *value = sum;
+    return known;
+  }
+  // Per-op: "<op>.<field>".
+  const char* dot = std::strrchr(name, '.');
+  if (dot == nullptr || dot == name) return false;
+  std::string op(name, static_cast<size_t>(dot - name));
+  auto it = op_registry().find(op);
+  if (it == op_registry().end()) return false;
+  for (const auto& f : op_fields(*it->second)) {
+    if (std::strcmp(dot + 1, f.name) == 0) {
+      *value = ld(*f.value);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string stats_json() {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  std::string out = "{\"ops\":{";
+  bool first = true;
+  char buf[64];
+  for (auto& kv : op_registry()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    json_append_escaped(&out, kv.first.c_str());
+    out.append("\":{");
+    bool ffirst = true;
+    for (const auto& f : op_fields(*kv.second)) {
+      if (!ffirst) out.push_back(',');
+      ffirst = false;
+      std::snprintf(buf, sizeof buf, "\"%s\":%llu", f.name,
+                    static_cast<unsigned long long>(ld(*f.value)));
+      out.append(buf);
+    }
+    out.push_back('}');
+  }
+  out.append("},\"global\":{");
+  std::snprintf(buf, sizeof buf, "\"queue.enqueued\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.queue_enqueued)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"queue.high_water\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.queue_hw)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"queue.drained\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.queue_drained)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"pending.high_water\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.pending_hw)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"trace.events\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.trace_events)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"trace.dropped\":%llu",
+                static_cast<unsigned long long>(ld(g_globals.trace_dropped)));
+  out.append(buf);
+  out.append("},\"pools\":{");
+  first = true;
+  for (auto& kv : pool_registry()) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof buf, "\"%d\":{", kv.first);
+    out.append(buf);
+    bool ffirst = true;
+    for (const auto& f : pool_fields(*kv.second)) {
+      if (!ffirst) out.push_back(',');
+      ffirst = false;
+      std::snprintf(buf, sizeof buf, "\"%s\":%llu", f.name,
+                    static_cast<unsigned long long>(ld(*f.value)));
+      out.append(buf);
+    }
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+bool trace_start(const char* path) {
+  std::lock_guard<std::mutex> lock(trace_mu());
+  trace_buf().clear();
+  trace_path() = path != nullptr ? path : "";
+  g_globals.trace_events = 0;
+  g_globals.trace_dropped = 0;
+  set_flag(kTraceFlag, true);
+  return true;
+}
+
+bool trace_dump(const char* path) {
+  std::lock_guard<std::mutex> lock(trace_mu());
+  set_flag(kTraceFlag, false);
+  std::string target = path != nullptr ? path : trace_path();
+  if (target.empty()) return false;
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  for (const Event& e : trace_buf()) {
+    std::fputs(first ? "\n" : ",\n", f);
+    first = false;
+    if (e.ph == 'X') {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                   "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                   e.name, e.cat, e.tid, e.ts_ns / 1000.0, e.dur_ns / 1000.0);
+      if (e.akey != nullptr) {
+        std::fprintf(f, ",\"args\":{\"%s\":%llu}", e.akey,
+                     static_cast<unsigned long long>(e.aval));
+      }
+      std::fputs("}", f);
+    } else {  // 'C'
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%u,"
+                   "\"ts\":%.3f,\"args\":{\"%s\":%llu}}",
+                   e.name, e.tid, e.ts_ns / 1000.0,
+                   e.akey != nullptr ? e.akey : "value",
+                   static_cast<unsigned long long>(e.aval));
+    }
+  }
+  std::fputs("\n]}\n", f);
+  bool ok = std::fclose(f) == 0;
+  trace_buf().clear();
+  trace_path().clear();
+  return ok;
+}
+
+void trace_stop() {
+  std::lock_guard<std::mutex> lock(trace_mu());
+  set_flag(kTraceFlag, false);
+  trace_buf().clear();
+  trace_path().clear();
+}
+
+void env_activate() {
+  const char* stats = std::getenv("GRB_STATS");
+  if (stats != nullptr && stats[0] != '\0' &&
+      std::strcmp(stats, "0") != 0) {
+    stats_set_enabled(true);
+    g_env_stats = true;
+  }
+  const char* trace = std::getenv("GRB_TRACE");
+  if (trace != nullptr && trace[0] != '\0') {
+    trace_start(trace);
+    g_env_trace = true;
+  }
+}
+
+void env_finalize() {
+  if (g_env_trace) {
+    if (!trace_dump(nullptr)) {
+      std::fprintf(stderr, "grb-obs: failed to write GRB_TRACE file\n");
+    }
+    g_env_trace = false;
+  }
+  if (g_env_stats) {
+    std::fprintf(stderr, "GRB_STATS %s\n", stats_json().c_str());
+    stats_set_enabled(false);
+    stats_reset();
+    g_env_stats = false;
+  }
+}
+
+}  // namespace obs
+}  // namespace grb

@@ -1,0 +1,136 @@
+// Telemetry: always-compiled, near-zero-overhead-when-disabled
+// observability for the nonblocking execution machinery.
+//
+// Three instruments, all off by default:
+//  * per-operation counters (stats): calls, nanoseconds, scalars
+//    processed, flops (mxm/mxv/vxm), serial-fallback vs. parallel-path
+//    decisions, deferred executions — keyed by GrB op name;
+//  * gauges: deferred-queue depth and pending-tuple count sampled at
+//    enqueue/complete, plus thread-pool utilization (busy workers,
+//    submitted/executed chunks, steals, parks) per pool;
+//  * spans (trace): Chrome trace-event JSON ("X" complete events around
+//    every GrB_*/GxB_* entry and every deferred-method execution, "C"
+//    counter events for gauges), loadable in chrome://tracing / Perfetto.
+//
+// Overhead contract: every hook begins with one relaxed atomic load of
+// g_flags; when both instruments are off the hook does nothing else.
+// The only unconditional state is the thread-local current-op name set
+// at the C API boundary — two TLS stores per entry — which also powers
+// the deferred-error diagnostics (GrB_error names the failing method),
+// so it is part of the error model, not just telemetry.
+//
+// Activation: GxB_Stats_enable / GxB_Trace_start (see GraphBLAS.h), or
+// the environment: GRB_STATS=1 enables counters and prints a JSON
+// summary to stderr at GrB_finalize; GRB_TRACE=path.json records spans
+// and dumps the trace file at GrB_finalize.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace grb {
+namespace obs {
+
+enum Flag : uint32_t {
+  kStatsFlag = 1u,
+  kTraceFlag = 2u,
+};
+
+namespace detail {
+// The single hot-path gate.  Relaxed is sufficient: hooks tolerate
+// observing a stale value for a few instructions around enable/disable.
+extern std::atomic<uint32_t> g_flags;
+}  // namespace detail
+
+inline uint32_t flags() {
+  return detail::g_flags.load(std::memory_order_relaxed);
+}
+inline bool enabled() { return flags() != 0u; }
+inline bool stats_enabled() { return (flags() & kStatsFlag) != 0u; }
+inline bool trace_enabled() { return (flags() & kTraceFlag) != 0u; }
+
+// Nanoseconds since an arbitrary process-local epoch (steady clock).
+uint64_t now_ns();
+
+// --- Current-op attribution ----------------------------------------------
+// The C API veneer (grb_detail::guarded) names the entry point here so
+// deeper layers — enqueue, exec_context, kernels — can attribute work
+// and errors to the originating GrB op without plumbing a name through
+// every signature.  Always maintained (error messages depend on it).
+const char* current_op();                       // never null
+const char* set_current_op(const char* name);   // returns previous
+
+class CurrentOpScope {
+ public:
+  explicit CurrentOpScope(const char* name) : prev_(set_current_op(name)) {}
+  ~CurrentOpScope() { set_current_op(prev_); }
+  CurrentOpScope(const CurrentOpScope&) = delete;
+  CurrentOpScope& operator=(const CurrentOpScope&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+// --- Hooks (each gates itself on flags()) --------------------------------
+// C API entry returned: counts the call and emits its span.  `t0` is the
+// now_ns() stamp taken at entry (caller reads it only when enabled()).
+void api_return(const char* op, uint64_t t0, bool failed);
+
+// A deferred method ran during complete().  `enq_ns` is the enqueue
+// stamp (0 when telemetry was off at enqueue time) so the span carries
+// the deferral gap between call and execution.
+void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
+                     bool failed);
+
+// Serial-fallback gate decision, attributed to current_op().
+void count_path(bool parallel);
+
+// Work volume, attributed to current_op().
+void add_scalars(uint64_t n);
+void add_flops(uint64_t n);
+
+// Gauges: deferred-queue depth after an enqueue, entries drained by a
+// complete() batch, pending-tuple count after a fast-path set_element.
+void queue_depth_sample(size_t depth);
+void queue_drained(size_t batch);
+void pending_tuples_sample(size_t count);
+
+// Thread-pool gauges, keyed by the pool's obs id.
+int next_pool_id();
+void pool_submit(int pool_id, uint64_t nchunks);
+void pool_chunk(int pool_id, bool worker_lane);   // worker lane == "steal"
+void pool_park(int pool_id);
+void pool_busy_enter(int pool_id);
+void pool_busy_exit(int pool_id);
+
+// --- Control / introspection (backs the GxB_* extension API) -------------
+void stats_set_enabled(bool on);
+void stats_reset();
+
+// Dotted-name counter lookup.  Per-op: "<op>.calls", ".ns", ".errors",
+// ".scalars", ".flops", ".serial", ".parallel", ".deferred",
+// ".deferred_ns".  Globals: "queue.enqueued", "queue.high_water",
+// "queue.drained", "pending.high_water", "pool.submitted", "pool.chunks",
+// "pool.steals", "pool.parks", "pool.busy_high_water", "trace.events",
+// "trace.dropped".  Returns false (and *value = 0) for unknown names.
+bool stats_get(const char* name, uint64_t* value);
+
+// Full counter dump as a JSON object (ops, globals, per-pool breakdown).
+std::string stats_json();
+
+// Tracing.  trace_start enables span recording and remembers `path`
+// (may be null: dump must then name one).  trace_dump writes the Chrome
+// trace JSON, disables tracing and clears the buffer; returns false on
+// I/O failure or no usable path.  trace_stop discards without writing.
+bool trace_start(const char* path);
+bool trace_dump(const char* path);
+void trace_stop();
+
+// Environment activation, called by library_init / library_finalize.
+void env_activate();
+void env_finalize();
+
+}  // namespace obs
+}  // namespace grb

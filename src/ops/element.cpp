@@ -8,6 +8,7 @@
 
 #include "containers/matrix.hpp"
 #include "containers/vector.hpp"
+#include "obs/telemetry.hpp"
 
 namespace grb {
 
@@ -25,6 +26,7 @@ Info Vector::set_element(const void* value, const Type* value_type,
     ValueBuf cast(type_->size());
     cast_value(type_, cast.data(), value_type, value);
     pend_vals_.push_back(cast.data());
+    obs::pending_tuples_sample(pend_.size());
   }
   if (mode() == Mode::kBlocking) return complete();
   return Info::kSuccess;
@@ -36,6 +38,7 @@ Info Vector::remove_element(Index i) {
   {
     MutexLock lock(mu_);
     pend_.push_back({i, true});
+    obs::pending_tuples_sample(pend_.size());
   }
   if (mode() == Mode::kBlocking) return complete();
   return Info::kSuccess;
@@ -92,6 +95,7 @@ Info Matrix::set_element(const void* value, const Type* value_type, Index i,
     ValueBuf cast(type_->size());
     cast_value(type_, cast.data(), value_type, value);
     pend_vals_.push_back(cast.data());
+    obs::pending_tuples_sample(pend_.size());
   }
   if (mode() == Mode::kBlocking) return complete();
   return Info::kSuccess;
@@ -103,6 +107,7 @@ Info Matrix::remove_element(Index i, Index j) {
     MutexLock lock(mu_);
     if (i >= nrows_ || j >= ncols_) return Info::kInvalidIndex;
     pend_.push_back({i, j, true});
+    obs::pending_tuples_sample(pend_.size());
   }
   if (mode() == Mode::kBlocking) return complete();
   return Info::kSuccess;

@@ -1,6 +1,7 @@
 // GrB_mxm: C<M,r> = C (+) A*B over a semiring.
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "ops/mxm.hpp"
 
 namespace grb {
@@ -86,6 +87,17 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
           t = mxm_kernel(ctx, *av, *bv, s->mul()->ztype(), [&] {
             return SemiringRunner(s, av->type, bv->type);
           });
+        }
+        if (obs::stats_enabled()) {
+          // SpGEMM flop metric: every A(i,k) expands into row k of B
+          // (multiply count of the Gustavson formulation).
+          size_t flops = 0;
+          for (Index i = 0; i < av->nrows; ++i)
+            for (size_t ka = av->ptr[i]; ka < av->ptr[i + 1]; ++ka) {
+              Index k = av->col[ka];
+              if (k < bv->nrows) flops += bv->ptr[k + 1] - bv->ptr[k];
+            }
+          obs::add_flops(flops);
         }
         auto c_old = c->current_data();
         c->publish(

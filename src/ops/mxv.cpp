@@ -1,6 +1,7 @@
 // GrB_mxv: w<m,r> = w (+) A*u over a semiring.
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "ops/mxm.hpp"
 
 namespace grb {
@@ -43,6 +44,9 @@ Info mxv(Vector* w, const Vector* mask, const BinaryOp* accum,
         return SemiringRunner(s, av->type, u_snap->type);
       });
     }
+    // SpMV flop metric: one multiply-add per stored A entry (upper
+    // bound; sparse u skips some).
+    if (obs::stats_enabled()) obs::add_flops(av->nvals());
     auto c_old = w->current_data();
     w->publish(writeback_vector(ctx, *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;

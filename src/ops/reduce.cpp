@@ -9,6 +9,7 @@
 // place of a monoid (Table II) since no identity value is needed.
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "ops/common.hpp"
 #include "ops/op_apply.hpp"
 
@@ -299,6 +300,7 @@ Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
   std::shared_ptr<const VectorData> snap;
   GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
   return defer_or_run(out, [out, accum, monoid, snap]() -> Info {
+    if (obs::stats_enabled()) obs::add_scalars(snap->nvals());
     ValueBuf sum(monoid->type()->size());
     bool present =
         reduce_all_vector(out->context(), *snap, monoid, sum.data());
@@ -317,6 +319,7 @@ Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
   std::shared_ptr<const MatrixData> snap;
   GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
   return defer_or_run(out, [out, accum, monoid, snap]() -> Info {
+    if (obs::stats_enabled()) obs::add_scalars(snap->nvals());
     ValueBuf sum(monoid->type()->size());
     bool present =
         reduce_all_matrix(out->context(), *snap, monoid, sum.data());
@@ -339,6 +342,7 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
   std::shared_ptr<const VectorData> snap;
   GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&snap));
   return defer_or_run(out, [out, accum, op, snap]() -> Info {
+    if (obs::stats_enabled()) obs::add_scalars(snap->nvals());
     ValueBuf sum(op->ztype()->size());
     bool present =
         reduce_all_vector_binop(out->context(), *snap, op, sum.data());
@@ -359,6 +363,7 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
   std::shared_ptr<const MatrixData> snap;
   GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&snap));
   return defer_or_run(out, [out, accum, op, snap]() -> Info {
+    if (obs::stats_enabled()) obs::add_scalars(snap->nvals());
     ValueBuf sum(op->ztype()->size());
     bool present =
         reduce_all_matrix_binop(out->context(), *snap, op, sum.data());

@@ -1,6 +1,7 @@
 // GrB_vxm: w<m,r> = w (+) u^T * A over a semiring.
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "ops/mxm.hpp"
 
 namespace grb {
@@ -76,6 +77,7 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
         });
       }
     }
+    if (obs::stats_enabled()) obs::add_flops(av->nvals());
     auto c_old = w->current_data();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));

@@ -5,6 +5,7 @@
 // purely structural (presence in C, presence in T, mask bit), so phase 1
 // counts each output row, a prefix sum sizes the result, and phase 2
 // computes values straight into place.
+#include "obs/telemetry.hpp"
 #include "ops/common.hpp"
 #include "ops/mask.hpp"
 
@@ -123,6 +124,7 @@ std::shared_ptr<MatrixData> writeback_matrix(Context* ctx,
     }
   };
   ectx->parallel_for(0, nrows, fill_rows);
+  if (obs::stats_enabled()) obs::add_scalars(out->nvals());
   return out;
 }
 

@@ -9,6 +9,7 @@
 // [0, n), so parallel output is bitwise-identical to serial output.
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "ops/common.hpp"
 #include "ops/mask.hpp"
 
@@ -141,6 +142,7 @@ std::shared_ptr<VectorData> writeback_vector(Context* ctx,
           });
     }
   });
+  if (obs::stats_enabled()) obs::add_scalars(out->nvals());
   return out;
 }
 

@@ -1,0 +1,339 @@
+// Telemetry subsystem tests: exact counter oracles, queue-depth gauges,
+// Chrome-trace output, GRB_STATS/GRB_TRACE env activation, the op-named
+// deferred-error diagnostics, and a multithreaded counter-consistency
+// check (this binary is labeled tsan, so the ThreadSanitizer preset runs
+// it to prove the hooks race-free).
+//
+// This suite owns its main(): each test performs its own GrB_init /
+// GrB_finalize so the env-activation tests can set GRB_STATS/GRB_TRACE
+// before library initialization (the shared test_main.cpp environment
+// initializes once per process, which would pin the env state).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphblas/GraphBLAS.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+size_t count_substr(const std::string& hay, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+uint64_t counter(const char* name) {
+  uint64_t v = ~0ull;
+  EXPECT_EQ(GxB_Stats_get(name, &v), GrB_SUCCESS) << name;
+  return v;
+}
+
+// Per-test library lifecycle with telemetry left clean on exit.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(GrB_init(GrB_NONBLOCKING), GrB_SUCCESS);
+  }
+  void TearDown() override {
+    EXPECT_EQ(GxB_Stats_enable(0), GrB_SUCCESS);
+    EXPECT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+    EXPECT_EQ(GrB_finalize(), GrB_SUCCESS);
+  }
+};
+
+// A small materialized n x n path matrix: A(i, i+1) = 1.
+GrB_Matrix path_matrix(GrB_Index n) {
+  GrB_Matrix a = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&a, GrB_FP64, n, n), GrB_SUCCESS);
+  for (GrB_Index i = 0; i + 1 < n; ++i)
+    EXPECT_EQ(GrB_Matrix_setElement(a, 1.0, i, i + 1), GrB_SUCCESS);
+  EXPECT_EQ(GrB_wait(a, GrB_MATERIALIZE), GrB_SUCCESS);
+  return a;
+}
+
+GrB_Vector ones_vector(GrB_Index n) {
+  GrB_Vector v = nullptr;
+  EXPECT_EQ(GrB_Vector_new(&v, GrB_FP64, n), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < n; ++i)
+    EXPECT_EQ(GrB_Vector_setElement(v, 1.0, i), GrB_SUCCESS);
+  EXPECT_EQ(GrB_wait(v, GrB_MATERIALIZE), GrB_SUCCESS);
+  return v;
+}
+
+TEST_F(ObsTest, CountersExactForKnownOpSequence) {
+  GrB_Matrix a = path_matrix(8);
+  GrB_Matrix c = nullptr;
+  GrB_Vector u = ones_vector(8);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 8), GrB_SUCCESS);
+
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  // The scripted sequence: 2x mxm, 1x mxv, 2x wait.
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, a,
+                    GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, a,
+                    GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxv(w, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, u,
+                    GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+
+  EXPECT_EQ(counter("GrB_mxm.calls"), 2u);
+  EXPECT_EQ(counter("GrB_mxv.calls"), 1u);
+  EXPECT_EQ(counter("GrB_wait.calls"), 2u);
+  EXPECT_EQ(counter("GrB_mxm.errors"), 0u);
+  // Nonblocking mode: each op executed as a deferred method.
+  EXPECT_EQ(counter("GrB_mxm.deferred"), 2u);
+  EXPECT_EQ(counter("GrB_mxv.deferred"), 1u);
+  // flops: A is an 8-node path (7 entries); A*A chains i->i+2, so the
+  // Gustavson expansion is 6 multiplies per mxm; mxv counts nnz(A).
+  EXPECT_EQ(counter("GrB_mxm.flops"), 12u);
+  EXPECT_EQ(counter("GrB_mxv.flops"), 7u);
+  // Scalars written through the writeback choke point.
+  EXPECT_GT(counter("GrB_mxm.scalars"), 0u);
+  EXPECT_GT(counter("GrB_mxv.scalars"), 0u);
+  // Tiny problem: every serial-fallback gate decision picked serial.
+  EXPECT_GT(counter("GrB_mxm.serial"), 0u);
+  EXPECT_EQ(counter("GrB_mxm.parallel"), 0u);
+  // Timers ran.
+  EXPECT_GT(counter("GrB_mxm.ns"), 0u);
+  EXPECT_GT(counter("GrB_mxm.deferred_ns"), 0u);
+
+  // Unknown counters: GrB_NO_VALUE, value forced to 0.
+  uint64_t v = 42;
+  EXPECT_EQ(GxB_Stats_get("GrB_mxm.nope", &v), GrB_NO_VALUE);
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(GxB_Stats_get("no_such_op.calls", &v), GrB_NO_VALUE);
+
+  GrB_free(&a);
+  GrB_free(&c);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST_F(ObsTest, QueueDepthHighWaterMatchesScriptedBuildWait) {
+  GrB_Matrix a = path_matrix(8);
+  GrB_Vector u = ones_vector(8);
+  GrB_Vector w = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w, GrB_FP64, 8), GrB_SUCCESS);
+
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  // Three deferred methods stack up on w's sequence before the wait
+  // drains them: depth samples 1, 2, 3.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(GrB_mxv(w, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, u,
+                      GrB_NULL),
+              GrB_SUCCESS);
+  }
+  EXPECT_EQ(counter("queue.high_water"), 3u);
+  EXPECT_EQ(counter("queue.enqueued"), 3u);
+  EXPECT_EQ(counter("queue.drained"), 0u);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("queue.drained"), 3u);
+  EXPECT_EQ(counter("GrB_mxv.deferred"), 3u);
+
+  // Pending-tuple gauge: setElement fast path counts tuples per object.
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+  for (GrB_Index i = 0; i < 5; ++i)
+    ASSERT_EQ(GrB_Vector_setElement(w, 1.0, i), GrB_SUCCESS);
+  EXPECT_EQ(counter("pending.high_water"), 5u);
+
+  GrB_free(&a);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+TEST_F(ObsTest, TraceJsonParsesWithMatchedCompleteEvents) {
+  std::string path = ::testing::TempDir() + "grb_obs_trace_test.json";
+  ASSERT_EQ(GxB_Trace_start(path.c_str()), GrB_SUCCESS);
+
+  GrB_Matrix a = path_matrix(8);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a, a,
+                    GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_COMPLETE), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Trace_dump(nullptr), GrB_SUCCESS);
+
+  std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Spans are self-closing "X" (complete) events: every one carries a
+  // duration, so begin/end pairing is matched by construction.  No
+  // unterminated "B" events may appear.
+  size_t spans = count_substr(json, "\"ph\":\"X\"");
+  EXPECT_GT(spans, 0u);
+  EXPECT_EQ(count_substr(json, "\"ph\":\"B\""), 0u);
+  EXPECT_EQ(count_substr(json, "\"ph\":\"E\""), 0u);
+  EXPECT_EQ(spans, count_substr(json, "\"dur\":"));
+  // The mxm API span and its deferred execution (with the gap arg).
+  EXPECT_NE(json.find("\"name\":\"GrB_mxm\",\"cat\":\"api\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"GrB_mxm\",\"cat\":\"deferred\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gap_us\":"), std::string::npos);
+  // Queue-depth gauge samples ride along as counter events.
+  EXPECT_NE(json.find("\"name\":\"queue.depth\",\"ph\":\"C\""),
+            std::string::npos);
+
+  std::remove(path.c_str());
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
+TEST_F(ObsTest, DeferredErrorNamesOriginatingOp) {
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 4), GrB_SUCCESS);
+  GrB_Index idx[] = {1, 1};
+  double vals[] = {1, 2};
+  // Duplicates with a NULL dup op fail at deferred execution time.
+  GrB_Info info = GrB_Vector_build(v, idx, vals, 2, GrB_NULL);
+  if (info == GrB_SUCCESS) info = GrB_wait(v, GrB_COMPLETE);
+  EXPECT_EQ(info, GrB_INVALID_VALUE);
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_error(&msg, v), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  // The diagnostic names the originating method, not just the code.
+  EXPECT_NE(std::string(msg).find("GrB_Vector_build"), std::string::npos)
+      << msg;
+  EXPECT_NE(std::string(msg).find("GrB_INVALID_VALUE"), std::string::npos)
+      << msg;
+  GrB_free(&v);
+}
+
+TEST_F(ObsTest, MultithreadedCounterConsistency) {
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 64), GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(v, GrB_MATERIALIZE), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([v] {
+      for (int i = 0; i < kIters; ++i) {
+        GrB_Index n = 0;
+        EXPECT_EQ(GrB_Vector_nvals(&n, v), GrB_SUCCESS);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // No lost updates: the relaxed per-counter atomics must still sum
+  // exactly under contention.
+  EXPECT_EQ(counter("GrB_Vector_nvals.calls"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(counter("GrB_Vector_nvals.errors"), 0u);
+  GrB_free(&v);
+}
+
+TEST_F(ObsTest, ExtensionRegistryIntrospection) {
+  GrB_Index n = 0;
+  ASSERT_EQ(GxB_Extension_count(&n), GrB_SUCCESS);
+  EXPECT_EQ(n, GxB_EXTENSION_COUNT);
+  bool saw_stats_get = false;
+  for (GrB_Index i = 0; i < n; ++i) {
+    const char* name = nullptr;
+    ASSERT_EQ(GxB_Extension_name(&name, i), GrB_SUCCESS);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(std::string(name).rfind("GxB_", 0), 0u) << name;
+    if (std::string(name) == "GxB_Stats_get") saw_stats_get = true;
+  }
+  EXPECT_TRUE(saw_stats_get);
+  const char* name = nullptr;
+  EXPECT_EQ(GxB_Extension_name(&name, n), GrB_INVALID_INDEX);
+  EXPECT_EQ(GxB_Extension_count(nullptr), GrB_NULL_POINTER);
+
+  // Stats JSON sizing contract.
+  GrB_Index len = 0;
+  ASSERT_EQ(GxB_Stats_json(nullptr, &len), GrB_SUCCESS);
+  ASSERT_GT(len, 2u);
+  std::vector<char> buf(len);
+  GrB_Index len2 = len;
+  ASSERT_EQ(GxB_Stats_json(buf.data(), &len2), GrB_SUCCESS);
+  EXPECT_EQ(len2, len);
+  EXPECT_EQ(buf[0], '{');
+  EXPECT_NE(std::string(buf.data()).find("\"global\""), std::string::npos);
+}
+
+// Env activation needs its own fixture-free tests: the variables must be
+// set before GrB_init.
+TEST(ObsEnvTest, GrbStatsEnvEnablesCounters) {
+  ASSERT_EQ(setenv("GRB_STATS", "1", 1), 0);
+  ASSERT_EQ(GrB_init(GrB_NONBLOCKING), GrB_SUCCESS);
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 8), GrB_SUCCESS);
+  GrB_Index n = 0;
+  ASSERT_EQ(GrB_Vector_nvals(&n, v), GrB_SUCCESS);
+  uint64_t calls = 0;
+  EXPECT_EQ(GxB_Stats_get("GrB_Vector_nvals.calls", &calls), GrB_SUCCESS);
+  EXPECT_GE(calls, 1u);
+  GrB_free(&v);
+  // Finalize prints the summary to stderr and deactivates env stats.
+  ASSERT_EQ(GrB_finalize(), GrB_SUCCESS);
+  ASSERT_EQ(unsetenv("GRB_STATS"), 0);
+
+  // With the variable gone, a fresh cycle starts with stats off.
+  ASSERT_EQ(GrB_init(GrB_NONBLOCKING), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_nvals(&n, v), GrB_SUCCESS);
+  uint64_t after = 0;
+  GrB_Info info = GxB_Stats_get("GrB_Vector_nvals.calls", &after);
+  EXPECT_TRUE(info == GrB_NO_VALUE || after == 0u);
+  GrB_free(&v);
+  ASSERT_EQ(GrB_finalize(), GrB_SUCCESS);
+}
+
+TEST(ObsEnvTest, GrbTraceEnvDumpsChromeTraceAtFinalize) {
+  std::string path = ::testing::TempDir() + "grb_obs_env_trace.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("GRB_TRACE", path.c_str(), 1), 0);
+  ASSERT_EQ(GrB_init(GrB_NONBLOCKING), GrB_SUCCESS);
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement(v, 1.0, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(v, GrB_MATERIALIZE), GrB_SUCCESS);
+  GrB_free(&v);
+  ASSERT_EQ(GrB_finalize(), GrB_SUCCESS);
+  ASSERT_EQ(unsetenv("GRB_TRACE"), 0);
+
+  std::string json = slurp(path);
+  ASSERT_FALSE(json.empty()) << path;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_GT(count_substr(json, "\"ph\":\"X\""), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

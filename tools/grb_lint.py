@@ -288,6 +288,58 @@ class Linter:
                     "%s dereferences parameter `%s` without a preceding "
                     "nullptr check" % (name, pname))
 
+    def check_gxb_extensions(self):
+        """GxB_* extension entry points: guarded veneer + registry parity.
+
+        Every `inline GrB_Info GxB_*` function must (a) route through
+        grb_detail::guarded like the GrB_* surface, (b) null-check handle
+        and pointer parameters before dereferencing, and (c) appear in the
+        GxB_EXTENSIONS string table so GxB_Extension_name introspection
+        stays truthful.  Stale or duplicate table entries are flagged too.
+        """
+        path, raw = self.read("include/graphblas/GraphBLAS.h")
+        text = self.expand_function_macros(raw)
+
+        m = re.search(r"GxB_EXTENSIONS\[\]\s*=\s*\{(.*?)\};", text, re.S)
+        table = []
+        table_line = 1
+        if m:
+            table_line = text.count("\n", 0, m.start()) + 1
+            table = re.findall(r'"(GxB_\w+)"', m.group(1))
+        else:
+            self.report("gxb-extension-registry", path, 1,
+                        "GxB_EXTENSIONS registry table not found in the "
+                        "C API header")
+
+        defined = set()
+        for name, line, params, body in self.parse_functions(text,
+                                                             r"GxB_\w+"):
+            self.entry_points += 1
+            defined.add(name)
+            if not body.strip().startswith(
+                    "return grb_detail::guarded([&]() -> GrB_Info {"):
+                self.report(
+                    "no-throw-escape", path, line,
+                    "%s does not route through grb_detail::guarded(); an "
+                    "exception could escape to the C caller" % name)
+            self._check_null_before_deref(path, name, line, params, body)
+            if name not in table:
+                self.report(
+                    "gxb-extension-registry", path, line,
+                    "%s is not listed in the GxB_EXTENSIONS registry" % name)
+
+        seen = set()
+        for name in table:
+            if name not in defined:
+                self.report(
+                    "gxb-extension-registry", path, table_line,
+                    "GxB_EXTENSIONS lists %s but no such entry point is "
+                    "defined" % name)
+            if name in seen:
+                self.report("gxb-extension-registry", path, table_line,
+                            "GxB_EXTENSIONS lists %s twice" % name)
+            seen.add(name)
+
     def check_info_strings(self):
         hdr_path, hdr = self.read("include/graphblas/GraphBLAS.h")
         core_path, core = self.read("src/core/info.hpp")
@@ -522,10 +574,12 @@ class Linter:
 
     RULES = ("no-throw-escape", "null-check-before-deref",
              "info-string-coverage", "descriptor-coverage",
-             "ops-validate-first", "poison-has-message")
+             "ops-validate-first", "poison-has-message",
+             "gxb-extension-registry")
 
     def run(self):
         self.check_header()
+        self.check_gxb_extensions()
         self.check_info_strings()
         self.check_descriptors()
         self.check_ops_validate_first()
