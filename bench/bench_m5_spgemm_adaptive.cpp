@@ -1,0 +1,165 @@
+// Experiment M5 (ablation, DESIGN.md): the adaptive two-phase SpGEMM
+// engine vs. the original two-pass dense-SPA kernel (pinned via
+// SpgemmMode::kReference) on three workload shapes:
+//
+//   Uniform      — square ER-like squaring, modest ncols: every row's
+//                  flop count justifies the dense accumulator, so this
+//                  guards the "auto must not regress the easy case"
+//                  bound.
+//   Skewed       — A has R-MAT power-law out-degrees (per-row flop
+//                  counts vary by orders of magnitude), B is sparse and
+//                  wide (2^21 columns).  The reference kernel expands
+//                  every row twice through an O(ncols) SPA it re-zeroes
+//                  each call and scatters into across 18 MB; the
+//                  adaptive engine sizes a hash accumulator per row.
+//   Hypersparse  — ncols = 2^24 with ~50K entries in B (ncols >> nvals):
+//                  the reference kernel's per-call O(ncols) scratch
+//                  (~150 MB, zeroed) dwarfs the real work; the byte
+//                  budget pushes every row onto the hash path.
+//
+// A² on power-law graphs is deliberately absent from the skewed leg:
+// its output fill-in (~60M entries at scale 15) makes writeback dominate
+// every mode equally, hiding the accumulator ablation this experiment
+// exists to measure.  Each shape runs one leg per engine mode so
+// BENCH_m5_spgemm_adaptive.json captures the ablation;
+// tools/bench_compare.py diffs two runs.
+#include "bench/bench_util.hpp"
+
+#include "ops/spgemm.hpp"
+
+namespace {
+
+struct ModeGuard {
+  explicit ModeGuard(grb::SpgemmMode m) { grb::set_spgemm_mode(m); }
+  ~ModeGuard() { grb::set_spgemm_mode(grb::SpgemmMode::kAuto); }
+};
+
+// n x n with exactly entries_per_row uniform-random columns per row.
+GrB_Matrix uniform_matrix(GrB_Index nrows, GrB_Index ncols,
+                          GrB_Index entries_per_row, uint64_t seed) {
+  grb::Prng rng(seed);
+  GrB_Matrix a = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&a, GrB_FP64, nrows, ncols));
+  for (GrB_Index i = 0; i < nrows; ++i)
+    for (GrB_Index e = 0; e < entries_per_row; ++e)
+      BENCH_TRY(GrB_Matrix_setElement(a, rng.uniform() + 0.5, i,
+                                      rng.below(ncols)));
+  BENCH_TRY(GrB_wait(a, GrB_MATERIALIZE));
+  return a;
+}
+
+GrB_Matrix scatter_matrix(GrB_Index nrows, GrB_Index ncols, GrB_Index nnz,
+                          uint64_t seed) {
+  grb::Prng rng(seed);
+  GrB_Matrix a = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&a, GrB_FP64, nrows, ncols));
+  for (GrB_Index e = 0; e < nnz; ++e)
+    BENCH_TRY(GrB_Matrix_setElement(a, rng.uniform() + 0.5,
+                                    rng.below(nrows), rng.below(ncols)));
+  BENCH_TRY(GrB_wait(a, GrB_MATERIALIZE));
+  return a;
+}
+
+void run_product(benchmark::State& state, GrB_Matrix a, GrB_Matrix b,
+                 grb::SpgemmMode mode) {
+  ModeGuard guard(mode);
+  GrB_Index nrows, ncols, flops_proxy;
+  BENCH_TRY(GrB_Matrix_nrows(&nrows, a));
+  BENCH_TRY(GrB_Matrix_ncols(&ncols, b));
+  BENCH_TRY(GrB_Matrix_nvals(&flops_proxy, a));
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, nrows, ncols));
+  for (auto _ : state) {
+    BENCH_TRY(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      a, b, GrB_DESC_R));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  }
+  state.SetItemsProcessed(state.iterations() * flops_proxy);
+  GrB_free(&c);
+}
+
+// --- Uniform: 2048 x 2048 squaring, 16 entries/row; footprint under the
+// always-dense cap, so auto keeps every row on the dense accumulator. --
+
+GrB_Matrix uniform_input() {
+  static GrB_Matrix a = uniform_matrix(2048, 2048, 16, 501);
+  return a;
+}
+
+void BM_Uniform_Reference(benchmark::State& state) {
+  run_product(state, uniform_input(), uniform_input(),
+              grb::SpgemmMode::kReference);
+}
+void BM_Uniform_Dense(benchmark::State& state) {
+  run_product(state, uniform_input(), uniform_input(),
+              grb::SpgemmMode::kDense);
+}
+void BM_Uniform_Hash(benchmark::State& state) {
+  run_product(state, uniform_input(), uniform_input(),
+              grb::SpgemmMode::kHash);
+}
+void BM_Uniform_Auto(benchmark::State& state) {
+  run_product(state, uniform_input(), uniform_input(),
+              grb::SpgemmMode::kAuto);
+}
+BENCHMARK(BM_Uniform_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Uniform_Dense)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Uniform_Hash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Uniform_Auto)->Unit(benchmark::kMillisecond);
+
+// --- Skewed: power-law row weights (R-MAT scale 15, edge factor 8)
+// against a sparse 32768 x 2^23 operand.  Per-row flop counts span
+// orders of magnitude while the output dimension prices the reference
+// kernel's O(ncols) scratch at ~80 MB allocated and zeroed per pass,
+// twice per call; the adaptive engine sizes hash accumulators by each
+// row's flop estimate instead. ------------------------------------------
+
+GrB_Matrix skewed_a() {
+  static GrB_Matrix a = benchutil::rmat(15, 8);
+  return a;
+}
+GrB_Matrix skewed_b() {
+  static GrB_Matrix b =
+      uniform_matrix(32768, GrB_Index(1) << 23, 2, 503);
+  return b;
+}
+
+void BM_Skewed_Reference(benchmark::State& state) {
+  run_product(state, skewed_a(), skewed_b(), grb::SpgemmMode::kReference);
+}
+void BM_Skewed_Hash(benchmark::State& state) {
+  run_product(state, skewed_a(), skewed_b(), grb::SpgemmMode::kHash);
+}
+void BM_Skewed_Auto(benchmark::State& state) {
+  run_product(state, skewed_a(), skewed_b(), grb::SpgemmMode::kAuto);
+}
+BENCHMARK(BM_Skewed_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Skewed_Hash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Skewed_Auto)->Unit(benchmark::kMillisecond);
+
+// --- Hypersparse: 4096 x 2^24 output, ~50K entries in B.  The dense
+// budget rejects the ~150 MB SPA outright; hash rows are sized by their
+// actual flop counts. ---------------------------------------------------
+
+GrB_Matrix hyper_a() {
+  static GrB_Matrix a = uniform_matrix(4096, 4096, 16, 504);
+  return a;
+}
+GrB_Matrix hyper_b() {
+  static GrB_Matrix b =
+      scatter_matrix(4096, GrB_Index(1) << 24, 50000, 505);
+  return b;
+}
+
+void BM_Hypersparse_Reference(benchmark::State& state) {
+  run_product(state, hyper_a(), hyper_b(), grb::SpgemmMode::kReference);
+}
+void BM_Hypersparse_Auto(benchmark::State& state) {
+  run_product(state, hyper_a(), hyper_b(), grb::SpgemmMode::kAuto);
+}
+BENCHMARK(BM_Hypersparse_Reference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hypersparse_Auto)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -13,7 +13,13 @@
 #                        the annotations compile as no-ops elsewhere)
 #   5. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
 #                        (skipped with a notice when clang-tidy is absent)
-#   6. tsan            — ThreadSanitizer build + tsan-labeled tests
+#   6. bench           — bench_m4_masked_mxm + bench_m5_spgemm_adaptive,
+#                        archiving BENCH_*.json under bench_artifacts/;
+#                        when bench_artifacts/baseline/ holds a prior
+#                        set, tools/bench_compare.py diffs against it
+#                        (advisory: >10% regressions are reported but do
+#                        not fail the gate — the box may be noisy)
+#   7. tsan            — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; it is the slowest
 #                        stage and the tsan preset also runs in its own lane)
 #
@@ -56,6 +62,27 @@ if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build --quiet "${tidy_files[@]}" || failed=1
 else
   echo "SKIPPED: clang-tidy not found"
+fi
+
+note "benchmarks (m4 masked mxm + m5 adaptive spgemm)"
+cmake --build build -j "$JOBS" \
+      --target bench_m4_masked_mxm bench_m5_spgemm_adaptive
+mkdir -p bench_artifacts
+for bench in bench_m4_masked_mxm bench_m5_spgemm_adaptive; do
+  (cd bench_artifacts && \
+   "../build/bench/$bench" --benchmark_repetitions=3 \
+       --benchmark_report_aggregates_only=true \
+       >/dev/null) || failed=1
+done
+echo "archived: $(ls bench_artifacts/BENCH_*.json 2>/dev/null | tr '\n' ' ')"
+if [ -d bench_artifacts/baseline ]; then
+  # Advisory only: flag >10% median slowdowns against the stored
+  # baseline without failing the gate (shared boxes are noisy).
+  python3 tools/bench_compare.py bench_artifacts/baseline bench_artifacts \
+    || echo "NOTICE: bench regressions above; gate not failed (advisory)"
+else
+  echo "no bench_artifacts/baseline/ — copy BENCH_*.json there to enable" \
+       "regression comparison"
 fi
 
 note "thread sanitizer (tsan-labeled tests)"

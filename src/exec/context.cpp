@@ -1,9 +1,14 @@
 #include "exec/context.hpp"
 
 #include "core/global.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/telemetry.hpp"
 
 namespace grb {
+
+// Defined in ops/spgemm.cpp; declared here rather than including the
+// ops layer from exec.
+void spgemm_cost_cache_clear();
 namespace {
 
 // The live-context registry itself lives in core/global.{hpp,cpp}
@@ -84,6 +89,11 @@ Info library_finalize() {
     g.top = nullptr;
     g.initialized = false;
   }
+  // Release SpGEMM scratch held beyond kernel lifetimes: the calling
+  // thread's arena (worker arenas died with their pool threads above)
+  // and the per-snapshot symbolic-cost cache.
+  thread_arena().purge();
+  spgemm_cost_cache_clear();
   // Flush env-activated telemetry (trace dump, stats summary) once the
   // library state is down; worker pools are joined by the deletes above,
   // so no hook can fire mid-dump.

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/telemetry.hpp"
 
@@ -13,6 +14,58 @@ std::atomic<void (*)(std::thread::id)> g_thread_observer{nullptr};
 
 void set_thread_observer(void (*observer)(std::thread::id)) {
   g_thread_observer.store(observer, std::memory_order_release);
+}
+
+std::byte* ScratchArena::request(int slot, size_t bytes) {
+  Buf& b = bufs_[slot];
+  const bool hit = b.cap >= bytes;
+  if (!hit) {
+    size_t cap = std::max(bytes, b.cap * 2);
+    // Raw new[]: default-initialized, no value-init memset on a buffer
+    // the caller is about to overwrite anyway.
+    b.data.reset(new std::byte[cap]);
+    b.cap = cap;
+  }
+  b.zeroed = 0;
+  if (obs::stats_enabled()) obs::arena_request(hit);
+  return b.data.get();
+}
+
+std::byte* ScratchArena::request_zeroed(int slot, size_t bytes) {
+  Buf& b = bufs_[slot];
+  const bool hit = b.cap >= bytes && b.zeroed >= bytes;
+  if (b.cap < bytes) {
+    size_t cap = std::max(bytes, b.cap * 2);
+    b.data.reset(new std::byte[cap]);
+    b.cap = cap;
+    b.zeroed = 0;
+  }
+  if (b.zeroed < bytes)
+    std::memset(b.data.get() + b.zeroed, 0, bytes - b.zeroed);
+  // Dirty until the caller restores the zeros (mark_zeroed).
+  b.granted_zeroed = std::max(b.zeroed, bytes);
+  b.zeroed = 0;
+  if (obs::stats_enabled()) obs::arena_request(hit);
+  return b.data.get();
+}
+
+void ScratchArena::mark_zeroed(int slot) {
+  Buf& b = bufs_[slot];
+  b.zeroed = b.granted_zeroed;
+}
+
+void ScratchArena::purge() {
+  for (Buf& b : bufs_) {
+    b.data.reset();
+    b.cap = 0;
+    b.zeroed = 0;
+    b.granted_zeroed = 0;
+  }
+}
+
+ScratchArena& thread_arena() {
+  static thread_local ScratchArena arena;
+  return arena;
 }
 
 ThreadPool::ThreadPool(int nthreads)

@@ -26,6 +26,55 @@ namespace grb {
 // uninstall.  The observer must be thread-safe.
 void set_thread_observer(void (*observer)(std::thread::id));
 
+// --- Reusable per-thread scratch arena -----------------------------------
+// Kernels request named scratch buffers (hash tables, dense SPAs, vector
+// probes) that persist for the lifetime of the thread, so repeated ops
+// stop paying allocation + first-touch page-fault cost.  Buffers only
+// grow; `purge` releases them (GrB_finalize calls it on the user thread;
+// worker arenas die with their pool's threads).
+//
+// Zeroed protocol: `request_zeroed` hands back a buffer whose first
+// `bytes` are zero, then treats it as dirty.  A kernel that restores the
+// zeros itself (e.g. a SPA clearing only the entries it touched) calls
+// `mark_zeroed` so the next `request_zeroed` can skip the memset; if the
+// kernel unwinds early the slot stays dirty and the next request pays
+// one memset — never incorrect, only slower.
+class ScratchArena {
+ public:
+  enum Slot {
+    kHashKeys = 0,  // zeroed protocol: key 0 means "empty bucket"
+    kHashVals,
+    kHashPairs,
+    kDenseFlags,    // zeroed protocol: flag 0 means "column absent"
+    kDenseVals,
+    kDenseTouched,
+    kVecPresent,
+    kVecVals,
+    kSlotCount,
+  };
+
+  std::byte* request(int slot, size_t bytes);
+  std::byte* request_zeroed(int slot, size_t bytes);
+  void mark_zeroed(int slot);
+  void purge();
+
+ private:
+  struct Buf {
+    std::unique_ptr<std::byte[]> data;
+    size_t cap = 0;
+    // Zeroed prefix available to the next request_zeroed, and the length
+    // that mark_zeroed will restore (the extent of the last zeroed grant).
+    size_t zeroed = 0;
+    size_t granted_zeroed = 0;
+  };
+  Buf bufs_[kSlotCount];
+};
+
+// The calling thread's arena (thread_local).  Buffers handed out by one
+// thread's arena must not be written by another thread; read-only sharing
+// during a parallel region (e.g. a gathered vector probe) is fine.
+ScratchArena& thread_arena();
+
 class ThreadPool {
  public:
   explicit ThreadPool(int nthreads);

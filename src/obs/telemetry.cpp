@@ -68,6 +68,13 @@ struct Globals {
   std::atomic<uint64_t> pool_busy{0};  // sum over pools, for the C event
   std::atomic<uint64_t> trace_events{0};
   std::atomic<uint64_t> trace_dropped{0};
+  // SpGEMM engine decisions (rows routed to each accumulator, symbolic
+  // flop totals) and scratch-arena reuse outcomes.
+  std::atomic<uint64_t> spgemm_rows_hash{0};
+  std::atomic<uint64_t> spgemm_rows_dense{0};
+  std::atomic<uint64_t> spgemm_flops_est{0};
+  std::atomic<uint64_t> arena_hits{0};
+  std::atomic<uint64_t> arena_misses{0};
 };
 
 Globals g_globals;
@@ -263,6 +270,26 @@ void add_flops(uint64_t n) {
   op_counters(current_op()).flops.fetch_add(n, std::memory_order_relaxed);
 }
 
+void spgemm_rows(uint64_t rows_hash, uint64_t rows_dense) {
+  if (!stats_enabled()) return;
+  if (rows_hash != 0)
+    g_globals.spgemm_rows_hash.fetch_add(rows_hash, std::memory_order_relaxed);
+  if (rows_dense != 0)
+    g_globals.spgemm_rows_dense.fetch_add(rows_dense,
+                                          std::memory_order_relaxed);
+}
+
+void spgemm_flops_estimated(uint64_t n) {
+  if (!stats_enabled()) return;
+  g_globals.spgemm_flops_est.fetch_add(n, std::memory_order_relaxed);
+}
+
+void arena_request(bool hit) {
+  if (!stats_enabled()) return;
+  (hit ? g_globals.arena_hits : g_globals.arena_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
 void queue_depth_sample(size_t depth) {
   uint32_t f = flags();
   if (f == 0) return;
@@ -346,6 +373,11 @@ void stats_reset() {
   g_globals.queue_hw = 0;
   g_globals.queue_drained = 0;
   g_globals.pending_hw = 0;
+  g_globals.spgemm_rows_hash = 0;
+  g_globals.spgemm_rows_dense = 0;
+  g_globals.spgemm_flops_est = 0;
+  g_globals.arena_hits = 0;
+  g_globals.arena_misses = 0;
   // trace_events / trace_dropped reset with the trace buffer, and the
   // pool_busy live gauge belongs to in-flight parallel_for calls.
 }
@@ -395,6 +427,11 @@ bool stats_get(const char* name, uint64_t* value) {
       {"pending.high_water", &g_globals.pending_hw},
       {"trace.events", &g_globals.trace_events},
       {"trace.dropped", &g_globals.trace_dropped},
+      {"spgemm.rows_hash", &g_globals.spgemm_rows_hash},
+      {"spgemm.rows_dense", &g_globals.spgemm_rows_dense},
+      {"spgemm.flops_estimated", &g_globals.spgemm_flops_est},
+      {"arena.reuse_hits", &g_globals.arena_hits},
+      {"arena.reuse_misses", &g_globals.arena_misses},
   };
   for (const auto& g : globals) {
     if (std::strcmp(name, g.name) == 0) {
@@ -479,8 +516,26 @@ std::string stats_json() {
   std::snprintf(buf, sizeof buf, "\"trace.events\":%llu,",
                 static_cast<unsigned long long>(ld(g_globals.trace_events)));
   out.append(buf);
-  std::snprintf(buf, sizeof buf, "\"trace.dropped\":%llu",
+  std::snprintf(buf, sizeof buf, "\"trace.dropped\":%llu,",
                 static_cast<unsigned long long>(ld(g_globals.trace_dropped)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"spgemm.rows_hash\":%llu,",
+                static_cast<unsigned long long>(
+                    ld(g_globals.spgemm_rows_hash)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"spgemm.rows_dense\":%llu,",
+                static_cast<unsigned long long>(
+                    ld(g_globals.spgemm_rows_dense)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"spgemm.flops_estimated\":%llu,",
+                static_cast<unsigned long long>(
+                    ld(g_globals.spgemm_flops_est)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"arena.reuse_hits\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.arena_hits)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"arena.reuse_misses\":%llu",
+                static_cast<unsigned long long>(ld(g_globals.arena_misses)));
   out.append(buf);
   out.append("},\"pools\":{");
   first = true;

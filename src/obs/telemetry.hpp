@@ -91,6 +91,17 @@ void count_path(bool parallel);
 void add_scalars(uint64_t n);
 void add_flops(uint64_t n);
 
+// SpGEMM engine decisions: rows routed to each accumulator kind
+// ("spgemm.rows_hash" / "spgemm.rows_dense") and the symbolic-pass flop
+// estimate total ("spgemm.flops_estimated").  Kernels batch per-block
+// tallies and flush once, so these stay off the per-row path.
+void spgemm_rows(uint64_t rows_hash, uint64_t rows_dense);
+void spgemm_flops_estimated(uint64_t n);
+
+// Scratch-arena request outcome: hit == the buffer was reused with no
+// allocation or clear ("arena.reuse_hits" / "arena.reuse_misses").
+void arena_request(bool hit);
+
 // Gauges: deferred-queue depth after an enqueue, entries drained by a
 // complete() batch, pending-tuple count after a fast-path set_element.
 void queue_depth_sample(size_t depth);
@@ -114,7 +125,9 @@ void stats_reset();
 // ".deferred_ns".  Globals: "queue.enqueued", "queue.high_water",
 // "queue.drained", "pending.high_water", "pool.submitted", "pool.chunks",
 // "pool.steals", "pool.parks", "pool.busy_high_water", "trace.events",
-// "trace.dropped".  Returns false (and *value = 0) for unknown names.
+// "trace.dropped", "spgemm.rows_hash", "spgemm.rows_dense",
+// "spgemm.flops_estimated", "arena.reuse_hits", "arena.reuse_misses".
+// Returns false (and *value = 0) for unknown names.
 bool stats_get(const char* name, uint64_t* value);
 
 // Full counter dump as a JSON object (ops, globals, per-pool breakdown).

@@ -133,10 +133,14 @@ void set_fastpath_enabled(bool enabled) {
 
 std::shared_ptr<MatrixData> fastpath_mxm(Context* ctx, const MatrixData& a,
                                          const MatrixData& b,
-                                         const Semiring* s) {
+                                         const Semiring* s,
+                                         const SpgemmRowCosts& costs) {
   if (!fastpath_enabled()) return nullptr;
+  // The typed kernels instantiate the same adaptive engine (and its
+  // accumulator templates) as the generic path — only the scalar ops
+  // are statically inlined.
   return dispatch(s, a.type, b.type, [&](auto runner) {
-    return mxm_kernel(ctx, a, b, s->mul()->ztype(),
+    return spgemm_mxm(ctx, a, b, s->mul()->ztype(), costs,
                       [runner] { return runner; });
   });
 }
@@ -158,7 +162,7 @@ std::shared_ptr<VectorData> fastpath_vxm(const VectorData& u,
                                          const Semiring* s) {
   if (!fastpath_enabled()) return nullptr;
   return dispatch(s, u.type, a.type, [&](auto runner) {
-    return vxm_kernel(u, a, s->mul()->ztype(), [runner] { return runner; });
+    return vxm_spa(u, a, s->mul()->ztype(), [runner] { return runner; });
   });
 }
 

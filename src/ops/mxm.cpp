@@ -44,6 +44,16 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         Context* ctx =
             exec_context(c->context(), av->nvals() + bv->nvals());
         std::shared_ptr<MatrixData> t;
+        // One symbolic pass per snapshot pair: the strategy cost model,
+        // the adaptive engine and the flops telemetry all share it (and
+        // the per-snapshot cache de-duplicates repeated calls on the
+        // same inputs).  Computed lazily so a pinned masked-dot run
+        // never pays the O(nvals(A)) scan.
+        std::shared_ptr<const SpgemmRowCosts> costs;
+        auto row_costs = [&]() -> const SpgemmRowCosts& {
+          if (costs == nullptr) costs = spgemm_row_costs(av, bv);
+          return *costs;
+        };
         // Masked dot-product strategy: correct whenever the mask is
         // structural and not complemented (T is only ever read at
         // mask-true positions by the write-back).  The heuristic picks
@@ -52,25 +62,24 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         if (m_snap != nullptr && spec.mask_structure && !spec.mask_comp) {
           MxmStrategy strat = mxm_strategy();
           bool use_dot = strat == MxmStrategy::kMaskedDot;
-          if (strat == MxmStrategy::kAuto) {
+          // Transposing B allocates O(ncols(B)) column pointers; the
+          // dot strategy is off the table for hypersparse column
+          // dimensions the budget cannot afford.
+          bool bt_ok = static_cast<uint64_t>(bv->ncols) * 2 *
+                           sizeof(Index) <=
+                       spgemm_dense_budget();
+          if (strat == MxmStrategy::kAuto && bt_ok) {
             // Cost model: Gustavson expands every (i,k) of A into row k
             // of B; masked dot merges A(i,:) with B'(j,:) per mask entry.
-            size_t flops_gustavson = 0;
-            for (Index i = 0; i < av->nrows; ++i)
-              for (size_t ka = av->ptr[i]; ka < av->ptr[i + 1]; ++ka) {
-                Index k = av->col[ka];
-                if (k < bv->nrows)
-                  flops_gustavson += bv->ptr[k + 1] - bv->ptr[k];
-              }
             size_t avg_arow =
                 av->nrows ? av->nvals() / av->nrows + 1 : 1;
             size_t avg_bcol =
                 bv->ncols ? bv->nvals() / bv->ncols + 1 : 1;
             size_t flops_dot = m_snap->nvals() * (avg_arow + avg_bcol) +
                                bv->nvals();  // + transpose of B
-            use_dot = flops_dot < flops_gustavson;
+            use_dot = flops_dot < row_costs().total;
           }
-          if (use_dot) {
+          if (use_dot && bt_ok) {
             auto bt = transpose_data(*bv);
             t = fastpath_masked_dot_mxm(ctx, *av, *bt, *m_snap, s);
             if (t == nullptr) {
@@ -82,26 +91,31 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             }
           }
         }
-        if (t == nullptr) t = fastpath_mxm(ctx, *av, *bv, s);
+        if (t == nullptr) t = fastpath_mxm(ctx, *av, *bv, s, row_costs());
         if (t == nullptr) {
-          t = mxm_kernel(ctx, *av, *bv, s->mul()->ztype(), [&] {
-            return SemiringRunner(s, av->type, bv->type);
-          });
+          t = spgemm_mxm(ctx, *av, *bv, s->mul()->ztype(), row_costs(),
+                         [&] { return SemiringRunner(s, av->type, bv->type); });
         }
         if (obs::stats_enabled()) {
           // SpGEMM flop metric: every A(i,k) expands into row k of B
-          // (multiply count of the Gustavson formulation).
-          size_t flops = 0;
-          for (Index i = 0; i < av->nrows; ++i)
-            for (size_t ka = av->ptr[i]; ka < av->ptr[i + 1]; ++ka) {
-              Index k = av->col[ka];
-              if (k < bv->nrows) flops += bv->ptr[k + 1] - bv->ptr[k];
-            }
-          obs::add_flops(flops);
+          // (multiply count of the Gustavson formulation) — the cached
+          // symbolic total, not a second scan.
+          obs::add_flops(row_costs().total);
         }
         auto c_old = c->current_data();
-        c->publish(
-            writeback_matrix(ctx, *c_old, *t, m_snap.get(), spec));
+        // Identity write-back: with no mask and no accumulator Z = T
+        // replaces C wholesale, so when no cast is needed T itself is
+        // published and the per-element merged rebuild is skipped.  The
+        // kernels emit sorted deduplicated rows, so T is already a
+        // valid materialized matrix.
+        if (m_snap == nullptr && spec.accum == nullptr &&
+            t->type == c_old->type) {
+          if (obs::stats_enabled()) obs::add_scalars(t->nvals());
+          c->publish(std::move(t));
+        } else {
+          c->publish(
+              writeback_matrix(ctx, *c_old, *t, m_snap.get(), spec));
+        }
         return Info::kSuccess;
       });
 }

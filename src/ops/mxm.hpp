@@ -1,8 +1,13 @@
 // Internal mxm/mxv/vxm kernel interfaces and the typed fast-path hooks.
+//
+// The row-wise SpGEMM accumulators and the adaptive engine itself live
+// in ops/spgemm.hpp; this header keeps the semiring runner, the
+// dot-product kernels, strategy knobs and the fastpath dispatch surface.
 #pragma once
 
 #include "ops/common.hpp"
 #include "ops/op_apply.hpp"
+#include "ops/spgemm.hpp"
 
 namespace grb {
 
@@ -28,127 +33,13 @@ class SemiringRunner {
   BinRunner add_;
 };
 
-// Gustavson row-wise SpGEMM with a sparse accumulator; returns T with
-// type == s->mul()->ztype().  make_runner() is invoked once per parallel
-// chunk so runner scratch is chunk-private.
-template <class MakeRunner>
-std::shared_ptr<MatrixData> mxm_kernel(Context* ctx, const MatrixData& a,
-                                       const MatrixData& b,
-                                       const Type* ztype,
-                                       MakeRunner&& make_runner) {
-  auto t = std::make_shared<MatrixData>(ztype, a.nrows, b.ncols);
-  Index nrows = a.nrows, ncols = b.ncols;
-  size_t zsize = ztype->size();
-
-  // Symbolic pass: structural row counts.
-  std::vector<Index> counts(nrows, 0);
-  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
-    std::vector<uint8_t> flag(ncols, 0);
-    std::vector<Index> touched;
-    for (Index i = lo; i < hi; ++i) {
-      touched.clear();
-      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
-        Index k = a.col[ka];
-        for (size_t kb = b.ptr[k]; kb < b.ptr[k + 1]; ++kb) {
-          Index j = b.col[kb];
-          if (!flag[j]) {
-            flag[j] = 1;
-            touched.push_back(j);
-          }
-        }
-      }
-      counts[i] = static_cast<Index>(touched.size());
-      for (Index j : touched) flag[j] = 0;
-    }
-  });
-  for (Index i = 0; i < nrows; ++i) t->ptr[i + 1] = t->ptr[i] + counts[i];
-  t->col.resize(t->ptr[nrows]);
-  t->vals.resize(t->ptr[nrows]);
-
-  // Numeric pass.
-  ctx->parallel_for(0, nrows, [&](Index lo, Index hi) {
-    auto runner = make_runner();
-    std::vector<uint8_t> flag(ncols, 0);
-    std::vector<std::byte> spa(static_cast<size_t>(ncols) * zsize);
-    std::vector<Index> touched;
-    ValueBuf prod(zsize);
-    for (Index i = lo; i < hi; ++i) {
-      touched.clear();
-      for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
-        Index k = a.col[ka];
-        const void* aval = a.vals.at(ka);
-        for (size_t kb = b.ptr[k]; kb < b.ptr[k + 1]; ++kb) {
-          Index j = b.col[kb];
-          void* slot = spa.data() + static_cast<size_t>(j) * zsize;
-          if (!flag[j]) {
-            flag[j] = 1;
-            touched.push_back(j);
-            runner.mul(slot, aval, b.vals.at(kb));
-          } else {
-            runner.mul(prod.data(), aval, b.vals.at(kb));
-            runner.add(slot, prod.data());
-          }
-        }
-      }
-      std::sort(touched.begin(), touched.end());
-      size_t w = t->ptr[i];
-      for (Index j : touched) {
-        t->col[w] = j;
-        std::memcpy(t->vals.at(w), spa.data() + static_cast<size_t>(j) * zsize,
-                    zsize);
-        flag[j] = 0;
-        ++w;
-      }
-    }
-  });
-  return t;
-}
-
-// Sparse vector SPA kernel for vxm (u^T * A, scatter along rows of A) and
-// mxv-with-transposed-A.  Returns T with type == s->mul()->ztype().
-template <class MakeRunner>
-std::shared_ptr<VectorData> vxm_kernel(const VectorData& u,
-                                       const MatrixData& a,
-                                       const Type* ztype,
-                                       MakeRunner&& make_runner) {
-  auto t = std::make_shared<VectorData>(ztype, a.ncols);
-  size_t zsize = ztype->size();
-  auto runner = make_runner();
-  std::vector<uint8_t> flag(a.ncols, 0);
-  std::vector<std::byte> spa(static_cast<size_t>(a.ncols) * zsize);
-  std::vector<Index> touched;
-  ValueBuf prod(zsize);
-  for (size_t ku = 0; ku < u.ind.size(); ++ku) {
-    Index i = u.ind[ku];
-    const void* uval = u.vals.at(ku);
-    for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
-      Index j = a.col[ka];
-      void* slot = spa.data() + static_cast<size_t>(j) * zsize;
-      if (!flag[j]) {
-        flag[j] = 1;
-        touched.push_back(j);
-        runner.mul(slot, uval, a.vals.at(ka));
-      } else {
-        runner.mul(prod.data(), uval, a.vals.at(ka));
-        runner.add(slot, prod.data());
-      }
-    }
-  }
-  std::sort(touched.begin(), touched.end());
-  t->ind.reserve(touched.size());
-  t->vals.reserve(touched.size());
-  for (Index j : touched) {
-    t->ind.push_back(j);
-    t->vals.push_back(spa.data() + static_cast<size_t>(j) * zsize);
-  }
-  return t;
-}
-
 // Column-parallel dot-product kernel for vxm (u^T * A).  `at` is A
 // transposed (CSR of A'), so output entry j folds the products of u(i)
 // and A(i,j) over at's row j in ascending i — exactly the order the
-// serial SPA kernel above accumulates them in, which makes the two paths
+// serial SPA kernel accumulates them in, which makes the two paths
 // bitwise-identical even for non-associative floating-point rounding.
+// u is probed through the budget-gated VecProbe (dense gather when
+// affordable, binary search for hypersparse dimensions).
 template <class MakeRunner>
 std::shared_ptr<VectorData> vxm_dot_kernel(Context* ctx,
                                            const VectorData& u,
@@ -157,20 +48,14 @@ std::shared_ptr<VectorData> vxm_dot_kernel(Context* ctx,
                                            MakeRunner&& make_runner) {
   auto t = std::make_shared<VectorData>(ztype, at.nrows);
   size_t zsize = ztype->size();
-  size_t usize = u.type->size();
-  std::vector<uint8_t> upresent(u.n, 0);
-  std::vector<std::byte> udense(static_cast<size_t>(u.n) * usize);
-  for (size_t k = 0; k < u.ind.size(); ++k) {
-    upresent[u.ind[k]] = 1;
-    std::memcpy(udense.data() + static_cast<size_t>(u.ind[k]) * usize,
-                u.vals.at(k), usize);
-  }
+  VecProbe probe;
+  probe.init(u);
   // Structural pass: does output position j receive any product?
   std::vector<uint8_t> hit(at.nrows, 0);
   ctx->parallel_for(0, at.nrows, [&](Index lo, Index hi) {
     for (Index j = lo; j < hi; ++j) {
       for (size_t ka = at.ptr[j]; ka < at.ptr[j + 1]; ++ka) {
-        if (upresent[at.col[ka]]) {
+        if (probe.find(at.col[ka]) != nullptr) {
           hit[j] = 1;
           break;
         }
@@ -188,9 +73,8 @@ std::shared_ptr<VectorData> vxm_dot_kernel(Context* ctx,
       if (!hit[j]) continue;
       bool first = true;
       for (size_t ka = at.ptr[j]; ka < at.ptr[j + 1]; ++ka) {
-        Index i = at.col[ka];
-        if (!upresent[i]) continue;
-        const void* uval = udense.data() + static_cast<size_t>(i) * usize;
+        const void* uval = probe.find(at.col[ka]);
+        if (uval == nullptr) continue;
         if (first) {
           runner.mul(acc.data(), uval, at.vals.at(ka));
           first = false;
@@ -207,8 +91,8 @@ std::shared_ptr<VectorData> vxm_dot_kernel(Context* ctx,
   return t;
 }
 
-// Row-parallel dot-product kernel for mxv (A * u).  u is gathered into a
-// dense scratch (bitmap + values) once; each row of A then probes it.
+// Row-parallel dot-product kernel for mxv (A * u).  u is probed through
+// the budget-gated VecProbe; each row of A then probes it.
 template <class MakeRunner>
 std::shared_ptr<VectorData> mxv_kernel(Context* ctx, const MatrixData& a,
                                        const VectorData& u,
@@ -216,20 +100,14 @@ std::shared_ptr<VectorData> mxv_kernel(Context* ctx, const MatrixData& a,
                                        MakeRunner&& make_runner) {
   auto t = std::make_shared<VectorData>(ztype, a.nrows);
   size_t zsize = ztype->size();
-  size_t usize = u.type->size();
-  std::vector<uint8_t> upresent(u.n, 0);
-  std::vector<std::byte> udense(static_cast<size_t>(u.n) * usize);
-  for (size_t k = 0; k < u.ind.size(); ++k) {
-    upresent[u.ind[k]] = 1;
-    std::memcpy(udense.data() + static_cast<size_t>(u.ind[k]) * usize,
-                u.vals.at(k), usize);
-  }
+  VecProbe probe;
+  probe.init(u);
   // Structural pass: does row i hit any entry of u?
   std::vector<uint8_t> hit(a.nrows, 0);
   ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
     for (Index i = lo; i < hi; ++i) {
       for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
-        if (upresent[a.col[ka]]) {
+        if (probe.find(a.col[ka]) != nullptr) {
           hit[i] = 1;
           break;
         }
@@ -247,9 +125,8 @@ std::shared_ptr<VectorData> mxv_kernel(Context* ctx, const MatrixData& a,
       if (!hit[i]) continue;
       bool first = true;
       for (size_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
-        Index j = a.col[ka];
-        if (!upresent[j]) continue;
-        const void* uval = udense.data() + static_cast<size_t>(j) * usize;
+        const void* uval = probe.find(a.col[ka]);
+        if (uval == nullptr) continue;
         if (first) {
           runner.mul(acc.data(), a.vals.at(ka), uval);
           first = false;
@@ -371,10 +248,13 @@ bool fastpath_enabled();
 void set_fastpath_enabled(bool enabled);
 
 // Attempt a statically typed mxm/vxm/mxv; returns nullptr when the
-// (semiring, types) combination has no registered fast kernel.
+// (semiring, types) combination has no registered fast kernel.  `costs`
+// is the shared symbolic pass, so the typed kernels instantiate the
+// same adaptive accumulators with no extra scan.
 std::shared_ptr<MatrixData> fastpath_mxm(Context* ctx, const MatrixData& a,
                                          const MatrixData& b,
-                                         const Semiring* s);
+                                         const Semiring* s,
+                                         const SpgemmRowCosts& costs);
 std::shared_ptr<MatrixData> fastpath_masked_dot_mxm(Context* ctx,
                                                     const MatrixData& a,
                                                     const MatrixData& bt,

@@ -48,7 +48,15 @@ Info mxv(Vector* w, const Vector* mask, const BinaryOp* accum,
     // bound; sparse u skips some).
     if (obs::stats_enabled()) obs::add_flops(av->nvals());
     auto c_old = w->current_data();
-    w->publish(writeback_vector(ctx, *c_old, *t, m_snap.get(), spec));
+    // Identity write-back (see mxm.cpp): unmasked, unaccumulated, no
+    // cast — T replaces w wholesale.
+    if (m_snap == nullptr && spec.accum == nullptr &&
+        t->type == c_old->type) {
+      if (obs::stats_enabled()) obs::add_scalars(t->nvals());
+      w->publish(std::move(t));
+    } else {
+      w->publish(writeback_vector(ctx, *c_old, *t, m_snap.get(), spec));
+    }
     return Info::kSuccess;
   });
 }

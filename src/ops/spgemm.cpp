@@ -1,0 +1,165 @@
+#include "ops/spgemm.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace grb {
+namespace {
+
+// Dense scratch small enough to always prefer (cache-resident SPA beats
+// a hash table when the whole thing fits in L2).
+constexpr uint64_t kSmallDenseBytes = 256u << 10;
+constexpr size_t kDefaultDenseBudget = 64u << 20;
+
+// -1 = not yet resolved; resolved lazily so GRB_SPGEMM is honored no
+// matter which entry point touches the engine first.
+std::atomic<int> g_mode{-1};
+std::atomic<uint64_t> g_dense_budget{0};
+
+SpgemmMode resolve_mode_from_env() {
+  const char* env = std::getenv("GRB_SPGEMM");
+  if (env != nullptr) {
+    if (std::strcmp(env, "hash") == 0) return SpgemmMode::kHash;
+    if (std::strcmp(env, "dense") == 0) return SpgemmMode::kDense;
+    if (std::strcmp(env, "reference") == 0) return SpgemmMode::kReference;
+  }
+  return SpgemmMode::kAuto;
+}
+
+uint64_t resolve_budget_from_env() {
+  const char* env = std::getenv("GRB_SPGEMM_DENSE_BUDGET");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v != 0) return v;
+  }
+  return kDefaultDenseBudget;
+}
+
+}  // namespace
+
+SpgemmMode spgemm_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m >= 0) return static_cast<SpgemmMode>(m);
+  SpgemmMode resolved = resolve_mode_from_env();
+  // A concurrent first use resolves to the same value; a concurrent
+  // set_spgemm_mode may overwrite this store, which is the newer intent.
+  g_mode.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+void set_spgemm_mode(SpgemmMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+size_t spgemm_dense_budget() {
+  uint64_t b = g_dense_budget.load(std::memory_order_relaxed);
+  if (b != 0) return static_cast<size_t>(b);
+  uint64_t resolved = resolve_budget_from_env();
+  g_dense_budget.store(resolved, std::memory_order_relaxed);
+  return static_cast<size_t>(resolved);
+}
+
+void set_spgemm_dense_budget(size_t bytes) {
+  g_dense_budget.store(bytes != 0 ? bytes : kDefaultDenseBudget,
+                       std::memory_order_relaxed);
+}
+
+SpgemmPolicy spgemm_policy(Index ncols, size_t zsize) {
+  SpgemmPolicy p;
+  p.mode = spgemm_mode();
+  // Dense footprint per thread: flag byte + value + touched index per
+  // column.
+  const uint64_t footprint =
+      static_cast<uint64_t>(ncols) * (1 + zsize + sizeof(Index));
+  p.dense_ok = footprint <= spgemm_dense_budget();
+  p.dense_always = footprint <= kSmallDenseBytes;
+  // A row whose products touch a meaningful fraction of the columns
+  // amortizes the O(ncols) clear; below that the hash SPA's working set
+  // is proportional to the row's actual output.
+  p.dense_flops = std::max<uint64_t>(16, ncols / 64);
+  return p;
+}
+
+std::vector<Index> spgemm_partition(const SpgemmRowCosts& costs, Index nrows,
+                                    Index nblocks) {
+  std::vector<Index> bounds(static_cast<size_t>(nblocks) + 1, nrows);
+  bounds[0] = 0;
+  if (nblocks <= 1) return bounds;
+  const uint64_t total = costs.total + nrows;  // weights are flops + 1
+  uint64_t seen = 0;
+  Index b = 1;
+  for (Index i = 0; i < nrows && b < nblocks; ++i) {
+    seen += costs.flops[i] + 1;
+    // Close block b once its share of the weight is consumed.
+    while (b < nblocks &&
+           seen * static_cast<uint64_t>(nblocks) >=
+               total * static_cast<uint64_t>(b)) {
+      bounds[b++] = i + 1;
+    }
+  }
+  return bounds;
+}
+
+// --- per-snapshot cost cache ------------------------------------------------
+
+namespace {
+
+// Snapshots are immutable and shared_ptr-held; a tiny ring keyed by
+// weak_ptr identity is enough to de-duplicate the strategy probe, the
+// engine and the flops telemetry within (and across) calls.  lock()
+// validates that the slot still refers to the same live snapshots.
+struct CostCacheEntry {
+  std::weak_ptr<const MatrixData> a;
+  std::weak_ptr<const MatrixData> b;
+  std::shared_ptr<const SpgemmRowCosts> costs;
+};
+
+constexpr size_t kCostCacheSlots = 4;
+std::mutex g_cost_mu;
+CostCacheEntry g_cost_cache[kCostCacheSlots];
+size_t g_cost_next = 0;
+
+}  // namespace
+
+std::shared_ptr<const SpgemmRowCosts> spgemm_row_costs(
+    const std::shared_ptr<const MatrixData>& a,
+    const std::shared_ptr<const MatrixData>& b) {
+  {
+    std::lock_guard<std::mutex> lock(g_cost_mu);
+    for (CostCacheEntry& e : g_cost_cache) {
+      if (e.costs != nullptr && e.a.lock() == a && e.b.lock() == b) {
+        return e.costs;
+      }
+    }
+  }
+  auto costs = std::make_shared<SpgemmRowCosts>();
+  costs->flops.assign(a->nrows, 0);
+  uint64_t total = 0;
+  for (Index i = 0; i < a->nrows; ++i) {
+    uint64_t f = 0;
+    for (size_t ka = a->ptr[i]; ka < a->ptr[i + 1]; ++ka) {
+      Index k = a->col[ka];
+      if (k < b->nrows) f += b->ptr[k + 1] - b->ptr[k];
+    }
+    costs->flops[i] = f;
+    total += f;
+  }
+  costs->total = total;
+  {
+    std::lock_guard<std::mutex> lock(g_cost_mu);
+    g_cost_cache[g_cost_next] = {a, b, costs};
+    g_cost_next = (g_cost_next + 1) % kCostCacheSlots;
+  }
+  return costs;
+}
+
+void spgemm_cost_cache_clear() {
+  std::lock_guard<std::mutex> lock(g_cost_mu);
+  for (CostCacheEntry& e : g_cost_cache) e = CostCacheEntry{};
+  g_cost_next = 0;
+}
+
+}  // namespace grb

@@ -58,7 +58,13 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
     size_t work = av->nvals() + u_snap->nvals();
     Context* ectx = exec_context(w->context(), work);
     std::shared_ptr<VectorData> t;
-    if (ectx->effective_nthreads() > 1) {
+    // The dot path transposes A, which allocates O(ncols(A)) column
+    // pointers — unaffordable for hypersparse dims; the adaptive serial
+    // SPA handles those within the byte budget.
+    bool can_transpose =
+        static_cast<uint64_t>(av->ncols) * 2 * sizeof(Index) <=
+        spgemm_dense_budget();
+    if (ectx->effective_nthreads() > 1 && can_transpose) {
       // Parallel path: column dot products over A'.  Fold order per
       // output entry matches the serial SPA (ascending row index), so
       // the result is bitwise-identical to the serial path.
@@ -72,15 +78,23 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
     } else {
       t = fastpath_vxm(*u_snap, *av, s);
       if (t == nullptr) {
-        t = vxm_kernel(*u_snap, *av, s->mul()->ztype(), [&] {
+        t = vxm_spa(*u_snap, *av, s->mul()->ztype(), [&] {
           return VxmRunner(s, u_snap->type, av->type);
         });
       }
     }
     if (obs::stats_enabled()) obs::add_flops(av->nvals());
     auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    // Identity write-back (see mxm.cpp): unmasked, unaccumulated, no
+    // cast — T replaces w wholesale.
+    if (m_snap == nullptr && spec.accum == nullptr &&
+        t->type == c_old->type) {
+      if (obs::stats_enabled()) obs::add_scalars(t->nvals());
+      w->publish(std::move(t));
+    } else {
+      w->publish(
+          writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+    }
     return Info::kSuccess;
   });
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graphblas/GraphBLAS.h"
+#include "ops/spgemm.hpp"
 
 namespace {
 
@@ -130,6 +131,71 @@ TEST_F(ObsTest, CountersExactForKnownOpSequence) {
   GrB_free(&c);
   GrB_free(&u);
   GrB_free(&w);
+}
+
+// The adaptive SpGEMM engine reports which accumulator each output row
+// used, its symbolic flop estimate, and whether per-thread scratch was
+// reused from the arena or freshly grown.
+TEST_F(ObsTest, SpgemmAccumulatorAndArenaCounters) {
+  grb::SpgemmMode saved_mode = grb::spgemm_mode();
+  GrB_Matrix a = path_matrix(8);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  // Pinned hash mode: the 6 productive rows of A*A (path matrix, rows
+  // 0..5 have one flop each) all use the hash accumulator.
+  grb::set_spgemm_mode(grb::SpgemmMode::kHash);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("spgemm.rows_hash"), 6u);
+  EXPECT_EQ(counter("spgemm.rows_dense"), 0u);
+  // Same symbolic estimate the flops counter uses: 6 multiplies.
+  EXPECT_EQ(counter("spgemm.flops_estimated"), 6u);
+  // First multiply after reset: the hash scratch had to be grown.
+  EXPECT_GT(counter("arena.reuse_misses"), 0u);
+
+  // Pinned dense mode on the same product flips every row to the dense
+  // accumulator and reuses the arena buffers grown above.
+  grb::set_spgemm_mode(grb::SpgemmMode::kDense);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("spgemm.rows_hash"), 6u);
+  EXPECT_EQ(counter("spgemm.rows_dense"), 6u);
+  EXPECT_EQ(counter("spgemm.flops_estimated"), 12u);
+
+  // Re-running the hash multiply now hits warm scratch.
+  grb::set_spgemm_mode(grb::SpgemmMode::kHash);
+  uint64_t hits_before = counter("arena.reuse_hits");
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_GT(counter("arena.reuse_hits"), hits_before);
+
+  // The counters surface through the JSON report as well.  A generous
+  // fixed buffer rather than the two-call sizing protocol: the dump's
+  // own op entry and ns counters grow between a sizing call and a
+  // filling call, which would truncate the tail fields under test.
+  std::vector<char> buf(1 << 16);
+  GrB_Index len = buf.size();
+  ASSERT_EQ(GxB_Stats_json(buf.data(), &len), GrB_SUCCESS);
+  ASSERT_LE(len, buf.size());
+  std::string json(buf.data());
+  EXPECT_NE(json.find("\"spgemm.rows_hash\""), std::string::npos);
+  EXPECT_NE(json.find("\"spgemm.rows_dense\""), std::string::npos);
+  EXPECT_NE(json.find("\"spgemm.flops_estimated\""), std::string::npos);
+  EXPECT_NE(json.find("\"arena.reuse_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"arena.reuse_misses\""), std::string::npos);
+
+  grb::set_spgemm_mode(saved_mode);
+  GrB_free(&a);
+  GrB_free(&c);
 }
 
 TEST_F(ObsTest, QueueDepthHighWaterMatchesScriptedBuildWait) {

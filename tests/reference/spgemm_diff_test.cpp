@@ -1,0 +1,297 @@
+// Differential oracle for the adaptive SpGEMM engine.
+//
+// The engine promises bitwise-identical results for every accumulator
+// mode (reference two-pass kernel / hash SPA / dense SPA / auto
+// per-row mix), every dense-budget setting (which flips rows between
+// accumulators), every mxm strategy override, the typed fastpath vs the
+// generic runner, and any thread count.  This harness fixes random
+// real-valued inputs — where any change in floating-point fold order
+// would show — and requires exact equality of every combination against
+// the reference mode run serially.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/global.hpp"
+#include "ops/mxm.hpp"
+#include "tests/grb_test_util.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+struct ThresholdGuard {
+  size_t saved;
+  ThresholdGuard() : saved(grb::parallel_threshold()) {
+    grb::set_parallel_threshold(1);
+  }
+  ~ThresholdGuard() { grb::set_parallel_threshold(saved); }
+};
+
+struct ModeGuard {
+  grb::SpgemmMode saved;
+  explicit ModeGuard(grb::SpgemmMode m) : saved(grb::spgemm_mode()) {
+    grb::set_spgemm_mode(m);
+  }
+  ~ModeGuard() { grb::set_spgemm_mode(saved); }
+};
+
+struct BudgetGuard {
+  size_t saved;
+  explicit BudgetGuard(size_t bytes) : saved(grb::spgemm_dense_budget()) {
+    grb::set_spgemm_dense_budget(bytes);
+  }
+  ~BudgetGuard() { grb::set_spgemm_dense_budget(saved); }
+};
+
+struct StrategyGuard {
+  grb::MxmStrategy saved;
+  explicit StrategyGuard(grb::MxmStrategy s) : saved(grb::mxm_strategy()) {
+    grb::set_mxm_strategy(s);
+  }
+  ~StrategyGuard() { grb::set_mxm_strategy(saved); }
+};
+
+struct FastpathGuard {
+  bool saved;
+  explicit FastpathGuard(bool on) : saved(grb::fastpath_enabled()) {
+    grb::set_fastpath_enabled(on);
+  }
+  ~FastpathGuard() { grb::set_fastpath_enabled(saved); }
+};
+
+GrB_Context make_ctx(int nthreads) {
+  GrB_ContextConfig cfg;
+  cfg.nthreads = nthreads;
+  cfg.chunk = 4;
+  GrB_Context ctx = nullptr;
+  EXPECT_EQ(GrB_Context_new(&ctx, GrB_BLOCKING, GrB_NULL, &cfg),
+            GrB_SUCCESS);
+  return ctx;
+}
+
+ref::Mat real_mat(GrB_Index nr, GrB_Index nc, double density,
+                  uint64_t seed) {
+  grb::Prng rng(seed);
+  ref::Mat m(nr, nc);
+  for (auto& c : m.cells)
+    if (rng.uniform() < density) c = rng.uniform() * 10.0 - 5.0;
+  return m;
+}
+
+ref::Mat mask_mat(GrB_Index nr, GrB_Index nc, uint64_t seed) {
+  grb::Prng rng(seed);
+  ref::Mat m(nr, nc);
+  for (auto& c : m.cells)
+    if (rng.uniform() < 0.3) c = rng.below(2) ? 1.0 : 0.0;
+  return m;
+}
+
+struct Config {
+  bool mask;
+  bool structural;
+  bool accum;
+  bool replace;
+};
+
+std::vector<Config> all_configs() {
+  return {
+      {false, false, false, false},  // plain
+      {false, false, true, false},   // accum only
+      {true, false, false, false},   // valued mask
+      {true, true, false, false},    // structural mask
+      {true, true, true, true},      // structural mask + accum + replace
+  };
+}
+
+GrB_Descriptor desc_for(const Config& c) {
+  if (c.replace && c.structural) return GrB_DESC_RS;
+  if (c.replace) return GrB_DESC_R;
+  if (c.structural) return GrB_DESC_S;
+  return GrB_NULL;
+}
+
+std::string config_name(const Config& c) {
+  std::string s;
+  s += c.mask ? (c.structural ? "maskS" : "maskV") : "nomask";
+  s += c.accum ? "+accum" : "";
+  s += c.replace ? "+replace" : "";
+  return s;
+}
+
+// Runs C<M> (+)= A*B with the current engine overrides in an
+// nthreads-context and returns C's final contents.
+ref::Mat run_mxm(int nthreads, const Config& cfg, GrB_Semiring semiring,
+                 const ref::Mat& rc0, const ref::Mat& ra, const ref::Mat& rb,
+                 const ref::Mat& rm) {
+  GrB_Context ctx = make_ctx(nthreads);
+  GrB_Matrix c = testutil::make_matrix(rc0, ctx);
+  GrB_Matrix a = testutil::make_matrix(ra, ctx);
+  GrB_Matrix b = testutil::make_matrix(rb, ctx);
+  GrB_Matrix m = cfg.mask ? testutil::make_matrix(rm, ctx) : nullptr;
+  EXPECT_EQ(GrB_mxm(c, m, cfg.accum ? GrB_PLUS_FP64 : GrB_NULL, semiring, a,
+                    b, desc_for(cfg)),
+            GrB_SUCCESS);
+  ref::Mat out = testutil::to_ref(c);
+  GrB_free(&c);
+  GrB_free(&a);
+  GrB_free(&b);
+  if (m != nullptr) GrB_free(&m);
+  GrB_free(&ctx);
+  return out;
+}
+
+// Rectangular dims so row/column index mixups cannot cancel out.
+constexpr GrB_Index kM = 40, kK = 56, kN = 32;
+
+void sweep_engine(uint64_t seed, GrB_Semiring semiring) {
+  ThresholdGuard threshold;
+  ref::Mat rc0 = real_mat(kM, kN, 0.25, seed + 1);
+  ref::Mat ra = real_mat(kM, kK, 0.2, seed + 2);
+  ref::Mat rb = real_mat(kK, kN, 0.25, seed + 3);
+  ref::Mat rm = mask_mat(kM, kN, seed + 4);
+
+  struct Leg {
+    const char* name;
+    grb::SpgemmMode mode;
+    size_t budget;  // 0 = leave default
+  };
+  const Leg legs[] = {
+      {"reference", grb::SpgemmMode::kReference, 0},
+      {"hash", grb::SpgemmMode::kHash, 0},
+      {"dense", grb::SpgemmMode::kDense, 0},
+      {"auto", grb::SpgemmMode::kAuto, 0},
+      // A 1 KiB budget forces every row (and a pinned dense mode) onto
+      // the hash accumulator — the hypersparse fallback path.
+      {"auto-tiny-budget", grb::SpgemmMode::kAuto, 1024},
+      {"dense-tiny-budget", grb::SpgemmMode::kDense, 1024},
+  };
+
+  for (const Config& cfg : all_configs()) {
+    ref::Mat expect;
+    {
+      ModeGuard mode(grb::SpgemmMode::kReference);
+      expect = run_mxm(1, cfg, semiring, rc0, ra, rb, rm);
+    }
+    for (const Leg& leg : legs) {
+      ModeGuard mode(leg.mode);
+      BudgetGuard budget(leg.budget != 0 ? leg.budget
+                                         : grb::spgemm_dense_budget());
+      for (int nthreads : {1, 4}) {
+        ref::Mat got = run_mxm(nthreads, cfg, semiring, rc0, ra, rb, rm);
+        EXPECT_TRUE(testutil::mats_equal(expect, got))
+            << config_name(cfg) << " " << leg.name
+            << " nthreads=" << nthreads;
+      }
+    }
+  }
+}
+
+TEST(SpgemmDiff, PlusTimesAllModes) {
+  sweep_engine(4100, GrB_PLUS_TIMES_SEMIRING_FP64);
+}
+
+TEST(SpgemmDiff, MinPlusAllModes) {
+  sweep_engine(4200, GrB_MIN_PLUS_SEMIRING_FP64);
+}
+
+// The generic SemiringRunner and the typed fastpath instantiate the same
+// accumulators; their results must match bit for bit in every mode.
+TEST(SpgemmDiff, FastpathMatchesGeneric) {
+  ThresholdGuard threshold;
+  ref::Mat rc0 = real_mat(kM, kN, 0.25, 4301);
+  ref::Mat ra = real_mat(kM, kK, 0.2, 4302);
+  ref::Mat rb = real_mat(kK, kN, 0.25, 4303);
+  ref::Mat rm = mask_mat(kM, kN, 4304);
+  Config cfg{true, true, true, false};
+  for (grb::SpgemmMode m :
+       {grb::SpgemmMode::kHash, grb::SpgemmMode::kDense,
+        grb::SpgemmMode::kAuto}) {
+    ModeGuard mode(m);
+    ref::Mat fast, generic;
+    {
+      FastpathGuard fp(true);
+      fast = run_mxm(4, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra, rb, rm);
+    }
+    {
+      FastpathGuard fp(false);
+      generic =
+          run_mxm(4, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra, rb, rm);
+    }
+    EXPECT_TRUE(testutil::mats_equal(fast, generic))
+        << "mode=" << static_cast<int>(m);
+  }
+}
+
+// Strategy overrides on a structural-masked multiply: Gustavson (through
+// the adaptive engine) and masked-dot must agree with the reference.
+TEST(SpgemmDiff, StrategyOverrides) {
+  ThresholdGuard threshold;
+  ref::Mat rc0 = real_mat(kM, kN, 0.25, 4401);
+  ref::Mat ra = real_mat(kM, kK, 0.2, 4402);
+  ref::Mat rb = real_mat(kK, kN, 0.25, 4403);
+  ref::Mat rm = mask_mat(kM, kN, 4404);
+  Config cfg{true, true, false, false};
+  ref::Mat expect;
+  {
+    ModeGuard mode(grb::SpgemmMode::kReference);
+    StrategyGuard strat(grb::MxmStrategy::kGustavson);
+    expect = run_mxm(1, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra, rb, rm);
+  }
+  for (grb::MxmStrategy s :
+       {grb::MxmStrategy::kAuto, grb::MxmStrategy::kGustavson,
+        grb::MxmStrategy::kMaskedDot}) {
+    for (grb::SpgemmMode m :
+         {grb::SpgemmMode::kHash, grb::SpgemmMode::kDense,
+          grb::SpgemmMode::kAuto}) {
+      StrategyGuard strat(s);
+      ModeGuard mode(m);
+      for (int nthreads : {1, 4}) {
+        ref::Mat got =
+            run_mxm(nthreads, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra,
+                    rb, rm);
+        EXPECT_TRUE(testutil::mats_equal(expect, got))
+            << "strategy=" << static_cast<int>(s)
+            << " mode=" << static_cast<int>(m) << " nthreads=" << nthreads;
+      }
+    }
+  }
+}
+
+// A wide output (ncols past the always-dense footprint) makes the auto
+// policy genuinely mix hash and dense rows in one product: most rows are
+// sparse, a few heavy rows of A cross the flop threshold.
+TEST(SpgemmDiff, AutoMixesAccumulators) {
+  ThresholdGuard threshold;
+  constexpr GrB_Index kRows = 24, kInner = 48, kWide = 20000;
+  ref::Mat rc0(kRows, kWide);
+  ref::Mat ra = real_mat(kRows, kInner, 0.15, 4501);
+  // Two heavy rows: dense rows of A expand into every row of B.
+  for (GrB_Index k = 0; k < kInner; ++k) {
+    ra.cells[3 * kInner + k] = 1.5;
+    ra.cells[17 * kInner + k] = -0.75;
+  }
+  ref::Mat rb = real_mat(kInner, kWide, 0.02, 4502);
+  ref::Mat rm(kRows, kWide);
+  Config cfg{false, false, false, false};
+  ref::Mat expect;
+  {
+    ModeGuard mode(grb::SpgemmMode::kReference);
+    expect =
+        run_mxm(1, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra, rb, rm);
+  }
+  for (grb::SpgemmMode m :
+       {grb::SpgemmMode::kHash, grb::SpgemmMode::kDense,
+        grb::SpgemmMode::kAuto}) {
+    ModeGuard mode(m);
+    for (int nthreads : {1, 4}) {
+      ref::Mat got =
+          run_mxm(nthreads, cfg, GrB_PLUS_TIMES_SEMIRING_FP64, rc0, ra, rb,
+                  rm);
+      EXPECT_TRUE(testutil::mats_equal(expect, got))
+          << "mode=" << static_cast<int>(m) << " nthreads=" << nthreads;
+    }
+  }
+}
+
+}  // namespace

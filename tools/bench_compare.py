@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json result sets and flag median regressions.
+
+Each input is either a single BENCH_*.json file produced by the
+JsonTrajectoryReporter (bench/bench_util.hpp) or a directory holding
+several of them.  Benchmarks are keyed by (binary, name, params); for
+every key present in both sets the median_ns ratio new/old is printed,
+and any slowdown beyond --threshold (default 10%) is flagged as a
+REGRESSION.  Exits nonzero when at least one regression is found, so CI
+can gate on it; keys present in only one set are reported but do not
+fail the comparison (benchmarks come and go across PRs).
+
+Usage: bench_compare.py OLD NEW [--threshold 0.10] [--json out.json]
+
+Pure stdlib; no dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_set(path):
+    """Return {(binary, name, params): median_ns} from a file or dir."""
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+        if not files:
+            raise SystemExit(f"error: no BENCH_*.json files under {path}")
+    else:
+        files = [path]
+    rows = {}
+    for fname in files:
+        with open(fname, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        binary = doc.get("binary", os.path.basename(fname))
+        for b in doc.get("benchmarks", []):
+            key = (binary, b["name"], b.get("params", ""))
+            rows[key] = float(b["median_ns"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline BENCH json file or directory")
+    ap.add_argument("new", help="candidate BENCH json file or directory")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="slowdown fraction that counts as a regression (default 0.10)",
+    )
+    ap.add_argument("--json", help="write the comparison table to this file")
+    args = ap.parse_args()
+
+    old = load_set(args.old)
+    new = load_set(args.new)
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    table = []
+    regressions = 0
+    for key in common:
+        ratio = new[key] / old[key] if old[key] > 0 else float("inf")
+        regressed = ratio > 1.0 + args.threshold
+        regressions += regressed
+        table.append(
+            {
+                "binary": key[0],
+                "name": key[1],
+                "params": key[2],
+                "old_ns": old[key],
+                "new_ns": new[key],
+                "ratio": ratio,
+                "regression": regressed,
+            }
+        )
+
+    width = max((len(f"{r['name']}{r['params']}") for r in table), default=4)
+    print(f"{'benchmark':<{width}}  {'old_ms':>10}  {'new_ms':>10}  ratio")
+    for r in table:
+        label = f"{r['name']}{r['params']}"
+        tag = "  REGRESSION" if r["regression"] else ""
+        print(
+            f"{label:<{width}}  {r['old_ns'] / 1e6:>10.3f}"
+            f"  {r['new_ns'] / 1e6:>10.3f}  {r['ratio']:>5.2f}x{tag}"
+        )
+    for key in only_old:
+        print(f"only in baseline: {key[1]}{key[2]} ({key[0]})")
+    for key in only_new:
+        print(f"only in candidate: {key[1]}{key[2]} ({key[0]})")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(
+                {"threshold": args.threshold, "rows": table}, f, indent=1
+            )
+
+    if not common:
+        print("error: no common benchmarks between the two sets")
+        return 2
+    if regressions:
+        print(
+            f"{regressions} regression(s) beyond "
+            f"{args.threshold:.0%} slowdown"
+        )
+        return 1
+    print(f"OK: {len(common)} benchmarks within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
