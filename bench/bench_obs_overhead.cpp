@@ -1,12 +1,22 @@
 // Telemetry overhead: the disabled state must cost one relaxed atomic
 // flag load per hook (plus the two TLS stores of the current-op slot at
-// the C API boundary).  BM_ApiHook_Disabled vs. BM_ApiHook_Stats vs.
-// BM_ApiHook_Trace quantify the veneer hook; BM_Mxv_* quantify a real
-// kernel so the <2% disabled-overhead acceptance bound of ISSUE 3 is
-// observable on an op that actually does work.
+// the C API boundary).  BM_ApiHook_Disabled vs. BM_ApiHook_Flight vs.
+// BM_ApiHook_Stats vs. BM_ApiHook_Trace quantify the veneer hook;
+// BM_Mxv_* quantify a real kernel so the disabled-overhead acceptance
+// bound is observable on an op that actually does work.  The flight
+// recorder is ON by default, so the *_Disabled/*_TelemetryOff benches
+// resize its ring to 0 to reach the flags==0 fast path, and dedicated
+// *_Flight/*_FlightOnly variants measure the always-on ring cost.
 #include "bench_util.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace {
+
+// Ring off for the scope, restored to the default size on exit.
+struct FlightOff {
+  FlightOff() { grb::obs::fr_resize(0); }
+  ~FlightOff() { grb::obs::fr_resize(4096); }
+};
 
 constexpr GrB_Index kN = 1u << 14;
 
@@ -33,10 +43,18 @@ void api_hook_loop(benchmark::State& state) {
 }
 
 void BM_ApiHook_Disabled(benchmark::State& state) {
+  FlightOff off;
   BENCH_TRY(GxB_Stats_enable(0));
   api_hook_loop(state);
 }
 BENCHMARK(BM_ApiHook_Disabled);
+
+// Default production state: flight recorder only, no stats/trace.
+void BM_ApiHook_Flight(benchmark::State& state) {
+  BENCH_TRY(GxB_Stats_enable(0));
+  api_hook_loop(state);
+}
+BENCHMARK(BM_ApiHook_Flight);
 
 void BM_ApiHook_Stats(benchmark::State& state) {
   BENCH_TRY(GxB_Stats_enable(1));
@@ -73,10 +91,17 @@ void mxv_loop(benchmark::State& state) {
 }
 
 void BM_Mxv_TelemetryOff(benchmark::State& state) {
+  FlightOff off;
   BENCH_TRY(GxB_Stats_enable(0));
   mxv_loop(state);
 }
 BENCHMARK(BM_Mxv_TelemetryOff)->Unit(benchmark::kMicrosecond);
+
+void BM_Mxv_FlightOnly(benchmark::State& state) {
+  BENCH_TRY(GxB_Stats_enable(0));
+  mxv_loop(state);
+}
+BENCHMARK(BM_Mxv_FlightOnly)->Unit(benchmark::kMicrosecond);
 
 void BM_Mxv_TelemetryStats(benchmark::State& state) {
   BENCH_TRY(GxB_Stats_enable(1));

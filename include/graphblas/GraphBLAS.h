@@ -24,6 +24,8 @@
 #include "core/global.hpp"
 #include "io/import_export.hpp"
 #include "io/serialize.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/memory.hpp"
 #include "obs/telemetry.hpp"
 #include "ops/common.hpp"
 
@@ -161,20 +163,32 @@ inline GrB_Info run_caught(F&& body) noexcept {
 #define GRB_DETAIL_CALLER() "GrB_call"
 #endif
 
-// The veneer doubles as the telemetry hook for the whole C API surface.
-// It unconditionally publishes the entry-point name to the thread-local
-// current-op slot (this powers deferred-error diagnostics — GrB_error
-// names the failing method — so it is part of the error model, and costs
-// two TLS stores).  Everything else is behind one relaxed atomic flag
-// load: with telemetry disabled the body runs exactly as before.
+// The veneer doubles as the observability hook for the whole C API
+// surface.  It unconditionally publishes the entry-point name to the
+// thread-local current-op slot (this powers deferred-error diagnostics —
+// GrB_error names the failing method — so it is part of the error model,
+// and costs two TLS stores).  Everything else is behind one relaxed
+// atomic flag load: with every instrument off the body runs exactly as
+// before.  With only the flight recorder on (the default), the extra
+// cost is one ring-slot write per entry — no clock read, no counter
+// registry.  Stats/trace add the timed path.
 template <class F>
 inline GrB_Info guarded(F&& body,
                         const char* name = GRB_DETAIL_CALLER()) noexcept {
   grb::obs::CurrentOpScope op_scope(name);
-  if (!grb::obs::enabled()) return run_caught(static_cast<F&&>(body));
+  const uint32_t f = grb::obs::flags();
+  if (f == 0u) return run_caught(static_cast<F&&>(body));
+  if ((f & grb::obs::kFlightFlag) != 0u)
+    grb::obs::fr_record(grb::obs::FrKind::kApiEnter, name, 0);
+  if ((f & (grb::obs::kStatsFlag | grb::obs::kTraceFlag)) == 0u) {
+    GrB_Info info = run_caught(static_cast<F&&>(body));
+    grb::obs::fr_api_result(name, static_cast<int32_t>(info));
+    return info;
+  }
   const uint64_t t0 = grb::obs::now_ns();
   GrB_Info info = run_caught(static_cast<F&&>(body));
   grb::obs::api_return(name, t0, static_cast<int>(info) < 0);
+  grb::obs::fr_api_result(name, static_cast<int32_t>(info));
   return info;
 }
 
@@ -1699,8 +1713,12 @@ inline constexpr const char* const GxB_EXTENSIONS[] = {
     "GxB_Stats_get",
     "GxB_Stats_reset",
     "GxB_Stats_json",
+    "GxB_Stats_prometheus",
     "GxB_Trace_start",
     "GxB_Trace_dump",
+    "GxB_Memory_report",
+    "GxB_Object_memory",
+    "GxB_FlightRecorder_dump",
 };
 inline constexpr GrB_Index GxB_EXTENSION_COUNT =
     sizeof(GxB_EXTENSIONS) / sizeof(GxB_EXTENSIONS[0]);
@@ -1767,6 +1785,89 @@ inline GrB_Info GxB_Stats_json(char* buf, GrB_Index* len) {
     }
     *len = need;
     return GrB_SUCCESS;
+  });
+}
+
+// Writes the Prometheus text exposition (version 0.0.4) of the counters
+// — per-op call/error totals, latency quantile summaries, live/peak
+// memory gauges — into `buf` (same sizing protocol as GxB_Stats_json).
+inline GrB_Info GxB_Stats_prometheus(char* buf, GrB_Index* len) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (len == nullptr) return GrB_NULL_POINTER;
+    std::string text = grb::obs::stats_prometheus();
+    GrB_Index need = static_cast<GrB_Index>(text.size()) + 1;
+    if (buf != nullptr && *len > 0) {
+      GrB_Index n = *len - 1 < text.size() ? *len - 1 : text.size();
+      std::memcpy(buf, text.data(), n);
+      buf[n] = '\0';
+    }
+    *len = need;
+    return GrB_SUCCESS;
+  });
+}
+
+// Writes the annotated memory-attribution report — library totals,
+// scratch-arena slice, and every live object sorted by live bytes — into
+// `buf` (same sizing protocol as GxB_Stats_json).
+inline GrB_Info GxB_Memory_report(char* buf, GrB_Index* len) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (len == nullptr) return GrB_NULL_POINTER;
+    std::string text = grb::obs::memory_report();
+    GrB_Index need = static_cast<GrB_Index>(text.size()) + 1;
+    if (buf != nullptr && *len > 0) {
+      GrB_Index n = *len - 1 < text.size() ? *len - 1 : text.size();
+      std::memcpy(buf, text.data(), n);
+      buf[n] = '\0';
+    }
+    *len = need;
+    return GrB_SUCCESS;
+  });
+}
+
+// Live/peak bytes currently attributed to one container.
+inline GrB_Info GxB_Object_memory(GrB_Matrix A, uint64_t* live,
+                                  uint64_t* peak) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (live == nullptr || peak == nullptr) return GrB_NULL_POINTER;
+    if (A == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    grb::obs::MemReportable::Snapshot s;
+    A->mem_snapshot(&s);
+    *live = s.live_bytes;
+    *peak = s.peak_bytes;
+    return GrB_SUCCESS;
+  });
+}
+inline GrB_Info GxB_Object_memory(GrB_Vector v, uint64_t* live,
+                                  uint64_t* peak) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (live == nullptr || peak == nullptr) return GrB_NULL_POINTER;
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    grb::obs::MemReportable::Snapshot s;
+    v->mem_snapshot(&s);
+    *live = s.live_bytes;
+    *peak = s.peak_bytes;
+    return GrB_SUCCESS;
+  });
+}
+inline GrB_Info GxB_Object_memory(GrB_Scalar s_, uint64_t* live,
+                                  uint64_t* peak) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (live == nullptr || peak == nullptr) return GrB_NULL_POINTER;
+    if (s_ == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    grb::obs::MemReportable::Snapshot s;
+    s_->mem_snapshot(&s);
+    *live = s.live_bytes;
+    *peak = s.peak_bytes;
+    return GrB_SUCCESS;
+  });
+}
+
+// Dumps the flight-recorder ring on demand: `path` NULL writes the
+// annotated text to stderr; a ".json" suffix selects the Chrome
+// trace-event form.  The ring keeps recording; nothing is cleared.
+inline GrB_Info GxB_FlightRecorder_dump(const char* path) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    return grb::obs::fr_dump_file(path) ? GrB_SUCCESS : GrB_INVALID_VALUE;
   });
 }
 

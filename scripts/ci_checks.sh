@@ -8,18 +8,21 @@
 #   2. build + ctest   — default preset, full tier-1 suite
 #   3. telemetry       — obs-labeled tests: counter oracles plus the
 #                        GRB_TRACE → grb_trace_summarize.py pipeline
-#   4. thread-safety   — Clang -Wthread-safety -Werror=thread-safety build
+#   4. observability   — quickstart under GRB_FLIGHT_RECORDER + GRB_METRICS;
+#                        the Prometheus exposition must parse and carry the
+#                        per-op quantiles + memory gauges (grb_prom_check.py)
+#   5. thread-safety   — Clang -Wthread-safety -Werror=thread-safety build
 #                        (skipped with a notice when clang++ is absent;
 #                        the annotations compile as no-ops elsewhere)
-#   5. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
+#   6. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
 #                        (skipped with a notice when clang-tidy is absent)
-#   6. bench           — bench_m4_masked_mxm + bench_m5_spgemm_adaptive,
+#   7. bench           — bench_m4_masked_mxm + bench_m5_spgemm_adaptive,
 #                        archiving BENCH_*.json under bench_artifacts/;
 #                        when bench_artifacts/baseline/ holds a prior
 #                        set, tools/bench_compare.py diffs against it
 #                        (advisory: >10% regressions are reported but do
 #                        not fail the gate — the box may be noisy)
-#   7. tsan            — ThreadSanitizer build + tsan-labeled tests
+#   8. tsan            — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; it is the slowest
 #                        stage and the tsan preset also runs in its own lane)
 #
@@ -42,6 +45,19 @@ cmake --build build -j "$JOBS"
 
 note "telemetry (obs-labeled tests: counters + trace pipeline)"
 (cd build && ctest -L obs --output-on-failure) || failed=1
+
+note "observability (flight recorder + GRB_METRICS Prometheus exposition)"
+obs_dir=$(mktemp -d)
+GRB_FLIGHT_RECORDER=1024 GRB_METRICS="$obs_dir/metrics.prom" \
+  ./build/examples/quickstart >/dev/null || failed=1
+if [ -s "$obs_dir/metrics.prom" ]; then
+  python3 tools/grb_prom_check.py "$obs_dir/metrics.prom" \
+      --require-op GrB_mxm || failed=1
+else
+  echo "FAILED: GRB_METRICS produced no exposition at $obs_dir/metrics.prom"
+  failed=1
+fi
+rm -rf "$obs_dir"
 
 note "thread-safety analysis (clang)"
 if command -v clang++ >/dev/null 2>&1; then

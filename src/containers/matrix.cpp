@@ -29,7 +29,7 @@ void Matrix::publish(std::shared_ptr<const MatrixData> data) {
 }
 
 std::shared_ptr<MatrixData> Matrix::fold(const MatrixData& base,
-                                         std::vector<PendingTupleIJ> pend,
+                                         obs::TrackedVec<PendingTupleIJ> pend,
                                          ValueArray pend_vals) {
   struct Item {
     Index i, j;
@@ -90,15 +90,16 @@ std::shared_ptr<MatrixData> Matrix::fold(const MatrixData& base,
 }
 
 Info Matrix::flush_pending() {
-  std::vector<PendingTupleIJ> pend;
-  ValueArray pvals(type_->size());
+  obs::TrackedVec<PendingTupleIJ> pend{
+      obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)};
+  ValueArray pvals(type_->size(), pend_acct_);
   std::shared_ptr<const MatrixData> base;
   {
     MutexLock lock(mu_);
     if (pend_.empty()) return Info::kSuccess;
     pend.swap(pend_);
     pvals = std::move(pend_vals_);
-    pend_vals_ = ValueArray(type_->size());
+    pend_vals_ = ValueArray(type_->size(), pend_acct_);
     base = data_;
   }
   obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty

@@ -14,15 +14,23 @@
 namespace grb {
 
 struct MatrixData {
+  // Memory-attribution account for ptr/col/vals; declared first so it
+  // outlives the arrays it is credited from during destruction.
+  std::shared_ptr<obs::MemAccount> acct;
   const Type* type;
   Index nrows = 0, ncols = 0;
-  std::vector<Index> ptr;  // size nrows + 1
-  std::vector<Index> col;  // size nvals, sorted within each row
-  ValueArray vals;         // stride == type->size()
+  obs::TrackedVec<Index> ptr;  // size nrows + 1
+  obs::TrackedVec<Index> col;  // size nvals, sorted within each row
+  ValueArray vals;             // stride == type->size()
 
   MatrixData(const Type* t, Index rows, Index cols)
-      : type(t), nrows(rows), ncols(cols), ptr(rows + 1, 0),
-        vals(t->size()) {}
+      : acct(std::make_shared<obs::MemAccount>()),
+        type(t),
+        nrows(rows),
+        ncols(cols),
+        ptr(rows + 1, 0, obs::TrackedAlloc<Index>(acct)),
+        col(obs::TrackedAlloc<Index>(acct)),
+        vals(t->size(), acct) {}
 
   Index nvals() const { return static_cast<Index>(col.size()); }
 
@@ -36,7 +44,7 @@ struct PendingTupleIJ {
   bool is_delete;
 };
 
-class Matrix : public ObjectBase {
+class Matrix : public ObjectBase, public obs::MemReportable {
  public:
   Matrix(const Type* type, Index nrows, Index ncols, Context* ctx)
       : ObjectBase(ctx),
@@ -44,7 +52,25 @@ class Matrix : public ObjectBase {
         ncols_(ncols),
         type_(type),
         data_(std::make_shared<MatrixData>(type, nrows, ncols)),
-        pend_vals_(type->size()) {}
+        pend_acct_(std::make_shared<obs::MemAccount>()),
+        pend_(obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)),
+        pend_vals_(type->size(), pend_acct_) {
+    obs::mem_register(this);
+  }
+  ~Matrix() override { obs::mem_unregister(this); }
+
+  void mem_snapshot(obs::MemReportable::Snapshot* out) const override
+      GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    out->kind = "matrix";
+    out->rows = nrows_;
+    out->cols = ncols_;
+    out->nvals = data_->nvals();
+    out->live_bytes =
+        obs::account_live(*data_->acct) + obs::account_live(*pend_acct_);
+    out->peak_bytes =
+        obs::account_peak(*data_->acct) + obs::account_peak(*pend_acct_);
+  }
 
   const Type* type() const { return type_; }
   Index nrows() const GRB_EXCLUDES(mu_) {
@@ -96,11 +122,15 @@ class Matrix : public ObjectBase {
   const Type* type_;  // immutable after construction
   std::shared_ptr<const MatrixData> data_ GRB_GUARDED_BY(mu_);
 
-  std::vector<PendingTupleIJ> pend_ GRB_GUARDED_BY(mu_);
+  // Pending-tuple store, attributed to its own account so the handle can
+  // report buffered-but-unfolded bytes; declared before the containers
+  // charged to it.
+  std::shared_ptr<obs::MemAccount> pend_acct_;
+  obs::TrackedVec<PendingTupleIJ> pend_ GRB_GUARDED_BY(mu_);
   ValueArray pend_vals_ GRB_GUARDED_BY(mu_);
 
   static std::shared_ptr<MatrixData> fold(
-      const MatrixData& base, std::vector<PendingTupleIJ> pend,
+      const MatrixData& base, obs::TrackedVec<PendingTupleIJ> pend,
       ValueArray pend_vals);
 };
 

@@ -20,10 +20,26 @@ struct ScalarData {
   explicit ScalarData(const Type* t) : type(t), value(t->size()) {}
 };
 
-class Scalar : public ObjectBase {
+class Scalar : public ObjectBase, public obs::MemReportable {
  public:
   Scalar(const Type* type, Context* ctx)
-      : ObjectBase(ctx), data_(std::make_shared<ScalarData>(type)) {}
+      : ObjectBase(ctx), data_(std::make_shared<ScalarData>(type)) {
+    obs::mem_register(this);
+  }
+  ~Scalar() override { obs::mem_unregister(this); }
+
+  // Scalars are small-buffer values; only UDTs wider than the inline
+  // buffer hold heap bytes worth reporting.
+  void mem_snapshot(obs::MemReportable::Snapshot* out) const override
+      GRB_EXCLUDES(mu_) {
+    std::shared_ptr<const ScalarData> d = data_ptr();
+    out->kind = "scalar";
+    out->rows = 1;
+    out->cols = 1;
+    out->nvals = d->present ? 1 : 0;
+    out->live_bytes = d->value.heap_bytes();
+    out->peak_bytes = d->value.heap_bytes();
+  }
 
   const Type* type() const { return data_ptr()->type; }
 

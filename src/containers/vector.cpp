@@ -26,7 +26,7 @@ void Vector::publish(std::shared_ptr<const VectorData> data) {
 }
 
 std::shared_ptr<VectorData> Vector::fold(const VectorData& base,
-                                         std::vector<PendingTuple> pend,
+                                         obs::TrackedVec<PendingTuple> pend,
                                          ValueArray pend_vals) {
   // Assign each non-delete tuple its value slot (insertion order), then
   // keep only the last tuple per index ("last write wins").
@@ -79,15 +79,16 @@ std::shared_ptr<VectorData> Vector::fold(const VectorData& base,
 }
 
 Info Vector::flush_pending() {
-  std::vector<PendingTuple> pend;
-  ValueArray pvals(type_->size());
+  obs::TrackedVec<PendingTuple> pend{
+      obs::TrackedAlloc<PendingTuple>(pend_acct_)};
+  ValueArray pvals(type_->size(), pend_acct_);
   std::shared_ptr<const VectorData> base;
   {
     MutexLock lock(mu_);
     if (pend_.empty()) return Info::kSuccess;
     pend.swap(pend_);
     pvals = std::move(pend_vals_);
-    pend_vals_ = ValueArray(type_->size());
+    pend_vals_ = ValueArray(type_->size(), pend_acct_);
     base = data_;
   }
   obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty

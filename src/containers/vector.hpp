@@ -19,13 +19,20 @@
 namespace grb {
 
 struct VectorData {
+  // Memory-attribution account for ind/vals; declared first so it
+  // outlives the arrays it is credited from during destruction.
+  std::shared_ptr<obs::MemAccount> acct;
   const Type* type;
   Index n = 0;
-  std::vector<Index> ind;  // sorted, unique
-  ValueArray vals;         // stride == type->size()
+  obs::TrackedVec<Index> ind;  // sorted, unique
+  ValueArray vals;             // stride == type->size()
 
   VectorData(const Type* t, Index size)
-      : type(t), n(size), vals(t->size()) {}
+      : acct(std::make_shared<obs::MemAccount>()),
+        type(t),
+        n(size),
+        ind(obs::TrackedAlloc<Index>(acct)),
+        vals(t->size(), acct) {}
 
   Index nvals() const { return static_cast<Index>(ind.size()); }
 
@@ -40,14 +47,32 @@ struct PendingTuple {
   bool is_delete;
 };
 
-class Vector : public ObjectBase {
+class Vector : public ObjectBase, public obs::MemReportable {
  public:
   Vector(const Type* type, Index n, Context* ctx)
       : ObjectBase(ctx),
         size_(n),
         type_(type),
         data_(std::make_shared<VectorData>(type, n)),
-        pend_vals_(type->size()) {}
+        pend_acct_(std::make_shared<obs::MemAccount>()),
+        pend_(obs::TrackedAlloc<PendingTuple>(pend_acct_)),
+        pend_vals_(type->size(), pend_acct_) {
+    obs::mem_register(this);
+  }
+  ~Vector() override { obs::mem_unregister(this); }
+
+  void mem_snapshot(obs::MemReportable::Snapshot* out) const override
+      GRB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    out->kind = "vector";
+    out->rows = size_;
+    out->cols = 1;
+    out->nvals = data_->nvals();
+    out->live_bytes =
+        obs::account_live(*data_->acct) + obs::account_live(*pend_acct_);
+    out->peak_bytes =
+        obs::account_peak(*data_->acct) + obs::account_peak(*pend_acct_);
+  }
 
   const Type* type() const { return type_; }
   Index size() const GRB_EXCLUDES(mu_) {
@@ -103,13 +128,15 @@ class Vector : public ObjectBase {
   const Type* type_;  // immutable after construction
   std::shared_ptr<const VectorData> data_ GRB_GUARDED_BY(mu_);
 
-  // Values for non-delete tuples, insertion order.
-  std::vector<PendingTuple> pend_ GRB_GUARDED_BY(mu_);
+  // Pending-tuple store on its own account (buffered-but-unfolded bytes
+  // in the handle's memory snapshot); account declared first.
+  std::shared_ptr<obs::MemAccount> pend_acct_;
+  obs::TrackedVec<PendingTuple> pend_ GRB_GUARDED_BY(mu_);
   ValueArray pend_vals_ GRB_GUARDED_BY(mu_);
 
   // Folds `pend/pend_vals` (moved-from) into `base`, producing new data.
   static std::shared_ptr<VectorData> fold(
-      const VectorData& base, std::vector<PendingTuple> pend,
+      const VectorData& base, obs::TrackedVec<PendingTuple> pend,
       ValueArray pend_vals);
 };
 

@@ -9,10 +9,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/info.hpp"
+#include "obs/memory.hpp"
 
 namespace grb {
 
@@ -103,10 +105,15 @@ void cast_value(const Type* to, void* dst, const Type* from, const void* src);
 bool value_as_bool(const Type* type, const void* value);
 
 // A dynamically sized, type-erased array of values with a fixed stride.
+// Storage routes through obs::TrackedAlloc so every value block is
+// attributed to its owning container's memory account (DESIGN.md §11).
 class ValueArray {
  public:
   ValueArray() : stride_(1) {}
   explicit ValueArray(size_t stride) : stride_(stride ? stride : 1) {}
+  ValueArray(size_t stride, std::shared_ptr<obs::MemAccount> acct)
+      : stride_(stride ? stride : 1),
+        bytes_(obs::TrackedAlloc<std::byte>(std::move(acct))) {}
 
   size_t stride() const { return stride_; }
   size_t size() const { return bytes_.size() / stride_; }
@@ -149,7 +156,7 @@ class ValueArray {
 
  private:
   size_t stride_;
-  std::vector<std::byte> bytes_;
+  obs::TrackedVec<std::byte> bytes_;
 };
 
 // A single type-erased value with small-buffer storage (used for monoid
@@ -171,6 +178,10 @@ class ValueBuf {
   void* data() { return size_ > sizeof(inline_) ? heap_.data() : inline_; }
   const void* data() const {
     return size_ > sizeof(inline_) ? heap_.data() : inline_;
+  }
+  // Bytes held outside the small buffer (memory-attribution snapshots).
+  size_t heap_bytes() const {
+    return size_ > sizeof(inline_) ? heap_.capacity() : 0;
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "exec/object_base.hpp"
 
+#include "obs/flight_recorder.hpp"
+
 namespace grb {
 
 Info ObjectBase::switch_context(Context* new_ctx) {
@@ -18,7 +20,7 @@ void ObjectBase::enqueue(std::function<Info()> op) {
   // during complete() can name the method that caused it, and so the
   // trace can show the deferral gap between call and execution.
   const char* op_name = obs::current_op();
-  uint64_t enq_ns = obs::enabled() ? obs::now_ns() : 0;
+  uint64_t enq_ns = obs::telemetry_enabled() ? obs::now_ns() : 0;
   MutexLock lock(mu_);
   queue_.push_back(Deferred{std::move(op), op_name, enq_ns});
   obs::queue_depth_sample(queue_.size());
@@ -45,7 +47,9 @@ Info ObjectBase::complete() {
       // (serial/parallel path counts, scalars, flops), not to the
       // GrB_wait that happens to drain it.
       obs::CurrentOpScope op_scope(d.op);
-      uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+      if (obs::flight_enabled())
+        obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0);
+      uint64_t t0 = obs::telemetry_enabled() ? obs::now_ns() : 0;
       Info info = d.fn();
       obs::deferred_return(d.op, t0, d.enqueued_ns,
                            static_cast<int>(info) < 0);
@@ -96,6 +100,14 @@ void ObjectBase::poison_locked(Info info, const std::string& msg) {
   if (err_ == Info::kSuccess) {
     err_ = info;
     errmsg_ = msg;
+    // First error transition: log it and dump the causal op history, so
+    // the temporally-detached failure (the deferred method ran long
+    // after the call that queued it) is debuggable post mortem.
+    if (obs::flight_enabled()) {
+      obs::fr_record(obs::FrKind::kPoison, obs::current_op(),
+                     static_cast<int32_t>(info));
+      obs::fr_auto_dump(msg.c_str());
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/memory.hpp"
 #include "obs/telemetry.hpp"
 
 namespace grb {
@@ -24,6 +25,8 @@ std::byte* ScratchArena::request(int slot, size_t bytes) {
     // Raw new[]: default-initialized, no value-init memset on a buffer
     // the caller is about to overwrite anyway.
     b.data.reset(new std::byte[cap]);
+    obs::arena_credit(b.cap);
+    obs::arena_charge(cap);
     b.cap = cap;
   }
   b.zeroed = 0;
@@ -37,6 +40,8 @@ std::byte* ScratchArena::request_zeroed(int slot, size_t bytes) {
   if (b.cap < bytes) {
     size_t cap = std::max(bytes, b.cap * 2);
     b.data.reset(new std::byte[cap]);
+    obs::arena_credit(b.cap);
+    obs::arena_charge(cap);
     b.cap = cap;
     b.zeroed = 0;
   }
@@ -57,6 +62,7 @@ void ScratchArena::mark_zeroed(int slot) {
 void ScratchArena::purge() {
   for (Buf& b : bufs_) {
     b.data.reset();
+    obs::arena_credit(b.cap);
     b.cap = 0;
     b.zeroed = 0;
     b.granted_zeroed = 0;

@@ -53,6 +53,10 @@ class ScratchArena {
     kSlotCount,
   };
 
+  // purge() also settles the arena memory-attribution gauges, so a
+  // dying thread's arena credits its bytes back (obs/memory.hpp).
+  ~ScratchArena() { purge(); }
+
   std::byte* request(int slot, size_t bytes);
   std::byte* request_zeroed(int slot, size_t bytes);
   void mark_zeroed(int slot);

@@ -1,0 +1,120 @@
+#include "obs/memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <unordered_set>
+
+namespace grb {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_live{0};
+std::atomic<uint64_t> g_peak{0};
+MemAccount g_arena;
+
+void bump_peak(std::atomic<uint64_t>& peak, uint64_t v) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !peak.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Registry of live reportable objects.  Leaked (like every obs registry)
+// so objects destroyed during static teardown can still unregister.
+std::mutex& obj_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::unordered_set<const MemReportable*>& obj_registry() {
+  static auto* reg = new std::unordered_set<const MemReportable*>();
+  return *reg;
+}
+
+}  // namespace
+
+uint64_t mem_live_total() { return g_live.load(std::memory_order_relaxed); }
+uint64_t mem_peak_total() { return g_peak.load(std::memory_order_relaxed); }
+uint64_t mem_arena_live() { return account_live(g_arena); }
+uint64_t mem_arena_peak() { return account_peak(g_arena); }
+
+void mem_charge(MemAccount* acct, size_t bytes) {
+  if (bytes == 0) return;
+  if (acct != nullptr) {
+    uint64_t v =
+        acct->live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    bump_peak(acct->peak, v);
+  }
+  uint64_t total = g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  bump_peak(g_peak, total);
+}
+
+void mem_credit(MemAccount* acct, size_t bytes) {
+  if (bytes == 0) return;
+  if (acct != nullptr) acct->live.fetch_sub(bytes, std::memory_order_relaxed);
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void arena_charge(size_t bytes) { mem_charge(&g_arena, bytes); }
+void arena_credit(size_t bytes) { mem_credit(&g_arena, bytes); }
+
+void mem_register(const MemReportable* obj) {
+  std::lock_guard<std::mutex> lock(obj_mu());
+  obj_registry().insert(obj);
+}
+
+void mem_unregister(const MemReportable* obj) {
+  std::lock_guard<std::mutex> lock(obj_mu());
+  obj_registry().erase(obj);
+}
+
+uint64_t mem_object_count() {
+  std::lock_guard<std::mutex> lock(obj_mu());
+  return obj_registry().size();
+}
+
+std::string memory_report() {
+  std::vector<MemReportable::Snapshot> snaps;
+  {
+    std::lock_guard<std::mutex> lock(obj_mu());
+    snaps.reserve(obj_registry().size());
+    for (const MemReportable* obj : obj_registry()) {
+      MemReportable::Snapshot s;
+      obj->mem_snapshot(&s);
+      snaps.push_back(s);
+    }
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const MemReportable::Snapshot& a,
+               const MemReportable::Snapshot& b) {
+              return a.live_bytes > b.live_bytes;
+            });
+  char line[192];
+  std::string out = "GraphBLAS memory report\n";
+  std::snprintf(line, sizeof line, "  total: live=%llu peak=%llu\n",
+                static_cast<unsigned long long>(mem_live_total()),
+                static_cast<unsigned long long>(mem_peak_total()));
+  out.append(line);
+  std::snprintf(line, sizeof line, "  arena: live=%llu peak=%llu\n",
+                static_cast<unsigned long long>(mem_arena_live()),
+                static_cast<unsigned long long>(mem_arena_peak()));
+  out.append(line);
+  std::snprintf(line, sizeof line, "  objects: %llu\n",
+                static_cast<unsigned long long>(snaps.size()));
+  out.append(line);
+  for (const auto& s : snaps) {
+    std::snprintf(line, sizeof line,
+                  "    %-6s %llux%llu nvals=%llu live=%llu peak=%llu\n",
+                  s.kind, static_cast<unsigned long long>(s.rows),
+                  static_cast<unsigned long long>(s.cols),
+                  static_cast<unsigned long long>(s.nvals),
+                  static_cast<unsigned long long>(s.live_bytes),
+                  static_cast<unsigned long long>(s.peak_bytes));
+    out.append(line);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace grb

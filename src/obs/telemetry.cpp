@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/memory.hpp"
+
 namespace grb {
 namespace obs {
 
@@ -27,6 +30,52 @@ std::chrono::steady_clock::time_point epoch() {
   return t0;
 }
 
+uint32_t this_tid() {
+  static thread_local const uint32_t tid = static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffu);
+  return tid;
+}
+
+void bump_high_water(std::atomic<uint64_t>& hw, uint64_t v) {
+  uint64_t cur = hw.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !hw.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- latency histograms ---------------------------------------------------
+// Log2-bucketed per-op duration histograms.  Bucket b holds durations v
+// with bit_width(v) == b, i.e. v in [2^(b-1), 2^b); percentile estimates
+// report a bucket's inclusive upper bound (2^b - 1), so they are exact
+// upper bounds with at most 2x quantization — max_ns stays exact.
+// Writes go to a per-thread shard (relaxed, lock-free) and are merged on
+// read; 44 buckets cover durations past two hours.
+
+constexpr int kHistBuckets = 44;
+constexpr int kHistShards = 8;
+
+int bit_width_u64(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return v == 0 ? 0 : 64 - __builtin_clzll(v);
+#else
+  int b = 0;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+#endif
+}
+
+int hist_bucket(uint64_t ns) {
+  int b = bit_width_u64(ns);
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+uint64_t hist_bucket_upper(int b) {
+  return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+}
+
 // --- counters -------------------------------------------------------------
 
 struct OpCounters {
@@ -39,12 +88,56 @@ struct OpCounters {
   std::atomic<uint64_t> parallel{0};
   std::atomic<uint64_t> deferred{0};
   std::atomic<uint64_t> deferred_ns{0};
+  std::atomic<uint64_t> max_ns{0};
+  std::atomic<uint64_t> hist[kHistShards][kHistBuckets] = {};
+
+  void hist_add(uint64_t dur_ns) {
+    hist[this_tid() & (kHistShards - 1)][hist_bucket(dur_ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    bump_high_water(max_ns, dur_ns);
+  }
 
   void reset() {
     calls = ns = errors = scalars = flops = 0;
     serial = parallel = deferred = deferred_ns = 0;
+    max_ns = 0;
+    for (auto& shard : hist)
+      for (auto& bucket : shard) bucket = 0;
   }
 };
+
+// Shard-merged histogram view with the percentile upper bounds.
+struct HistSummary {
+  uint64_t count = 0;
+  uint64_t p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+HistSummary hist_summarize(const OpCounters& c) {
+  uint64_t counts[kHistBuckets] = {};
+  HistSummary s;
+  for (int sh = 0; sh < kHistShards; ++sh) {
+    for (int b = 0; b < kHistBuckets; ++b) {
+      uint64_t n = c.hist[sh][b].load(std::memory_order_relaxed);
+      counts[b] += n;
+      s.count += n;
+    }
+  }
+  s.max = c.max_ns.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  auto quantile = [&](uint64_t pct) -> uint64_t {
+    uint64_t target = (s.count * pct + 99) / 100;  // ceil rank
+    uint64_t cum = 0;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      cum += counts[b];
+      if (cum >= target) return hist_bucket_upper(b);
+    }
+    return hist_bucket_upper(kHistBuckets - 1);
+  };
+  s.p50 = quantile(50);
+  s.p90 = quantile(90);
+  s.p99 = quantile(99);
+  return s;
+}
 
 struct PoolCounters {
   std::atomic<uint64_t> submitted{0};   // chunks handed to parallel_for
@@ -78,13 +171,6 @@ struct Globals {
 };
 
 Globals g_globals;
-
-void bump_high_water(std::atomic<uint64_t>& hw, uint64_t v) {
-  uint64_t cur = hw.load(std::memory_order_relaxed);
-  while (cur < v &&
-         !hw.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
 
 // Registries.  std::map keeps stats_json deterministic; lookups happen
 // only on enabled paths, so a lock per hook is acceptable there.
@@ -145,12 +231,6 @@ std::string& trace_path() {
   return *path;
 }
 
-uint32_t this_tid() {
-  static thread_local const uint32_t tid = static_cast<uint32_t>(
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffu);
-  return tid;
-}
-
 void record_event(const char* name, const char* cat, char ph, uint64_t ts_ns,
                   uint64_t dur_ns, const char* akey, uint64_t aval) {
   std::lock_guard<std::mutex> lock(trace_mu());
@@ -176,6 +256,10 @@ void set_flag(uint32_t flag, bool on) {
 
 bool g_env_stats = false;
 bool g_env_trace = false;
+std::string& env_metrics_path() {
+  static auto* path = new std::string();
+  return *path;
+}
 
 void json_append_escaped(std::string* out, const char* s) {
   for (; *s != '\0'; ++s) {
@@ -222,12 +306,13 @@ const char* set_current_op(const char* name) {
 
 void api_return(const char* op, uint64_t t0, bool failed) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   uint64_t t1 = now_ns();
   if ((f & kStatsFlag) != 0) {
     OpCounters& c = op_counters(op);
     c.calls.fetch_add(1, std::memory_order_relaxed);
     c.ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    c.hist_add(t1 - t0);
     if (failed) c.errors.fetch_add(1, std::memory_order_relaxed);
   }
   if ((f & kTraceFlag) != 0) {
@@ -239,12 +324,13 @@ void api_return(const char* op, uint64_t t0, bool failed) {
 void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
                      bool failed) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   uint64_t t1 = now_ns();
   if ((f & kStatsFlag) != 0) {
     OpCounters& c = op_counters(op);
     c.deferred.fetch_add(1, std::memory_order_relaxed);
     c.deferred_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    c.hist_add(t1 - t0);
     if (failed) c.errors.fetch_add(1, std::memory_order_relaxed);
   }
   if ((f & kTraceFlag) != 0) {
@@ -252,6 +338,11 @@ void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
         (enq_ns != 0 && t0 > enq_ns) ? (t0 - enq_ns) / 1000u : 0;
     record_event(op, "deferred", 'X', t0, t1 - t0, "gap_us", gap_us);
   }
+}
+
+void latency_record(const char* op, uint64_t ns) {
+  if (!stats_enabled()) return;
+  op_counters(op).hist_add(ns);
 }
 
 void count_path(bool parallel) {
@@ -292,7 +383,7 @@ void arena_request(bool hit) {
 
 void queue_depth_sample(size_t depth) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   g_globals.queue_enqueued.fetch_add(1, std::memory_order_relaxed);
   bump_high_water(g_globals.queue_hw, depth);
   if ((f & kTraceFlag) != 0) {
@@ -301,13 +392,13 @@ void queue_depth_sample(size_t depth) {
 }
 
 void queue_drained(size_t batch) {
-  if (!enabled()) return;
+  if (!telemetry_enabled()) return;
   g_globals.queue_drained.fetch_add(batch, std::memory_order_relaxed);
 }
 
 void pending_tuples_sample(size_t count) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   bump_high_water(g_globals.pending_hw, count);
   if ((f & kTraceFlag) != 0) {
     record_event("pending.tuples", "gauge", 'C', now_ns(), 0, "value", count);
@@ -320,26 +411,26 @@ int next_pool_id() {
 }
 
 void pool_submit(int pool_id, uint64_t nchunks) {
-  if (!enabled()) return;
+  if (!telemetry_enabled()) return;
   pool_counters(pool_id).submitted.fetch_add(nchunks,
                                              std::memory_order_relaxed);
 }
 
 void pool_chunk(int pool_id, bool worker_lane) {
-  if (!enabled()) return;
+  if (!telemetry_enabled()) return;
   PoolCounters& c = pool_counters(pool_id);
   c.chunks.fetch_add(1, std::memory_order_relaxed);
   if (worker_lane) c.steals.fetch_add(1, std::memory_order_relaxed);
 }
 
 void pool_park(int pool_id) {
-  if (!enabled()) return;
+  if (!telemetry_enabled()) return;
   pool_counters(pool_id).parks.fetch_add(1, std::memory_order_relaxed);
 }
 
 void pool_busy_enter(int pool_id) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   PoolCounters& c = pool_counters(pool_id);
   uint64_t busy = c.busy.fetch_add(1, std::memory_order_relaxed) + 1;
   bump_high_water(c.busy_hw, busy);
@@ -352,7 +443,7 @@ void pool_busy_enter(int pool_id) {
 
 void pool_busy_exit(int pool_id) {
   uint32_t f = flags();
-  if (f == 0) return;
+  if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
   pool_counters(pool_id).busy.fetch_sub(1, std::memory_order_relaxed);
   uint64_t total =
       g_globals.pool_busy.fetch_sub(1, std::memory_order_relaxed) - 1;
@@ -412,9 +503,37 @@ uint64_t ld(const std::atomic<uint64_t>& v) {
 
 }  // namespace
 
+namespace {
+
+// Memory / flight-recorder gauges are function-backed, not stored
+// atomics; one table serves stats_get, stats_json and the exposition.
+struct FnGauge {
+  const char* name;
+  uint64_t (*value)();
+};
+
+const FnGauge kFnGauges[] = {
+    {"mem.live_bytes", &mem_live_total},
+    {"mem.peak_bytes", &mem_peak_total},
+    {"mem.arena_live_bytes", &mem_arena_live},
+    {"mem.arena_peak_bytes", &mem_arena_peak},
+    {"mem.objects", &mem_object_count},
+    {"flight.events", &fr_event_count},
+    {"flight.overwrites", &fr_overwrites},
+    {"flight.capacity", &fr_capacity},
+};
+
+}  // namespace
+
 bool stats_get(const char* name, uint64_t* value) {
   *value = 0;
   if (name == nullptr) return false;
+  for (const auto& g : kFnGauges) {
+    if (std::strcmp(name, g.name) == 0) {
+      *value = g.value();
+      return true;
+    }
+  }
   // Globals first.
   struct GlobalRef {
     const char* name;
@@ -476,6 +595,17 @@ bool stats_get(const char* name, uint64_t* value) {
       return true;
     }
   }
+  // Histogram-derived fields, computed on read.
+  const char* field = dot + 1;
+  if (std::strcmp(field, "p50_ns") == 0 || std::strcmp(field, "p90_ns") == 0 ||
+      std::strcmp(field, "p99_ns") == 0 || std::strcmp(field, "max_ns") == 0) {
+    HistSummary s = hist_summarize(*it->second);
+    *value = field[0] == 'm'   ? s.max
+             : field[1] == '5' ? s.p50
+             : field[1] == '9' && field[2] == '0' ? s.p90
+                                                  : s.p99;
+    return true;
+  }
   return false;
 }
 
@@ -498,6 +628,16 @@ std::string stats_json() {
                     static_cast<unsigned long long>(ld(*f.value)));
       out.append(buf);
     }
+    HistSummary hs = hist_summarize(*kv.second);
+    char pbuf[160];
+    std::snprintf(pbuf, sizeof pbuf,
+                  ",\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,"
+                  "\"max_ns\":%llu",
+                  static_cast<unsigned long long>(hs.p50),
+                  static_cast<unsigned long long>(hs.p90),
+                  static_cast<unsigned long long>(hs.p99),
+                  static_cast<unsigned long long>(hs.max));
+    out.append(pbuf);
     out.push_back('}');
   }
   out.append("},\"global\":{");
@@ -537,6 +677,12 @@ std::string stats_json() {
   std::snprintf(buf, sizeof buf, "\"arena.reuse_misses\":%llu",
                 static_cast<unsigned long long>(ld(g_globals.arena_misses)));
   out.append(buf);
+  // Memory-attribution and flight-recorder gauges (function-backed).
+  for (const auto& g : kFnGauges) {
+    std::snprintf(buf, sizeof buf, ",\"%s\":%llu", g.name,
+                  static_cast<unsigned long long>(g.value()));
+    out.append(buf);
+  }
   out.append("},\"pools\":{");
   first = true;
   for (auto& kv : pool_registry()) {
@@ -558,6 +704,87 @@ std::string stats_json() {
   return out;
 }
 
+std::string stats_prometheus() {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  std::string out;
+  char buf[256];
+  auto series = [&](const char* metric, const char* op, const char* extra,
+                    uint64_t v) {
+    if (op != nullptr) {
+      std::snprintf(buf, sizeof buf, "%s{op=\"%s\"%s%s} %llu\n", metric, op,
+                    extra[0] != '\0' ? "," : "", extra,
+                    static_cast<unsigned long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%s %llu\n", metric,
+                    static_cast<unsigned long long>(v));
+    }
+    out.append(buf);
+  };
+  out.append("# HELP grb_op_calls_total C API entry-point invocations.\n"
+             "# TYPE grb_op_calls_total counter\n");
+  for (auto& kv : op_registry())
+    series("grb_op_calls_total", kv.first.c_str(), "", ld(kv.second->calls));
+  out.append("# HELP grb_op_errors_total Entry points returning an error.\n"
+             "# TYPE grb_op_errors_total counter\n");
+  for (auto& kv : op_registry())
+    series("grb_op_errors_total", kv.first.c_str(), "",
+           ld(kv.second->errors));
+  // Per-op latency as a Prometheus summary: quantile series from the
+  // log2 histograms (upper-bound estimates), exact sum/count/max.
+  out.append("# HELP grb_op_latency_ns Per-op latency (log2-bucket "
+             "quantile upper bounds).\n"
+             "# TYPE grb_op_latency_ns summary\n");
+  for (auto& kv : op_registry()) {
+    HistSummary hs = hist_summarize(*kv.second);
+    const char* op = kv.first.c_str();
+    series("grb_op_latency_ns", op, "quantile=\"0.5\"", hs.p50);
+    series("grb_op_latency_ns", op, "quantile=\"0.9\"", hs.p90);
+    series("grb_op_latency_ns", op, "quantile=\"0.99\"", hs.p99);
+    series("grb_op_latency_ns_sum", op, "",
+           ld(kv.second->ns) + ld(kv.second->deferred_ns));
+    series("grb_op_latency_ns_count", op, "", hs.count);
+  }
+  out.append("# HELP grb_op_latency_max_ns Exact worst-case latency.\n"
+             "# TYPE grb_op_latency_max_ns gauge\n");
+  for (auto& kv : op_registry()) {
+    series("grb_op_latency_max_ns", kv.first.c_str(), "",
+           ld(kv.second->max_ns));
+  }
+  out.append("# HELP grb_memory_live_bytes Tracked bytes currently "
+             "allocated.\n"
+             "# TYPE grb_memory_live_bytes gauge\n");
+  series("grb_memory_live_bytes", nullptr, "", mem_live_total());
+  out.append("# HELP grb_memory_peak_bytes High-water mark of tracked "
+             "bytes.\n"
+             "# TYPE grb_memory_peak_bytes gauge\n");
+  series("grb_memory_peak_bytes", nullptr, "", mem_peak_total());
+  out.append("# HELP grb_arena_live_bytes Scratch-arena bytes currently "
+             "held.\n"
+             "# TYPE grb_arena_live_bytes gauge\n");
+  series("grb_arena_live_bytes", nullptr, "", mem_arena_live());
+  out.append("# HELP grb_arena_peak_bytes Scratch-arena high-water mark.\n"
+             "# TYPE grb_arena_peak_bytes gauge\n");
+  series("grb_arena_peak_bytes", nullptr, "", mem_arena_peak());
+  out.append("# HELP grb_objects Live GrB containers.\n"
+             "# TYPE grb_objects gauge\n");
+  series("grb_objects", nullptr, "", mem_object_count());
+  out.append("# HELP grb_flight_recorder_events_total Flight-recorder "
+             "events ever recorded.\n"
+             "# TYPE grb_flight_recorder_events_total counter\n");
+  series("grb_flight_recorder_events_total", nullptr, "", fr_event_count());
+  out.append("# HELP grb_flight_recorder_overwrites_total Events lost to "
+             "ring wrap.\n"
+             "# TYPE grb_flight_recorder_overwrites_total counter\n");
+  series("grb_flight_recorder_overwrites_total", nullptr, "",
+         fr_overwrites());
+  out.append("# HELP grb_trace_dropped_total Spans dropped by the capped "
+             "trace buffer.\n"
+             "# TYPE grb_trace_dropped_total counter\n");
+  series("grb_trace_dropped_total", nullptr, "",
+         ld(g_globals.trace_dropped));
+  return out;
+}
+
 bool trace_start(const char* path) {
   std::lock_guard<std::mutex> lock(trace_mu());
   trace_buf().clear();
@@ -575,7 +802,12 @@ bool trace_dump(const char* path) {
   if (target.empty()) return false;
   std::FILE* f = std::fopen(target.c_str(), "w");
   if (f == nullptr) return false;
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  // droppedEvents lets consumers (grb_trace_summarize.py) warn loudly
+  // when the capped buffer truncated the recording.
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%llu,"
+                  "\"traceEvents\":[",
+               static_cast<unsigned long long>(
+                   g_globals.trace_dropped.load(std::memory_order_relaxed)));
   bool first = true;
   for (const Event& e : trace_buf()) {
     std::fputs(first ? "\n" : ",\n", f);
@@ -625,6 +857,15 @@ void env_activate() {
     trace_start(trace);
     g_env_trace = true;
   }
+  // GRB_METRICS=path.prom: counters on now, Prometheus text exposition
+  // written at finalize.
+  const char* metrics = std::getenv("GRB_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0') {
+    env_metrics_path() = metrics;
+    stats_set_enabled(true);
+  }
+  // GRB_FLIGHT_RECORDER / GRB_FLIGHT_DUMP; default-on (4096 events).
+  fr_env_activate();
 }
 
 void env_finalize() {
@@ -633,6 +874,20 @@ void env_finalize() {
       std::fprintf(stderr, "grb-obs: failed to write GRB_TRACE file\n");
     }
     g_env_trace = false;
+  }
+  if (!env_metrics_path().empty()) {
+    std::FILE* f = std::fopen(env_metrics_path().c_str(), "w");
+    if (f != nullptr) {
+      std::fputs(stats_prometheus().c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "grb-obs: failed to write GRB_METRICS file\n");
+    }
+    env_metrics_path().clear();
+    if (!g_env_stats) {
+      stats_set_enabled(false);
+      stats_reset();
+    }
   }
   if (g_env_stats) {
     std::fprintf(stderr, "GRB_STATS %s\n", stats_json().c_str());

@@ -36,6 +36,12 @@ namespace obs {
 enum Flag : uint32_t {
   kStatsFlag = 1u,
   kTraceFlag = 2u,
+  // The flight recorder (obs/flight_recorder.hpp) shares the gate so the
+  // C API veneer still pays exactly one relaxed load when everything is
+  // off.  It is ON by default after GrB_init (GRB_FLIGHT_RECORDER=0
+  // disables), so hooks that only serve stats/trace must gate on
+  // telemetry_enabled(), not enabled().
+  kFlightFlag = 4u,
 };
 
 namespace detail {
@@ -50,6 +56,13 @@ inline uint32_t flags() {
 inline bool enabled() { return flags() != 0u; }
 inline bool stats_enabled() { return (flags() & kStatsFlag) != 0u; }
 inline bool trace_enabled() { return (flags() & kTraceFlag) != 0u; }
+// Stats or trace on (the pre-flight-recorder meaning of enabled()):
+// hooks that record counters or spans gate here so the always-on flight
+// recorder does not drag them onto their slow paths.
+inline bool telemetry_enabled() {
+  return (flags() & (kStatsFlag | kTraceFlag)) != 0u;
+}
+inline bool flight_enabled() { return (flags() & kFlightFlag) != 0u; }
 
 // Nanoseconds since an arbitrary process-local epoch (steady clock).
 uint64_t now_ns();
@@ -83,6 +96,11 @@ void api_return(const char* op, uint64_t t0, bool failed);
 // the deferral gap between call and execution.
 void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
                      bool failed);
+
+// Injects one duration sample into `op`'s latency histogram (stats-
+// gated).  api_return / deferred_return call it internally; tests use it
+// to drive the percentile oracle with synthetic durations.
+void latency_record(const char* op, uint64_t ns);
 
 // Serial-fallback gate decision, attributed to current_op().
 void count_path(bool parallel);
@@ -122,16 +140,26 @@ void stats_reset();
 
 // Dotted-name counter lookup.  Per-op: "<op>.calls", ".ns", ".errors",
 // ".scalars", ".flops", ".serial", ".parallel", ".deferred",
-// ".deferred_ns".  Globals: "queue.enqueued", "queue.high_water",
-// "queue.drained", "pending.high_water", "pool.submitted", "pool.chunks",
-// "pool.steals", "pool.parks", "pool.busy_high_water", "trace.events",
-// "trace.dropped", "spgemm.rows_hash", "spgemm.rows_dense",
-// "spgemm.flops_estimated", "arena.reuse_hits", "arena.reuse_misses".
-// Returns false (and *value = 0) for unknown names.
+// ".deferred_ns", plus the histogram-derived ".p50_ns", ".p90_ns",
+// ".p99_ns", ".max_ns" (log2-bucket upper bounds; max is exact).
+// Globals: "queue.enqueued", "queue.high_water", "queue.drained",
+// "pending.high_water", "pool.submitted", "pool.chunks", "pool.steals",
+// "pool.parks", "pool.busy_high_water", "trace.events", "trace.dropped",
+// "spgemm.rows_hash", "spgemm.rows_dense", "spgemm.flops_estimated",
+// "arena.reuse_hits", "arena.reuse_misses", "mem.live_bytes",
+// "mem.peak_bytes", "mem.arena_live_bytes", "mem.arena_peak_bytes",
+// "mem.objects", "flight.events", "flight.overwrites",
+// "flight.capacity".  Returns false (and *value = 0) for unknown names.
 bool stats_get(const char* name, uint64_t* value);
 
 // Full counter dump as a JSON object (ops, globals, per-pool breakdown).
 std::string stats_json();
+
+// Prometheus text exposition (version 0.0.4): per-op call/error
+// counters, latency summaries (quantile series from the histograms),
+// and live/peak memory gauges.  Backs GxB_Stats_prometheus and the
+// GRB_METRICS finalize dump.
+std::string stats_prometheus();
 
 // Tracing.  trace_start enables span recording and remembers `path`
 // (may be null: dump must then name one).  trace_dump writes the Chrome
@@ -142,6 +170,10 @@ bool trace_dump(const char* path);
 void trace_stop();
 
 // Environment activation, called by library_init / library_finalize.
+// GRB_STATS=1 prints the JSON summary at finalize; GRB_TRACE=path.json
+// dumps a Chrome trace; GRB_METRICS=path.prom enables stats and writes
+// the Prometheus exposition at finalize; GRB_FLIGHT_RECORDER=N sizes
+// the flight recorder (default 4096, 0 disables).
 void env_activate();
 void env_finalize();
 

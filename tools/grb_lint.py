@@ -23,6 +23,12 @@ type system cannot express:
   poison-has-message      Every poison()/poison_locked() call site registers
                           a non-empty GrB_error string, and the deferred-
                           execution machinery poisons with info_name() text.
+  gxb-stats-parity        The observability surface is complete: every
+                          required GxB_* stats/memory/flight-recorder entry
+                          point (Stats_enable/get/reset/json/prometheus,
+                          Memory_report, Object_memory, FlightRecorder_dump,
+                          Trace_start/dump) is defined in GraphBLAS.h AND
+                          listed in the GxB_EXTENSIONS registry.
 
 Findings can be suppressed with a trailing or preceding-line comment:
     // grb-lint: allow(rule-id)
@@ -49,6 +55,22 @@ DESC_LETTERS = [(1, "R"), (4, "S"), (2, "C"), (8, "T0"), (16, "T1")]
 
 # Helper declarations in ops/common.hpp that are not operations themselves.
 OPS_HELPER_NAMES = {"validate_objects", "check_cast", "check_accum"}
+
+# The observability entry points that must always exist together: a build
+# that exposes counters must also expose the Prometheus exposition, the
+# memory-attribution reports, and the flight-recorder dump (DESIGN.md §11).
+GXB_STATS_SURFACE = (
+    "GxB_Stats_enable",
+    "GxB_Stats_get",
+    "GxB_Stats_reset",
+    "GxB_Stats_json",
+    "GxB_Stats_prometheus",
+    "GxB_Trace_start",
+    "GxB_Trace_dump",
+    "GxB_Memory_report",
+    "GxB_Object_memory",
+    "GxB_FlightRecorder_dump",
+)
 
 
 class Finding:
@@ -340,6 +362,36 @@ class Linter:
                             "GxB_EXTENSIONS lists %s twice" % name)
             seen.add(name)
 
+    def check_gxb_stats_parity(self):
+        """The stats/memory/flight-recorder surface ships as one unit.
+
+        Each name in GXB_STATS_SURFACE must be defined as an entry point
+        in GraphBLAS.h and listed in the GxB_EXTENSIONS registry, so no
+        partial observability API (say, counters without the Prometheus
+        exposition, or memory gauges without the report) can land.
+        """
+        path, raw = self.read("include/graphblas/GraphBLAS.h")
+        text = self.expand_function_macros(raw)
+
+        m = re.search(r"GxB_EXTENSIONS\[\]\s*=\s*\{(.*?)\};", text, re.S)
+        table = set(re.findall(r'"(GxB_\w+)"', m.group(1))) if m else set()
+
+        defined = {name for name, _, _, _
+                   in self.parse_functions(text, r"GxB_\w+")}
+        for name in GXB_STATS_SURFACE:
+            if name not in defined:
+                self.report(
+                    "gxb-stats-parity", path, 1,
+                    "%s is missing from GraphBLAS.h; the observability "
+                    "surface (stats + memory + flight recorder) must ship "
+                    "complete" % name)
+            elif name not in table:
+                self.report(
+                    "gxb-stats-parity", path, 1,
+                    "%s is defined but not listed in GxB_EXTENSIONS; "
+                    "introspection would hide part of the observability "
+                    "surface" % name)
+
     def check_info_strings(self):
         hdr_path, hdr = self.read("include/graphblas/GraphBLAS.h")
         core_path, core = self.read("src/core/info.hpp")
@@ -575,11 +627,12 @@ class Linter:
     RULES = ("no-throw-escape", "null-check-before-deref",
              "info-string-coverage", "descriptor-coverage",
              "ops-validate-first", "poison-has-message",
-             "gxb-extension-registry")
+             "gxb-extension-registry", "gxb-stats-parity")
 
     def run(self):
         self.check_header()
         self.check_gxb_extensions()
+        self.check_gxb_stats_parity()
         self.check_info_strings()
         self.check_descriptors()
         self.check_ops_validate_first()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate a GraphBLAS Prometheus exposition (GRB_METRICS / GxB_Stats_prometheus).
+
+A tiny text-format (version 0.0.4) parser: every non-comment line must be
+
+    metric_name{label="value",...} <number>
+
+with metric and label names matching the Prometheus charset, and every
+metric must be introduced by # HELP / # TYPE comments.  On top of the
+syntax, the GraphBLAS exposition contract is enforced:
+
+  * per-op latency summaries carry quantile="0.5" and quantile="0.99"
+    series (plus _sum/_count), so p50/p99 are always scrapeable;
+  * the memory gauges grb_memory_live_bytes / grb_memory_peak_bytes are
+    present — the attribution layer is always on.
+
+Usage: grb_prom_check.py metrics.prom [--require-op NAME]
+Exit status: 0 when valid, 1 on any violation, 2 on usage error.
+Pure stdlib; no dependencies.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+LINE_RE = re.compile(
+    r"^(%s)(?:\{([^}]*)\})?\s+(-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    r"|[+-]?Inf|NaN))$" % NAME_RE)
+
+REQUIRED_GAUGES = ("grb_memory_live_bytes", "grb_memory_peak_bytes")
+REQUIRED_QUANTILES = ("0.5", "0.99")
+
+
+def parse(path):
+    """Return (samples, typed, errors).
+
+    samples: list of (metric, {label: value}, float-ok) tuples;
+    typed:   {metric_family: type} from # TYPE comments.
+    """
+    samples, typed, helped, errors = [], {}, set(), []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 4:
+                    errors.append("%d: malformed HELP line" % lineno)
+                else:
+                    helped.add(parts[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "summary", "histogram",
+                        "untyped"):
+                    errors.append("%d: malformed TYPE line" % lineno)
+                else:
+                    typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # other comments are legal
+            m = LINE_RE.match(line)
+            if not m:
+                errors.append("%d: unparseable sample line: %s"
+                              % (lineno, line[:80]))
+                continue
+            name, labelstr, _value = m.groups()
+            labels = {}
+            if labelstr:
+                consumed = sum(len(lm.group(0))
+                               for lm in LABEL_RE.finditer(labelstr))
+                if consumed != len(labelstr):
+                    errors.append("%d: malformed label set {%s}"
+                                  % (lineno, labelstr))
+                    continue
+                labels = {lm.group(1): lm.group(2)
+                          for lm in LABEL_RE.finditer(labelstr)}
+            samples.append((name, labels))
+            family = re.sub(r"_(sum|count|bucket)$", "", name)
+            if family not in typed and name not in typed:
+                errors.append("%d: sample %s has no preceding # TYPE"
+                              % (lineno, name))
+            if family not in helped and name not in helped:
+                errors.append("%d: sample %s has no preceding # HELP"
+                              % (lineno, name))
+    return samples, typed, errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("metrics", help="Prometheus text exposition file")
+    ap.add_argument("--require-op", action="append", default=[],
+                    metavar="NAME",
+                    help="require latency quantiles for this GrB op "
+                         "(repeatable)")
+    args = ap.parse_args()
+
+    try:
+        samples, typed, errors = parse(args.metrics)
+    except OSError as exc:
+        print("grb_prom_check: cannot read %s: %s" % (args.metrics, exc),
+              file=sys.stderr)
+        return 2
+
+    names = {name for name, _ in samples}
+    for gauge in REQUIRED_GAUGES:
+        if gauge not in names:
+            errors.append("required memory gauge %s is missing" % gauge)
+        elif typed.get(gauge) != "gauge":
+            errors.append("%s must be # TYPE gauge" % gauge)
+
+    # Latency summaries: every op with a latency series must expose the
+    # required quantiles plus _sum and _count.
+    ops = {labels.get("op") for name, labels in samples
+           if name == "grb_op_latency_ns" and "op" in labels}
+    for op in sorted(ops | set(args.require_op)):
+        got = {labels.get("quantile") for name, labels in samples
+               if name == "grb_op_latency_ns" and labels.get("op") == op}
+        for q in REQUIRED_QUANTILES:
+            if q not in got:
+                errors.append(
+                    "grb_op_latency_ns{op=\"%s\"} lacks quantile=\"%s\""
+                    % (op, q))
+        for suffix in ("_sum", "_count"):
+            if not any(name == "grb_op_latency_ns" + suffix
+                       and labels.get("op") == op
+                       for name, labels in samples):
+                errors.append("grb_op_latency_ns%s{op=\"%s\"} is missing"
+                              % (suffix, op))
+    if typed.get("grb_op_latency_ns") not in (None, "summary"):
+        errors.append("grb_op_latency_ns must be # TYPE summary")
+
+    for e in errors:
+        print("grb_prom_check: %s" % e, file=sys.stderr)
+    print("grb_prom_check: %d samples, %d families, %d op summaries, "
+          "%d error(s)" % (len(samples), len(typed), len(ops), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,12 +24,14 @@ from collections import defaultdict
 
 
 def load_events(path):
+    """Return (events, dropped): span list and the dump's dropped count."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    dropped = doc.get("droppedEvents", 0) if isinstance(doc, dict) else 0
     if not isinstance(events, list):
         raise ValueError("traceEvents is not a list")
-    return events
+    return events, dropped
 
 
 def self_times(spans):
@@ -79,11 +81,19 @@ def main():
     args = ap.parse_args()
 
     try:
-        events = load_events(args.trace)
+        events, dropped = load_events(args.trace)
     except (OSError, ValueError, KeyError) as exc:
         print("grb_trace_summarize: cannot read %s: %s" % (args.trace, exc),
               file=sys.stderr)
         return 2
+
+    if dropped:
+        print("=" * 64, file=sys.stderr)
+        print("WARNING: %d span event(s) were DROPPED from this trace —"
+              % dropped, file=sys.stderr)
+        print("the span buffer overflowed while recording.  Totals below"
+              " UNDERCOUNT the real workload.", file=sys.stderr)
+        print("=" * 64, file=sys.stderr)
 
     spans = [e for e in events if e.get("ph") == "X"]
     counters = [e for e in events if e.get("ph") == "C"]
@@ -137,6 +147,7 @@ def main():
         out = {
             "spans": len(spans),
             "counters": len(counters),
+            "dropped": dropped,
             "api": [{"name": n, "count": c, "total_us": t}
                     for n, c, t in table("api", "total")[:args.top]],
             "api_self": [{"name": n, "count": c, "self_us": t}
