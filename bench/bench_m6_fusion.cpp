@@ -1,0 +1,153 @@
+// Experiment M6 (ablation, DESIGN.md §12): the deferred-op fusion
+// planner vs. the eager one-method-one-pass execution on a
+// PageRank-style iteration.
+//
+// Each iteration queues one sparse mxv followed by a chain of six
+// elementwise self-maps (damping, teleport, clamp, renormalize) before
+// the barrier.  Eagerly that is seven full passes over the rank vector —
+// six of them allocate, traverse, and publish an intermediate that the
+// next map immediately consumes.  The planner fuses the six maps into a
+// single pass, so the fused leg does two passes per iteration.  A second
+// pair of legs measures dead-write elimination: a chain whose first mxv
+// is overwritten wholesale before anyone reads it, which the planner
+// skips outright.
+//
+// Both legs of each pair run the same program with only the
+// GxB_Fusion_set knob flipped; BENCH_m6_fusion.json captures the
+// trajectory and tools/bench_compare.py diffs runs.  The fused legs
+// report an ops_fused counter (sampled from fusion.ops_fused over one
+// untimed iteration) so the JSON proves the planner actually engaged.
+#include "bench/bench_util.hpp"
+
+namespace {
+
+struct FusionSet {
+  int saved = 1;
+  explicit FusionSet(bool on) {
+    BENCH_TRY(GxB_Fusion_get(&saved));
+    BENCH_TRY(GxB_Fusion_set(on ? 1 : 0));
+  }
+  ~FusionSet() { GxB_Fusion_set(saved); }
+};
+
+constexpr GrB_Index kN = GrB_Index(1) << 20;
+constexpr GrB_Index kDegree = 4;
+
+// Sparse column-stochastic-ish graph: kDegree random out-edges per row,
+// weights scaled by 1/kDegree so iterated ranks neither explode nor
+// underflow into denormals.
+GrB_Matrix graph() {
+  static GrB_Matrix a = [] {
+    grb::Prng rng(601);
+    GrB_Matrix m = nullptr;
+    BENCH_TRY(GrB_Matrix_new(&m, GrB_FP64, kN, kN));
+    for (GrB_Index i = 0; i < kN; ++i)
+      for (GrB_Index e = 0; e < kDegree; ++e)
+        BENCH_TRY(GrB_Matrix_setElement(
+            m, (rng.uniform() + 0.5) / double(kDegree), i, rng.below(kN)));
+    BENCH_TRY(GrB_wait(m, GrB_MATERIALIZE));
+    return m;
+  }();
+  return a;
+}
+
+GrB_Vector ranks() {
+  static GrB_Vector r = benchutil::dense_vector(kN, 602);
+  return r;
+}
+
+// One PageRank-style step into r2: rank propagation then the damping /
+// teleport / clamp / renormalize chain, drained by the barrier.
+void pagerank_iteration(GrB_Matrix a, GrB_Vector r, GrB_Vector r2) {
+  BENCH_TRY(GrB_mxv(r2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, r, GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, 0.85, r2,
+                      GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, r2,
+                      0.15 / double(kN), GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_ABS_FP64, r2, GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, 1.0625, r2,
+                      GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, r2, 1e-12,
+                      GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, 0.9995, r2,
+                      GrB_NULL));
+  BENCH_TRY(GrB_wait(r2, GrB_COMPLETE));
+}
+
+// Samples fusion.ops_fused across one untimed run of `step` so the
+// fused legs can prove the planner engaged (0 on the eager legs).
+template <class Step>
+double sample_ops_fused(Step&& step) {
+  BENCH_TRY(GxB_Stats_enable(1));
+  BENCH_TRY(GxB_Stats_reset());
+  step();
+  uint64_t fused = 0;
+  BENCH_TRY(GxB_Stats_get("fusion.ops_fused", &fused));
+  BENCH_TRY(GxB_Stats_enable(0));
+  BENCH_TRY(GxB_Stats_reset());
+  return double(fused);
+}
+
+void run_pagerank(benchmark::State& state, bool fused) {
+  FusionSet fusion(fused);
+  GrB_Matrix a = graph();
+  GrB_Vector r = ranks();
+  GrB_Vector r2 = nullptr;
+  BENCH_TRY(GrB_Vector_new(&r2, GrB_FP64, kN));
+  auto step = [&] { pagerank_iteration(a, r, r2); };
+  state.counters["ops_fused"] = sample_ops_fused(step);
+  for (auto _ : state) step();
+  state.SetItemsProcessed(state.iterations() * kN);
+  GrB_free(&r2);
+}
+
+void BM_PageRank_Fused(benchmark::State& state) {
+  run_pagerank(state, true);
+}
+void BM_PageRank_Eager(benchmark::State& state) {
+  run_pagerank(state, false);
+}
+BENCHMARK(BM_PageRank_Fused)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_Eager)->Unit(benchmark::kMillisecond);
+
+// Dead-write ablation: a speculative propagation is overwritten
+// wholesale by the final one before the barrier.  The planner drops the
+// first mxv (and its map) entirely; the eager leg pays for both.
+void overwrite_chain(GrB_Matrix a, GrB_Vector r, GrB_Vector r2) {
+  BENCH_TRY(GrB_mxv(r2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, r, GrB_NULL));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, 0.85, r2,
+                      GrB_NULL));
+  BENCH_TRY(GrB_mxv(r2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, r, GrB_DESC_T0));
+  BENCH_TRY(GrB_apply(r2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, 0.85, r2,
+                      GrB_NULL));
+  BENCH_TRY(GrB_wait(r2, GrB_COMPLETE));
+}
+
+void run_overwrite(benchmark::State& state, bool fused) {
+  FusionSet fusion(fused);
+  GrB_Matrix a = graph();
+  GrB_Vector r = ranks();
+  GrB_Vector r2 = nullptr;
+  BENCH_TRY(GrB_Vector_new(&r2, GrB_FP64, kN));
+  auto step = [&] { overwrite_chain(a, r, r2); };
+  state.counters["ops_fused"] = sample_ops_fused(step);
+  for (auto _ : state) step();
+  state.SetItemsProcessed(state.iterations() * kN);
+  GrB_free(&r2);
+}
+
+void BM_Overwrite_Fused(benchmark::State& state) {
+  run_overwrite(state, true);
+}
+void BM_Overwrite_Eager(benchmark::State& state) {
+  run_overwrite(state, false);
+}
+BENCHMARK(BM_Overwrite_Fused)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Overwrite_Eager)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -1719,6 +1719,8 @@ inline constexpr const char* const GxB_EXTENSIONS[] = {
     "GxB_Memory_report",
     "GxB_Object_memory",
     "GxB_FlightRecorder_dump",
+    "GxB_Fusion_set",
+    "GxB_Fusion_get",
 };
 inline constexpr GrB_Index GxB_EXTENSION_COUNT =
     sizeof(GxB_EXTENSIONS) / sizeof(GxB_EXTENSIONS[0]);
@@ -1868,6 +1870,27 @@ inline GrB_Info GxB_Object_memory(GrB_Scalar s_, uint64_t* live,
 inline GrB_Info GxB_FlightRecorder_dump(const char* path) {
   return grb_detail::guarded([&]() -> GrB_Info {
     return grb::obs::fr_dump_file(path) ? GrB_SUCCESS : GrB_INVALID_VALUE;
+  });
+}
+
+// Enables (on != 0) or disables (on == 0) the nonblocking-mode fusion
+// planner (DESIGN.md §12).  On by default; GRB_FUSION=off|0 in the
+// environment selects the eager per-op execution as an ablation
+// baseline.  Disabling never changes results, only how the deferred
+// queue is executed.
+inline GrB_Info GxB_Fusion_set(int on) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    grb::set_fusion_enabled(on != 0);
+    return GrB_SUCCESS;
+  });
+}
+
+// Reads the current fusion-planner setting (1 = on, 0 = off).
+inline GrB_Info GxB_Fusion_get(int* on) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (on == nullptr) return GrB_NULL_POINTER;
+    *on = grb::fusion_enabled() ? 1 : 0;
+    return GrB_SUCCESS;
   });
 }
 

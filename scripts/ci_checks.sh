@@ -16,7 +16,8 @@
 #                        the annotations compile as no-ops elsewhere)
 #   6. clang-tidy      — bugprone-*/concurrency-*/performance-* profile
 #                        (skipped with a notice when clang-tidy is absent)
-#   7. bench           — bench_m4_masked_mxm + bench_m5_spgemm_adaptive,
+#   7. bench           — bench_m4_masked_mxm + bench_m5_spgemm_adaptive
+#                        + bench_m6_fusion,
 #                        archiving BENCH_*.json under bench_artifacts/;
 #                        when bench_artifacts/baseline/ holds a prior
 #                        set, tools/bench_compare.py diffs against it
@@ -80,11 +81,11 @@ else
   echo "SKIPPED: clang-tidy not found"
 fi
 
-note "benchmarks (m4 masked mxm + m5 adaptive spgemm)"
+note "benchmarks (m4 masked mxm + m5 adaptive spgemm + m6 fusion)"
 cmake --build build -j "$JOBS" \
-      --target bench_m4_masked_mxm bench_m5_spgemm_adaptive
+      --target bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion
 mkdir -p bench_artifacts
-for bench in bench_m4_masked_mxm bench_m5_spgemm_adaptive; do
+for bench in bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion; do
   (cd bench_artifacts && \
    "../build/bench/$bench" --benchmark_repetitions=3 \
        --benchmark_report_aggregates_only=true \

@@ -90,35 +90,123 @@ std::shared_ptr<MatrixData> Matrix::fold(const MatrixData& base,
 }
 
 Info Matrix::flush_pending() {
+  uint64_t upto;
+  {
+    MutexLock lock(mu_);
+    upto = pend_consumed_ + pend_.size();
+  }
+  return flush_prefix(upto);
+}
+
+Info Matrix::flush_prefix(uint64_t upto) {
   obs::TrackedVec<PendingTupleIJ> pend{
       obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)};
   ValueArray pvals(type_->size(), pend_acct_);
   std::shared_ptr<const MatrixData> base;
+  size_t remaining;
   {
     MutexLock lock(mu_);
-    if (pend_.empty()) return Info::kSuccess;
-    pend.swap(pend_);
-    pvals = std::move(pend_vals_);
-    pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    size_t take =
+        upto > pend_consumed_
+            ? std::min<size_t>(pend_.size(),
+                               static_cast<size_t>(upto - pend_consumed_))
+            : 0;
+    if (take == 0) return Info::kSuccess;
+    if (take == pend_.size()) {
+      pend.swap(pend_);
+      pvals = std::move(pend_vals_);
+      pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    } else {
+      // Split: fold only the leading `take` tuples (see Vector).
+      size_t slots = 0;
+      for (size_t s = 0; s < take; ++s) {
+        pend.push_back(pend_[s]);
+        if (!pend_[s].is_delete) ++slots;
+      }
+      for (size_t s = 0; s < slots; ++s) pvals.push_back_from(pend_vals_, s);
+      obs::TrackedVec<PendingTupleIJ> rest{
+          obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)};
+      ValueArray rvals(type_->size(), pend_acct_);
+      size_t next_slot = slots;
+      for (size_t s = take; s < pend_.size(); ++s) {
+        rest.push_back(pend_[s]);
+        if (!pend_[s].is_delete) {
+          rvals.push_back_from(pend_vals_, next_slot);
+          ++next_slot;
+        }
+      }
+      pend_.swap(rest);
+      pend_vals_ = std::move(rvals);
+    }
+    pend_consumed_ += take;
+    remaining = pend_.size();
     base = data_;
   }
-  obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty
+  obs::pending_tuples_sample(remaining);
   auto folded = fold(*base, std::move(pend), std::move(pvals));
   MutexLock lock(mu_);
   data_ = std::move(folded);
   return Info::kSuccess;
 }
 
-void Matrix::enqueue(std::function<Info()> op) {
+Info Matrix::drop_prefix(uint64_t upto) {
+  size_t remaining;
+  {
+    MutexLock lock(mu_);
+    size_t take =
+        upto > pend_consumed_
+            ? std::min<size_t>(pend_.size(),
+                               static_cast<size_t>(upto - pend_consumed_))
+            : 0;
+    if (take == 0) return Info::kSuccess;
+    if (take == pend_.size()) {
+      obs::TrackedVec<PendingTupleIJ> none{
+          obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)};
+      pend_.swap(none);
+      pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    } else {
+      size_t slots = 0;
+      for (size_t s = 0; s < take; ++s)
+        if (!pend_[s].is_delete) ++slots;
+      obs::TrackedVec<PendingTupleIJ> rest{
+          obs::TrackedAlloc<PendingTupleIJ>(pend_acct_)};
+      ValueArray rvals(type_->size(), pend_acct_);
+      size_t next_slot = slots;
+      for (size_t s = take; s < pend_.size(); ++s) {
+        rest.push_back(pend_[s]);
+        if (!pend_[s].is_delete) {
+          rvals.push_back_from(pend_vals_, next_slot);
+          ++next_slot;
+        }
+      }
+      pend_.swap(rest);
+      pend_vals_ = std::move(rvals);
+    }
+    pend_consumed_ += take;
+    remaining = pend_.size();
+  }
+  obs::pending_tuples_sample(remaining);
+  return Info::kSuccess;
+}
+
+void Matrix::enqueue(std::function<Info()> op, FuseNode node) {
+  // See Vector::enqueue: tagged prefix fold, batched across consecutive
+  // deferred ops over one setElement burst.
+  uint64_t upto;
   bool have_tuples;
   {
     MutexLock lock(mu_);
     have_tuples = !pend_.empty();
+    upto = pend_consumed_ + pend_.size();
   }
-  if (have_tuples) {
-    ObjectBase::enqueue([this]() -> Info { return flush_pending(); });
+  if (have_tuples && !flush_queued_covering(upto)) {
+    FuseNode fl;
+    fl.kind = FuseNode::Kind::kFlush;
+    fl.flush_upto = upto;
+    ObjectBase::enqueue([this, upto]() -> Info { return flush_prefix(upto); },
+                        std::move(fl));
   }
-  ObjectBase::enqueue(std::move(op));
+  ObjectBase::enqueue(std::move(op), std::move(node));
 }
 
 Info Matrix::new_(Matrix** a, const Type* type, Index nrows, Index ncols,
@@ -162,7 +250,11 @@ Info Matrix::clear() {
     publish(std::make_shared<MatrixData>(type_, r, c));
     return Info::kSuccess;
   };
-  return defer_or_run(this, op);
+  // Full overwrite without reading: a dead-write killer.
+  FuseNode node;
+  node.reads_out = false;
+  node.full_replace = true;
+  return defer_or_run(this, op, std::move(node));
 }
 
 Info Matrix::nvals(Index* out) {
@@ -205,7 +297,11 @@ Info Matrix::resize(Index new_nrows, Index new_ncols) {
     return Info::kSuccess;
   };
   if (mode() == Mode::kBlocking) GRB_RETURN_IF_ERROR(flush_pending());
-  return defer_or_run(this, op);
+  // Handle dims changed eagerly; the truncation must survive dead-write
+  // elimination (see Vector::resize).
+  FuseNode node;
+  node.must_run = true;
+  return defer_or_run(this, op, std::move(node));
 }
 
 }  // namespace grb

@@ -79,37 +79,129 @@ std::shared_ptr<VectorData> Vector::fold(const VectorData& base,
 }
 
 Info Vector::flush_pending() {
+  uint64_t upto;
+  {
+    MutexLock lock(mu_);
+    upto = pend_consumed_ + pend_.size();
+  }
+  return flush_prefix(upto);
+}
+
+Info Vector::flush_prefix(uint64_t upto) {
   obs::TrackedVec<PendingTuple> pend{
       obs::TrackedAlloc<PendingTuple>(pend_acct_)};
   ValueArray pvals(type_->size(), pend_acct_);
   std::shared_ptr<const VectorData> base;
+  size_t remaining;
   {
     MutexLock lock(mu_);
-    if (pend_.empty()) return Info::kSuccess;
-    pend.swap(pend_);
-    pvals = std::move(pend_vals_);
-    pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    size_t take =
+        upto > pend_consumed_
+            ? std::min<size_t>(pend_.size(),
+                               static_cast<size_t>(upto - pend_consumed_))
+            : 0;
+    if (take == 0) return Info::kSuccess;
+    if (take == pend_.size()) {
+      pend.swap(pend_);
+      pvals = std::move(pend_vals_);
+      pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    } else {
+      // Split: fold only the leading `take` tuples.  Value slots are
+      // numbered in insertion order among non-deletes, so the prefix
+      // owns the first slots and the survivors' slots shift down.
+      size_t slots = 0;
+      for (size_t s = 0; s < take; ++s) {
+        pend.push_back(pend_[s]);
+        if (!pend_[s].is_delete) ++slots;
+      }
+      for (size_t s = 0; s < slots; ++s) pvals.push_back_from(pend_vals_, s);
+      obs::TrackedVec<PendingTuple> rest{
+          obs::TrackedAlloc<PendingTuple>(pend_acct_)};
+      ValueArray rvals(type_->size(), pend_acct_);
+      size_t next_slot = slots;
+      for (size_t s = take; s < pend_.size(); ++s) {
+        rest.push_back(pend_[s]);
+        if (!pend_[s].is_delete) {
+          rvals.push_back_from(pend_vals_, next_slot);
+          ++next_slot;
+        }
+      }
+      pend_.swap(rest);
+      pend_vals_ = std::move(rvals);
+    }
+    pend_consumed_ += take;
+    remaining = pend_.size();
     base = data_;
   }
-  obs::pending_tuples_sample(0);  // tuples folded; gauge drops to empty
+  obs::pending_tuples_sample(remaining);
   auto folded = fold(*base, std::move(pend), std::move(pvals));
   MutexLock lock(mu_);
   data_ = std::move(folded);
   return Info::kSuccess;
 }
 
-void Vector::enqueue(std::function<Info()> op) {
+Info Vector::drop_prefix(uint64_t upto) {
+  size_t remaining;
+  {
+    MutexLock lock(mu_);
+    size_t take =
+        upto > pend_consumed_
+            ? std::min<size_t>(pend_.size(),
+                               static_cast<size_t>(upto - pend_consumed_))
+            : 0;
+    if (take == 0) return Info::kSuccess;
+    if (take == pend_.size()) {
+      obs::TrackedVec<PendingTuple> none{
+          obs::TrackedAlloc<PendingTuple>(pend_acct_)};
+      pend_.swap(none);
+      pend_vals_ = ValueArray(type_->size(), pend_acct_);
+    } else {
+      size_t slots = 0;
+      for (size_t s = 0; s < take; ++s)
+        if (!pend_[s].is_delete) ++slots;
+      obs::TrackedVec<PendingTuple> rest{
+          obs::TrackedAlloc<PendingTuple>(pend_acct_)};
+      ValueArray rvals(type_->size(), pend_acct_);
+      size_t next_slot = slots;
+      for (size_t s = take; s < pend_.size(); ++s) {
+        rest.push_back(pend_[s]);
+        if (!pend_[s].is_delete) {
+          rvals.push_back_from(pend_vals_, next_slot);
+          ++next_slot;
+        }
+      }
+      pend_.swap(rest);
+      pend_vals_ = std::move(rvals);
+    }
+    pend_consumed_ += take;
+    remaining = pend_.size();
+  }
+  obs::pending_tuples_sample(remaining);
+  return Info::kSuccess;
+}
+
+void Vector::enqueue(std::function<Info()> op, FuseNode node) {
   // Fold outstanding fast-path tuples into the sequence first so the
-  // deferred op observes them in program order.
+  // deferred op observes them in program order.  The fold is tagged with
+  // the absolute tuple count it covers; when a queued flush node already
+  // covers everything pending, a second one would fold zero tuples, so
+  // none is injected — consecutive deferred ops over one setElement
+  // burst share a single batched fold.
+  uint64_t upto;
   bool have_tuples;
   {
     MutexLock lock(mu_);
     have_tuples = !pend_.empty();
+    upto = pend_consumed_ + pend_.size();
   }
-  if (have_tuples) {
-    ObjectBase::enqueue([this]() -> Info { return flush_pending(); });
+  if (have_tuples && !flush_queued_covering(upto)) {
+    FuseNode fl;
+    fl.kind = FuseNode::Kind::kFlush;
+    fl.flush_upto = upto;
+    ObjectBase::enqueue([this, upto]() -> Info { return flush_prefix(upto); },
+                        std::move(fl));
   }
-  ObjectBase::enqueue(std::move(op));
+  ObjectBase::enqueue(std::move(op), std::move(node));
 }
 
 Info Vector::new_(Vector** v, const Type* type, Index n, Context* ctx) {
@@ -151,7 +243,12 @@ Info Vector::clear() {
     publish(std::make_shared<VectorData>(type_, n));
     return Info::kSuccess;
   };
-  return defer_or_run(this, op);
+  // clear fully replaces the contents without reading them: a killer for
+  // dead-write elimination.
+  FuseNode node;
+  node.reads_out = false;
+  node.full_replace = true;
+  return defer_or_run(this, op, std::move(node));
 }
 
 Info Vector::nvals(Index* out) {
@@ -190,7 +287,12 @@ Info Vector::resize(Index new_size) {
     return Info::kSuccess;
   };
   if (mode() == Mode::kBlocking) GRB_RETURN_IF_ERROR(flush_pending());
-  return defer_or_run(this, op);
+  // The handle dimension already changed eagerly; the stored truncation
+  // must run even when a later op overwrites the values (must_run), or a
+  // subsequent writeback would merge against stale-dimension data.
+  FuseNode node;
+  node.must_run = true;
+  return defer_or_run(this, op, std::move(node));
 }
 
 }  // namespace grb

@@ -89,8 +89,18 @@ class Vector : public ObjectBase, public obs::MemReportable {
   void publish(std::shared_ptr<const VectorData> data) GRB_EXCLUDES(mu_);
 
   // Folds any pending tuples into the sequence, then appends `op`, so
-  // deferred operations observe setElement calls in program order.
-  void enqueue(std::function<Info()> op) override GRB_EXCLUDES(mu_);
+  // deferred operations observe setElement calls in program order.  The
+  // injected fold is a kFlush node tagged with the absolute tuple count
+  // it covers; when a queued flush already covers everything pending, no
+  // second node is injected (pending-writeback batching).
+  void enqueue(std::function<Info()> op,
+               FuseNode node = FuseNode{}) override GRB_EXCLUDES(mu_);
+
+  // Folds (or, for dead-write elimination, discards) exactly the pending
+  // tuples enqueued before absolute consumed-count `upto`; tuples queued
+  // after that point stay pending for a later fold.
+  Info flush_prefix(uint64_t upto) override GRB_EXCLUDES(mu_);
+  Info drop_prefix(uint64_t upto) override GRB_EXCLUDES(mu_);
 
   // The current data block, without forcing completion.  Safe inside a
   // deferred closure: the sequence is FIFO, so every predecessor has
@@ -133,6 +143,9 @@ class Vector : public ObjectBase, public obs::MemReportable {
   std::shared_ptr<obs::MemAccount> pend_acct_;
   obs::TrackedVec<PendingTuple> pend_ GRB_GUARDED_BY(mu_);
   ValueArray pend_vals_ GRB_GUARDED_BY(mu_);
+  // Monotonic count of pending tuples ever folded or dropped; kFlush
+  // nodes carry the absolute count they advance to (flush_prefix).
+  uint64_t pend_consumed_ GRB_GUARDED_BY(mu_) = 0;
 
   // Folds `pend/pend_vals` (moved-from) into `base`, producing new data.
   static std::shared_ptr<VectorData> fold(

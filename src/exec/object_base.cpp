@@ -15,14 +15,14 @@ Info ObjectBase::switch_context(Context* new_ctx) {
   return Info::kSuccess;
 }
 
-void ObjectBase::enqueue(std::function<Info()> op) {
+void ObjectBase::enqueue(std::function<Info()> op, FuseNode node) {
   // The entry-point name travels with the closure so a later failure
   // during complete() can name the method that caused it, and so the
   // trace can show the deferral gap between call and execution.
   const char* op_name = obs::current_op();
   uint64_t enq_ns = obs::telemetry_enabled() ? obs::now_ns() : 0;
   MutexLock lock(mu_);
-  queue_.push_back(Deferred{std::move(op), op_name, enq_ns});
+  queue_.push_back(Deferred{std::move(op), op_name, enq_ns, std::move(node)});
   obs::queue_depth_sample(queue_.size());
 }
 
@@ -42,31 +42,26 @@ Info ObjectBase::complete() {
       batch.swap(queue_);
     }
     obs::queue_drained(batch.size());
-    for (auto& d : batch) {
-      // Execution is attributed to the method that enqueued the closure
-      // (serial/parallel path counts, scalars, flops), not to the
-      // GrB_wait that happens to drain it.
-      obs::CurrentOpScope op_scope(d.op);
-      if (obs::flight_enabled())
-        obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0);
-      uint64_t t0 = obs::telemetry_enabled() ? obs::now_ns() : 0;
-      Info info = d.fn();
-      obs::deferred_return(d.op, t0, d.enqueued_ns,
-                           static_cast<int>(info) < 0);
-      // Deferred methods only validated their API contract eagerly; any
-      // failure here is an execution-class failure for this object, even
-      // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
-      // paper SIX) is numerically in the API band.
-      if (static_cast<int>(info) < 0) {
-        // Record the error and discard the rest of the sequence in one
-        // critical section, so no other thread can observe the object
-        // poisoned but still holding methods it will never run.
-        MutexLock lock(mu_);
-        poison_locked(info, std::string("deferred ") + d.op +
-                                " failed: " + info_name(info));
-        queue_.clear();
-        return info;
-      }
+    // The fusion planner executes the batch: dead-write elimination,
+    // fused elementwise passes, and eager execution of everything else —
+    // or a pure eager walk under GRB_FUSION=off.  Per-method attribution
+    // (CurrentOpScope, deferred spans, flight records) happens inside.
+    const char* failed_op = nullptr;
+    Info info = fusion_execute_batch(this, batch, &failed_op);
+    // Deferred methods only validated their API contract eagerly; any
+    // failure here is an execution-class failure for this object, even
+    // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
+    // paper SIX) is numerically in the API band.
+    if (static_cast<int>(info) < 0) {
+      // Record the error and discard the rest of the sequence in one
+      // critical section, so no other thread can observe the object
+      // poisoned but still holding methods it will never run.
+      MutexLock lock(mu_);
+      poison_locked(info, std::string("deferred ") +
+                              (failed_op != nullptr ? failed_op : "method") +
+                              " failed: " + info_name(info));
+      queue_.clear();
+      return info;
     }
   }
   Info info = flush_pending();
@@ -116,7 +111,7 @@ const char* ObjectBase::error_string() const {
   return errmsg_.c_str();
 }
 
-Info defer_or_run(ObjectBase* out, std::function<Info()> op) {
+Info defer_or_run(ObjectBase* out, std::function<Info()> op, FuseNode node) {
   if (out->mode() == Mode::kBlocking) {
     Info info = op();
     if (static_cast<int>(info) < 0) {
@@ -125,7 +120,7 @@ Info defer_or_run(ObjectBase* out, std::function<Info()> op) {
     }
     return info;
   }
-  out->enqueue(std::move(op));
+  out->enqueue(std::move(op), std::move(node));
   return Info::kSuccess;
 }
 

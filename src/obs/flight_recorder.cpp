@@ -84,6 +84,8 @@ const char* kind_name(uint8_t kind) {
     case FrKind::kApiError: return "api-error";
     case FrKind::kDeferredExec: return "deferred-exec";
     case FrKind::kPoison: return "poison";
+    case FrKind::kFusionPlan: return "fusion-plan";
+    case FrKind::kFusionExec: return "fusion-exec";
   }
   return "?";
 }

@@ -31,6 +31,8 @@ enum class FrKind : uint8_t {
   kApiError = 1,   // an entry point returned an execution error
   kDeferredExec = 2,  // a deferred method ran during complete()
   kPoison = 3,     // an object recorded its first deferred error
+  kFusionPlan = 4,  // the fusion planner selected chains / dead writes
+  kFusionExec = 5,  // a fused group ran (info = node count)
 };
 
 // Ring sizing / lifecycle.  fr_resize(0) disables recording (and clears

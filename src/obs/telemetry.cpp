@@ -168,6 +168,11 @@ struct Globals {
   std::atomic<uint64_t> spgemm_flops_est{0};
   std::atomic<uint64_t> arena_hits{0};
   std::atomic<uint64_t> arena_misses{0};
+  // Fusion-planner outcomes (chains selected, nodes fused into them,
+  // dead writes eliminated) accumulated across materialization batches.
+  std::atomic<uint64_t> fusion_chains{0};
+  std::atomic<uint64_t> fusion_ops_fused{0};
+  std::atomic<uint64_t> fusion_dead_writes{0};
 };
 
 Globals g_globals;
@@ -381,6 +386,22 @@ void arena_request(bool hit) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+void fusion_plan(uint64_t chains, uint64_t ops_fused, uint64_t dead_writes) {
+  if (!stats_enabled()) return;
+  if (chains != 0)
+    g_globals.fusion_chains.fetch_add(chains, std::memory_order_relaxed);
+  if (ops_fused != 0)
+    g_globals.fusion_ops_fused.fetch_add(ops_fused, std::memory_order_relaxed);
+  if (dead_writes != 0)
+    g_globals.fusion_dead_writes.fetch_add(dead_writes,
+                                           std::memory_order_relaxed);
+}
+
+void fusion_span(const char* name, uint64_t t0) {
+  if (!trace_enabled()) return;
+  record_event(name, "fusion", 'X', t0, now_ns() - t0, nullptr, 0);
+}
+
 void queue_depth_sample(size_t depth) {
   uint32_t f = flags();
   if ((f & (kStatsFlag | kTraceFlag)) == 0) return;
@@ -469,6 +490,9 @@ void stats_reset() {
   g_globals.spgemm_flops_est = 0;
   g_globals.arena_hits = 0;
   g_globals.arena_misses = 0;
+  g_globals.fusion_chains = 0;
+  g_globals.fusion_ops_fused = 0;
+  g_globals.fusion_dead_writes = 0;
   // trace_events / trace_dropped reset with the trace buffer, and the
   // pool_busy live gauge belongs to in-flight parallel_for calls.
 }
@@ -551,6 +575,9 @@ bool stats_get(const char* name, uint64_t* value) {
       {"spgemm.flops_estimated", &g_globals.spgemm_flops_est},
       {"arena.reuse_hits", &g_globals.arena_hits},
       {"arena.reuse_misses", &g_globals.arena_misses},
+      {"fusion.chains", &g_globals.fusion_chains},
+      {"fusion.ops_fused", &g_globals.fusion_ops_fused},
+      {"fusion.dead_writes_eliminated", &g_globals.fusion_dead_writes},
   };
   for (const auto& g : globals) {
     if (std::strcmp(name, g.name) == 0) {
@@ -674,8 +701,19 @@ std::string stats_json() {
   std::snprintf(buf, sizeof buf, "\"arena.reuse_hits\":%llu,",
                 static_cast<unsigned long long>(ld(g_globals.arena_hits)));
   out.append(buf);
-  std::snprintf(buf, sizeof buf, "\"arena.reuse_misses\":%llu",
+  std::snprintf(buf, sizeof buf, "\"arena.reuse_misses\":%llu,",
                 static_cast<unsigned long long>(ld(g_globals.arena_misses)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"fusion.chains\":%llu,",
+                static_cast<unsigned long long>(ld(g_globals.fusion_chains)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"fusion.ops_fused\":%llu,",
+                static_cast<unsigned long long>(
+                    ld(g_globals.fusion_ops_fused)));
+  out.append(buf);
+  std::snprintf(buf, sizeof buf, "\"fusion.dead_writes_eliminated\":%llu",
+                static_cast<unsigned long long>(
+                    ld(g_globals.fusion_dead_writes)));
   out.append(buf);
   // Memory-attribution and flight-recorder gauges (function-backed).
   for (const auto& g : kFnGauges) {

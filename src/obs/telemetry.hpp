@@ -120,6 +120,17 @@ void spgemm_flops_estimated(uint64_t n);
 // allocation or clear ("arena.reuse_hits" / "arena.reuse_misses").
 void arena_request(bool hit);
 
+// Fusion-planner outcome for one materialization batch: fused chains
+// selected ("fusion.chains"), nodes inside them ("fusion.ops_fused"),
+// and dead writes eliminated ("fusion.dead_writes_eliminated").
+// Stats-gated; the planner calls it once per plan, never per node.
+void fusion_plan(uint64_t chains, uint64_t ops_fused, uint64_t dead_writes);
+
+// Emits a complete-event span ("fusion.plan" / "fusion.exec") covering
+// planner or fused-group work.  Trace-gated; `t0` is the now_ns() stamp
+// taken when the phase began.
+void fusion_span(const char* name, uint64_t t0);
+
 // Gauges: deferred-queue depth after an enqueue, entries drained by a
 // complete() batch, pending-tuple count after a fast-path set_element.
 void queue_depth_sample(size_t depth);
@@ -146,6 +157,7 @@ void stats_reset();
 // "pending.high_water", "pool.submitted", "pool.chunks", "pool.steals",
 // "pool.parks", "pool.busy_high_water", "trace.events", "trace.dropped",
 // "spgemm.rows_hash", "spgemm.rows_dense", "spgemm.flops_estimated",
+// "fusion.chains", "fusion.ops_fused", "fusion.dead_writes_eliminated",
 // "arena.reuse_hits", "arena.reuse_misses", "mem.live_bytes",
 // "mem.peak_bytes", "mem.arena_live_bytes", "mem.arena_peak_bytes",
 // "mem.objects", "flight.events", "flight.overwrites",

@@ -105,6 +105,112 @@ Info capture_scalar(ValueBuf* buf, const Type* to, const void* s,
   return Info::kSuccess;
 }
 
+// ---- shared deferral -------------------------------------------------------
+// Every apply form is a structure-preserving value map over its input.
+// `factory` builds the per-chunk mapper (4-arg form; vectors pass j = 0)
+// used by BOTH the eager closure and — when the writeback is a plain
+// replace (no mask, no accumulator) — the fusion planner, so the fused
+// and eager paths run literally the same kernel.
+//
+// Plain self-apply (u == w) skips the eager input snapshot and reads
+// w->current_data() inside the closure instead: by FIFO ordering of the
+// deferred queue both see the same data, and staying lazy is what lets
+// the planner accumulate apply→apply chains instead of forcing a
+// materialization per call.
+
+Info defer_vec_map(Vector* w, const Vector* u, const Vector* mask,
+                   const BinaryOp* accum, const Descriptor& d,
+                   const Type* ztype, MapFactory factory) {
+  const bool plain = mask == nullptr && accum == nullptr && !d.mask_comp();
+  const bool lazy_self = plain && u == w;
+  std::shared_ptr<const VectorData> u_snap, m_snap;
+  if (!lazy_self)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  FuseNode node;
+  if (plain) {
+    node.kind = FuseNode::Kind::kMap;
+    node.ztype = ztype;
+    node.make_mapper = factory;
+    node.full_replace = true;
+    if (!lazy_self) {
+      // Overwrites w from u's snapshot without reading w: a chain head
+      // and a dead-write killer.
+      node.reads_out = false;
+      node.vsrc = u_snap;
+    }
+  }
+  return defer_or_run(
+      w,
+      [w, u_snap, m_snap, spec, ztype,
+       factory = std::move(factory)]() -> Info {
+        std::shared_ptr<const VectorData> uu =
+            u_snap != nullptr ? u_snap : w->current_data();
+        Context* ectx = exec_context(w->context(), uu->nvals());
+        auto t = map_vector(ectx, *uu, ztype, [&] {
+          return [fn = factory()](void* z, const void* x, Index i) mutable {
+            fn(z, x, i, 0);
+          };
+        });
+        auto c_old = w->current_data();
+        w->publish(
+            writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+        return Info::kSuccess;
+      },
+      std::move(node));
+}
+
+Info defer_mat_map(Matrix* c, const Matrix* a, const Matrix* mask,
+                   const BinaryOp* accum, const Descriptor& d,
+                   const Type* ztype, MapFactory factory) {
+  const bool t0 = d.tran0();
+  const bool plain = mask == nullptr && accum == nullptr && !d.mask_comp();
+  const bool lazy_self = plain && a == c && !t0;
+  std::shared_ptr<const MatrixData> a_snap, m_snap;
+  if (!lazy_self)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
+  if (mask != nullptr)
+    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
+  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
+  FuseNode node;
+  if (plain) {
+    if (!t0) {
+      node.kind = FuseNode::Kind::kMap;
+      node.ztype = ztype;
+      node.make_mapper = factory;
+      node.full_replace = true;
+      if (!lazy_self) {
+        node.reads_out = false;
+        node.msrc = a_snap;
+      }
+    } else {
+      // Transposed input: the pass is not a map over the stored layout,
+      // so it stays opaque — but it still fully replaces c without
+      // reading it (any self-read completed at snapshot time above).
+      node.reads_out = false;
+      node.full_replace = true;
+    }
+  }
+  return defer_or_run(
+      c,
+      [c, a_snap, m_snap, spec, ztype, t0,
+       factory = std::move(factory)]() -> Info {
+        std::shared_ptr<const MatrixData> base =
+            a_snap != nullptr ? a_snap : c->current_data();
+        std::shared_ptr<const MatrixData> av =
+            t0 ? transpose_data(*base) : base;
+        auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
+                            ztype, [&] { return factory(); });
+        auto c_old = c->current_data();
+        c->publish(
+            writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
+        return Info::kSuccess;
+      },
+      std::move(node));
+}
+
 }  // namespace
 
 // ---- unary-op apply --------------------------------------------------------
@@ -115,24 +221,13 @@ Info apply(Vector* w, const Vector* mask, const BinaryOp* accum,
   GRB_RETURN_IF_ERROR(
       validate_apply_v(w, mask, accum, op->xtype(), op->ztype(), u));
   const Descriptor& d = resolve_desc(desc);
-  std::shared_ptr<const VectorData> u_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  return defer_or_run(w, [w, u_snap, m_snap, op, spec]() -> Info {
-    Context* ectx = exec_context(w->context(), u_snap->nvals());
-    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
-      return [run = UnRunner(op, u_snap->type)](void* z, const void* x,
-                                                Index) mutable {
-        run.run(z, x);
-      };
-    });
-    auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* ut = u->type();
+  return defer_vec_map(w, u, mask, accum, d, op->ztype(),
+                       [op, ut]() -> MapFn {
+                         return [run = UnRunner(op, ut)](
+                                    void* z, const void* x, Index,
+                                    Index) mutable { run.run(z, x); };
+                       });
 }
 
 Info apply(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -141,27 +236,13 @@ Info apply(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   const Descriptor& d = resolve_desc(desc);
   GRB_RETURN_IF_ERROR(
       validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
-  std::shared_ptr<const MatrixData> a_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  bool t0 = d.tran0();
-  return defer_or_run(c, [c, a_snap, m_snap, op, spec, t0]() -> Info {
-    std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
-                        op->ztype(), [&] {
-      return [run = UnRunner(op, av->type)](void* z, const void* x, Index,
-                                            Index) mutable {
-        run.run(z, x);
-      };
-    });
-    auto c_old = c->current_data();
-    c->publish(
-        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* at = a->type();
+  return defer_mat_map(c, a, mask, accum, d, op->ztype(),
+                       [op, at]() -> MapFn {
+                         return [run = UnRunner(op, at)](
+                                    void* z, const void* x, Index,
+                                    Index) mutable { run.run(z, x); };
+                       });
 }
 
 // ---- bound-binary apply -----------------------------------------------------
@@ -175,26 +256,16 @@ Info apply_bind1st(Vector* w, const Vector* mask, const BinaryOp* accum,
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->xtype(), s, stype));
   const Descriptor& d = resolve_desc(desc);
-  std::shared_ptr<const VectorData> u_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    Context* ectx = exec_context(w->context(), u_snap->nvals());
-    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
-      return [&op = *op, &sv, u2y = Caster(op->ytype(), u_snap->type),
-              yb = ValueBuf(op->ytype()->size())](void* z, const void* x,
-                                                  Index) mutable {
-        u2y.run(yb.data(), x);
-        op.apply(z, sv.data(), yb.data());
-      };
-    });
-    auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* ut = u->type();
+  return defer_vec_map(
+      w, u, mask, accum, d, op->ztype(), [op, sv, ut]() -> MapFn {
+        return [&op = *op, sv, u2y = Caster(op->ytype(), ut),
+                yb = ValueBuf(op->ytype()->size())](void* z, const void* x,
+                                                    Index, Index) mutable {
+          u2y.run(yb.data(), x);
+          op.apply(z, sv.data(), yb.data());
+        };
+      });
 }
 
 Info apply_bind2nd(Vector* w, const Vector* mask, const BinaryOp* accum,
@@ -206,26 +277,16 @@ Info apply_bind2nd(Vector* w, const Vector* mask, const BinaryOp* accum,
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->ytype(), s, stype));
   const Descriptor& d = resolve_desc(desc);
-  std::shared_ptr<const VectorData> u_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    Context* ectx = exec_context(w->context(), u_snap->nvals());
-    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
-      return [&op = *op, &sv, u2x = Caster(op->xtype(), u_snap->type),
-              xb = ValueBuf(op->xtype()->size())](void* z, const void* x,
-                                                  Index) mutable {
-        u2x.run(xb.data(), x);
-        op.apply(z, xb.data(), sv.data());
-      };
-    });
-    auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* ut = u->type();
+  return defer_vec_map(
+      w, u, mask, accum, d, op->ztype(), [op, sv, ut]() -> MapFn {
+        return [&op = *op, sv, u2x = Caster(op->xtype(), ut),
+                xb = ValueBuf(op->xtype()->size())](void* z, const void* x,
+                                                    Index, Index) mutable {
+          u2x.run(xb.data(), x);
+          op.apply(z, xb.data(), sv.data());
+        };
+      });
 }
 
 Info apply_bind1st(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -237,29 +298,16 @@ Info apply_bind1st(Matrix* c, const Matrix* mask, const BinaryOp* accum,
       validate_apply_m(c, mask, accum, op->ytype(), op->ztype(), a, d));
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->xtype(), s, stype));
-  std::shared_ptr<const MatrixData> a_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  bool t0 = d.tran0();
-  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
-    std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
-                        op->ztype(), [&] {
-      return [&op = *op, &sv, a2y = Caster(op->ytype(), av->type),
-              yb = ValueBuf(op->ytype()->size())](
-                 void* z, const void* x, Index, Index) mutable {
-        a2y.run(yb.data(), x);
-        op.apply(z, sv.data(), yb.data());
-      };
-    });
-    auto c_old = c->current_data();
-    c->publish(
-        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* at = a->type();
+  return defer_mat_map(
+      c, a, mask, accum, d, op->ztype(), [op, sv, at]() -> MapFn {
+        return [&op = *op, sv, a2y = Caster(op->ytype(), at),
+                yb = ValueBuf(op->ytype()->size())](void* z, const void* x,
+                                                    Index, Index) mutable {
+          a2y.run(yb.data(), x);
+          op.apply(z, sv.data(), yb.data());
+        };
+      });
 }
 
 Info apply_bind2nd(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -271,29 +319,16 @@ Info apply_bind2nd(Matrix* c, const Matrix* mask, const BinaryOp* accum,
       validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->ytype(), s, stype));
-  std::shared_ptr<const MatrixData> a_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  bool t0 = d.tran0();
-  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
-    std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
-    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
-                        op->ztype(), [&] {
-      return [&op = *op, &sv, a2x = Caster(op->xtype(), av->type),
-              xb = ValueBuf(op->xtype()->size())](
-                 void* z, const void* x, Index, Index) mutable {
-        a2x.run(xb.data(), x);
-        op.apply(z, xb.data(), sv.data());
-      };
-    });
-    auto c_old = c->current_data();
-    c->publish(
-        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* at = a->type();
+  return defer_mat_map(
+      c, a, mask, accum, d, op->ztype(), [op, sv, at]() -> MapFn {
+        return [&op = *op, sv, a2x = Caster(op->xtype(), at),
+                xb = ValueBuf(op->xtype()->size())](void* z, const void* x,
+                                                    Index, Index) mutable {
+          a2x.run(xb.data(), x);
+          op.apply(z, xb.data(), sv.data());
+        };
+      });
 }
 
 // ---- index-unary apply (GraphBLAS 2.0) -------------------------------------
@@ -307,29 +342,18 @@ Info apply_indexop(Vector* w, const Vector* mask, const BinaryOp* accum,
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->stype(), s, stype));
   const Descriptor& d = resolve_desc(desc);
-  std::shared_ptr<const VectorData> u_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  return defer_or_run(w, [w, u_snap, m_snap, op, sv, spec]() -> Info {
-    const bool agnostic = op->value_agnostic();
-    const Type* xt = agnostic ? u_snap->type : op->xtype();
-    Context* ectx = exec_context(w->context(), u_snap->nvals());
-    auto t = map_vector(ectx, *u_snap, op->ztype(), [&] {
-      return [&op = *op, &sv, u2x = Caster(xt, u_snap->type),
-              xb = ValueBuf(xt->size())](void* z, const void* x,
-                                         Index i) mutable {
-        Index indices[1] = {i};
-        u2x.run(xb.data(), x);
-        op.apply(z, xb.data(), indices, 1, sv.data());
-      };
-    });
-    auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* ut = u->type();
+  const Type* xt = op->value_agnostic() ? ut : op->xtype();
+  return defer_vec_map(
+      w, u, mask, accum, d, op->ztype(), [op, sv, ut, xt]() -> MapFn {
+        return [&op = *op, sv, u2x = Caster(xt, ut),
+                xb = ValueBuf(xt->size())](void* z, const void* x, Index i,
+                                           Index) mutable {
+          Index indices[1] = {i};
+          u2x.run(xb.data(), x);
+          op.apply(z, xb.data(), indices, 1, sv.data());
+        };
+      });
 }
 
 Info apply_indexop(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -341,32 +365,18 @@ Info apply_indexop(Matrix* c, const Matrix* mask, const BinaryOp* accum,
       validate_apply_m(c, mask, accum, op->xtype(), op->ztype(), a, d));
   ValueBuf sv;
   GRB_RETURN_IF_ERROR(capture_scalar(&sv, op->stype(), s, stype));
-  std::shared_ptr<const MatrixData> a_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
-  if (mask != nullptr)
-    GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
-  WritebackSpec spec = make_spec(accum, mask != nullptr, d);
-  bool t0 = d.tran0();
-  return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
-    std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
-    const bool agnostic = op->value_agnostic();
-    const Type* xt = agnostic ? av->type : op->xtype();
-    auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
-                        op->ztype(), [&] {
-      return [&op = *op, &sv, a2x = Caster(xt, av->type),
-              xb = ValueBuf(xt->size())](void* z, const void* x, Index i,
-                                         Index j) mutable {
-        Index indices[2] = {i, j};
-        a2x.run(xb.data(), x);
-        op.apply(z, xb.data(), indices, 2, sv.data());
-      };
-    });
-    auto c_old = c->current_data();
-    c->publish(
-        writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  const Type* at = a->type();
+  const Type* xt = op->value_agnostic() ? at : op->xtype();
+  return defer_mat_map(
+      c, a, mask, accum, d, op->ztype(), [op, sv, at, xt]() -> MapFn {
+        return [&op = *op, sv, a2x = Caster(xt, at),
+                xb = ValueBuf(xt->size())](void* z, const void* x, Index i,
+                                           Index j) mutable {
+          Index indices[2] = {i, j};
+          a2x.run(xb.data(), x);
+          op.apply(z, xb.data(), indices, 2, sv.data());
+        };
+      });
 }
 
 }  // namespace grb

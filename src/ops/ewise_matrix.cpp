@@ -111,8 +111,17 @@ Info ewise_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
                      d.mask_comp(), d.replace()};
   bool t0 = d.tran0(), t1 = d.tran1();
+  // Plain replace: overwrites c from input snapshots without reading it
+  // (a self-input completed at snapshot time), so earlier queued writes
+  // to c are dead.  Stays opaque to chain fusion.
+  FuseNode node;
+  if (mask == nullptr && accum == nullptr && !d.mask_comp()) {
+    node.reads_out = false;
+    node.full_replace = true;
+  }
   return defer_or_run(
-      c, [c, a_snap, b_snap, m_snap, op, spec, t0, t1]() -> Info {
+      c,
+      [c, a_snap, b_snap, m_snap, op, spec, t0, t1]() -> Info {
         std::shared_ptr<const MatrixData> av =
             t0 ? transpose_data(*a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
@@ -124,7 +133,8 @@ Info ewise_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;
-      });
+      },
+      std::move(node));
 }
 
 }  // namespace

@@ -167,24 +167,69 @@ Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
              const Descriptor* desc) {
   GRB_RETURN_IF_ERROR(validate_ewise_v(w, mask, accum, op, u, v));
   const Descriptor& d = resolve_desc(desc);
+  // Plain replaces participate in fusion; self operands stay lazy (the
+  // closure reads w->current_data() at execution, which by queue FIFO is
+  // identical to snapshotting here) so chains over w keep accumulating
+  // instead of forcing a materialization per call.
+  const bool plain = mask == nullptr && accum == nullptr && !d.mask_comp();
+  const bool u_self = plain && u == w;
+  const bool v_self = plain && v == w;
   std::shared_ptr<const VectorData> u_snap, v_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
-  GRB_RETURN_IF_ERROR(const_cast<Vector*>(v)->snapshot(&v_snap));
+  if (!u_self)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(u)->snapshot(&u_snap));
+  if (!v_self)
+    GRB_RETURN_IF_ERROR(const_cast<Vector*>(v)->snapshot(&v_snap));
   if (mask != nullptr)
     GRB_RETURN_IF_ERROR(const_cast<Vector*>(mask)->snapshot(&m_snap));
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
                      d.mask_comp(), d.replace()};
-  return defer_or_run(w, [w, u_snap, v_snap, m_snap, op, spec]() -> Info {
-    Context* ectx = exec_context(w->context(),
-                                 u_snap->nvals() + v_snap->nvals());
-    auto t = ectx->effective_nthreads() > 1
-                 ? compute_ewise_blocked<kUnion>(ectx, *u_snap, *v_snap, op)
-                 : compute_ewise<kUnion>(*u_snap, *v_snap, op);
-    auto c_old = w->current_data();
-    w->publish(
-        writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
-    return Info::kSuccess;
-  });
+  FuseNode node;
+  if (u_self && v_self) {
+    // w = op(w, w): both streams are identical, so the merge degenerates
+    // to a structure-preserving self map.
+    node.kind = FuseNode::Kind::kMap;
+    node.ztype = op->ztype();
+    node.full_replace = true;
+    const Type* wt = w->type();
+    node.make_mapper = [op, wt]() -> MapFn {
+      return [run = BinRunner(op, wt, wt)](void* z, const void* x, Index,
+                                           Index) mutable {
+        run.run(z, x, x);
+      };
+    };
+  } else if (u_self || v_self) {
+    // Exactly one operand is the target: a zip of the running chain
+    // against the other operand's snapshot.
+    node.kind = FuseNode::Kind::kZip;
+    node.ztype = op->ztype();
+    node.full_replace = true;
+    node.zip_other = u_self ? v_snap : u_snap;
+    node.zip_op = op;
+    node.zip_union = kUnion;
+    node.zip_out_is_x = u_self;
+  } else if (plain) {
+    // Overwrites w from input snapshots without reading it: a killer.
+    node.reads_out = false;
+    node.full_replace = true;
+  }
+  return defer_or_run(
+      w,
+      [w, u_snap, v_snap, m_snap, op, spec]() -> Info {
+        std::shared_ptr<const VectorData> uu =
+            u_snap != nullptr ? u_snap : w->current_data();
+        std::shared_ptr<const VectorData> vv =
+            v_snap != nullptr ? v_snap : w->current_data();
+        Context* ectx =
+            exec_context(w->context(), uu->nvals() + vv->nvals());
+        auto t = ectx->effective_nthreads() > 1
+                     ? compute_ewise_blocked<kUnion>(ectx, *uu, *vv, op)
+                     : compute_ewise<kUnion>(*uu, *vv, op);
+        auto c_old = w->current_data();
+        w->publish(
+            writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
+        return Info::kSuccess;
+      },
+      std::move(node));
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+// Fused execution of planner-selected deferred-op runs (exec/fusion.hpp).
+//
+// A group is a contiguous run of fusable kMap/kZip nodes targeting one
+// container.  Instead of one full materialize-and-writeback pass per op,
+// the group composes the maps into a per-entry chain, merges at most at
+// zip boundaries, and publishes the target once — bitwise-identical to
+// the eager per-op path by construction (same runners, same casts, same
+// merge order).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/info.hpp"
+
+namespace grb {
+
+class Vector;
+class Matrix;
+struct Deferred;
+
+// Executes batch[b, e) as fused passes over `w`'s data, publishing once.
+// Emits the same per-node telemetry (op scopes, deferred spans, flight
+// records, scalar counts) the eager walk would.
+Info run_fused_vector_group(Vector* w, std::vector<Deferred>& batch,
+                            size_t b, size_t e);
+
+// Matrix groups contain kMap chains only (matrix elementwise ops stay
+// opaque to the planner).
+Info run_fused_matrix_group(Matrix* c, std::vector<Deferred>& batch,
+                            size_t b, size_t e);
+
+}  // namespace grb

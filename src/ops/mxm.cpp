@@ -35,8 +35,17 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
                      d.mask_comp(), d.replace()};
   bool t0 = d.tran0(), t1 = d.tran1();
+  // Plain replace: c is rebuilt from the snapshots without reading its
+  // old state (a self-input completed at snapshot time), so earlier
+  // queued writes to c are dead.  Opaque to chain fusion.
+  FuseNode node;
+  if (mask == nullptr && accum == nullptr && !d.mask_comp()) {
+    node.reads_out = false;
+    node.full_replace = true;
+  }
   return defer_or_run(
-      c, [c, a_snap, b_snap, m_snap, s, spec, t0, t1]() -> Info {
+      c,
+      [c, a_snap, b_snap, m_snap, s, spec, t0, t1]() -> Info {
         std::shared_ptr<const MatrixData> av =
             t0 ? transpose_data(*a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
@@ -117,7 +126,8 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
               writeback_matrix(ctx, *c_old, *t, m_snap.get(), spec));
         }
         return Info::kSuccess;
-      });
+      },
+      std::move(node));
 }
 
 }  // namespace grb

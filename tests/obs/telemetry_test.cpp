@@ -19,9 +19,26 @@
 #include <vector>
 
 #include "graphblas/GraphBLAS.h"
+#include "exec/fusion.hpp"
+#include "obs/flight_recorder.hpp"
 #include "ops/spgemm.hpp"
 
 namespace {
+
+// Pins the deferred-op fusion planner off for oracles that count one
+// deferred execution (and one flop tally) per queued method — under
+// fusion a later full-replace mxm/mxv legitimately eliminates its
+// predecessors as dead writes.
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool on = false) : saved_(grb::fusion_enabled()) {
+    grb::set_fusion_enabled(on);
+  }
+  ~FusionGuard() { grb::set_fusion_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
 
 std::string slurp(const std::string& path) {
   std::ifstream f(path);
@@ -77,6 +94,7 @@ GrB_Vector ones_vector(GrB_Index n) {
 }
 
 TEST_F(ObsTest, CountersExactForKnownOpSequence) {
+  FusionGuard fusion_off;
   GrB_Matrix a = path_matrix(8);
   GrB_Matrix c = nullptr;
   GrB_Vector u = ones_vector(8);
@@ -199,6 +217,7 @@ TEST_F(ObsTest, SpgemmAccumulatorAndArenaCounters) {
 }
 
 TEST_F(ObsTest, QueueDepthHighWaterMatchesScriptedBuildWait) {
+  FusionGuard fusion_off;
   GrB_Matrix a = path_matrix(8);
   GrB_Vector u = ones_vector(8);
   GrB_Vector w = nullptr;
@@ -229,6 +248,84 @@ TEST_F(ObsTest, QueueDepthHighWaterMatchesScriptedBuildWait) {
 
   GrB_free(&a);
   GrB_free(&u);
+  GrB_free(&w);
+}
+
+// Exact oracles for the fusion planner's counters on hand-built chains
+// whose plan is fully predictable.
+TEST_F(ObsTest, FusionCountersExactForHandBuiltChain) {
+  FusionGuard fusion_on(true);
+  GrB_Matrix a = path_matrix(8);
+  GrB_Vector u = ones_vector(8);
+  GrB_Vector w = ones_vector(8);
+
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  // Three plain self-applies queue three fusable map nodes; the wait
+  // plans them as one chain executed in a single pass.
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_ABS_FP64, w, GrB_NULL),
+              GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("fusion.chains"), 1u);
+  EXPECT_EQ(counter("fusion.ops_fused"), 3u);
+  EXPECT_EQ(counter("fusion.dead_writes_eliminated"), 0u);
+  // Each fused node still tallies a deferred execution for op parity.
+  EXPECT_EQ(counter("GrB_apply.deferred"), 3u);
+
+  // Two plain full-replace mxv's: the planner eliminates the first as a
+  // dead write (its output is overwritten wholesale before any read).
+  for (int i = 0; i < 2; ++i)
+    ASSERT_EQ(GrB_mxv(w, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      a, u, GrB_NULL),
+              GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("fusion.dead_writes_eliminated"), 1u);
+  // Opaque kernel nodes never fuse into chains.
+  EXPECT_EQ(counter("fusion.chains"), 1u);
+  EXPECT_EQ(counter("fusion.ops_fused"), 3u);
+  // The dead mxv never executed: one deferred tally, not two.
+  EXPECT_EQ(counter("GrB_mxv.deferred"), 1u);
+
+  // The counters surface through the JSON report.
+  std::vector<char> buf(1 << 16);
+  GrB_Index len = buf.size();
+  ASSERT_EQ(GxB_Stats_json(buf.data(), &len), GrB_SUCCESS);
+  std::string json(buf.data());
+  EXPECT_NE(json.find("\"fusion.chains\""), std::string::npos);
+  EXPECT_NE(json.find("\"fusion.ops_fused\""), std::string::npos);
+  EXPECT_NE(json.find("\"fusion.dead_writes_eliminated\""),
+            std::string::npos);
+
+  GrB_free(&a);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
+// The always-on flight recorder must show the plan before the fused
+// execution, and the fused execution before the per-node deferred-exec
+// events it wraps — the causal order a post-mortem reader relies on.
+TEST_F(ObsTest, FlightRecorderLogsFusionInCausalOrder) {
+  FusionGuard fusion_on(true);
+  GrB_Vector w = ones_vector(8);
+  uint64_t before = grb::obs::fr_event_count();
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(GrB_apply(w, GrB_NULL, GrB_NULL, GrB_AINV_FP64, w, GrB_NULL),
+              GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_GT(grb::obs::fr_event_count(), before);
+
+  std::string text = grb::obs::fr_text(0);
+  size_t plan = text.rfind("fusion-plan");
+  size_t exec = text.rfind("fusion-exec");
+  ASSERT_NE(plan, std::string::npos) << text;
+  ASSERT_NE(exec, std::string::npos) << text;
+  EXPECT_LT(plan, exec);
+  // The fused group's nodes log deferred-exec after the group event.
+  size_t deferred = text.find("deferred-exec", exec);
+  EXPECT_NE(deferred, std::string::npos) << text;
+
   GrB_free(&w);
 }
 
