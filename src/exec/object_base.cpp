@@ -21,9 +21,20 @@ void ObjectBase::enqueue(std::function<Info()> op, FuseNode node) {
   // trace can show the deferral gap between call and execution.
   const char* op_name = obs::current_op();
   uint64_t enq_ns = obs::telemetry_enabled() ? obs::now_ns() : 0;
-  MutexLock lock(mu_);
-  queue_.push_back(Deferred{std::move(op), op_name, enq_ns, std::move(node)});
-  obs::queue_depth_sample(queue_.size());
+  size_t depth;
+  {
+    MutexLock lock(mu_);
+    // Deliberate allocation under mu_: the deferred queue IS the growth
+    // (suppressed in tools/grb_analyze_suppressions.json with rationale).
+    queue_.push_back(
+        Deferred{std::move(op), op_name, enq_ns, std::move(node)});
+    depth = queue_.size();
+  }
+  // The gauge sample can land in the trace buffer (its own mutex plus a
+  // possible vector growth); keep that out of this object's critical
+  // section.  The depth is a sample either way — a stale read after
+  // unlock is indistinguishable from sampling a moment later.
+  obs::queue_depth_sample(depth);
 }
 
 Info ObjectBase::complete() {
@@ -53,14 +64,21 @@ Info ObjectBase::complete() {
     // when the code (e.g. GrB_INVALID_VALUE from build with a NULL dup,
     // paper SIX) is numerically in the API band.
     if (static_cast<int>(info) < 0) {
-      // Record the error and discard the rest of the sequence in one
-      // critical section, so no other thread can observe the object
-      // poisoned but still holding methods it will never run.
-      MutexLock lock(mu_);
-      poison_locked(info, std::string("deferred ") +
-                              (failed_op != nullptr ? failed_op : "method") +
-                              " failed: " + info_name(info));
-      queue_.clear();
+      // The message is built before taking mu_ — string concatenation
+      // allocates, and an allocation must not throw with the lock held.
+      std::string msg = std::string("deferred ") +
+                        (failed_op != nullptr ? failed_op : "method") +
+                        " failed: " + info_name(info);
+      bool first;
+      {
+        // Record the error and discard the rest of the sequence in one
+        // critical section, so no other thread can observe the object
+        // poisoned but still holding methods it will never run.
+        MutexLock lock(mu_);
+        first = poison_locked(info, msg);
+        queue_.clear();
+      }
+      if (first) obs::fr_auto_dump(msg.c_str());
       return info;
     }
   }
@@ -87,23 +105,27 @@ Info ObjectBase::wait(WaitMode mode) {
 }
 
 void ObjectBase::poison(Info info, const std::string& msg) {
-  MutexLock lock(mu_);
-  poison_locked(info, msg);
+  bool first;
+  {
+    MutexLock lock(mu_);
+    first = poison_locked(info, msg);
+  }
+  if (first) obs::fr_auto_dump(msg.c_str());
 }
 
-void ObjectBase::poison_locked(Info info, const std::string& msg) {
-  if (err_ == Info::kSuccess) {
-    err_ = info;
-    errmsg_ = msg;
-    // First error transition: log it and dump the causal op history, so
-    // the temporally-detached failure (the deferred method ran long
-    // after the call that queued it) is debuggable post mortem.
-    if (obs::flight_enabled()) {
-      obs::fr_record(obs::FrKind::kPoison, obs::current_op(),
-                     static_cast<int32_t>(info));
-      obs::fr_auto_dump(msg.c_str());
-    }
-  }
+bool ObjectBase::poison_locked(Info info, const std::string& msg) {
+  if (err_ != Info::kSuccess) return false;
+  err_ = info;
+  errmsg_ = msg;
+  // First error transition: log it so the temporally-detached failure
+  // (the deferred method ran long after the call that queued it) is
+  // attributable.  Only the lock-free ring record happens here; the
+  // auto dump formats strings, takes the recorder's control mutex and
+  // writes files, so callers run it after releasing mu_.
+  if (!obs::flight_enabled()) return false;
+  obs::fr_record(obs::FrKind::kPoison, obs::current_op(),
+                 static_cast<int32_t>(info));
+  return true;
 }
 
 const char* ObjectBase::error_string() const {

@@ -145,7 +145,12 @@ class ObjectBase {
   // The lock-held half of poison(): callers that already hold mu_ (e.g.
   // complete() failing a deferred method and clearing the queue in the
   // same critical section) record the error without a second acquire.
-  void poison_locked(Info info, const std::string& msg) GRB_REQUIRES(mu_);
+  // Returns true when this was the first error transition and the
+  // flight recorder is live — the caller must then run
+  // obs::fr_auto_dump(msg) *after* releasing mu_ (the dump allocates,
+  // locks the recorder control mutex, and may write files; none of
+  // that belongs in a critical section).
+  bool poison_locked(Info info, const std::string& msg) GRB_REQUIRES(mu_);
 
   Context* ctx_ GRB_GUARDED_BY(mu_);
   std::vector<Deferred> queue_ GRB_GUARDED_BY(mu_);

@@ -117,23 +117,29 @@ void ThreadPool::worker_loop() {
   uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    bool parked = false;
+    bool quit = false;
     {
       // The wait condition is an explicit loop (not a predicate lambda)
       // so the capability analysis sees the guarded reads under mu_.
       CvLock lock(mu_);
-      bool parked = false;
       while (!shutdown_ && generation_ == seen) {
-        // One park per idle episode, not per spurious wakeup.
-        if (!parked && obs::enabled()) {
-          obs::pool_park(obs_id_);
-          parked = true;
-        }
+        // One park per idle episode, not per spurious wakeup.  The
+        // counter bump happens after the lock is released: the park
+        // hook can lazily allocate this pool's counter block and land
+        // a trace event, neither of which belongs under mu_.
+        parked = true;
         lock.wait(work_cv_);
       }
-      if (shutdown_) return;
-      seen = generation_;
-      job = job_;
+      if (shutdown_) {
+        quit = true;
+      } else {
+        seen = generation_;
+        job = job_;
+      }
     }
+    if (parked && obs::enabled()) obs::pool_park(obs_id_);
+    if (quit) return;
     if (job == nullptr) continue;
     while (grab_and_run(*job, /*worker_lane=*/true)) {
     }

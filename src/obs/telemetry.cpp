@@ -98,11 +98,16 @@ struct OpCounters {
   }
 
   void reset() {
-    calls = ns = errors = scalars = flops = 0;
-    serial = parallel = deferred = deferred_ns = 0;
-    max_ns = 0;
+    // Explicit relaxed stores: the chained-assignment form is a silent
+    // seq_cst store per counter (and a seq_cst load per link of the
+    // chain).  Reset needs no ordering — readers tolerate torn resets
+    // the same way they tolerate concurrent bumps.
+    for (std::atomic<uint64_t>* c :
+         {&calls, &ns, &errors, &scalars, &flops, &serial, &parallel,
+          &deferred, &deferred_ns, &max_ns})
+      c->store(0, std::memory_order_relaxed);
     for (auto& shard : hist)
-      for (auto& bucket : shard) bucket = 0;
+      for (auto& bucket : shard) bucket.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -148,8 +153,11 @@ struct PoolCounters {
   std::atomic<uint64_t> busy_hw{0};     // high-water of busy
 
   void reset() {
-    submitted = chunks = steals = parks = busy_hw = 0;
-    // busy is a live gauge; leave it to its owners.
+    // busy is a live gauge; leave it to its owners.  Relaxed stores for
+    // the rest: reset carries no ordering obligation.
+    for (std::atomic<uint64_t>* c :
+         {&submitted, &chunks, &steals, &parks, &busy_hw})
+      c->store(0, std::memory_order_relaxed);
   }
 };
 

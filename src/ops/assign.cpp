@@ -246,7 +246,7 @@ Info run_vector_assign(Vector* w, const Vector* mask, const BinaryOp* accum,
       w->publish(mask_merge_vector(*c_old, *z, m_snap.get(), spec));
     }
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 // Shared implementation for matrix assigns: per-row canonical updates.
@@ -303,7 +303,7 @@ Info run_matrix_assign(Matrix* c, const Matrix* mask, const BinaryOp* accum,
           mask_merge_matrix(c->context(), *c_old, *z, m_snap.get(), spec));
     }
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ Info extract(Vector* w, const Vector* mask, const BinaryOp* accum,
         w->publish(
             writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;
-      });
+      }, FuseNode{});
 }
 
 Info extract(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -149,7 +149,7 @@ Info extract(Matrix* c, const Matrix* mask, const BinaryOp* accum,
     c->publish(
         writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 Info extract_col(Vector* w, const Vector* mask, const BinaryOp* accum,
@@ -196,7 +196,7 @@ Info extract_col(Vector* w, const Vector* mask, const BinaryOp* accum,
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 }  // namespace grb

@@ -13,6 +13,17 @@
 
 #include "core/info.hpp"
 
+// Registry of the only translation units allowed to grant the fusable
+// capabilities (FuseNode::Kind::kMap / kZip).  A grant is a promise that
+// this file's chunking, casting, and merge order match the fused
+// executor below; tools/grb_analyze.py (fusion-grant-coverage) enforces
+// the parity both ways — a kMap/kZip assignment outside this list, or a
+// listed file that no longer grants, fails the gate.  Register a kernel
+// here only after teaching run_fused_*_group to execute its node shape.
+#define GRB_FUSABLE_KERNEL_FILES \
+  "src/ops/apply.cpp",           \
+  "src/ops/ewise_vector.cpp"
+
 namespace grb {
 
 class Vector;

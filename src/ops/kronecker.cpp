@@ -74,7 +74,7 @@ Info kronecker(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;
-      });
+      }, FuseNode{});
 }
 
 }  // namespace grb

@@ -230,7 +230,7 @@ Info reduce_to_vector(Vector* w, const Vector* mask, const BinaryOp* accum,
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 // ---- typed-output scalar reduce (1.X style, always immediate) -------------
@@ -305,7 +305,7 @@ Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
     bool present =
         reduce_all_vector(out->context(), *snap, monoid, sum.data());
     return scalar_writeback(out, accum, monoid->type(), sum.data(), present);
-  });
+  }, FuseNode{});
 }
 
 Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
@@ -324,7 +324,7 @@ Info reduce_to_scalar(Scalar* out, const BinaryOp* accum,
     bool present =
         reduce_all_matrix(out->context(), *snap, monoid, sum.data());
     return scalar_writeback(out, accum, monoid->type(), sum.data(), present);
-  });
+  }, FuseNode{});
 }
 
 // ---- GrB_Scalar-output reduce with a plain BinaryOp (Table II) ------------
@@ -347,7 +347,7 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
     bool present =
         reduce_all_vector_binop(out->context(), *snap, op, sum.data());
     return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
-  });
+  }, FuseNode{});
 }
 
 Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
@@ -368,7 +368,7 @@ Info reduce_to_scalar_binop(Scalar* out, const BinaryOp* accum,
     bool present =
         reduce_all_matrix_binop(out->context(), *snap, op, sum.data());
     return scalar_writeback(out, accum, op->ztype(), sum.data(), present);
-  });
+  }, FuseNode{});
 }
 
 }  // namespace grb

@@ -113,7 +113,7 @@ Info select(Vector* w, const Vector* mask, const BinaryOp* accum,
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 Info select(Matrix* c, const Matrix* mask, const BinaryOp* accum,
@@ -187,7 +187,7 @@ Info select(Matrix* c, const Matrix* mask, const BinaryOp* accum,
     c->publish(
         writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
-  });
+  }, FuseNode{});
 }
 
 }  // namespace grb

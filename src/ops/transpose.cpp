@@ -61,7 +61,7 @@ Info transpose(Matrix* c, const Matrix* mask, const BinaryOp* accum,
     c->publish(std::move(result));
     return Info::kSuccess;
   };
-  return defer_or_run(c, std::move(op));
+  return defer_or_run(c, std::move(op), FuseNode{});
 }
 
 }  // namespace grb

@@ -1,0 +1,3 @@
+// Fixture header: minimal repo-root marker for grb_analyze self-tests.
+// No entry points on purpose — this fixture exercises only the
+// no-alloc-under-lock rule.

@@ -1,0 +1,27 @@
+// Fixture: no-alloc-under-lock.
+//  * bad_hot_path enters an allocation path (through a callee) with the
+//    lock held — the seeded violation, found via the call graph.
+//  * tolerated_hot_path allocates directly under the lock but carries an
+//    inline grb-analyze allow marker — must be counted as suppressed.
+#include <vector>
+
+namespace grb {
+
+int grow_table(std::vector<int>& t) {
+  t.push_back(1);
+  return 0;
+}
+
+int bad_hot_path(std::vector<int>& t) {
+  MutexLock lock(mu_);
+  grow_table(t);
+  return 0;
+}
+
+int tolerated_hot_path(std::vector<int>& t) {
+  MutexLock lock(mu_);
+  t.push_back(2);  // grb-analyze: allow(no-alloc-under-lock)
+  return 0;
+}
+
+}  // namespace grb

@@ -1,0 +1,3 @@
+// Fixture header: minimal repo-root marker for grb_analyze self-tests.
+// This fixture exercises the atomic-order-explicit rule plus the
+// suppression file (one honored entry, one deliberately stale).

@@ -1,0 +1,26 @@
+// Fixture: atomic-order-explicit.
+//  * read_calls uses a defaulted (seq_cst) load — the seeded violation.
+//  * read_errors names its order — clean.
+//  * bump_suppressed uses a defaulted fetch_add but is covered by the
+//    fixture's suppression file — must be counted as suppressed.
+#include <atomic>
+
+namespace grb::obs {
+
+std::atomic<unsigned long> g_calls{0};
+std::atomic<unsigned long> g_errors{0};
+std::atomic<unsigned long> g_suppressed{0};
+
+unsigned long read_calls() {
+  return g_calls.load();
+}
+
+unsigned long read_errors() {
+  return g_errors.load(std::memory_order_relaxed);
+}
+
+void bump_suppressed() {
+  g_suppressed.fetch_add(1);
+}
+
+}  // namespace grb::obs

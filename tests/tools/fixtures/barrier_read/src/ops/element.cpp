@@ -1,0 +1,20 @@
+// Fixture: barrier-before-read.
+//  * Vector::extract_element dereferences published container data with
+//    no snapshot()/complete()/flush_pending() on any prior path — the
+//    seeded violation.
+//  * Vector::nvals barriers via snapshot() before touching data — clean.
+namespace grb {
+
+Info Vector::extract_element(void* out, Index i) {
+  const VectorData* d = current_data();
+  *static_cast<int*>(out) = d->vals[i];
+  return Info::kSuccess;
+}
+
+Info Vector::nvals(Index* out) {
+  GRB_RETURN_IF_ERROR(snapshot(&snap_));
+  *out = static_cast<Index>(snap_->ind.size());
+  return Info::kSuccess;
+}
+
+}  // namespace grb

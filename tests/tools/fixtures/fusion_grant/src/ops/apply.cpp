@@ -1,0 +1,11 @@
+// Fixture: a registered kernel granting a fusable capability and
+// enqueueing with an explicit node — fully compliant.
+namespace grb {
+
+Info defer_map(Vector* w, std::function<Info()> op) {
+  FuseNode node;
+  node.kind = FuseNode::Kind::kMap;
+  return defer_or_run(w, std::move(op), std::move(node));
+}
+
+}  // namespace grb

@@ -1,0 +1,6 @@
+// Fixture registration table: apply.cpp is legitimately registered;
+// ghost.cpp is registered but grants nothing (stale registration — one
+// of the seeded violations).
+#define GRB_FUSABLE_KERNEL_FILES \
+  "src/ops/apply.cpp",           \
+  "src/ops/ghost.cpp"

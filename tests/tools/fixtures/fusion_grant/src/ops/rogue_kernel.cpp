@@ -1,0 +1,11 @@
+// Fixture: grants the fusable kZip capability from a file that is NOT
+// in GRB_FUSABLE_KERNEL_FILES — a seeded violation.
+namespace grb {
+
+Info defer_rogue(Vector* w, std::function<Info()> op) {
+  FuseNode node;
+  node.kind = FuseNode::Kind::kZip;
+  return defer_or_run(w, std::move(op), std::move(node));
+}
+
+}  // namespace grb

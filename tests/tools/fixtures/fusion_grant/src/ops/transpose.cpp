@@ -1,0 +1,9 @@
+// Fixture: enqueues deferred work relying on the defaulted FuseNode
+// parameter instead of an explicit grant — a seeded violation.
+namespace grb {
+
+Info transpose(Matrix* c, std::function<Info()> op) {
+  return defer_or_run(c, std::move(op));
+}
+
+}  // namespace grb

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/grb_analyze.py.
+
+Each fixture under tests/tools/fixtures/ is a miniature repository
+(include/graphblas/GraphBLAS.h + src/ files) seeding one known
+violation per rule family, plus suppression-mechanism probes (an inline
+allow marker, an honored suppression-file entry, and a deliberately
+stale one).  The test asserts, per fixture, the EXACT per-rule finding
+counts and the suppressed count — a rule that silently stops firing is
+as much a failure as one that over-fires.  Finally the analyzer runs
+against the real repository, which must report zero unsuppressed
+findings (the ci gate's definition of green).
+
+Usage: run_analyzer_tests.py [--repo DIR]
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture name -> (expected per-rule finding counts, expected suppressed)
+EXPECT = {
+    "alloc_under_lock": ({"no-alloc-under-lock": 1}, 1),
+    "barrier_read": ({"barrier-before-read": 1}, 0),
+    "fusion_grant": ({"fusion-grant-coverage": 3}, 0),
+    "atomic_order": ({"atomic-order-explicit": 1, "stale-suppression": 1}, 1),
+    "entry_parity": ({"entry-point-parity": 4}, 0),
+}
+
+
+def run_analyzer(repo_root, analyzer, repo):
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
+                                     delete=False) as tf:
+        report_path = tf.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, analyzer, "--repo", repo,
+             "--json", report_path, "--frontend", "text"],
+            capture_output=True, text=True)
+        try:
+            with open(report_path) as f:
+                report = json.load(f)
+        except (OSError, ValueError):
+            report = None
+        return proc, report
+    finally:
+        os.unlink(report_path)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", default=os.path.dirname(os.path.dirname(HERE)),
+                    help="real repository root for the clean-tree check")
+    args = ap.parse_args(argv)
+    repo = os.path.abspath(args.repo)
+    analyzer = os.path.join(repo, "tools", "grb_analyze.py")
+
+    failures = []
+
+    def check(cond, what):
+        tag = "ok" if cond else "FAIL"
+        print("  %-4s %s" % (tag, what))
+        if not cond:
+            failures.append(what)
+
+    for name in sorted(EXPECT):
+        want_counts, want_suppressed = EXPECT[name]
+        fixture = os.path.join(FIXTURES, name)
+        print("fixture %s:" % name)
+        if not os.path.isdir(fixture):
+            check(False, "fixture directory exists")
+            continue
+        proc, report = run_analyzer(repo, analyzer, fixture)
+        if report is None:
+            check(False, "analyzer produced a JSON report (stdout: %r, "
+                         "stderr: %r)" % (proc.stdout[-400:],
+                                          proc.stderr[-400:]))
+            continue
+        got = collections.Counter(f["rule"] for f in report["findings"])
+        for rule, n in sorted(want_counts.items()):
+            check(got.get(rule, 0) == n,
+                  "%s fires exactly %d time(s) [got %d]"
+                  % (rule, n, got.get(rule, 0)))
+        extra = {r: n for r, n in got.items() if r not in want_counts}
+        check(not extra, "no findings from other rules [got %s]" % (
+            dict(extra) or "none"))
+        check(report["suppressed"] == want_suppressed,
+              "suppressed == %d [got %d]"
+              % (want_suppressed, report["suppressed"]))
+        want_exit = 1 if want_counts else 0
+        check(proc.returncode == want_exit,
+              "exit status %d [got %d]" % (want_exit, proc.returncode))
+
+    print("clean tree (%s):" % repo)
+    proc, report = run_analyzer(repo, analyzer, repo)
+    check(report is not None, "analyzer produced a JSON report")
+    if report is not None:
+        check(not report["findings"],
+              "zero unsuppressed findings [got %d]" % len(report["findings"]))
+        check(report["functions"] > 500,
+              "program model is populated (%d functions)"
+              % report["functions"])
+    check(proc.returncode == 0, "exit status 0 [got %d]" % proc.returncode)
+
+    if failures:
+        print("FAILED: %d assertion(s)" % len(failures))
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

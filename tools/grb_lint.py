@@ -29,14 +29,18 @@ type system cannot express:
                           Memory_report, Object_memory, FlightRecorder_dump,
                           Trace_start/dump) is defined in GraphBLAS.h AND
                           listed in the GxB_EXTENSIONS registry.
-  fusion-barrier-coverage Every value-observing read path (extract_element,
-                          extract_tuples, nvals, export, serialize) drains
-                          the deferred-op queue before touching published
-                          container data — snapshot() (which runs the fusion
-                          planner via complete()), complete(), flush_pending(),
-                          or delegation to nvals().  A reader that skips the
-                          barrier would observe a container mid-queue and
-                          break the nonblocking-mode illusion (DESIGN.md §12).
+Retired rules (delegated to the AST tier, tools/grb_analyze.py — see
+DESIGN.md §13; grb_lint stays the fast regex tier and must never
+re-grow a rule the analyzer owns, or the two tools can disagree):
+
+  fusion-barrier-coverage Every value-observing read path drains the
+                          deferred-op queue before touching published
+                          container data.  Now enforced by grb_analyze's
+                          `barrier-before-read` rule on the ordered
+                          event stream of each function body (calls
+                          resolved through the call graph, so nvals()
+                          delegation is real resolution, not a regex),
+                          which this rule only approximated textually.
 
 Findings can be suppressed with a trailing or preceding-line comment:
     // grb-lint: allow(rule-id)
@@ -630,74 +634,20 @@ class Linter:
                     "%s must poison failed deferred work with an "
                     "info_name() message" % fn)
 
-    # The files holding the value-observing read paths.  Write paths
-    # (import/deserialize/build/set_element) queue work and need no
-    # barrier; everything here that *reads* values must drain first.
-    FUSION_READ_FILES = (
-        "src/ops/element.cpp",
-        "src/containers/vector.cpp",
-        "src/containers/matrix.cpp",
-        "src/io/import_export.cpp",
-        "src/io/serialize.cpp",
-    )
-
-    def check_fusion_barrier_coverage(self):
-        read_name = re.compile(
-            r"(extract_element|extract_tuples|nvals|export(?:_size|_hint)?"
-            r"|serialize(?:_size)?)$")
-        write_name = re.compile(r"import|deserialize|build|set_element")
-        # snapshot() runs complete() (the fusion planner + drain) before
-        # publishing; ->nvals( is delegation to a reader that barriers.
-        barrier = re.compile(
-            r"\b(?:snapshot|complete|flush_pending)\s*\(|->\s*nvals\s*\(")
-        # Published value data: the snapshot payload or the raw arrays.
-        access = re.compile(
-            r"\bsnap\s*->|\bdata_\b|\bcurrent_data\s*\(|->\s*(?:vals|ind|ptr)\b")
-        for rel in self.FUSION_READ_FILES:
-            path, raw = self.read(rel)
-            text = self.strip_comments(raw)
-            for m in re.finditer(r"^Info ([\w:]+)\(", text, re.M):
-                name = m.group(1)
-                if not read_name.search(name) or write_name.search(name):
-                    continue
-                line = text.count("\n", 0, m.start()) + 1
-                j = text.find("{", m.end())
-                if j < 0:
-                    continue
-                depth, k = 0, j
-                while k < len(text):
-                    if text[k] == "{":
-                        depth += 1
-                    elif text[k] == "}":
-                        depth -= 1
-                        if depth == 0:
-                            break
-                    k += 1
-                body = text[j:k]
-                a = access.search(body)
-                if a is None:
-                    continue  # dimensions only; no deferred-visible data
-                b = barrier.search(body)
-                if b is None:
-                    self.report(
-                        "fusion-barrier-coverage", path, line,
-                        "%s reads container data without draining the "
-                        "deferred-op queue (no snapshot/complete/"
-                        "flush_pending before the access)" % name)
-                elif b.start() > a.start():
-                    self.report(
-                        "fusion-barrier-coverage", path, line,
-                        "%s touches container data before its barrier; "
-                        "snapshot()/complete() must come first so the "
-                        "fusion planner runs before any read" % name)
+    # RETIRED: check_fusion_barrier_coverage (PR 7).  The barrier-
+    # before-read contract is now enforced by tools/grb_analyze.py
+    # (`barrier-before-read`), which checks the ordered event stream of
+    # each read path and resolves barrier delegation (e.g. nvals())
+    # through the whole-program call graph instead of a same-body regex.
+    # Keeping a weaker copy here would let the two tiers disagree about
+    # the same contract; this tier deliberately no longer knows it.
 
     # -- driver -----------------------------------------------------------
 
     RULES = ("no-throw-escape", "null-check-before-deref",
              "info-string-coverage", "descriptor-coverage",
              "ops-validate-first", "poison-has-message",
-             "gxb-extension-registry", "gxb-stats-parity",
-             "fusion-barrier-coverage")
+             "gxb-extension-registry", "gxb-stats-parity")
 
     def run(self):
         self.check_header()
@@ -707,7 +657,6 @@ class Linter:
         self.check_descriptors()
         self.check_ops_validate_first()
         self.check_poison_messages()
-        self.check_fusion_barrier_coverage()
         return self.findings
 
 

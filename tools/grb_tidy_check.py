@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""grb_tidy_check: run clang-tidy and fail on NEW warnings only.
+
+A bare `clang-tidy` stage is write-only CI: its output scrolls by, and
+the warning count drifts up one "harmless" finding at a time.  This
+wrapper makes the stage regression-proof with a checked-in per-check
+baseline (tools/clang_tidy_baseline.json):
+
+  * Every warning is aggregated per check name (`bugprone-foo`, ...).
+  * A check whose count EXCEEDS its baseline fails the gate — someone
+    added a new instance of a known-bad pattern.
+  * A check below its baseline prints a notice asking for `--update`,
+    so earned headroom is banked instead of silently re-spent.
+  * A check absent from the baseline fails (new warning class).
+
+The baseline starts in capture mode (`"counts": null`) when no
+clang-tidy-capable machine has ratified it yet: the stage then runs
+clang-tidy, reports, and asks for `--update` without failing, because a
+number invented without running the tool would make the first real CI
+run fail on day one.  `--update` (run on a machine with clang-tidy)
+rewrites the baseline with the observed counts and flips the stage to
+enforcing.
+
+clang-tidy reads the checks list from .clang-tidy and the compilation
+database from the build directory (CMAKE_EXPORT_COMPILE_COMMANDS is on
+in the default preset).
+
+Usage: grb_tidy_check.py [--build-dir DIR] [--baseline FILE] [--update]
+Exit: 0 clean/skipped, 1 regression, 2 infrastructure error.
+"""
+
+import argparse
+import collections
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+WARNING_RE = re.compile(r"warning:.*\[([\w.,-]+)\]\s*$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def tidy_sources(root):
+    out = subprocess.run(
+        ["git", "ls-files", "src/**/*.cpp"], cwd=root,
+        capture_output=True, text=True)
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def run_tidy(root, build_dir, files):
+    """Returns {check-name: count} over all files."""
+    counts = collections.Counter()
+    proc = subprocess.run(
+        ["clang-tidy", "-p", build_dir, "--quiet"] + files,
+        cwd=root, capture_output=True, text=True)
+    for line in proc.stdout.splitlines():
+        m = WARNING_RE.search(line)
+        if m:
+            # A diagnostic can name several checks: count each.
+            for check in m.group(1).split(","):
+                counts[check.strip()] += 1
+    return dict(counts)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=None,
+                    help="compilation-database dir (default: <repo>/build)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: "
+                         "tools/clang_tidy_baseline.json)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline with the observed counts")
+    args = ap.parse_args(argv)
+
+    root = repo_root()
+    build_dir = args.build_dir or os.path.join(root, "build")
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "clang_tidy_baseline.json")
+
+    if shutil.which("clang-tidy") is None:
+        print("grb_tidy_check: SKIPPED: clang-tidy not found")
+        return 0
+    if not os.path.isfile(os.path.join(build_dir, "compile_commands.json")):
+        print("grb_tidy_check: SKIPPED: no compile_commands.json in %s "
+              "(configure with the default preset first)" % build_dir)
+        return 0
+
+    files = tidy_sources(root)
+    if not files:
+        print("grb_tidy_check: no library sources found", file=sys.stderr)
+        return 2
+    counts = run_tidy(root, build_dir, files)
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError:
+        baseline = {"counts": None}
+    base_counts = baseline.get("counts")
+
+    if args.update:
+        with open(baseline_path, "w") as f:
+            json.dump({"comment": baseline.get("comment", []),
+                       "counts": dict(sorted(counts.items()))}, f, indent=2)
+            f.write("\n")
+        print("grb_tidy_check: baseline updated: %d check(s), %d warning(s)"
+              % (len(counts), sum(counts.values())))
+        return 0
+
+    total = sum(counts.values())
+    if base_counts is None:
+        print("grb_tidy_check: NOTICE: baseline is in capture mode; "
+              "observed %d warning(s) across %d check(s).  Run "
+              "`tools/grb_tidy_check.py --update` on this machine and "
+              "commit the baseline to make this stage enforcing."
+              % (total, len(counts)))
+        for check, n in sorted(counts.items()):
+            print("  %-48s %d" % (check, n))
+        return 0
+
+    failed = False
+    for check, n in sorted(counts.items()):
+        allowed = base_counts.get(check, 0)
+        if n > allowed:
+            print("grb_tidy_check: REGRESSION: %s: %d warning(s), "
+                  "baseline allows %d" % (check, n, allowed))
+            failed = True
+        elif n < allowed:
+            print("grb_tidy_check: NOTICE: %s improved (%d < baseline %d); "
+                  "run --update to bank it" % (check, n, allowed))
+    for check, allowed in sorted(base_counts.items()):
+        if allowed > 0 and check not in counts:
+            print("grb_tidy_check: NOTICE: %s fully fixed (baseline %d); "
+                  "run --update to bank it" % (check, allowed))
+    if failed:
+        return 1
+    print("grb_tidy_check: OK: %d warning(s), no check above baseline"
+          % total)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
