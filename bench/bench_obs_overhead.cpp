@@ -9,6 +9,7 @@
 // *_Flight/*_FlightOnly variants measure the always-on ring cost.
 #include "bench_util.hpp"
 #include "obs/flight_recorder.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace {
 
@@ -64,6 +65,31 @@ void BM_ApiHook_Stats(benchmark::State& state) {
 }
 BENCHMARK(BM_ApiHook_Stats);
 
+// Same hook, but the target vector is homed in a child GrB_Context so
+// every counter update keys the (context, op) attribution registry
+// instead of the top-level slot.  The delta vs. BM_ApiHook_Stats is the
+// price of tenant attribution.
+void BM_ApiHook_StatsCtx(benchmark::State& state) {
+  BENCH_TRY(GxB_Stats_enable(1));
+  GrB_Context ctx = nullptr;
+  BENCH_TRY(GrB_Context_new(&ctx, GrB_NONBLOCKING, nullptr, nullptr));
+  GrB_Vector v = nullptr;
+  BENCH_TRY(GrB_Vector_new(&v, GrB_FP64, 64, ctx));
+  BENCH_TRY(GrB_Vector_setElement(v, 1.0, 0));
+  BENCH_TRY(GrB_wait(v, GrB_MATERIALIZE));
+  GrB_Index n = 0;
+  for (auto _ : state) {
+    BENCH_TRY(GrB_Vector_nvals(&n, v));
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  GrB_free(&v);
+  BENCH_TRY(GrB_free(&ctx));
+  BENCH_TRY(GxB_Stats_enable(0));
+  BENCH_TRY(GxB_Stats_reset());
+}
+BENCHMARK(BM_ApiHook_StatsCtx);
+
 void BM_ApiHook_Trace(benchmark::State& state) {
   BENCH_TRY(GxB_Trace_start("BENCH_obs_overhead_trace.json"));
   api_hook_loop(state);
@@ -72,6 +98,35 @@ void BM_ApiHook_Trace(benchmark::State& state) {
   std::remove("BENCH_obs_overhead_trace.json");
 }
 BENCHMARK(BM_ApiHook_Trace);
+
+// The contention-profiler probe on an uncontended acquire: a named-site
+// MutexLock whose site counters are gated on the same flags word as the
+// rest of telemetry.  Disabled must be the bare pthread lock plus one
+// relaxed load; Stats adds the per-site acquire bump.
+void lock_hook_loop(benchmark::State& state) {
+  grb::Mutex mu;
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    grb::MutexLock lock(mu, "bench_lock_site");
+    benchmark::DoNotOptimize(++ticks);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LockHook_Disabled(benchmark::State& state) {
+  FlightOff off;
+  BENCH_TRY(GxB_Stats_enable(0));
+  lock_hook_loop(state);
+}
+BENCHMARK(BM_LockHook_Disabled);
+
+void BM_LockHook_Stats(benchmark::State& state) {
+  BENCH_TRY(GxB_Stats_enable(1));
+  lock_hook_loop(state);
+  BENCH_TRY(GxB_Stats_enable(0));
+  BENCH_TRY(GxB_Stats_reset());
+}
+BENCHMARK(BM_LockHook_Stats);
 
 void mxv_loop(benchmark::State& state) {
   GrB_Matrix a = shared_mat();

@@ -45,14 +45,14 @@ class JsonTrajectoryReporter : public ::benchmark::ConsoleReporter {
       }
       size_t slash = row.name.find('/');
       row.params = slash == std::string::npos ? "" : row.name.substr(slash + 1);
+      // Aggregate rows divide like plain ones: their iterations field is
+      // the repetition count and real_accumulated_time sums the per-rep
+      // statistic, so accumulated/iterations is the per-iteration median
+      // (matches what the console reporter prints for the _median row).
       row.median_ns = run.iterations == 0
                           ? 0.0
                           : run.real_accumulated_time /
                                 static_cast<double>(run.iterations) * 1e9;
-      if (is_median) {
-        // Aggregate rows carry the statistic directly (seconds).
-        row.median_ns = run.real_accumulated_time * 1e9;
-      }
       row.iters = static_cast<uint64_t>(run.iterations);
       for (const auto& kv : run.counters) {
         row.counters.emplace_back(kv.first, kv.second.value);

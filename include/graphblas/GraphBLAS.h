@@ -1714,6 +1714,7 @@ inline constexpr const char* const GxB_EXTENSIONS[] = {
     "GxB_Stats_reset",
     "GxB_Stats_json",
     "GxB_Stats_prometheus",
+    "GxB_Context_stats",
     "GxB_Trace_start",
     "GxB_Trace_dump",
     "GxB_Memory_report",
@@ -1769,6 +1770,25 @@ inline GrB_Info GxB_Stats_reset(void) {
   return grb_detail::guarded([&]() -> GrB_Info {
     grb::obs::stats_reset();
     return GrB_SUCCESS;
+  });
+}
+
+// Reads one counter by dotted name, restricted to the work attributed
+// to `ctx` and the contexts created under it (a tenant's slice of the
+// GxB_Stats_get schema).  Supported names: the per-op fields
+// ("GrB_mxm.calls", ".ns", ".p99_ns", ...) and the memory gauges
+// "mem.live_bytes", "mem.peak_bytes", "mem.objects" for containers
+// homed in the subtree.  `ctx` may be NULL for the top-level context —
+// work never attributed to a GrB_Context_new context.  Unknown names
+// return GrB_NO_VALUE with *value set to 0.
+inline GrB_Info GxB_Context_stats(GrB_Context ctx, const char* name,
+                                  uint64_t* value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (name == nullptr || value == nullptr) return GrB_NULL_POINTER;
+    uint64_t id =
+        ctx == nullptr ? grb::obs::kTopContextId : ctx->obs_id();
+    return grb::obs::stats_get_ctx(id, name, value) ? GrB_SUCCESS
+                                                    : GrB_NO_VALUE;
   });
 }
 

@@ -18,23 +18,29 @@
 #    5. observability  — quickstart under GRB_FLIGHT_RECORDER + GRB_METRICS;
 #                        the Prometheus exposition must parse and carry the
 #                        per-op quantiles + memory gauges (grb_prom_check.py)
-#    6. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
+#    6. attribution    — per-context tenant attribution: the watchdog
+#                        suite (a synthetic stall must trip a flight-
+#                        recorder dump naming the owning context) plus the
+#                        multitenant_scrape example, whose exposition must
+#                        carry two distinct context="..." label sets
+#                        (grb_prom_check.py --require-contexts 2)
+#    7. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
 #                        (skipped when clang++ is absent; the annotations
 #                        compile as no-ops elsewhere)
-#    7. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
+#    8. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
 #                        gated by the per-check warning-count baseline
 #                        (tools/grb_tidy_check.py; skipped when clang-tidy
 #                        is absent)
-#    8. bench          — bench_m4_masked_mxm + bench_m5_spgemm_adaptive +
+#    9. bench          — bench_m4_masked_mxm + bench_m5_spgemm_adaptive +
 #                        bench_m6_fusion, archiving BENCH_*.json under
 #                        bench_artifacts/; tools/bench_compare.py diffs
 #                        against bench_artifacts/baseline/ when present
 #                        (advisory: shared boxes are noisy)
-#    9. asan           — AddressSanitizer build + tsan-labeled tests
+#   10. asan           — AddressSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_ASAN=1)
-#   10. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
+#   11. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
 #                        tests (skipped unless GRB_CI_UBSAN=1)
-#   11. tsan           — ThreadSanitizer build + tsan-labeled tests
+#   12. tsan           — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; the slowest stage,
 #                        and the tsan preset also runs in its own lane)
 #
@@ -57,21 +63,21 @@ record() {
   if [ "$2" = FAIL ]; then failed=1; fi
 }
 
-note "1/11 grb_lint (regex spec conformance)"
+note "1/12 grb_lint (regex spec conformance)"
 if python3 tools/grb_lint.py --json grb_lint_report.json; then
   record grb_lint PASS
 else
   record grb_lint FAIL
 fi
 
-note "2/11 grb_analyze (AST/call-graph conformance)"
+note "2/12 grb_analyze (AST/call-graph conformance)"
 if python3 tools/grb_analyze.py --json grb_analyze_report.json; then
   record grb_analyze PASS
 else
   record grb_analyze FAIL
 fi
 
-note "3/11 default build + tests"
+note "3/12 default build + tests"
 cmake --preset default >/dev/null
 cmake --build build -j "$JOBS"
 if (cd build && ctest --output-on-failure -j "$JOBS"); then
@@ -80,14 +86,14 @@ else
   record build+ctest FAIL
 fi
 
-note "4/11 telemetry (obs-labeled tests: counters + trace pipeline)"
+note "4/12 telemetry (obs-labeled tests: counters + trace pipeline)"
 if (cd build && ctest -L obs --output-on-failure); then
   record telemetry PASS
 else
   record telemetry FAIL
 fi
 
-note "5/11 observability (flight recorder + GRB_METRICS exposition)"
+note "5/12 observability (flight recorder + GRB_METRICS exposition)"
 obs_ok=1
 obs_dir=$(mktemp -d)
 GRB_FLIGHT_RECORDER=1024 GRB_METRICS="$obs_dir/metrics.prom" \
@@ -102,7 +108,26 @@ fi
 rm -rf "$obs_dir"
 if [ "$obs_ok" = 1 ]; then record observability PASS; else record observability FAIL; fi
 
-note "6/11 thread-safety analysis (clang)"
+note "6/12 attribution (watchdog stall report + two-tenant scrape)"
+attr_ok=1
+# Synthetic stalls must trip the watchdog and name the owning context.
+(cd build && ctest -R WatchdogTest --output-on-failure) || attr_ok=0
+# Two concurrent tenants must surface as distinct context="..." labels.
+attr_dir=$(mktemp -d)
+GRB_METRICS="$attr_dir/metrics.prom" \
+  ./build/examples/multitenant_scrape >/dev/null || attr_ok=0
+if [ -s "$attr_dir/metrics.prom" ]; then
+  python3 tools/grb_prom_check.py "$attr_dir/metrics.prom" \
+      --require-op GrB_mxm --require-contexts 2 || attr_ok=0
+else
+  echo "FAILED: multitenant_scrape produced no exposition at" \
+       "$attr_dir/metrics.prom"
+  attr_ok=0
+fi
+rm -rf "$attr_dir"
+if [ "$attr_ok" = 1 ]; then record attribution PASS; else record attribution FAIL; fi
+
+note "7/12 thread-safety analysis (clang)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
@@ -118,7 +143,7 @@ else
   record thread-safety SKIP
 fi
 
-note "7/11 clang-tidy (bugprone/concurrency/performance vs baseline)"
+note "8/12 clang-tidy (bugprone/concurrency/performance vs baseline)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset exports compile_commands.json; grb_tidy_check
   # fails only on warnings above the checked-in per-check baseline.
@@ -132,7 +157,7 @@ else
   record clang-tidy SKIP
 fi
 
-note "8/11 benchmarks (m4 masked mxm + m5 adaptive spgemm + m6 fusion)"
+note "9/12 benchmarks (m4 masked mxm + m5 adaptive spgemm + m6 fusion)"
 bench_ok=1
 cmake --build build -j "$JOBS" \
       --target bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion
@@ -170,13 +195,13 @@ sanitizer_stage() {
   fi
 }
 
-note "9/11 address sanitizer (tsan-labeled tests under asan)"
+note "10/12 address sanitizer (tsan-labeled tests under asan)"
 sanitizer_stage asan asan GRB_CI_ASAN
 
-note "10/11 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
+note "11/12 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
 sanitizer_stage ubsan ubsan GRB_CI_UBSAN
 
-note "11/11 thread sanitizer (tsan-labeled tests)"
+note "12/12 thread sanitizer (tsan-labeled tests)"
 sanitizer_stage tsan tsan GRB_CI_TSAN
 
 printf '\n== summary ==\n'

@@ -39,6 +39,7 @@ class Scalar : public ObjectBase, public obs::MemReportable {
     out->nvals = d->present ? 1 : 0;
     out->live_bytes = d->value.heap_bytes();
     out->peak_bytes = d->value.heap_bytes();
+    out->ctx = obs_ctx_id();
   }
 
   const Type* type() const { return data_ptr()->type; }

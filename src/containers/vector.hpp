@@ -72,6 +72,7 @@ class Vector : public ObjectBase, public obs::MemReportable {
         obs::account_live(*data_->acct) + obs::account_live(*pend_acct_);
     out->peak_bytes =
         obs::account_peak(*data_->acct) + obs::account_peak(*pend_acct_);
+    out->ctx = obs_ctx_id();
   }
 
   const Type* type() const { return type_; }

@@ -1,5 +1,8 @@
 #include "exec/context.hpp"
 
+#include <atomic>
+#include <vector>
+
 #include "core/global.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/telemetry.hpp"
@@ -21,13 +24,23 @@ int default_hw_threads() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
+// Telemetry identities for nested contexts.  1 is reserved for the top
+// context (stable across init/finalize cycles so metric labels stay
+// comparable), 0 for "unattributed"; ids are never reused in-process.
+uint64_t next_ctx_obs_id() {
+  static std::atomic<uint64_t> next{2};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
-Context::Context(Mode mode, Context* parent, ContextConfig cfg)
+Context::Context(Mode mode, Context* parent, ContextConfig cfg,
+                 uint64_t obs_id)
     : mode_(mode),
       parent_(parent),
       cfg_(cfg),
-      depth_(parent == nullptr ? 0 : parent->depth() + 1) {}
+      depth_(parent == nullptr ? 0 : parent->depth() + 1),
+      obs_id_(obs_id) {}
 
 int Context::effective_nthreads() const {
   // Walk the ancestor chain taking the minimum over every explicit
@@ -69,9 +82,10 @@ Info library_init(Mode mode) {
   if (g.initialized) return Info::kInvalidValue;
   if (mode != Mode::kBlocking && mode != Mode::kNonblocking)
     return Info::kInvalidValue;
-  g.top = new Context(mode, nullptr, ContextConfig{});
+  g.top = new Context(mode, nullptr, ContextConfig{}, obs::kTopContextId);
   g.live.insert(g.top);
   g.initialized = true;
+  obs::ctx_register(obs::kTopContextId, 0);
   // GRB_STATS / GRB_TRACE env activation, so benches and tests get
   // telemetry with no code changes.
   obs::env_activate();
@@ -79,16 +93,25 @@ Info library_init(Mode mode) {
 }
 
 Info library_finalize() {
+  std::vector<uint64_t> leaked;
   {
     auto& g = global();
     MutexLock lock(g.mu);
     if (!g.initialized) return Info::kInvalidValue;
     // GrB_finalize frees every context object (paper §IV).
-    for (Context* c : g.live) delete c;
+    for (Context* c : g.live) {
+      if (c != g.top) leaked.push_back(c->obs_id());
+      delete c;
+    }
     g.live.clear();
     g.top = nullptr;
     g.initialized = false;
   }
+  // Fold the telemetry of contexts the program never freed into the
+  // top context (retire order does not matter: each drain resolves to
+  // the nearest live ancestor, and id 1 stays live).  Outside g.mu —
+  // ctx_retire takes the obs registry lock.
+  for (uint64_t id : leaked) obs::ctx_retire(id);
   // Release SpGEMM scratch held beyond kernel lifetimes: the calling
   // thread's arena (worker arenas died with their pool threads above)
   // and the per-snapshot symbolic-cost cache.
@@ -124,28 +147,39 @@ Info context_new(Context** ctx, Mode mode, Context* parent,
   Context* p = parent == nullptr ? g.top : parent;
   if (g.live.find(p) == g.live.end()) return Info::kUninitializedObject;
   ContextConfig cfg = config != nullptr ? *config : ContextConfig{};
-  auto* c = new Context(mode, p, cfg);
+  auto* c = new Context(mode, p, cfg, next_ctx_obs_id());
   g.live.insert(c);
+  obs::ctx_register(c->obs_id(), p->obs_id());
   *ctx = c;
   return Info::kSuccess;
 }
 
 Info context_free(Context* ctx) {
   if (ctx == nullptr) return Info::kNullPointer;
-  auto& g = global();
-  MutexLock lock(g.mu);
-  if (ctx == g.top) return Info::kInvalidValue;  // top dies with finalize
-  auto it = g.live.find(ctx);
-  if (it == g.live.end()) return Info::kUninitializedObject;
-  // Implementation-defined rule (documented): a context with live child
-  // contexts cannot be freed, since children resolve resources through it.
-  for (Context* c : g.live)
-    if (c->parent() == ctx) return Info::kInvalidValue;
-  // After this, ctx "behaves as an uninitialized object" (paper §IV):
-  // objects still homed in it must be re-homed with GrB_Context_switch
-  // before further use; operations validate liveness via context_is_live.
-  g.live.erase(it);
-  delete ctx;
+  uint64_t obs_id;
+  {
+    auto& g = global();
+    MutexLock lock(g.mu);
+    if (ctx == g.top) return Info::kInvalidValue;  // top dies with finalize
+    auto it = g.live.find(ctx);
+    if (it == g.live.end()) return Info::kUninitializedObject;
+    // Implementation-defined rule (documented): a context with live child
+    // contexts cannot be freed, since children resolve resources through
+    // it.
+    for (Context* c : g.live)
+      if (c->parent() == ctx) return Info::kInvalidValue;
+    // After this, ctx "behaves as an uninitialized object" (paper §IV):
+    // objects still homed in it must be re-homed with GrB_Context_switch
+    // before further use; operations validate liveness via
+    // context_is_live.
+    g.live.erase(it);
+    obs_id = ctx->obs_id();
+    delete ctx;
+  }
+  // Roll this context's telemetry up to its parent (child totals fold
+  // into ancestors on free).  Outside g.mu — ctx_retire takes the obs
+  // registry lock.
+  obs::ctx_retire(obs_id);
   return Info::kSuccess;
 }
 
@@ -162,8 +196,10 @@ Context* resolve_context(Context* ctx) {
 Context* serial_context() {
   // Deliberately leaked, never in the live set: survives GrB_finalize so
   // in-flight serial fallbacks can't dangle across re-initialization.
+  // obs id 0: serial-fallback work stays "unattributed" rather than
+  // polluting a tenant's latency series with inline helper runs.
   static Context* serial =
-      new Context(Mode::kBlocking, nullptr, ContextConfig{1, 4096});
+      new Context(Mode::kBlocking, nullptr, ContextConfig{1, 4096}, 0);
   return serial;
 }
 
@@ -173,8 +209,16 @@ Context* exec_context(Context* ctx, size_t work) {
       work >= parallel_threshold()) {
     chosen = ctx;
   }
-  // The single serial-fallback gate: record which path this kernel took,
-  // attributed to the GrB op currently on this thread.
+  // The single serial-fallback gate: every kernel passes its object's
+  // HOME context through here, so this is also where the thread-local
+  // attribution slot learns the tenant (sticky for the rest of the API
+  // scope — api_return keys its counters by it).  The serial helper
+  // (obs id 0) never overrides a known tenant.
+  if (obs::enabled() && ctx != nullptr && ctx->obs_id() != 0) {
+    obs::set_current_ctx(ctx->obs_id());
+  }
+  // Record which path this kernel took, attributed to the GrB op
+  // currently on this thread.
   if (obs::stats_enabled()) obs::count_path(chosen != serial_context());
   return chosen;
 }

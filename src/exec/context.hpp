@@ -38,12 +38,16 @@ struct ContextConfig {
 
 class Context {
  public:
-  Context(Mode mode, Context* parent, ContextConfig cfg);
+  // `obs_id` is the stable telemetry identity of this context (see
+  // obs/telemetry.hpp): 1 for the top context, 0 for the internal
+  // serial helper, a fresh monotonic id for every nested context.
+  Context(Mode mode, Context* parent, ContextConfig cfg, uint64_t obs_id);
 
   Mode mode() const { return mode_; }
   Context* parent() const { return parent_; }
   const ContextConfig& config() const { return cfg_; }
   int depth() const { return depth_; }
+  uint64_t obs_id() const { return obs_id_; }
 
   // Effective thread count.  A context's own request (nthreads > 0) is
   // capped by every ancestor's explicit budget, so nested contexts carve
@@ -72,6 +76,7 @@ class Context {
   Context* parent_;
   ContextConfig cfg_;
   int depth_;
+  uint64_t obs_id_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -53,12 +53,15 @@ bool is_fusable(const FuseNode& n, bool is_vector) {
 }
 
 // The eager per-node execution the planner falls back to — identical to
-// the historical complete() loop body, attribution included.
+// the historical complete() loop body, attribution included.  The scope
+// replays the node's enqueue-time context so the execution is charged to
+// its tenant, and flow_step closes the enqueue→exec arrow.
 Info run_node_eager(Deferred& d) {
-  obs::CurrentOpScope op_scope(d.op);
+  obs::CurrentOpScope op_scope(d.op, d.ctx_id);
   if (obs::flight_enabled())
-    obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0);
+    obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0, d.ctx_id, d.flow_id);
   uint64_t t0 = obs::telemetry_enabled() ? obs::now_ns() : 0;
+  obs::flow_step(d.op, d.flow_id);
   Info info = d.fn();
   obs::deferred_return(d.op, t0, d.enqueued_ns, static_cast<int>(info) < 0);
   return info;
@@ -174,7 +177,8 @@ Info fusion_execute_batch(ObjectBase* obj, std::vector<Deferred>& batch,
       const Group& g = groups[gi++];
       if (obs::flight_enabled())
         obs::fr_record(obs::FrKind::kFusionExec, batch[g.b].op,
-                       static_cast<int32_t>(g.e - g.b));
+                       static_cast<int32_t>(g.e - g.b), batch[g.b].ctx_id,
+                       batch[g.b].flow_id);
       uint64_t exec_t0 = obs::trace_enabled() ? obs::now_ns() : 0;
       Info info = is_vector
                       ? run_fused_vector_group(vec, batch, g.b, g.e)

@@ -12,22 +12,29 @@ Info ObjectBase::switch_context(Context* new_ctx) {
   if (is_execution_error(info)) return info;
   MutexLock lock(mu_);
   ctx_ = c;
+  ctx_obs_id_.store(c->obs_id(), std::memory_order_relaxed);
   return Info::kSuccess;
 }
 
 void ObjectBase::enqueue(std::function<Info()> op, FuseNode node) {
   // The entry-point name travels with the closure so a later failure
   // during complete() can name the method that caused it, and so the
-  // trace can show the deferral gap between call and execution.
+  // trace can show the deferral gap between call and execution.  The
+  // home context and (when tracing) a fresh flow id travel too: the
+  // execution span replays the tenant attribution and closes the flow
+  // arrow no matter which thread or API call later drains the queue.
   const char* op_name = obs::current_op();
   uint64_t enq_ns = obs::telemetry_enabled() ? obs::now_ns() : 0;
+  uint64_t ctx_id = obs_ctx_id();
+  if (obs::enabled() && ctx_id != 0) obs::set_current_ctx(ctx_id);
+  uint64_t flow_id = obs::trace_enabled() ? obs::next_flow_id() : 0;
   size_t depth;
   {
     MutexLock lock(mu_);
     // Deliberate allocation under mu_: the deferred queue IS the growth
     // (suppressed in tools/grb_analyze_suppressions.json with rationale).
-    queue_.push_back(
-        Deferred{std::move(op), op_name, enq_ns, std::move(node)});
+    queue_.push_back(Deferred{std::move(op), op_name, enq_ns,
+                              std::move(node), ctx_id, flow_id});
     depth = queue_.size();
   }
   // The gauge sample can land in the trace buffer (its own mutex plus a
@@ -35,9 +42,28 @@ void ObjectBase::enqueue(std::function<Info()> op, FuseNode node) {
   // section.  The depth is a sample either way — a stale read after
   // unlock is indistinguishable from sampling a moment later.
   obs::queue_depth_sample(depth);
+  if (obs::flight_enabled()) {
+    obs::fr_record(obs::FrKind::kEnqueue, op_name,
+                   static_cast<int32_t>(depth), ctx_id, flow_id);
+  }
+  // The flow start ("s") binds to the enclosing API span — emitted here,
+  // still inside the entry point, but after mu_ is released (the trace
+  // buffer has its own mutex and may grow).
+  obs::flow_begin(op_name, flow_id);
 }
 
-Info ObjectBase::complete() {
+Info ObjectBase::complete_watched() {
+  // Watchdog-armed drain: registered in the stall table for the whole
+  // drain so a queue stuck behind a slow deferred method trips a report
+  // naming this object's tenant.
+  int token = obs::stall_begin(obs::kStallCompletion, "ObjectBase::complete",
+                               obs_ctx_id(), nullptr);
+  Info info = complete_impl();
+  obs::stall_end(token);
+  return info;
+}
+
+Info ObjectBase::complete_impl() {
   // Drain until the queue stays empty.  Closures publish results under
   // mu_ themselves; we must not hold mu_ while running them.
   for (;;) {
@@ -134,6 +160,12 @@ const char* ObjectBase::error_string() const {
 }
 
 Info defer_or_run(ObjectBase* out, std::function<Info()> op, FuseNode node) {
+  // First touch of the output object inside an API call: stamp the
+  // thread's attribution slot with its tenant (sticky for the scope).
+  if (obs::enabled()) {
+    uint64_t ctx_id = out->obs_ctx_id();
+    if (ctx_id != 0) obs::set_current_ctx(ctx_id);
+  }
   if (out->mode() == Mode::kBlocking) {
     Info info = op();
     if (static_cast<int>(info) < 0) {

@@ -14,6 +14,7 @@
 //  * GrB_error(&str, obj): a per-object, mutex-guarded error string.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -37,17 +38,25 @@ enum class WaitMode : int {
 // method; `enqueued_ns` is the telemetry enqueue stamp (0 when telemetry
 // was disabled at enqueue time) used to report the deferral gap between
 // call and execution.  `node` is the fusion planner's view of the method
-// (exec/fusion.hpp); the default is an opaque read-write op.
+// (exec/fusion.hpp); the default is an opaque read-write op.  `ctx_id`
+// is the home context's obs id at enqueue time (the tenant the eventual
+// execution is attributed to) and `flow_id` the Chrome-trace flow id
+// linking the enqueuing API span to the execution span (0 = no trace).
 struct Deferred {
   std::function<Info()> fn;
   const char* op;
   uint64_t enqueued_ns;
   FuseNode node;
+  uint64_t ctx_id = 0;
+  uint64_t flow_id = 0;
 };
 
 class ObjectBase {
  public:
-  explicit ObjectBase(Context* ctx) : ctx_(resolve_context(ctx)) {}
+  explicit ObjectBase(Context* ctx) : ctx_(resolve_context(ctx)) {
+    ctx_obs_id_.store(ctx_ != nullptr ? ctx_->obs_id() : 0,
+                      std::memory_order_relaxed);
+  }
   virtual ~ObjectBase() = default;
 
   ObjectBase(const ObjectBase&) = delete;
@@ -58,6 +67,14 @@ class ObjectBase {
     return ctx_;
   }
   Info switch_context(Context* new_ctx) GRB_EXCLUDES(mu_);
+
+  // The home context's telemetry id, readable without mu_ so the
+  // attribution fast paths (defer_or_run, enqueue) pay one relaxed load
+  // instead of a lock round-trip.  Mirrors ctx_; updated by
+  // switch_context.
+  uint64_t obs_ctx_id() const {
+    return ctx_obs_id_.load(std::memory_order_relaxed);
+  }
 
   Mode mode() const {
     Context* c = context();
@@ -77,7 +94,22 @@ class ObjectBase {
   // stays stored (poisoning the object) until a materializing wait.
   // Must be called with mu_ free: the deferred closures it runs publish
   // their results under mu_ themselves.
-  Info complete() GRB_EXCLUDES(mu_);
+  //
+  // Completion is where nonblocking mode goes to block, so it carries
+  // the observability wrappers inline: stamp the thread's attribution
+  // slot with this object's tenant, and — only when the stall watchdog
+  // is armed — take the registered-drain slow path so a queue stuck
+  // behind a slow deferred method trips a report naming this context.
+  // With telemetry off this adds one relaxed flag load to the drain.
+  Info complete() GRB_EXCLUDES(mu_) {
+    uint32_t f = obs::flags();
+    if (__builtin_expect(f != 0, 0)) {
+      uint64_t ctx_id = obs_ctx_id();
+      if (ctx_id != 0) obs::set_current_ctx(ctx_id);
+      if ((f & obs::kWatchdogFlag) != 0) return complete_watched();
+    }
+    return complete_impl();
+  }
 
   // GrB_wait.  kComplete == complete(); kMaterialize also clears the
   // stored error after reporting it.
@@ -85,7 +117,16 @@ class ObjectBase {
 
   // The deferred-error check every method performs on its arguments
   // (paper §V: later methods in the sequence report earlier errors).
+  // It is also the one hook every container fast path shares, so it
+  // stamps the thread's sticky attribution context: pending-tuple
+  // appends (setElement/removeElement in nonblocking mode) never reach
+  // enqueue/complete, yet their API spans must still bill to this
+  // object's tenant.
   Info pending_error() const GRB_EXCLUDES(mu_) {
+    if (obs::enabled()) {
+      uint64_t id = obs_ctx_id();
+      if (id != 0) obs::set_current_ctx(id);
+    }
     MutexLock lock(mu_);
     return err_;
   }
@@ -152,7 +193,17 @@ class ObjectBase {
   // that belongs in a critical section).
   bool poison_locked(Info info, const std::string& msg) GRB_REQUIRES(mu_);
 
+  // The drain loop proper; complete() dispatches here directly, or via
+  // complete_watched() — which brackets the drain in the watchdog stall
+  // table — when the watchdog is armed, so a queue stuck behind a slow
+  // or deadlocked deferred method is reported with this object's tenant.
+  Info complete_impl() GRB_EXCLUDES(mu_);
+  Info complete_watched() GRB_EXCLUDES(mu_);
+
   Context* ctx_ GRB_GUARDED_BY(mu_);
+  // Lock-free mirror of ctx_->obs_id() for attribution paths that must
+  // not take mu_ (memory snapshots, enqueue fast path).
+  std::atomic<uint64_t> ctx_obs_id_{0};
   std::vector<Deferred> queue_ GRB_GUARDED_BY(mu_);
   Info err_ GRB_GUARDED_BY(mu_) = Info::kSuccess;
   std::string errmsg_ GRB_GUARDED_BY(mu_);

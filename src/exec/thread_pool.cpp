@@ -119,6 +119,7 @@ void ThreadPool::worker_loop() {
     std::shared_ptr<Job> job;
     bool parked = false;
     bool quit = false;
+    uint64_t park_t0 = 0;
     {
       // The wait condition is an explicit loop (not a predicate lambda)
       // so the capability analysis sees the guarded reads under mu_.
@@ -129,6 +130,7 @@ void ThreadPool::worker_loop() {
         // hook can lazily allocate this pool's counter block and land
         // a trace event, neither of which belongs under mu_.
         parked = true;
+        if (park_t0 == 0 && obs::enabled()) park_t0 = obs::now_ns();
         lock.wait(work_cv_);
       }
       if (shutdown_) {
@@ -138,7 +140,10 @@ void ThreadPool::worker_loop() {
         job = job_;
       }
     }
-    if (parked && obs::enabled()) obs::pool_park(obs_id_);
+    if (parked && obs::enabled()) {
+      obs::pool_park(obs_id_,
+                     park_t0 != 0 ? obs::now_ns() - park_t0 : 0);
+    }
     if (quit) return;
     if (job == nullptr) continue;
     while (grab_and_run(*job, /*worker_lane=*/true)) {

@@ -27,6 +27,7 @@ struct Slot {
   std::atomic<uint64_t> ts{0};
   std::atomic<const char*> op{nullptr};
   std::atomic<uint64_t> meta{0};  // info<<32 | kind<<24 | tid
+  std::atomic<uint64_t> ext{0};   // ctx<<32 | flow (32-bit truncated)
 };
 
 struct Ring {
@@ -86,6 +87,8 @@ const char* kind_name(uint8_t kind) {
     case FrKind::kPoison: return "poison";
     case FrKind::kFusionPlan: return "fusion-plan";
     case FrKind::kFusionExec: return "fusion-exec";
+    case FrKind::kEnqueue: return "enqueue";
+    case FrKind::kWatchdog: return "watchdog";
   }
   return "?";
 }
@@ -103,6 +106,8 @@ struct DecodedEvent {
   uint8_t kind;
   int32_t info;
   uint32_t tid;
+  uint32_t ctx;
+  uint32_t flow;
 };
 
 // Snapshots the readable window of the ring, oldest first.  Torn or
@@ -125,10 +130,13 @@ std::vector<DecodedEvent> snapshot_events(uint64_t max_events) {
     e.ts = s.ts.load(std::memory_order_relaxed);
     e.op = s.op.load(std::memory_order_relaxed);
     uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    uint64_t ext = s.ext.load(std::memory_order_relaxed);
     if (s.seq.load(std::memory_order_acquire) != seq + 1) continue;
     e.info = static_cast<int32_t>(static_cast<uint32_t>(meta >> 32));
     e.kind = static_cast<uint8_t>((meta >> 24) & 0xffu);
     e.tid = static_cast<uint32_t>(meta & 0xffffffu);
+    e.ctx = static_cast<uint32_t>(ext >> 32);
+    e.flow = static_cast<uint32_t>(ext & 0xffffffffu);
     if (e.op == nullptr) continue;
     out.push_back(e);
   }
@@ -174,7 +182,8 @@ uint64_t fr_overwrites() {
   return head > cap ? head - cap : 0;
 }
 
-void fr_record(FrKind kind, const char* op, int32_t info) {
+void fr_record(FrKind kind, const char* op, int32_t info, uint64_t ctx,
+               uint64_t flow) {
   Ring* r = g_ring.load(std::memory_order_acquire);
   if (r == nullptr) return;
   uint64_t seq = r->head.fetch_add(1, std::memory_order_relaxed);
@@ -183,6 +192,7 @@ void fr_record(FrKind kind, const char* op, int32_t info) {
   s.ts.store(now_ns(), std::memory_order_relaxed);
   s.op.store(op, std::memory_order_relaxed);
   s.meta.store(pack_meta(kind, info, fr_tid()), std::memory_order_relaxed);
+  s.ext.store((ctx << 32) | (flow & 0xffffffffu), std::memory_order_relaxed);
   s.seq.store(seq + 1, std::memory_order_release);
 }
 
@@ -209,6 +219,14 @@ std::string fr_text(uint64_t max_events) {
                   static_cast<unsigned long long>(e.ts), e.tid,
                   kind_name(e.kind), e.op);
     out.append(line);
+    if (e.ctx != 0 || e.flow != 0) {
+      std::snprintf(line, sizeof line, " ctx=%u", e.ctx);
+      out.append(line);
+      if (e.flow != 0) {
+        std::snprintf(line, sizeof line, " flow=%u", e.flow);
+        out.append(line);
+      }
+    }
     if (e.info < 0) {
       out.push_back(' ');
       out.append(info_name(static_cast<Info>(e.info)));
@@ -229,9 +247,11 @@ std::string fr_trace_json() {
     std::snprintf(line, sizeof line,
                   "{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"i\","
                   "\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
-                  "\"args\":{\"kind\":\"%s\",\"seq\":%llu,\"info\":%d}}",
+                  "\"args\":{\"kind\":\"%s\",\"seq\":%llu,\"info\":%d,"
+                  "\"ctx\":%u,\"flow\":%u}}",
                   e.op, e.tid, e.ts / 1000.0, kind_name(e.kind),
-                  static_cast<unsigned long long>(e.seq), e.info);
+                  static_cast<unsigned long long>(e.seq), e.info, e.ctx,
+                  e.flow);
     out.append(line);
   }
   out.append("\n]}\n");

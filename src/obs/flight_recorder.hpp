@@ -33,6 +33,8 @@ enum class FrKind : uint8_t {
   kPoison = 3,     // an object recorded its first deferred error
   kFusionPlan = 4,  // the fusion planner selected chains / dead writes
   kFusionExec = 5,  // a fused group ran (info = node count)
+  kEnqueue = 6,    // a method was deferred onto an object's queue
+  kWatchdog = 7,   // the stall watchdog tripped (info = stalled ms)
 };
 
 // Ring sizing / lifecycle.  fr_resize(0) disables recording (and clears
@@ -46,7 +48,12 @@ uint64_t fr_overwrites();   // events lost to ring wrap
 
 // Records one event.  `op` must have static storage duration (entry
 // point literals); `info` is the GrB_Info value for error kinds.
-void fr_record(FrKind kind, const char* op, int32_t info);
+// `ctx` is the obs context id of the tenant the event belongs to and
+// `flow` the enqueue→exec flow id (both truncated to 32 bits in the
+// ring; 0 = unattributed), so post-mortem dumps answer "whose op" and
+// "which enqueue produced this execution".
+void fr_record(FrKind kind, const char* op, int32_t info, uint64_t ctx = 0,
+               uint64_t flow = 0);
 
 // C API veneer hook for an entry point's return value: records an
 // api-error event for execution errors and auto-dumps on GrB_PANIC.

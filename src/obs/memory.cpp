@@ -74,6 +74,30 @@ uint64_t mem_object_count() {
   return obj_registry().size();
 }
 
+std::vector<CtxMemSlice> mem_by_ctx() {
+  std::vector<CtxMemSlice> slices;
+  std::lock_guard<std::mutex> lock(obj_mu());
+  for (const MemReportable* obj : obj_registry()) {
+    MemReportable::Snapshot s;
+    obj->mem_snapshot(&s);
+    CtxMemSlice* slot = nullptr;
+    for (auto& sl : slices) {
+      if (sl.ctx == s.ctx) {
+        slot = &sl;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slices.push_back(CtxMemSlice{s.ctx, 0, 0, 0});
+      slot = &slices.back();
+    }
+    slot->live_bytes += s.live_bytes;
+    slot->peak_bytes += s.peak_bytes;
+    slot->objects += 1;
+  }
+  return slices;
+}
+
 std::string memory_report() {
   std::vector<MemReportable::Snapshot> snaps;
   {
@@ -105,12 +129,14 @@ std::string memory_report() {
   out.append(line);
   for (const auto& s : snaps) {
     std::snprintf(line, sizeof line,
-                  "    %-6s %llux%llu nvals=%llu live=%llu peak=%llu\n",
+                  "    %-6s %llux%llu nvals=%llu live=%llu peak=%llu "
+                  "ctx=%llu\n",
                   s.kind, static_cast<unsigned long long>(s.rows),
                   static_cast<unsigned long long>(s.cols),
                   static_cast<unsigned long long>(s.nvals),
                   static_cast<unsigned long long>(s.live_bytes),
-                  static_cast<unsigned long long>(s.peak_bytes));
+                  static_cast<unsigned long long>(s.peak_bytes),
+                  static_cast<unsigned long long>(s.ctx));
     out.append(line);
   }
   return out;

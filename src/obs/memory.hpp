@@ -118,6 +118,7 @@ class MemReportable {
     uint64_t nvals = 0;
     uint64_t live_bytes = 0;
     uint64_t peak_bytes = 0;
+    uint64_t ctx = 0;         // home-context obs id (0 = unattributed)
   };
   virtual void mem_snapshot(Snapshot* out) const = 0;
 
@@ -128,6 +129,22 @@ class MemReportable {
 void mem_register(const MemReportable* obj);
 void mem_unregister(const MemReportable* obj);  // idempotent
 uint64_t mem_object_count();
+
+// Per-context memory attribution, computed at read time by walking the
+// live-object registry and grouping snapshots by home-context id.  The
+// ids are RAW (a freed context keeps attributing its surviving objects
+// under its old id); telemetry.cpp resolves dead ids to the nearest
+// live ancestor, so rollup-on-free holds exactly by construction —
+// charge/credit balance never depends on when a context died.
+// `peak_bytes` is the sum of per-object peaks, not a true group
+// high-water mark.
+struct CtxMemSlice {
+  uint64_t ctx = 0;
+  uint64_t live_bytes = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t objects = 0;
+};
+std::vector<CtxMemSlice> mem_by_ctx();
 
 // Annotated text report: totals, arena, then every live object sorted
 // by live bytes descending.  Backs GxB_Memory_report.

@@ -1,6 +1,7 @@
 #include "obs/telemetry.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +77,10 @@ uint64_t hist_bucket_upper(int b) {
   return b == 0 ? 0 : (uint64_t{1} << b) - 1;
 }
 
+uint64_t ld(const std::atomic<uint64_t>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
 // --- counters -------------------------------------------------------------
 
 struct OpCounters {
@@ -109,6 +114,33 @@ struct OpCounters {
     for (auto& shard : hist)
       for (auto& bucket : shard) bucket.store(0, std::memory_order_relaxed);
   }
+
+  // Context rollup on free: exchange-based drain so a bump racing the
+  // drain lands either in the source (moved now) or the destination
+  // (arriving after the exchange) — never lost, never double-counted.
+  // The object itself stays alive (registry entries are never deleted),
+  // so a late bump against a retired context still has a home and is
+  // folded into the ancestor at read time.
+  void drain_into(OpCounters& dst) {
+    struct Pair {
+      std::atomic<uint64_t>* from;
+      std::atomic<uint64_t>* to;
+    };
+    for (Pair p : {Pair{&calls, &dst.calls}, Pair{&ns, &dst.ns},
+                   Pair{&errors, &dst.errors}, Pair{&scalars, &dst.scalars},
+                   Pair{&flops, &dst.flops}, Pair{&serial, &dst.serial},
+                   Pair{&parallel, &dst.parallel},
+                   Pair{&deferred, &dst.deferred},
+                   Pair{&deferred_ns, &dst.deferred_ns}})
+      p.to->fetch_add(p.from->exchange(0, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    for (int sh = 0; sh < kHistShards; ++sh)
+      for (int b = 0; b < kHistBuckets; ++b)
+        dst.hist[sh][b].fetch_add(
+            hist[sh][b].exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    bump_high_water(dst.max_ns, max_ns.exchange(0, std::memory_order_relaxed));
+  }
 };
 
 // Shard-merged histogram view with the percentile upper bounds.
@@ -117,17 +149,11 @@ struct HistSummary {
   uint64_t p50 = 0, p90 = 0, p99 = 0, max = 0;
 };
 
-HistSummary hist_summarize(const OpCounters& c) {
-  uint64_t counts[kHistBuckets] = {};
+HistSummary summarize_counts(const uint64_t counts[kHistBuckets],
+                             uint64_t max) {
   HistSummary s;
-  for (int sh = 0; sh < kHistShards; ++sh) {
-    for (int b = 0; b < kHistBuckets; ++b) {
-      uint64_t n = c.hist[sh][b].load(std::memory_order_relaxed);
-      counts[b] += n;
-      s.count += n;
-    }
-  }
-  s.max = c.max_ns.load(std::memory_order_relaxed);
+  s.max = max;
+  for (int b = 0; b < kHistBuckets; ++b) s.count += counts[b];
   if (s.count == 0) return s;
   auto quantile = [&](uint64_t pct) -> uint64_t {
     uint64_t target = (s.count * pct + 99) / 100;  // ceil rank
@@ -144,11 +170,49 @@ HistSummary hist_summarize(const OpCounters& c) {
   return s;
 }
 
+// Relaxed-merged snapshot of one (context, op) cell — or of several,
+// when dead contexts fold into a live ancestor at read time.
+struct OpAgg {
+  uint64_t calls = 0;
+  uint64_t ns = 0;
+  uint64_t errors = 0;
+  uint64_t scalars = 0;
+  uint64_t flops = 0;
+  uint64_t serial = 0;
+  uint64_t parallel = 0;
+  uint64_t deferred = 0;
+  uint64_t deferred_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t counts[kHistBuckets] = {};
+
+  // Members mirror the atomics' names; `this->` keeps the plain += from
+  // pattern-matching as an implicit-order atomic access in grb_analyze.
+  void add(const OpCounters& c) {
+    this->calls += ld(c.calls);
+    this->ns += ld(c.ns);
+    this->errors += ld(c.errors);
+    this->scalars += ld(c.scalars);
+    this->flops += ld(c.flops);
+    this->serial += ld(c.serial);
+    this->parallel += ld(c.parallel);
+    this->deferred += ld(c.deferred);
+    this->deferred_ns += ld(c.deferred_ns);
+    uint64_t m = ld(c.max_ns);
+    if (m > this->max_ns) this->max_ns = m;
+    for (int sh = 0; sh < kHistShards; ++sh)
+      for (int b = 0; b < kHistBuckets; ++b)
+        counts[b] += c.hist[sh][b].load(std::memory_order_relaxed);
+  }
+
+  HistSummary summarize() const { return summarize_counts(counts, max_ns); }
+};
+
 struct PoolCounters {
   std::atomic<uint64_t> submitted{0};   // chunks handed to parallel_for
   std::atomic<uint64_t> chunks{0};      // chunks executed (any lane)
   std::atomic<uint64_t> steals{0};      // chunks executed by worker lanes
   std::atomic<uint64_t> parks{0};       // cv-wait episodes
+  std::atomic<uint64_t> park_ns{0};     // total cv-wait duration
   std::atomic<uint64_t> busy{0};        // currently-running lanes (gauge)
   std::atomic<uint64_t> busy_hw{0};     // high-water of busy
 
@@ -156,7 +220,7 @@ struct PoolCounters {
     // busy is a live gauge; leave it to its owners.  Relaxed stores for
     // the rest: reset carries no ordering obligation.
     for (std::atomic<uint64_t>* c :
-         {&submitted, &chunks, &steals, &parks, &busy_hw})
+         {&submitted, &chunks, &steals, &parks, &park_ns, &busy_hw})
       c->store(0, std::memory_order_relaxed);
   }
 };
@@ -185,14 +249,28 @@ struct Globals {
 
 Globals g_globals;
 
-// Registries.  std::map keeps stats_json deterministic; lookups happen
-// only on enabled paths, so a lock per hook is acceptable there.
+// --- context-keyed op registry --------------------------------------------
+// One entry per context id ever observed (registered by context.cpp or
+// implicitly created by a bump).  Entries are never erased: a retired
+// context's OpCounters objects stay alive so a racing or late bump
+// never writes through a dangling reference; ctx_retire drains their
+// values into the nearest live ancestor and read paths re-resolve, so
+// retired entries stay logically empty.  std::map keeps stats_json
+// deterministic; lookups happen only on enabled paths, so a lock per
+// hook is acceptable there.
+
+struct CtxEntry {
+  uint64_t parent = 0;
+  bool dead = false;
+  std::map<std::string, std::unique_ptr<OpCounters>> ops;
+};
+
 std::mutex& reg_mu() {
   static std::mutex mu;
   return mu;
 }
-std::map<std::string, std::unique_ptr<OpCounters>>& op_registry() {
-  static auto* reg = new std::map<std::string, std::unique_ptr<OpCounters>>();
+std::map<uint64_t, CtxEntry>& ctx_registry() {
+  static auto* reg = new std::map<uint64_t, CtxEntry>();
   return *reg;
 }
 std::map<int, std::unique_ptr<PoolCounters>>& pool_registry() {
@@ -200,11 +278,29 @@ std::map<int, std::unique_ptr<PoolCounters>>& pool_registry() {
   return *reg;
 }
 
-OpCounters& op_counters(const char* name) {
+// Nearest live ancestor of `id` (id itself when live or unregistered).
+// Caller holds reg_mu.
+uint64_t resolve_live(uint64_t id) {
+  auto& reg = ctx_registry();
+  uint64_t cur = id;
+  for (int hop = 0; hop < 64; ++hop) {
+    auto it = reg.find(cur);
+    if (it == reg.end() || !it->second.dead) return cur;
+    if (it->second.parent == cur) return cur;
+    cur = it->second.parent;
+  }
+  return cur;
+}
+
+OpCounters& op_counters(uint64_t ctx_id, const char* name) {
   std::lock_guard<std::mutex> lock(reg_mu());
-  auto& slot = op_registry()[name];
+  auto& slot = ctx_registry()[ctx_id].ops[name];
   if (slot == nullptr) slot = std::make_unique<OpCounters>();
   return *slot;
+}
+
+OpCounters& op_counters(const char* name) {
+  return op_counters(current_ctx(), name);
 }
 
 PoolCounters& pool_counters(int pool_id) {
@@ -214,19 +310,227 @@ PoolCounters& pool_counters(int pool_id) {
   return *slot;
 }
 
+// Aggregate one op across every context (the ungrouped stats_get view).
+// Caller holds reg_mu.
+bool agg_op(const char* op, OpAgg* out) {
+  bool found = false;
+  for (auto& ckv : ctx_registry()) {
+    auto it = ckv.second.ops.find(op);
+    if (it != ckv.second.ops.end()) {
+      out->add(*it->second);
+      found = true;
+    }
+  }
+  return found;
+}
+
+// Resolved per-context view: every entry folded into its nearest live
+// ancestor.  Caller holds reg_mu.
+std::map<uint64_t, std::map<std::string, OpAgg>> ctx_view() {
+  std::map<uint64_t, std::map<std::string, OpAgg>> view;
+  for (auto& ckv : ctx_registry()) {
+    if (ckv.second.ops.empty()) continue;
+    uint64_t target = resolve_live(ckv.first);
+    for (auto& okv : ckv.second.ops) view[target][okv.first].add(*okv.second);
+  }
+  return view;
+}
+
+// --- lock-contention profiler ---------------------------------------------
+// Fixed open-addressed table keyed by the site-name string POINTER (a
+// function-name literal), so recording is allocation-free and safe
+// while arbitrary library mutexes are held — the exact property the
+// no-alloc-under-lock analyzer rule exists to protect.  Two literals
+// with identical text in different translation units claim separate
+// slots; read paths merge by strcmp.  Hist is unsharded: contended
+// acquisitions are orders of magnitude rarer than op bumps.
+
+struct LockSiteSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> contended{0};
+  std::atomic<uint64_t> wait_ns{0};
+  std::atomic<uint64_t> max_wait_ns{0};
+  std::atomic<uint64_t> hist[kHistBuckets] = {};
+};
+
+constexpr size_t kLockSiteCap = 256;  // power of two
+LockSiteSlot g_lock_sites[kLockSiteCap];
+
+LockSiteSlot* lock_site_slot(const char* site) {
+  size_t h = (reinterpret_cast<uintptr_t>(site) >> 3) * 0x9E3779B97F4A7C15ull;
+  h >>= 48;
+  for (size_t probe = 0; probe < kLockSiteCap; ++probe) {
+    LockSiteSlot& s = g_lock_sites[(h + probe) & (kLockSiteCap - 1)];
+    const char* cur = s.name.load(std::memory_order_acquire);
+    if (cur == site) return &s;
+    if (cur == nullptr) {
+      if (s.name.compare_exchange_strong(cur, site,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+        return &s;
+      if (cur == site) return &s;  // lost the race to ourselves
+    }
+  }
+  return nullptr;  // table full: drop the sample (bounded by design)
+}
+
+struct LockAgg {
+  uint64_t acquires = 0;
+  uint64_t contended = 0;
+  uint64_t wait_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t counts[kHistBuckets] = {};
+
+  HistSummary summarize() const { return summarize_counts(counts, max_ns); }
+};
+
+// Name-merged read view of the site table (no lock needed: slots are
+// all-atomic and never deleted).
+std::map<std::string, LockAgg> lock_view() {
+  std::map<std::string, LockAgg> view;
+  for (const LockSiteSlot& s : g_lock_sites) {
+    const char* name = s.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    LockAgg& a = view[name];
+    a.acquires += ld(s.acquires);
+    a.contended += ld(s.contended);
+    a.wait_ns += ld(s.wait_ns);
+    uint64_t m = ld(s.max_wait_ns);
+    if (m > a.max_ns) a.max_ns = m;
+    for (int b = 0; b < kHistBuckets; ++b) a.counts[b] += ld(s.hist[b]);
+  }
+  return view;
+}
+
+void lock_sites_reset() {
+  for (LockSiteSlot& s : g_lock_sites) {
+    if (s.name.load(std::memory_order_acquire) == nullptr) continue;
+    for (std::atomic<uint64_t>* c :
+         {&s.acquires, &s.contended, &s.wait_ns, &s.max_wait_ns})
+      c->store(0, std::memory_order_relaxed);
+    for (auto& b : s.hist) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- stall table + watchdog ------------------------------------------------
+
+const char* const kStallClaimed = "(claiming)";
+
+struct StallSlot {
+  std::atomic<const char*> what{nullptr};  // null = free
+  std::atomic<uint32_t> kind{0};
+  std::atomic<uint64_t> ctx{0};
+  std::atomic<uint64_t> since_ns{0};
+  std::atomic<const LockOwnerInfo*> holder{nullptr};
+  std::atomic<uint64_t> reported{0};  // since_ns value already tripped
+};
+
+constexpr int kStallCap = 64;
+StallSlot g_stalls[kStallCap];
+
+std::atomic<uint64_t> g_watchdog_deadline_ns{0};
+std::atomic<uint64_t> g_watchdog_trips{0};
+
+struct Watchdog {
+  std::thread th;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+};
+
+std::mutex& watchdog_ctl_mu() {
+  static std::mutex mu;
+  return mu;
+}
+Watchdog*& watchdog_instance() {
+  static Watchdog* w = nullptr;
+  return w;
+}
+
+void watchdog_scan() {
+  const uint64_t deadline = g_watchdog_deadline_ns.load(
+      std::memory_order_relaxed);
+  if (deadline == 0) return;
+  const uint64_t now = now_ns();
+  for (StallSlot& s : g_stalls) {
+    const char* what = s.what.load(std::memory_order_acquire);
+    if (what == nullptr || what == kStallClaimed) continue;
+    uint64_t since = s.since_ns.load(std::memory_order_relaxed);
+    if (since == 0 || now <= since || now - since < deadline) continue;
+    uint64_t rep = s.reported.load(std::memory_order_relaxed);
+    if (rep == since) continue;  // this episode already reported
+    if (!s.reported.compare_exchange_strong(rep, since,
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed))
+      continue;
+    const uint64_t ctx = s.ctx.load(std::memory_order_relaxed);
+    const uint32_t kind = s.kind.load(std::memory_order_relaxed);
+    const uint64_t age_ms = (now - since) / 1000000u;
+    g_watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+    char reason[256];
+    const LockOwnerInfo* holder =
+        s.holder.load(std::memory_order_relaxed);
+    const char* hsite =
+        holder != nullptr ? holder->site.load(std::memory_order_relaxed)
+                          : nullptr;
+    if (hsite != nullptr) {
+      std::snprintf(reason, sizeof reason,
+                    "watchdog: %s \"%s\" blocked %llums (ctx=%llu) "
+                    "holder=%s (ctx=%llu)",
+                    kind == kStallLockWait ? "lock-wait" : "completion",
+                    what, static_cast<unsigned long long>(age_ms),
+                    static_cast<unsigned long long>(ctx), hsite,
+                    static_cast<unsigned long long>(
+                        holder->ctx.load(std::memory_order_relaxed)));
+    } else {
+      std::snprintf(reason, sizeof reason,
+                    "watchdog: %s \"%s\" blocked %llums (ctx=%llu)",
+                    kind == kStallLockWait ? "lock-wait" : "completion",
+                    what, static_cast<unsigned long long>(age_ms),
+                    static_cast<unsigned long long>(ctx));
+    }
+    fr_record(FrKind::kWatchdog, what,
+              age_ms > 0x7fffffff ? 0x7fffffff
+                                  : static_cast<int32_t>(age_ms),
+              ctx, 0);
+    fr_auto_dump(reason);
+  }
+}
+
+void watchdog_loop() {
+  Watchdog* w = watchdog_instance();  // stable: stop() joins before delete
+  for (;;) {
+    uint64_t deadline = g_watchdog_deadline_ns.load(
+        std::memory_order_relaxed);
+    uint64_t period_ns = deadline / 4;
+    if (period_ns < 1000000u) period_ns = 1000000u;  // >= 1ms
+    {
+      std::unique_lock<std::mutex> lock(w->mu);
+      w->cv.wait_for(lock, std::chrono::nanoseconds(period_ns));
+      if (w->stop) return;
+    }
+    watchdog_scan();
+  }
+}
+
 // --- trace ------------------------------------------------------------------
 
 // One recorded event.  `name`/`cat`/`akey` point at static-storage
 // strings (function-name literals, hook-site literals), never owned.
+// `flow` is the flow-event binding id ('s'/'t' phases); `ctx` tags 'X'
+// spans with the tenant context that produced them (0 = omit).
 struct Event {
   const char* name;
   const char* cat;
-  char ph;        // 'X' complete span, 'C' counter
+  char ph;        // 'X' complete span, 'C' counter, 's'/'t' flow
   uint32_t tid;
   uint64_t ts_ns;
   uint64_t dur_ns;
   const char* akey;  // optional single arg (nullptr = none)
   uint64_t aval;
+  uint64_t flow;
+  uint64_t ctx;
 };
 
 constexpr size_t kMaxTraceEvents = 1u << 20;
@@ -245,7 +549,8 @@ std::string& trace_path() {
 }
 
 void record_event(const char* name, const char* cat, char ph, uint64_t ts_ns,
-                  uint64_t dur_ns, const char* akey, uint64_t aval) {
+                  uint64_t dur_ns, const char* akey, uint64_t aval,
+                  uint64_t flow = 0, uint64_t ctx = 0) {
   std::lock_guard<std::mutex> lock(trace_mu());
   if (!trace_enabled()) return;  // raced with a dump/stop; drop silently
   auto& buf = trace_buf();
@@ -253,7 +558,8 @@ void record_event(const char* name, const char* cat, char ph, uint64_t ts_ns,
     g_globals.trace_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buf.push_back(Event{name, cat, ph, this_tid(), ts_ns, dur_ns, akey, aval});
+  buf.push_back(Event{name, cat, ph, this_tid(), ts_ns, dur_ns, akey, aval,
+                      flow, ctx});
   g_globals.trace_events.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -290,6 +596,22 @@ void json_append_escaped(std::string* out, const char* s) {
   }
 }
 
+// Prometheus label-value escaping (exposition format 0.0.4): backslash,
+// double-quote and newline must be escaped inside label values.
+void prom_append_escaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t now_ns() {
@@ -299,20 +621,34 @@ uint64_t now_ns() {
           .count());
 }
 
-// --- current op -------------------------------------------------------------
+// --- current op / current context -------------------------------------------
 
-namespace {
+namespace detail {
 thread_local const char* t_current_op = nullptr;
+thread_local uint64_t t_current_ctx = 0;
+}  // namespace detail
+
+// --- context registry -------------------------------------------------------
+
+void ctx_register(uint64_t ctx_id, uint64_t parent_id) {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  CtxEntry& e = ctx_registry()[ctx_id];
+  e.parent = parent_id;
+  e.dead = false;
 }
 
-const char* current_op() {
-  return t_current_op != nullptr ? t_current_op : "(unknown)";
-}
-
-const char* set_current_op(const char* name) {
-  const char* prev = t_current_op;
-  t_current_op = name;
-  return prev;
+void ctx_retire(uint64_t ctx_id) {
+  std::lock_guard<std::mutex> lock(reg_mu());
+  auto& reg = ctx_registry();
+  CtxEntry& e = reg[ctx_id];  // upsert: retire-before-bump is legal
+  e.dead = true;
+  uint64_t target = resolve_live(e.parent);
+  if (target == ctx_id) return;  // no live ancestor: keep as-is
+  for (auto& okv : e.ops) {
+    auto& slot = reg[target].ops[okv.first];
+    if (slot == nullptr) slot = std::make_unique<OpCounters>();
+    okv.second->drain_into(*slot);
+  }
 }
 
 // --- hooks ------------------------------------------------------------------
@@ -330,7 +666,7 @@ void api_return(const char* op, uint64_t t0, bool failed) {
   }
   if ((f & kTraceFlag) != 0) {
     record_event(op, "api", 'X', t0, t1 - t0,
-                 failed ? "failed" : nullptr, 1);
+                 failed ? "failed" : nullptr, 1, 0, current_ctx());
   }
 }
 
@@ -349,7 +685,8 @@ void deferred_return(const char* op, uint64_t t0, uint64_t enq_ns,
   if ((f & kTraceFlag) != 0) {
     uint64_t gap_us =
         (enq_ns != 0 && t0 > enq_ns) ? (t0 - enq_ns) / 1000u : 0;
-    record_event(op, "deferred", 'X', t0, t1 - t0, "gap_us", gap_us);
+    record_event(op, "deferred", 'X', t0, t1 - t0, "gap_us", gap_us, 0,
+                 current_ctx());
   }
 }
 
@@ -407,7 +744,27 @@ void fusion_plan(uint64_t chains, uint64_t ops_fused, uint64_t dead_writes) {
 
 void fusion_span(const char* name, uint64_t t0) {
   if (!trace_enabled()) return;
-  record_event(name, "fusion", 'X', t0, now_ns() - t0, nullptr, 0);
+  record_event(name, "fusion", 'X', t0, now_ns() - t0, nullptr, 0, 0,
+               current_ctx());
+}
+
+// --- causal flow linking ----------------------------------------------------
+
+uint64_t next_flow_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void flow_begin(const char* op, uint64_t flow_id) {
+  if (!trace_enabled() || flow_id == 0) return;
+  record_event(op, "flow", 's', now_ns(), 0, nullptr, 0, flow_id,
+               current_ctx());
+}
+
+void flow_step(const char* op, uint64_t flow_id) {
+  if (!trace_enabled() || flow_id == 0) return;
+  record_event(op, "flow", 't', now_ns(), 0, nullptr, 0, flow_id,
+               current_ctx());
 }
 
 void queue_depth_sample(size_t depth) {
@@ -452,9 +809,15 @@ void pool_chunk(int pool_id, bool worker_lane) {
   if (worker_lane) c.steals.fetch_add(1, std::memory_order_relaxed);
 }
 
-void pool_park(int pool_id) {
+void pool_park(int pool_id, uint64_t wait_ns) {
   if (!telemetry_enabled()) return;
-  pool_counters(pool_id).parks.fetch_add(1, std::memory_order_relaxed);
+  PoolCounters& c = pool_counters(pool_id);
+  c.parks.fetch_add(1, std::memory_order_relaxed);
+  c.park_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  // Surface park waits beside lock waits in the contention profile:
+  // a worker parked for long stretches under load is the same signal
+  // class as a hot mutex.
+  lock_wait("ThreadPool::park", wait_ns);
 }
 
 void pool_busy_enter(int pool_id) {
@@ -481,14 +844,95 @@ void pool_busy_exit(int pool_id) {
   }
 }
 
+// --- lock-contention profiler -----------------------------------------------
+
+void lock_acquired(const char* site) {
+  if (!stats_enabled()) return;
+  LockSiteSlot* s = lock_site_slot(site);
+  if (s != nullptr) s->acquires.fetch_add(1, std::memory_order_relaxed);
+}
+
+void lock_wait(const char* site, uint64_t wait_ns) {
+  if (!stats_enabled()) return;
+  LockSiteSlot* s = lock_site_slot(site);
+  if (s == nullptr) return;
+  s->acquires.fetch_add(1, std::memory_order_relaxed);
+  s->contended.fetch_add(1, std::memory_order_relaxed);
+  s->wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  s->hist[hist_bucket(wait_ns)].fetch_add(1, std::memory_order_relaxed);
+  bump_high_water(s->max_wait_ns, wait_ns);
+}
+
+// --- stall table + watchdog -------------------------------------------------
+
+int stall_begin(StallKind kind, const char* what, uint64_t ctx_id,
+                const LockOwnerInfo* holder) {
+  for (int i = 0; i < kStallCap; ++i) {
+    const char* expected = nullptr;
+    if (!g_stalls[i].what.compare_exchange_strong(
+            expected, kStallClaimed, std::memory_order_acquire,
+            std::memory_order_relaxed))
+      continue;
+    StallSlot& s = g_stalls[i];
+    s.kind.store(kind, std::memory_order_relaxed);
+    s.ctx.store(ctx_id, std::memory_order_relaxed);
+    s.since_ns.store(now_ns(), std::memory_order_relaxed);
+    s.holder.store(holder, std::memory_order_relaxed);
+    s.reported.store(0, std::memory_order_relaxed);
+    s.what.store(what, std::memory_order_release);
+    return i;
+  }
+  return -1;  // table full: this wait is invisible to the watchdog
+}
+
+void stall_end(int token) {
+  if (token < 0) return;
+  g_stalls[token].what.store(nullptr, std::memory_order_release);
+}
+
+void watchdog_start(uint64_t deadline_ms) {
+  if (deadline_ms == 0) return;
+  std::lock_guard<std::mutex> lock(watchdog_ctl_mu());
+  g_watchdog_deadline_ns.store(deadline_ms * 1000000ull,
+                               std::memory_order_relaxed);
+  if (watchdog_instance() != nullptr) return;  // re-arm: new deadline only
+  auto* w = new Watchdog();
+  watchdog_instance() = w;
+  set_flag(kWatchdogFlag, true);
+  w->th = std::thread(&watchdog_loop);
+}
+
+void watchdog_stop() {
+  std::lock_guard<std::mutex> lock(watchdog_ctl_mu());
+  Watchdog* w = watchdog_instance();
+  if (w == nullptr) return;
+  set_flag(kWatchdogFlag, false);
+  {
+    std::lock_guard<std::mutex> l(w->mu);
+    w->stop = true;
+  }
+  w->cv.notify_all();
+  w->th.join();
+  delete w;
+  watchdog_instance() = nullptr;
+  g_watchdog_deadline_ns.store(0, std::memory_order_relaxed);
+}
+
+uint64_t watchdog_trips() {
+  return g_watchdog_trips.load(std::memory_order_relaxed);
+}
+
 // --- control / introspection ------------------------------------------------
 
 void stats_set_enabled(bool on) { set_flag(kStatsFlag, on); }
 
 void stats_reset() {
   std::lock_guard<std::mutex> lock(reg_mu());
-  for (auto& kv : op_registry()) kv.second->reset();
+  for (auto& ckv : ctx_registry())
+    for (auto& okv : ckv.second.ops) okv.second->reset();
   for (auto& kv : pool_registry()) kv.second->reset();
+  lock_sites_reset();
+  g_watchdog_trips.store(0, std::memory_order_relaxed);
   g_globals.queue_enqueued = 0;
   g_globals.queue_hw = 0;
   g_globals.queue_drained = 0;
@@ -507,42 +951,45 @@ void stats_reset() {
 
 namespace {
 
+struct AggField {
+  const char* name;
+  uint64_t value;
+};
+
+// The per-op fields, in stats_json order.
+std::vector<AggField> agg_fields(const OpAgg& a) {
+  return {{"calls", a.calls},       {"ns", a.ns},
+          {"errors", a.errors},     {"scalars", a.scalars},
+          {"flops", a.flops},       {"serial", a.serial},
+          {"parallel", a.parallel}, {"deferred", a.deferred},
+          {"deferred_ns", a.deferred_ns}};
+}
+
 struct FieldRef {
   const char* name;
   const std::atomic<uint64_t>* value;
 };
-
-// The per-op fields, in stats_json order.
-std::vector<FieldRef> op_fields(const OpCounters& c) {
-  return {{"calls", &c.calls},       {"ns", &c.ns},
-          {"errors", &c.errors},     {"scalars", &c.scalars},
-          {"flops", &c.flops},       {"serial", &c.serial},
-          {"parallel", &c.parallel}, {"deferred", &c.deferred},
-          {"deferred_ns", &c.deferred_ns}};
-}
 
 std::vector<FieldRef> pool_fields(const PoolCounters& c) {
   return {{"submitted", &c.submitted},
           {"chunks", &c.chunks},
           {"steals", &c.steals},
           {"parks", &c.parks},
+          {"park_ns", &c.park_ns},
           {"busy_high_water", &c.busy_hw}};
 }
 
-uint64_t ld(const std::atomic<uint64_t>& v) {
-  return v.load(std::memory_order_relaxed);
-}
-
-}  // namespace
-
-namespace {
-
-// Memory / flight-recorder gauges are function-backed, not stored
-// atomics; one table serves stats_get, stats_json and the exposition.
+// Memory / flight-recorder / watchdog gauges are function-backed, not
+// stored atomics; one table serves stats_get, stats_json and the
+// exposition.
 struct FnGauge {
   const char* name;
   uint64_t (*value)();
 };
+
+uint64_t watchdog_deadline_ms_now() {
+  return g_watchdog_deadline_ns.load(std::memory_order_relaxed) / 1000000u;
+}
 
 const FnGauge kFnGauges[] = {
     {"mem.live_bytes", &mem_live_total},
@@ -553,7 +1000,36 @@ const FnGauge kFnGauges[] = {
     {"flight.events", &fr_event_count},
     {"flight.overwrites", &fr_overwrites},
     {"flight.capacity", &fr_capacity},
+    {"watchdog.trips", &watchdog_trips},
+    {"watchdog.deadline_ms", &watchdog_deadline_ms_now},
 };
+
+// Histogram-derived per-op field names share one decoder.
+bool pick_hist_field(const char* field, const HistSummary& s,
+                     uint64_t* value) {
+  if (std::strcmp(field, "p50_ns") == 0) {
+    *value = s.p50;
+  } else if (std::strcmp(field, "p90_ns") == 0) {
+    *value = s.p90;
+  } else if (std::strcmp(field, "p99_ns") == 0) {
+    *value = s.p99;
+  } else if (std::strcmp(field, "max_ns") == 0) {
+    *value = s.max;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool agg_field_get(const OpAgg& a, const char* field, uint64_t* value) {
+  for (const AggField& f : agg_fields(a)) {
+    if (std::strcmp(field, f.name) == 0) {
+      *value = f.value;
+      return true;
+    }
+  }
+  return pick_hist_field(field, a.summarize(), value);
+}
 
 }  // namespace
 
@@ -593,6 +1069,31 @@ bool stats_get(const char* name, uint64_t* value) {
       return true;
     }
   }
+  // Per-site lock contention: "lock.<site>.<field>" (site may itself
+  // contain "::" but never a dot; the last dot splits the field).
+  if (std::strncmp(name, "lock.", 5) == 0) {
+    const char* dot = std::strrchr(name + 5, '.');
+    if (dot == nullptr || dot == name + 5) return false;
+    std::string site(name + 5, static_cast<size_t>(dot - (name + 5)));
+    auto view = lock_view();
+    auto it = view.find(site);
+    if (it == view.end()) return false;
+    const char* field = dot + 1;
+    const LockAgg& a = it->second;
+    if (std::strcmp(field, "acquires") == 0) {
+      *value = a.acquires;
+      return true;
+    }
+    if (std::strcmp(field, "contended") == 0) {
+      *value = a.contended;
+      return true;
+    }
+    if (std::strcmp(field, "wait_ns") == 0) {
+      *value = a.wait_ns;
+      return true;
+    }
+    return pick_hist_field(field, a.summarize(), value);
+  }
   std::lock_guard<std::mutex> lock(reg_mu());
   // Pool aggregates: "pool.<field>" sums over every pool.
   if (std::strncmp(name, "pool.", 5) == 0) {
@@ -618,62 +1119,128 @@ bool stats_get(const char* name, uint64_t* value) {
     *value = sum;
     return known;
   }
-  // Per-op: "<op>.<field>".
+  // Per-op: "<op>.<field>", summed across every context.
   const char* dot = std::strrchr(name, '.');
   if (dot == nullptr || dot == name) return false;
   std::string op(name, static_cast<size_t>(dot - name));
-  auto it = op_registry().find(op);
-  if (it == op_registry().end()) return false;
-  for (const auto& f : op_fields(*it->second)) {
-    if (std::strcmp(dot + 1, f.name) == 0) {
-      *value = ld(*f.value);
-      return true;
-    }
-  }
-  // Histogram-derived fields, computed on read.
-  const char* field = dot + 1;
-  if (std::strcmp(field, "p50_ns") == 0 || std::strcmp(field, "p90_ns") == 0 ||
-      std::strcmp(field, "p99_ns") == 0 || std::strcmp(field, "max_ns") == 0) {
-    HistSummary s = hist_summarize(*it->second);
-    *value = field[0] == 'm'   ? s.max
-             : field[1] == '5' ? s.p50
-             : field[1] == '9' && field[2] == '0' ? s.p90
-                                                  : s.p99;
-    return true;
-  }
-  return false;
+  OpAgg agg;
+  if (!agg_op(op.c_str(), &agg)) return false;
+  return agg_field_get(agg, dot + 1, value);
 }
 
-std::string stats_json() {
+bool stats_get_ctx(uint64_t ctx_id, const char* name, uint64_t* value) {
+  *value = 0;
+  if (name == nullptr) return false;
+  // Per-context memory: group raw object slices, then resolve dead home
+  // contexts to their nearest live ancestor.  mem_by_ctx takes obj_mu;
+  // keep it strictly before reg_mu (same order as everywhere else).
+  if (std::strncmp(name, "mem.", 4) == 0) {
+    auto slices = mem_by_ctx();
+    uint64_t live = 0, peak = 0, objects = 0;
+    {
+      std::lock_guard<std::mutex> lock(reg_mu());
+      for (const auto& sl : slices) {
+        if (resolve_live(sl.ctx) != ctx_id) continue;
+        live += sl.live_bytes;
+        peak += sl.peak_bytes;
+        objects += sl.objects;
+      }
+    }
+    if (std::strcmp(name, "mem.live_bytes") == 0) {
+      *value = live;
+      return true;
+    }
+    if (std::strcmp(name, "mem.peak_bytes") == 0) {
+      *value = peak;
+      return true;
+    }
+    if (std::strcmp(name, "mem.objects") == 0) {
+      *value = objects;
+      return true;
+    }
+    return false;
+  }
+  // Per-op within the context subtree (entries resolving here).
+  const char* dot = std::strrchr(name, '.');
+  if (dot == nullptr || dot == name) return false;
+  std::string op(name, static_cast<size_t>(dot - name));
   std::lock_guard<std::mutex> lock(reg_mu());
+  OpAgg agg;
+  bool found = false;
+  for (auto& ckv : ctx_registry()) {
+    if (resolve_live(ckv.first) != ctx_id) continue;
+    auto it = ckv.second.ops.find(op);
+    if (it == ckv.second.ops.end()) continue;
+    agg.add(*it->second);
+    found = true;
+  }
+  if (!found) return false;
+  return agg_field_get(agg, dot + 1, value);
+}
+
+namespace {
+
+void json_append_op_agg(std::string* out, const OpAgg& a) {
+  char buf[96];
+  out->push_back('{');
+  bool first = true;
+  for (const AggField& f : agg_fields(a)) {
+    if (!first) out->push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu", f.name,
+                  static_cast<unsigned long long>(f.value));
+    out->append(buf);
+  }
+  HistSummary hs = a.summarize();
+  std::snprintf(buf, sizeof buf,
+                ",\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,"
+                "\"max_ns\":%llu",
+                static_cast<unsigned long long>(hs.p50),
+                static_cast<unsigned long long>(hs.p90),
+                static_cast<unsigned long long>(hs.p99),
+                static_cast<unsigned long long>(hs.max));
+  out->append(buf);
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string stats_json() {
+  // Memory slices first: obj_mu strictly before reg_mu.
+  auto mem_slices = mem_by_ctx();
+  std::lock_guard<std::mutex> lock(reg_mu());
+  auto view = ctx_view();
+  // Merge the per-context view into the flat per-op map the "ops"
+  // section has always reported.
+  std::map<std::string, OpAgg> flat;
+  for (auto& ckv : view)
+    for (auto& okv : ckv.second) {
+      OpAgg& dst = flat[okv.first];
+      // OpAgg::add wants an OpCounters; merge the already-aggregated
+      // values directly instead.
+      dst.calls += okv.second.calls;
+      dst.ns += okv.second.ns;
+      dst.errors += okv.second.errors;
+      dst.scalars += okv.second.scalars;
+      dst.flops += okv.second.flops;
+      dst.serial += okv.second.serial;
+      dst.parallel += okv.second.parallel;
+      dst.deferred += okv.second.deferred;
+      dst.deferred_ns += okv.second.deferred_ns;
+      if (okv.second.max_ns > dst.max_ns) dst.max_ns = okv.second.max_ns;
+      for (int b = 0; b < kHistBuckets; ++b)
+        dst.counts[b] += okv.second.counts[b];
+    }
   std::string out = "{\"ops\":{";
   bool first = true;
-  char buf[64];
-  for (auto& kv : op_registry()) {
+  char buf[96];
+  for (auto& kv : flat) {
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
     json_append_escaped(&out, kv.first.c_str());
-    out.append("\":{");
-    bool ffirst = true;
-    for (const auto& f : op_fields(*kv.second)) {
-      if (!ffirst) out.push_back(',');
-      ffirst = false;
-      std::snprintf(buf, sizeof buf, "\"%s\":%llu", f.name,
-                    static_cast<unsigned long long>(ld(*f.value)));
-      out.append(buf);
-    }
-    HistSummary hs = hist_summarize(*kv.second);
-    char pbuf[160];
-    std::snprintf(pbuf, sizeof pbuf,
-                  ",\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,"
-                  "\"max_ns\":%llu",
-                  static_cast<unsigned long long>(hs.p50),
-                  static_cast<unsigned long long>(hs.p90),
-                  static_cast<unsigned long long>(hs.p99),
-                  static_cast<unsigned long long>(hs.max));
-    out.append(pbuf);
-    out.push_back('}');
+    out.append("\":");
+    json_append_op_agg(&out, kv.second);
   }
   out.append("},\"global\":{");
   std::snprintf(buf, sizeof buf, "\"queue.enqueued\":%llu,",
@@ -723,7 +1290,8 @@ std::string stats_json() {
                 static_cast<unsigned long long>(
                     ld(g_globals.fusion_dead_writes)));
   out.append(buf);
-  // Memory-attribution and flight-recorder gauges (function-backed).
+  // Memory-attribution, flight-recorder and watchdog gauges
+  // (function-backed).
   for (const auto& g : kFnGauges) {
     std::snprintf(buf, sizeof buf, ",\"%s\":%llu", g.name,
                   static_cast<unsigned long long>(g.value()));
@@ -746,88 +1314,260 @@ std::string stats_json() {
     }
     out.push_back('}');
   }
+  // Per-context breakdown: ops attributed to each live context (dead
+  // contexts already folded into their nearest live ancestor) plus the
+  // memory currently homed there.
+  out.append("},\"contexts\":{");
+  first = true;
+  for (auto& ckv : view) {
+    if (!first) out.push_back(',');
+    first = false;
+    uint64_t parent = 0;
+    bool live = true;
+    auto rit = ctx_registry().find(ckv.first);
+    if (rit != ctx_registry().end()) {
+      parent = rit->second.parent;
+      live = !rit->second.dead;
+    }
+    uint64_t mem_live = 0, mem_objects = 0;
+    for (const auto& sl : mem_slices) {
+      if (resolve_live(sl.ctx) != ckv.first) continue;
+      mem_live += sl.live_bytes;
+      mem_objects += sl.objects;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "\"%llu\":{\"parent\":%llu,\"live\":%s,"
+                  "\"mem.live_bytes\":%llu,\"mem.objects\":%llu,\"ops\":{",
+                  static_cast<unsigned long long>(ckv.first),
+                  static_cast<unsigned long long>(parent),
+                  live ? "true" : "false",
+                  static_cast<unsigned long long>(mem_live),
+                  static_cast<unsigned long long>(mem_objects));
+    out.append(buf);
+    bool ofirst = true;
+    for (auto& okv : ckv.second) {
+      if (!ofirst) out.push_back(',');
+      ofirst = false;
+      out.push_back('"');
+      json_append_escaped(&out, okv.first.c_str());
+      out.append("\":");
+      json_append_op_agg(&out, okv.second);
+    }
+    out.append("}}");
+  }
+  // Per-site lock contention.
+  out.append("},\"locks\":{");
+  first = true;
+  for (auto& lkv : lock_view()) {
+    if (!first) out.push_back(',');
+    first = false;
+    HistSummary hs = lkv.second.summarize();
+    out.push_back('"');
+    json_append_escaped(&out, lkv.first.c_str());
+    char lbuf[192];
+    std::snprintf(lbuf, sizeof lbuf,
+                  "\":{\"acquires\":%llu,\"contended\":%llu,"
+                  "\"wait_ns\":%llu,\"p50_ns\":%llu,\"p99_ns\":%llu,"
+                  "\"max_ns\":%llu}",
+                  static_cast<unsigned long long>(lkv.second.acquires),
+                  static_cast<unsigned long long>(lkv.second.contended),
+                  static_cast<unsigned long long>(lkv.second.wait_ns),
+                  static_cast<unsigned long long>(hs.p50),
+                  static_cast<unsigned long long>(hs.p99),
+                  static_cast<unsigned long long>(hs.max));
+    out.append(lbuf);
+  }
   out.append("}}");
   return out;
 }
 
 std::string stats_prometheus() {
+  // Memory slices first: obj_mu strictly before reg_mu.
+  auto mem_slices = mem_by_ctx();
   std::lock_guard<std::mutex> lock(reg_mu());
+  auto view = ctx_view();
   std::string out;
-  char buf[256];
-  auto series = [&](const char* metric, const char* op, const char* extra,
+  char buf[128];
+  // series emitter: metric name, then a fully-formed label body (no
+  // braces; may be empty), then the value.
+  auto series = [&](const char* metric, const std::string& labels,
                     uint64_t v) {
-    if (op != nullptr) {
-      std::snprintf(buf, sizeof buf, "%s{op=\"%s\"%s%s} %llu\n", metric, op,
-                    extra[0] != '\0' ? "," : "", extra,
-                    static_cast<unsigned long long>(v));
-    } else {
-      std::snprintf(buf, sizeof buf, "%s %llu\n", metric,
-                    static_cast<unsigned long long>(v));
+    out.append(metric);
+    if (!labels.empty()) {
+      out.push_back('{');
+      out.append(labels);
+      out.push_back('}');
     }
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(v));
     out.append(buf);
+  };
+  auto op_ctx_labels = [&](const char* op, uint64_t ctx,
+                           const char* extra) -> std::string {
+    std::string l = "op=\"";
+    prom_append_escaped(&l, op);
+    std::snprintf(buf, sizeof buf, "\",context=\"%llu\"",
+                  static_cast<unsigned long long>(ctx));
+    l.append(buf);
+    if (extra[0] != '\0') {
+      l.push_back(',');
+      l.append(extra);
+    }
+    return l;
+  };
+  auto ctx_labels = [&](uint64_t ctx) -> std::string {
+    std::snprintf(buf, sizeof buf, "context=\"%llu\"",
+                  static_cast<unsigned long long>(ctx));
+    return std::string(buf);
   };
   out.append("# HELP grb_op_calls_total C API entry-point invocations.\n"
              "# TYPE grb_op_calls_total counter\n");
-  for (auto& kv : op_registry())
-    series("grb_op_calls_total", kv.first.c_str(), "", ld(kv.second->calls));
+  for (auto& ckv : view)
+    for (auto& okv : ckv.second)
+      series("grb_op_calls_total",
+             op_ctx_labels(okv.first.c_str(), ckv.first, ""),
+             okv.second.calls);
   out.append("# HELP grb_op_errors_total Entry points returning an error.\n"
              "# TYPE grb_op_errors_total counter\n");
-  for (auto& kv : op_registry())
-    series("grb_op_errors_total", kv.first.c_str(), "",
-           ld(kv.second->errors));
-  // Per-op latency as a Prometheus summary: quantile series from the
-  // log2 histograms (upper-bound estimates), exact sum/count/max.
-  out.append("# HELP grb_op_latency_ns Per-op latency (log2-bucket "
-             "quantile upper bounds).\n"
+  for (auto& ckv : view)
+    for (auto& okv : ckv.second)
+      series("grb_op_errors_total",
+             op_ctx_labels(okv.first.c_str(), ckv.first, ""),
+             okv.second.errors);
+  // Per-(op, context) latency as a Prometheus summary: quantile series
+  // from the log2 histograms (upper-bound estimates), exact
+  // sum/count/max.
+  out.append("# HELP grb_op_latency_ns Per-op latency by context "
+             "(log2-bucket quantile upper bounds).\n"
              "# TYPE grb_op_latency_ns summary\n");
-  for (auto& kv : op_registry()) {
-    HistSummary hs = hist_summarize(*kv.second);
-    const char* op = kv.first.c_str();
-    series("grb_op_latency_ns", op, "quantile=\"0.5\"", hs.p50);
-    series("grb_op_latency_ns", op, "quantile=\"0.9\"", hs.p90);
-    series("grb_op_latency_ns", op, "quantile=\"0.99\"", hs.p99);
-    series("grb_op_latency_ns_sum", op, "",
-           ld(kv.second->ns) + ld(kv.second->deferred_ns));
-    series("grb_op_latency_ns_count", op, "", hs.count);
+  for (auto& ckv : view) {
+    for (auto& okv : ckv.second) {
+      const char* op = okv.first.c_str();
+      HistSummary hs = okv.second.summarize();
+      series("grb_op_latency_ns",
+             op_ctx_labels(op, ckv.first, "quantile=\"0.5\""), hs.p50);
+      series("grb_op_latency_ns",
+             op_ctx_labels(op, ckv.first, "quantile=\"0.9\""), hs.p90);
+      series("grb_op_latency_ns",
+             op_ctx_labels(op, ckv.first, "quantile=\"0.99\""), hs.p99);
+      series("grb_op_latency_ns_sum", op_ctx_labels(op, ckv.first, ""),
+             okv.second.ns + okv.second.deferred_ns);
+      series("grb_op_latency_ns_count", op_ctx_labels(op, ckv.first, ""),
+             hs.count);
+    }
   }
   out.append("# HELP grb_op_latency_max_ns Exact worst-case latency.\n"
              "# TYPE grb_op_latency_max_ns gauge\n");
-  for (auto& kv : op_registry()) {
-    series("grb_op_latency_max_ns", kv.first.c_str(), "",
-           ld(kv.second->max_ns));
+  for (auto& ckv : view)
+    for (auto& okv : ckv.second)
+      series("grb_op_latency_max_ns",
+             op_ctx_labels(okv.first.c_str(), ckv.first, ""),
+             okv.second.max_ns);
+  // Per-context memory attribution (dead home contexts resolved to
+  // their nearest live ancestor at read time).
+  out.append("# HELP grb_context_memory_live_bytes Tracked bytes homed in "
+             "each context.\n"
+             "# TYPE grb_context_memory_live_bytes gauge\n");
+  {
+    std::map<uint64_t, CtxMemSlice> by_ctx;
+    for (const auto& sl : mem_slices) {
+      CtxMemSlice& dst = by_ctx[resolve_live(sl.ctx)];
+      dst.live_bytes += sl.live_bytes;
+      dst.peak_bytes += sl.peak_bytes;
+      dst.objects += sl.objects;
+    }
+    for (auto& kv : by_ctx)
+      series("grb_context_memory_live_bytes", ctx_labels(kv.first),
+             kv.second.live_bytes);
+    out.append("# HELP grb_context_objects Live GrB containers homed in "
+               "each context.\n"
+               "# TYPE grb_context_objects gauge\n");
+    for (auto& kv : by_ctx)
+      series("grb_context_objects", ctx_labels(kv.first),
+             kv.second.objects);
   }
   out.append("# HELP grb_memory_live_bytes Tracked bytes currently "
              "allocated.\n"
              "# TYPE grb_memory_live_bytes gauge\n");
-  series("grb_memory_live_bytes", nullptr, "", mem_live_total());
+  series("grb_memory_live_bytes", "", mem_live_total());
   out.append("# HELP grb_memory_peak_bytes High-water mark of tracked "
              "bytes.\n"
              "# TYPE grb_memory_peak_bytes gauge\n");
-  series("grb_memory_peak_bytes", nullptr, "", mem_peak_total());
+  series("grb_memory_peak_bytes", "", mem_peak_total());
   out.append("# HELP grb_arena_live_bytes Scratch-arena bytes currently "
              "held.\n"
              "# TYPE grb_arena_live_bytes gauge\n");
-  series("grb_arena_live_bytes", nullptr, "", mem_arena_live());
+  series("grb_arena_live_bytes", "", mem_arena_live());
   out.append("# HELP grb_arena_peak_bytes Scratch-arena high-water mark.\n"
              "# TYPE grb_arena_peak_bytes gauge\n");
-  series("grb_arena_peak_bytes", nullptr, "", mem_arena_peak());
+  series("grb_arena_peak_bytes", "", mem_arena_peak());
   out.append("# HELP grb_objects Live GrB containers.\n"
              "# TYPE grb_objects gauge\n");
-  series("grb_objects", nullptr, "", mem_object_count());
+  series("grb_objects", "", mem_object_count());
+  // Per-site lock contention.
+  {
+    auto locks = lock_view();
+    auto site_labels = [&](const std::string& site,
+                           const char* extra) -> std::string {
+      std::string l = "site=\"";
+      prom_append_escaped(&l, site.c_str());
+      l.push_back('"');
+      if (extra[0] != '\0') {
+        l.push_back(',');
+        l.append(extra);
+      }
+      return l;
+    };
+    out.append("# HELP grb_lock_acquisitions_total Scoped-lock "
+               "acquisitions by site.\n"
+               "# TYPE grb_lock_acquisitions_total counter\n");
+    for (auto& kv : locks)
+      series("grb_lock_acquisitions_total", site_labels(kv.first, ""),
+             kv.second.acquires);
+    out.append("# HELP grb_lock_contended_total Acquisitions that "
+               "blocked.\n"
+               "# TYPE grb_lock_contended_total counter\n");
+    for (auto& kv : locks)
+      series("grb_lock_contended_total", site_labels(kv.first, ""),
+             kv.second.contended);
+    out.append("# HELP grb_lock_wait_ns Blocked-acquisition wait time by "
+               "site (log2-bucket quantile upper bounds).\n"
+               "# TYPE grb_lock_wait_ns summary\n");
+    for (auto& kv : locks) {
+      HistSummary hs = kv.second.summarize();
+      series("grb_lock_wait_ns", site_labels(kv.first, "quantile=\"0.5\""),
+             hs.p50);
+      series("grb_lock_wait_ns", site_labels(kv.first, "quantile=\"0.9\""),
+             hs.p90);
+      series("grb_lock_wait_ns", site_labels(kv.first, "quantile=\"0.99\""),
+             hs.p99);
+      series("grb_lock_wait_ns_sum", site_labels(kv.first, ""),
+             kv.second.wait_ns);
+      series("grb_lock_wait_ns_count", site_labels(kv.first, ""), hs.count);
+    }
+    out.append("# HELP grb_lock_wait_max_ns Exact worst blocked wait by "
+               "site.\n"
+               "# TYPE grb_lock_wait_max_ns gauge\n");
+    for (auto& kv : locks)
+      series("grb_lock_wait_max_ns", site_labels(kv.first, ""),
+             kv.second.max_ns);
+  }
+  out.append("# HELP grb_watchdog_trips_total Stall-watchdog deadline "
+             "violations detected.\n"
+             "# TYPE grb_watchdog_trips_total counter\n");
+  series("grb_watchdog_trips_total", "", watchdog_trips());
   out.append("# HELP grb_flight_recorder_events_total Flight-recorder "
              "events ever recorded.\n"
              "# TYPE grb_flight_recorder_events_total counter\n");
-  series("grb_flight_recorder_events_total", nullptr, "", fr_event_count());
+  series("grb_flight_recorder_events_total", "", fr_event_count());
   out.append("# HELP grb_flight_recorder_overwrites_total Events lost to "
              "ring wrap.\n"
              "# TYPE grb_flight_recorder_overwrites_total counter\n");
-  series("grb_flight_recorder_overwrites_total", nullptr, "",
-         fr_overwrites());
+  series("grb_flight_recorder_overwrites_total", "", fr_overwrites());
   out.append("# HELP grb_trace_dropped_total Spans dropped by the capped "
              "trace buffer.\n"
              "# TYPE grb_trace_dropped_total counter\n");
-  series("grb_trace_dropped_total", nullptr, "",
-         ld(g_globals.trace_dropped));
+  series("grb_trace_dropped_total", "", ld(g_globals.trace_dropped));
   return out;
 }
 
@@ -863,9 +1603,32 @@ bool trace_dump(const char* path) {
                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
                    "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
                    e.name, e.cat, e.tid, e.ts_ns / 1000.0, e.dur_ns / 1000.0);
-      if (e.akey != nullptr) {
-        std::fprintf(f, ",\"args\":{\"%s\":%llu}", e.akey,
-                     static_cast<unsigned long long>(e.aval));
+      if (e.akey != nullptr || e.ctx != 0) {
+        std::fputs(",\"args\":{", f);
+        if (e.akey != nullptr) {
+          std::fprintf(f, "\"%s\":%llu", e.akey,
+                       static_cast<unsigned long long>(e.aval));
+        }
+        if (e.ctx != 0) {
+          std::fprintf(f, "%s\"ctx\":%llu", e.akey != nullptr ? "," : "",
+                       static_cast<unsigned long long>(e.ctx));
+        }
+        std::fputs("}", f);
+      }
+      std::fputs("}", f);
+    } else if (e.ph == 's' || e.ph == 't') {
+      // Flow events: same name/cat/id on both ends so the viewer draws
+      // the arrow from the enqueue ("s") to the execution ("t"), each
+      // binding to its enclosing slice by (tid, ts).
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                   "\"id\":%llu,\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                   e.name, e.cat, e.ph,
+                   static_cast<unsigned long long>(e.flow), e.tid,
+                   e.ts_ns / 1000.0);
+      if (e.ctx != 0) {
+        std::fprintf(f, ",\"args\":{\"ctx\":%llu}",
+                     static_cast<unsigned long long>(e.ctx));
       }
       std::fputs("}", f);
     } else {  // 'C'
@@ -910,11 +1673,17 @@ void env_activate() {
     env_metrics_path() = metrics;
     stats_set_enabled(true);
   }
+  // GRB_WATCHDOG=ms: arm the stall watchdog.
+  const char* wd = std::getenv("GRB_WATCHDOG");
+  if (wd != nullptr && wd[0] != '\0') {
+    watchdog_start(std::strtoull(wd, nullptr, 10));
+  }
   // GRB_FLIGHT_RECORDER / GRB_FLIGHT_DUMP; default-on (4096 events).
   fr_env_activate();
 }
 
 void env_finalize() {
+  watchdog_stop();
   if (g_env_trace) {
     if (!trace_dump(nullptr)) {
       std::fprintf(stderr, "grb-obs: failed to write GRB_TRACE file\n");

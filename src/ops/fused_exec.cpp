@@ -267,12 +267,15 @@ Info run_fused_vector_group(Vector* w, std::vector<Deferred>& batch,
   std::vector<Stage> stages;
   for (size_t k = b; k < e; ++k) {
     Deferred& d = batch[k];
-    // Attribution matches the eager walk node for node: scope, flight
-    // record, deferred span, scalar count — only the data passes fuse.
-    obs::CurrentOpScope op_scope(d.op);
+    // Attribution matches the eager walk node for node: scope (with the
+    // node's enqueue-time tenant), flight record, flow step, deferred
+    // span, scalar count — only the data passes fuse.
+    obs::CurrentOpScope op_scope(d.op, d.ctx_id);
     if (obs::flight_enabled())
-      obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0);
+      obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0, d.ctx_id,
+                     d.flow_id);
     uint64_t t0 = obs::telemetry_enabled() ? obs::now_ns() : 0;
+    obs::flow_step(d.op, d.flow_id);
     const FuseNode& nd = d.node;
     if (nd.kind == FuseNode::Kind::kMap) {
       if (nd.vsrc != nullptr)
@@ -308,10 +311,12 @@ Info run_fused_matrix_group(Matrix* c, std::vector<Deferred>& batch,
   std::vector<Stage> stages;
   for (size_t k = b; k < e; ++k) {
     Deferred& d = batch[k];
-    obs::CurrentOpScope op_scope(d.op);
+    obs::CurrentOpScope op_scope(d.op, d.ctx_id);
     if (obs::flight_enabled())
-      obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0);
+      obs::fr_record(obs::FrKind::kDeferredExec, d.op, 0, d.ctx_id,
+                     d.flow_id);
     uint64_t t0 = obs::telemetry_enabled() ? obs::now_ns() : 0;
+    obs::flow_step(d.op, d.flow_id);
     const FuseNode& nd = d.node;
     if (nd.msrc != nullptr)
       cur = nd.msrc;

@@ -21,10 +21,28 @@
 //
 // Build with the contract enforced: cmake --preset tsa (Clang only); see
 // DESIGN.md "Static contracts".
+//
+// The scoped lockers double as the lock-contention profiler's probes
+// (DESIGN.md §14): behind the usual one-atomic-load gate they record
+// per-site acquisition/wait counters, and — when the stall watchdog is
+// armed — stamp the mutex with its current holder (site + context) and
+// register blocked waits in the stall table.  The site name defaults to
+// the calling function via __builtin_FUNCTION(), so call sites need no
+// annotation; pass an explicit site string to distinguish multiple
+// lockers inside one function.  Site names must never contain '.'
+// (stats_get splits "lock.<site>.<field>" on the last dot).
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "obs/telemetry.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GRB_LOCK_SITE __builtin_FUNCTION()
+#else
+#define GRB_LOCK_SITE "(unknown)"
+#endif
 
 #if defined(__clang__) && !defined(SWIG)
 #define GRB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
@@ -84,21 +102,77 @@ class GRB_CAPABILITY("mutex") Mutex {
   // For condition-variable interop (CvLock) only.
   std::mutex& native() { return mu_; }
 
+  // Watchdog holder stamp: which site/context took the scoped lock, and
+  // when.  Written only while the watchdog is armed; read (racily, all
+  // relaxed atomics) by the watchdog thread to name the holder blocking
+  // a stalled waiter.  Bare lock()/unlock() calls do not stamp.
+  obs::LockOwnerInfo& owner() { return owner_; }
+
  private:
   std::mutex mu_;
+  obs::LockOwnerInfo owner_;
 };
 
-// Scoped acquire/release (std::lock_guard shape).
+// Scoped acquire/release (std::lock_guard shape).  With stats or the
+// watchdog enabled the acquisition is profiled: an uncontended grab is
+// try_lock + one counter bump, a contended one is timed and fed to the
+// per-site wait histogram, and a blocked wait is visible to the
+// watchdog (with this mutex's current holder) until it acquires.
+//
+// The constructor bodies mix try_lock/lock along runtime-gated paths
+// the static analysis cannot follow; the GRB_ACQUIRE contract at the
+// declaration is what call sites check against, so the bodies opt out.
+//
+// The profiled acquisition is deliberately out-of-line (noinline, cold
+// path): MutexLock guards every hot mutex in the library, and keeping
+// the inlined constructor down to "one relaxed load, one predicted
+// branch, lock" is what holds the telemetry-off overhead contract.
 class GRB_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) GRB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() GRB_RELEASE() { mu_.unlock(); }
+  explicit MutexLock(Mutex& mu, const char* site = GRB_LOCK_SITE)
+      GRB_ACQUIRE(mu) GRB_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
+    uint32_t f = obs::flags();
+    if (__builtin_expect(
+            (f & (obs::kStatsFlag | obs::kWatchdogFlag)) == 0, 1)) {
+      mu_.lock();
+      return;
+    }
+    profiled_acquire(f, site);
+  }
+  ~MutexLock() GRB_RELEASE() {
+    if (__builtin_expect(watch_, 0)) mu_.owner().clear();
+    mu_.unlock();
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
  private:
+  __attribute__((noinline)) void profiled_acquire(uint32_t f,
+                                                  const char* site) {
+    if (mu_.try_lock()) {
+      if ((f & obs::kStatsFlag) != 0) obs::lock_acquired(site);
+    } else {
+      int token = -1;
+      if ((f & obs::kWatchdogFlag) != 0) {
+        token = obs::stall_begin(obs::kStallLockWait, site,
+                                 obs::current_ctx(), &mu_.owner());
+      }
+      uint64_t t0 = obs::now_ns();
+      mu_.lock();
+      obs::stall_end(token);
+      if ((f & obs::kStatsFlag) != 0) {
+        obs::lock_wait(site, obs::now_ns() - t0);
+      }
+    }
+    if ((f & obs::kWatchdogFlag) != 0) {
+      mu_.owner().set(site, obs::current_ctx(), obs::now_ns());
+      watch_ = true;
+    }
+  }
+
   Mutex& mu_;
+  bool watch_ = false;
 };
 
 // Scoped acquire/release that can block on a condition variable.  Callers
@@ -107,16 +181,61 @@ class GRB_SCOPED_CAPABILITY MutexLock {
 // function that does not hold the capability.
 class GRB_SCOPED_CAPABILITY CvLock {
  public:
-  explicit CvLock(Mutex& mu) GRB_ACQUIRE(mu) : lock_(mu.native()) {}
-  ~CvLock() GRB_RELEASE() {}
+  explicit CvLock(Mutex& mu, const char* site = GRB_LOCK_SITE)
+      GRB_ACQUIRE(mu) GRB_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(&mu), site_(site), lock_(mu.native(), std::defer_lock) {
+    uint32_t f = obs::flags();
+    if (__builtin_expect(
+            (f & (obs::kStatsFlag | obs::kWatchdogFlag)) == 0, 1)) {
+      lock_.lock();
+      return;
+    }
+    profiled_acquire(f);
+  }
+  ~CvLock() GRB_RELEASE() {
+    if (watch_) mu_->owner().clear();
+  }
 
   CvLock(const CvLock&) = delete;
   CvLock& operator=(const CvLock&) = delete;
 
-  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+  void wait(std::condition_variable& cv) {
+    // cv.wait releases the mutex while parked; drop the holder stamp so
+    // a worker idling in its park loop does not read as an eternal
+    // holder to the watchdog, and re-stamp on wake (fresh since_ns:
+    // holding after a wake is a new tenure).
+    if (watch_) mu_->owner().clear();
+    cv.wait(lock_);
+    if (watch_) mu_->owner().set(site_, obs::current_ctx(), obs::now_ns());
+  }
 
  private:
+  __attribute__((noinline)) void profiled_acquire(uint32_t f) {
+    if (lock_.try_lock()) {
+      if ((f & obs::kStatsFlag) != 0) obs::lock_acquired(site_);
+    } else {
+      int token = -1;
+      if ((f & obs::kWatchdogFlag) != 0) {
+        token = obs::stall_begin(obs::kStallLockWait, site_,
+                                 obs::current_ctx(), &mu_->owner());
+      }
+      uint64_t t0 = obs::now_ns();
+      lock_.lock();
+      obs::stall_end(token);
+      if ((f & obs::kStatsFlag) != 0) {
+        obs::lock_wait(site_, obs::now_ns() - t0);
+      }
+    }
+    if ((f & obs::kWatchdogFlag) != 0) {
+      mu_->owner().set(site_, obs::current_ctx(), obs::now_ns());
+      watch_ = true;
+    }
+  }
+
+  Mutex* mu_;
+  const char* site_;
   std::unique_lock<std::mutex> lock_;
+  bool watch_ = false;
 };
 
 }  // namespace grb

@@ -1,0 +1,230 @@
+// Per-context tenant attribution tests: GxB_Context_stats slicing, exact
+// rollup of a freed context's counters into its parent, race-free stats
+// reads during context teardown (this binary is tsan-labeled), and the
+// Chrome-trace flow events that link an enqueuing API span to the
+// deferred execution that ran it.
+//
+// Compiled into grb_obs_tests (telemetry_test.cpp owns main()); every
+// test runs its own GrB_init / GrB_finalize.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphblas/GraphBLAS.h"
+#include "exec/context.hpp"
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+class CtxStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(GrB_init(GrB_NONBLOCKING), GrB_SUCCESS);
+  }
+  void TearDown() override {
+    EXPECT_EQ(GxB_Stats_enable(0), GrB_SUCCESS);
+    EXPECT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+    EXPECT_EQ(GrB_finalize(), GrB_SUCCESS);
+  }
+};
+
+// One tenant's workload: a vector homed in `ctx`, `sets` setElement
+// calls, a materializing wait, then free.
+void tenant_workload(GrB_Context ctx, int sets) {
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, GrB_FP64, 256, ctx), GrB_SUCCESS);
+  for (int i = 0; i < sets; ++i)
+    ASSERT_EQ(GrB_Vector_setElement(v, 1.0, static_cast<GrB_Index>(i)),
+              GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(v, GrB_MATERIALIZE), GrB_SUCCESS);
+  GrB_free(&v);
+}
+
+// Two tenants on two threads: every API call bills to the context its
+// object is homed in, GxB_Context_stats reads one tenant's slice, and
+// the Prometheus exposition carries both context labels concurrently.
+TEST_F(CtxStatsTest, AttributesWorkToOwningContext) {
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+  GrB_Context ca = nullptr, cb = nullptr;
+  ASSERT_EQ(GrB_Context_new(&ca, GrB_NONBLOCKING, nullptr, nullptr),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Context_new(&cb, GrB_NONBLOCKING, nullptr, nullptr),
+            GrB_SUCCESS);
+  const int kSetsA = 12, kSetsB = 5;
+  std::thread ta(tenant_workload, ca, kSetsA);
+  std::thread tb(tenant_workload, cb, kSetsB);
+  ta.join();
+  tb.join();
+
+  uint64_t v = ~0ull;
+  ASSERT_EQ(GxB_Context_stats(ca, "GrB_Vector_setElement<double>.calls", &v),
+            GrB_SUCCESS);
+  EXPECT_EQ(v, static_cast<uint64_t>(kSetsA));
+  ASSERT_EQ(GxB_Context_stats(cb, "GrB_Vector_setElement<double>.calls", &v),
+            GrB_SUCCESS);
+  EXPECT_EQ(v, static_cast<uint64_t>(kSetsB));
+  // The global view sums every tenant.
+  ASSERT_EQ(GxB_Stats_get("GrB_Vector_setElement<double>.calls", &v), GrB_SUCCESS);
+  EXPECT_EQ(v, static_cast<uint64_t>(kSetsA + kSetsB));
+  // Latency fields resolve per context too.
+  ASSERT_EQ(GxB_Context_stats(ca, "GrB_Vector_setElement<double>.p99_ns", &v),
+            GrB_SUCCESS);
+  // NULL context reads the top-level (unhomed) slice; memory gauges are
+  // part of the per-context schema.
+  EXPECT_EQ(GxB_Context_stats(nullptr, "mem.live_bytes", &v), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Context_stats(ca, "mem.objects", &v), GrB_SUCCESS);
+  EXPECT_EQ(v, 0u);  // the tenant freed its vector
+  // Unknown names answer GrB_NO_VALUE with *value zeroed.
+  v = 7;
+  EXPECT_EQ(GxB_Context_stats(ca, "no.such.counter", &v), GrB_NO_VALUE);
+  EXPECT_EQ(v, 0u);
+
+  // Both tenants appear as context labels in one scrape.
+  GrB_Index need = 0;
+  ASSERT_EQ(GxB_Stats_prometheus(nullptr, &need), GrB_SUCCESS);
+  std::vector<char> buf(need + 4096);
+  GrB_Index len = buf.size();
+  ASSERT_EQ(GxB_Stats_prometheus(buf.data(), &len), GrB_SUCCESS);
+  std::string prom(buf.data());
+  std::string label_a = "grb_op_calls_total{op=\"GrB_Vector_setElement<double>\","
+                        "context=\"" + std::to_string(ca->obs_id()) + "\"}";
+  std::string label_b = "grb_op_calls_total{op=\"GrB_Vector_setElement<double>\","
+                        "context=\"" + std::to_string(cb->obs_id()) + "\"}";
+  EXPECT_NE(prom.find(label_a + " 12"), std::string::npos) << prom;
+  EXPECT_NE(prom.find(label_b + " 5"), std::string::npos) << prom;
+
+  GrB_free(&ca);
+  GrB_free(&cb);
+}
+
+// Freeing a context folds its counters into the nearest live ancestor —
+// exactly (gauge-balance style: nothing lost, nothing double-counted).
+TEST_F(CtxStatsTest, TeardownRollsUpToParentExactly) {
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+  GrB_Context parent = nullptr, child = nullptr;
+  ASSERT_EQ(GrB_Context_new(&parent, GrB_NONBLOCKING, nullptr, nullptr),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Context_new(&child, GrB_NONBLOCKING, parent, nullptr),
+            GrB_SUCCESS);
+  tenant_workload(parent, 3);
+  tenant_workload(child, 7);
+
+  uint64_t parent_before = 0, child_slice = 0, total_before = 0;
+  ASSERT_EQ(
+      GxB_Context_stats(parent, "GrB_Vector_setElement<double>.calls", &parent_before),
+      GrB_SUCCESS);
+  ASSERT_EQ(
+      GxB_Context_stats(child, "GrB_Vector_setElement<double>.calls", &child_slice),
+      GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_get("GrB_Vector_setElement<double>.calls", &total_before),
+            GrB_SUCCESS);
+  EXPECT_EQ(parent_before, 3u);
+  EXPECT_EQ(child_slice, 7u);
+
+  ASSERT_EQ(GrB_free(&child), GrB_SUCCESS);
+
+  // The child's slice now reads through the parent; the global total is
+  // unchanged (rollup moves counts, it does not mint or drop them).
+  uint64_t parent_after = 0, total_after = 0;
+  ASSERT_EQ(
+      GxB_Context_stats(parent, "GrB_Vector_setElement<double>.calls", &parent_after),
+      GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_get("GrB_Vector_setElement<double>.calls", &total_after),
+            GrB_SUCCESS);
+  EXPECT_EQ(parent_after, parent_before + child_slice);
+  EXPECT_EQ(total_after, total_before);
+  GrB_free(&parent);
+}
+
+// Stats surfaces must stay readable while contexts are being created,
+// worked, and torn down on another thread (tsan proves this race-free).
+TEST_F(CtxStatsTest, ConcurrentStatsReadsDuringTeardown) {
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+  // Seed the op entry so the reader's by-name lookup always resolves.
+  {
+    GrB_Context c0 = nullptr;
+    ASSERT_EQ(GrB_Context_new(&c0, GrB_NONBLOCKING, nullptr, nullptr),
+              GrB_SUCCESS);
+    tenant_workload(c0, 4);
+    ASSERT_EQ(GrB_free(&c0), GrB_SUCCESS);
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t v = 0;
+      GrB_Index need = 0;
+      EXPECT_EQ(GxB_Stats_get("GrB_Vector_setElement<double>.calls", &v),
+                GrB_SUCCESS);
+      EXPECT_EQ(GxB_Stats_json(nullptr, &need), GrB_SUCCESS);
+      EXPECT_EQ(GxB_Stats_prometheus(nullptr, &need), GrB_SUCCESS);
+    }
+  });
+  for (int round = 0; round < 15; ++round) {
+    GrB_Context c = nullptr;
+    ASSERT_EQ(GrB_Context_new(&c, GrB_NONBLOCKING, nullptr, nullptr),
+              GrB_SUCCESS);
+    tenant_workload(c, 4);
+    ASSERT_EQ(GrB_free(&c), GrB_SUCCESS);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  uint64_t total = 0;
+  ASSERT_EQ(GxB_Stats_get("GrB_Vector_setElement<double>.calls", &total),
+            GrB_SUCCESS);
+  EXPECT_EQ(total, 16u * 4u);
+}
+
+// A deferred method's execution span is linked back to the API span that
+// enqueued it by a Chrome-trace flow pair: "s" (start) emitted inside
+// the entry point at enqueue, "t" (step) at the deferred execution,
+// sharing one id.
+TEST_F(CtxStatsTest, TraceFlowLinksEnqueueToExecution) {
+  std::string path = ::testing::TempDir() + "grb_ctx_flow_trace.json";
+  ASSERT_EQ(GxB_Trace_start(path.c_str()), GrB_SUCCESS);
+  GrB_Matrix a = nullptr;
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 8, 8), GrB_SUCCESS);
+  for (GrB_Index i = 0; i + 1 < 8; ++i)
+    ASSERT_EQ(GrB_Matrix_setElement(a, 1.0, i, i + 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(a, GrB_MATERIALIZE), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Trace_dump(path.c_str()), GrB_SUCCESS);
+  GrB_free(&a);
+  GrB_free(&c);
+
+  std::string trace = slurp_file(path);
+  ASSERT_FALSE(trace.empty()) << path;
+  // Find an mxm flow start and demand its matching step exists.
+  size_t s_pos = trace.find("\"name\":\"GrB_mxm\",\"cat\":\"flow\","
+                            "\"ph\":\"s\",\"id\":");
+  ASSERT_NE(s_pos, std::string::npos) << trace;
+  size_t id_start = trace.find("\"id\":", s_pos) + 5;
+  size_t id_end = trace.find_first_not_of("0123456789", id_start);
+  std::string id = trace.substr(id_start, id_end - id_start);
+  EXPECT_NE(trace.find("\"name\":\"GrB_mxm\",\"cat\":\"flow\","
+                       "\"ph\":\"t\",\"id\":" + id + ","),
+            std::string::npos)
+      << trace;
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -303,15 +303,15 @@ TEST_F(ObservabilityTest, PrometheusExpositionSurfacesQuantilesAndMemory) {
   // Summary family with per-op quantiles + sum/count.
   EXPECT_NE(prom.find("# TYPE grb_op_latency_ns summary"),
             std::string::npos);
-  EXPECT_NE(prom.find("grb_op_latency_ns{op=\"GrB_mxm\",quantile=\"0.5\"}"),
+  EXPECT_NE(prom.find("grb_op_latency_ns{op=\"GrB_mxm\",context=\"1\",quantile=\"0.5\"}"),
             std::string::npos);
-  EXPECT_NE(prom.find("grb_op_latency_ns{op=\"GrB_mxm\",quantile=\"0.99\"}"),
+  EXPECT_NE(prom.find("grb_op_latency_ns{op=\"GrB_mxm\",context=\"1\",quantile=\"0.99\"}"),
             std::string::npos);
-  EXPECT_NE(prom.find("grb_op_latency_ns_sum{op=\"GrB_mxm\"}"),
+  EXPECT_NE(prom.find("grb_op_latency_ns_sum{op=\"GrB_mxm\",context=\"1\"}"),
             std::string::npos);
-  EXPECT_NE(prom.find("grb_op_latency_ns_count{op=\"GrB_mxm\"}"),
+  EXPECT_NE(prom.find("grb_op_latency_ns_count{op=\"GrB_mxm\",context=\"1\"}"),
             std::string::npos);
-  EXPECT_NE(prom.find("grb_op_calls_total{op=\"GrB_mxm\"} 1"),
+  EXPECT_NE(prom.find("grb_op_calls_total{op=\"GrB_mxm\",context=\"1\"} 1"),
             std::string::npos);
   // Memory and flight-recorder gauges with their HELP/TYPE headers.
   EXPECT_NE(prom.find("# TYPE grb_memory_live_bytes gauge"),

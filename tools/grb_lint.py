@@ -608,9 +608,11 @@ class Linter:
                             "failures must register a GrB_error string")
 
         # The deferred-execution machinery itself must poison with a
-        # printable info_name() message on both failure paths.
+        # printable info_name() message on both failure paths.  The drain
+        # loop lives in complete_impl(); complete() is a thin watchdog/
+        # attribution wrapper around it.
         path, text = self.read("src/exec/object_base.cpp")
-        for fn in ("defer_or_run", "Info ObjectBase::complete"):
+        for fn in ("defer_or_run", "Info ObjectBase::complete_impl"):
             m = re.search(re.escape(fn), text)
             if not m:
                 self.report("poison-has-message", path, 1,

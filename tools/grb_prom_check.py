@@ -12,9 +12,17 @@ syntax, the GraphBLAS exposition contract is enforced:
   * per-op latency summaries carry quantile="0.5" and quantile="0.99"
     series (plus _sum/_count), so p50/p99 are always scrapeable;
   * the memory gauges grb_memory_live_bytes / grb_memory_peak_bytes are
-    present — the attribution layer is always on.
+    present — the attribution layer is always on;
+  * label values use only the text-format escapes (\\, \", \n);
+  * no family is introduced by two # TYPE lines (a scraper keeps one and
+    silently drops the other exposition);
+  * no two samples of one metric share an identical label set (the later
+    sample would overwrite the earlier in the scrape);
+  * with --require-contexts N, the per-op series must carry at least N
+    distinct context="..." tenant labels.
 
 Usage: grb_prom_check.py metrics.prom [--require-op NAME]
+                                      [--require-contexts N]
 Exit status: 0 when valid, 1 on any violation, 2 on usage error.
 Pure stdlib; no dependencies.
 """
@@ -32,6 +40,9 @@ LINE_RE = re.compile(
 
 REQUIRED_GAUGES = ("grb_memory_live_bytes", "grb_memory_peak_bytes")
 REQUIRED_QUANTILES = ("0.5", "0.99")
+# The only escapes the text format (version 0.0.4) defines inside a
+# quoted label value.
+BAD_ESCAPE_RE = re.compile(r"\\(?![\\\"n])")
 
 
 def parse(path):
@@ -41,6 +52,7 @@ def parse(path):
     typed:   {metric_family: type} from # TYPE comments.
     """
     samples, typed, helped, errors = [], {}, set(), []
+    seen = {}  # (metric, sorted label items) -> first line number
     with open(path, "r", encoding="utf-8") as f:
         for lineno, raw in enumerate(f, 1):
             line = raw.rstrip("\n")
@@ -59,6 +71,10 @@ def parse(path):
                         "counter", "gauge", "summary", "histogram",
                         "untyped"):
                     errors.append("%d: malformed TYPE line" % lineno)
+                elif parts[2] in typed:
+                    errors.append(
+                        "%d: duplicate # TYPE for family %s"
+                        % (lineno, parts[2]))
                 else:
                     typed[parts[2]] = parts[3]
                 continue
@@ -80,6 +96,21 @@ def parse(path):
                     continue
                 labels = {lm.group(1): lm.group(2)
                           for lm in LABEL_RE.finditer(labelstr)}
+                for lname, lvalue in labels.items():
+                    if BAD_ESCAPE_RE.search(lvalue):
+                        errors.append(
+                            '%d: label %s="%s" uses an escape other '
+                            "than \\\\, \\\", \\n" % (lineno, lname, lvalue))
+            key = (name, tuple(sorted(labels.items())))
+            if key in seen:
+                errors.append(
+                    "%d: duplicate sample %s{%s} (first at line %d)"
+                    % (lineno, name,
+                       ",".join("%s=%r" % kv
+                                for kv in sorted(labels.items())),
+                       seen[key]))
+            else:
+                seen[key] = lineno
             samples.append((name, labels))
             family = re.sub(r"_(sum|count|bucket)$", "", name)
             if family not in typed and name not in typed:
@@ -98,6 +129,9 @@ def main():
                     metavar="NAME",
                     help="require latency quantiles for this GrB op "
                          "(repeatable)")
+    ap.add_argument("--require-contexts", type=int, default=0, metavar="N",
+                    help="require at least N distinct context=\"...\" "
+                         "tenant labels on the per-op series")
     args = ap.parse_args()
 
     try:
@@ -135,10 +169,23 @@ def main():
     if typed.get("grb_op_latency_ns") not in (None, "summary"):
         errors.append("grb_op_latency_ns must be # TYPE summary")
 
+    # Tenant attribution: count distinct context labels on the per-op
+    # call counters (every attributed series carries one).
+    contexts = {labels["context"] for name, labels in samples
+                if name == "grb_op_calls_total" and "context" in labels}
+    if args.require_contexts and len(contexts) < args.require_contexts:
+        errors.append(
+            "expected >= %d distinct context labels on the per-op "
+            "series, found %d (%s)"
+            % (args.require_contexts, len(contexts),
+               ", ".join(sorted(contexts)) or "none"))
+
     for e in errors:
         print("grb_prom_check: %s" % e, file=sys.stderr)
     print("grb_prom_check: %d samples, %d families, %d op summaries, "
-          "%d error(s)" % (len(samples), len(typed), len(ops), len(errors)))
+          "%d context(s), %d error(s)"
+          % (len(samples), len(typed), len(ops), len(contexts),
+             len(errors)))
     return 1 if errors else 0
 
 

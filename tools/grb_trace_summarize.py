@@ -8,7 +8,13 @@ Reads the trace JSON and prints:
     method executions during complete());
   * a histogram of the deferral gap (time between a method call and its
     deferred execution, the "gap_us" span argument) — the paper's
-    nonblocking-mode latency made visible.
+    nonblocking-mode latency made visible;
+  * the enqueue->exec attribution table built from Chrome flow events:
+    each deferred method carries a flow id emitted as an "s" record
+    inside the enqueuing API span and a "t" record at the execution
+    site, so chains (which entry point produced which deferred/fused
+    work) are linked exactly, not guessed from names.  Chains rank by
+    total execution self time.
 
 Usage: grb_trace_summarize.py trace.json [--top N] [--json]
 
@@ -53,6 +59,52 @@ def self_times(spans):
             out[stack[-1]] -= s["dur"]
         stack.append(i)
     return out
+
+
+def flow_chains(events, spans):
+    """Link "s" (enqueue) flow records to their "t" (execution) ends.
+
+    Each end binds to its enclosing 'X' span by (tid, ts) — the same
+    rule the trace viewer uses to draw the arrow.  Returns
+    ({(enqueue_op, exec_name): [count, gap_us, exec_self_us]},
+     linked, unmatched); spans must already carry "_self" annotations.
+    """
+    starts, steps = {}, {}
+    for e in events:
+        if e.get("ph") == "s" and e.get("id") is not None:
+            starts.setdefault(e["id"], e)
+        elif e.get("ph") == "t" and e.get("id") is not None:
+            steps.setdefault(e["id"], e)
+    by_tid = defaultdict(list)
+    for sp in spans:
+        by_tid[sp.get("tid", 0)].append(sp)
+
+    def enclosing(tid, ts):
+        best = None
+        for sp in by_tid.get(tid, ()):
+            if sp["ts"] <= ts <= sp["ts"] + sp["dur"]:
+                if best is None or sp["dur"] < best["dur"]:
+                    best = sp
+        return best
+
+    chains = defaultdict(lambda: [0, 0.0, 0.0])
+    linked = unmatched = 0
+    for fid, s_ev in starts.items():
+        t_ev = steps.get(fid)
+        if t_ev is None:
+            unmatched += 1
+            continue
+        linked += 1
+        exec_span = enclosing(t_ev.get("tid", 0), t_ev["ts"])
+        exec_name = exec_span["name"] if exec_span is not None \
+            else t_ev.get("name", "?")
+        row = chains[(s_ev.get("name", "?"), exec_name)]
+        row[0] += 1
+        row[1] += max(t_ev["ts"] - s_ev["ts"], 0.0)
+        row[2] += exec_span.get("_self", 0.0) if exec_span is not None \
+            else 0.0
+    unmatched += sum(1 for fid in steps if fid not in starts)
+    return chains, linked, unmatched
 
 
 def fmt_us(us):
@@ -122,6 +174,7 @@ def main():
     for tid_spans in by_tid.values():
         for s, self_us in zip(tid_spans, self_times(tid_spans)):
             self_tot[(s.get("cat", "api"), s["name"])] += self_us
+            s["_self"] = self_us
 
     def table(cat, metric):
         rows = []
@@ -143,11 +196,24 @@ def main():
             b += 1
         hist[b] += 1
 
+    # Enqueue->exec chains from the flow events.
+    chains, flows_linked, flows_unmatched = flow_chains(events, spans)
+    chain_rows = sorted(
+        ((enq, ex, n, gap, self_us)
+         for (enq, ex), (n, gap, self_us) in chains.items()),
+        key=lambda r: -r[4])
+
     if args.json:
         out = {
             "spans": len(spans),
             "counters": len(counters),
             "dropped": dropped,
+            "flows_linked": flows_linked,
+            "flows_unmatched": flows_unmatched,
+            "chains": [{"enqueue": enq, "exec": ex, "count": n,
+                        "gap_us": gap, "exec_self_us": self_us}
+                       for enq, ex, n, gap, self_us
+                       in chain_rows[:args.top]],
             "api": [{"name": n, "count": c, "total_us": t}
                     for n, c, t in table("api", "total")[:args.top]],
             "api_self": [{"name": n, "count": c, "self_us": t}
@@ -172,6 +238,15 @@ def main():
             lo, hi = 1 << b, 1 << (b + 1)
             bar = "#" * min(n, 60)
             print("  %8s-%-8s %6d %s" % (fmt_us(lo), fmt_us(hi), n, bar))
+    if chain_rows:
+        print("\nEnqueue -> exec chains (%d flow(s) linked, %d unmatched),"
+              " by exec self time" % (flows_linked, flows_unmatched))
+        print("  %-52s %6s %10s %10s"
+              % ("enqueue op -> executed as", "count", "gap", "self"))
+        for enq, ex, n, gap, self_us in chain_rows[:args.top]:
+            label = "%s -> %s" % (enq, ex)
+            print("  %-52s %6d %10s %10s"
+                  % (label[:52], n, fmt_us(gap), fmt_us(self_us)))
     return 0
 
 
