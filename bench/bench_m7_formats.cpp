@@ -1,0 +1,198 @@
+// Experiment M7 (storage formats, DESIGN.md §15): polymorphic storage
+// with cost-model auto-switching vs. the one-format-fits-all CSR
+// baseline, plus the cached lazy transpose vs. per-call recomputation.
+//
+// Three paired legs, each flipping exactly one knob:
+//
+//   TransposeCache — GrB_mxv with GrB_DESC_T0 over a fixed R-MAT graph.
+//     The cached leg builds A' once (first descriptor read of the
+//     snapshot) and every later read reuses the view; the uncached leg
+//     (grb::set_transpose_cache_enabled(false), the GRB_TRANSPOSE_CACHE=0
+//     ablation) pays the counting-sort transpose on every call.  The
+//     cached leg samples format.transpose_cache_hits over one untimed
+//     step to prove the view engaged.
+//
+//   Hypersparse — GrB_mxv over a 2M-row matrix with 4096 occupied rows.
+//     Forced CSR walks every one of the 2M row pointers per call; the
+//     hyper format's compact-row kernel visits only the occupied rows.
+//
+//   DenseEwise — GrB_eWiseAdd of two full matrices.  Forced CSR runs the
+//     general sorted-merge union; the dense format takes the flat
+//     cell-parallel fast path (no index vectors at all).
+//
+// Legs within a pair share workloads and differ only in the format knob,
+// so BENCH_m7_formats.json diffs cleanly under tools/bench_compare.py.
+#include "bench/bench_util.hpp"
+
+#include "containers/format.hpp"
+
+namespace {
+
+struct PolicySet {
+  grb::FormatPolicy saved;
+  explicit PolicySet(grb::FormatPolicy p) : saved(grb::format_policy()) {
+    grb::set_format_policy(p);
+  }
+  ~PolicySet() { grb::set_format_policy(saved); }
+};
+
+struct TransCacheSet {
+  bool saved;
+  explicit TransCacheSet(bool on) : saved(grb::transpose_cache_enabled()) {
+    grb::set_transpose_cache_enabled(on);
+  }
+  ~TransCacheSet() { grb::set_transpose_cache_enabled(saved); }
+};
+
+// Samples a telemetry counter across one untimed run of `step` so each
+// leg can prove (in the JSON) which machinery actually ran.
+template <class Step>
+double sample_counter(const char* name, Step&& step) {
+  BENCH_TRY(GxB_Stats_enable(1));
+  BENCH_TRY(GxB_Stats_reset());
+  step();
+  uint64_t n = 0;
+  BENCH_TRY(GxB_Stats_get(name, &n));
+  BENCH_TRY(GxB_Stats_enable(0));
+  BENCH_TRY(GxB_Stats_reset());
+  return double(n);
+}
+
+// ---------------------------------------------------------------- leg 1
+// Transpose cache: A'u with the descriptor, cache on vs off.
+
+constexpr int kTScale = 14;  // 16384 rows, ~131K edges
+
+void run_desc_transpose(benchmark::State& state, bool cached) {
+  TransCacheSet cache(cached);
+  GrB_Matrix a = benchutil::rmat(kTScale, 8);
+  GrB_Index n = 0;
+  BENCH_TRY(GrB_Matrix_nrows(&n, a));
+  GrB_Vector u = benchutil::dense_vector(n, 701);
+  GrB_Vector w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, n));
+  auto step = [&] {
+    BENCH_TRY(GrB_mxv(w, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, a, u, GrB_DESC_T0));
+    BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  };
+  step();  // warm: the cached leg builds its view here, off the clock
+  state.counters["cache_hits"] =
+      sample_counter("format.transpose_cache_hits", step);
+  for (auto _ : state) step();
+  state.SetItemsProcessed(state.iterations() * n);
+  GrB_free(&w);
+  GrB_free(&u);
+  GrB_free(&a);
+}
+
+void BM_DescTranspose_Cached(benchmark::State& state) {
+  run_desc_transpose(state, true);
+}
+void BM_DescTranspose_Uncached(benchmark::State& state) {
+  run_desc_transpose(state, false);
+}
+BENCHMARK(BM_DescTranspose_Cached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DescTranspose_Uncached)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- leg 2
+// Hypersparse: 2M-row matrix, 4096 occupied rows of 32 entries each.
+
+constexpr GrB_Index kHRows = GrB_Index(1) << 21;
+constexpr GrB_Index kHCols = 1024;
+constexpr GrB_Index kHStride = 512;  // kHRows / kHStride occupied rows
+constexpr GrB_Index kHPerRow = 32;
+
+GrB_Matrix hyper_matrix() {
+  grb::Prng rng(702);
+  GrB_Matrix m = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&m, GrB_FP64, kHRows, kHCols));
+  for (GrB_Index r = 0; r < kHRows; r += kHStride)
+    for (GrB_Index e = 0; e < kHPerRow; ++e)
+      BENCH_TRY(GrB_Matrix_setElement(m, rng.uniform() + 0.5, r,
+                                      rng.below(kHCols)));
+  BENCH_TRY(GrB_wait(m, GrB_MATERIALIZE));
+  return m;
+}
+
+void run_hypersparse(benchmark::State& state, grb::FormatPolicy policy) {
+  PolicySet format(policy);
+  // Built under the forced policy so the publish adapts to it.
+  GrB_Matrix a = hyper_matrix();
+  GrB_Vector u = benchutil::dense_vector(kHCols, 703);
+  GrB_Vector w = nullptr;
+  BENCH_TRY(GrB_Vector_new(&w, GrB_FP64, kHRows));
+  GxB_Format resident = GxB_FORMAT_AUTO;
+  BENCH_TRY(GxB_Matrix_Option_get(a, GxB_FORMAT, &resident));
+  state.counters["resident_format"] = double(resident);
+  auto step = [&] {
+    BENCH_TRY(GrB_mxv(w, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, a, u, GrB_NULL));
+    BENCH_TRY(GrB_wait(w, GrB_COMPLETE));
+  };
+  for (auto _ : state) step();
+  state.SetItemsProcessed(state.iterations() * (kHRows / kHStride) *
+                          kHPerRow);
+  GrB_free(&w);
+  GrB_free(&u);
+  GrB_free(&a);
+}
+
+void BM_Hypersparse_Csr(benchmark::State& state) {
+  run_hypersparse(state, grb::FormatPolicy::kCsr);
+}
+void BM_Hypersparse_Hyper(benchmark::State& state) {
+  run_hypersparse(state, grb::FormatPolicy::kHyper);
+}
+BENCHMARK(BM_Hypersparse_Csr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hypersparse_Hyper)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- leg 3
+// Dense elementwise: full + full, forced CSR merge vs dense fast path.
+
+constexpr GrB_Index kDN = 512;
+
+GrB_Matrix full_matrix(uint64_t seed) {
+  grb::Prng rng(seed);
+  GrB_Matrix m = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&m, GrB_FP64, kDN, kDN));
+  for (GrB_Index i = 0; i < kDN; ++i)
+    for (GrB_Index j = 0; j < kDN; ++j)
+      BENCH_TRY(GrB_Matrix_setElement(m, rng.uniform() + 0.5, i, j));
+  BENCH_TRY(GrB_wait(m, GrB_MATERIALIZE));
+  return m;
+}
+
+void run_dense_ewise(benchmark::State& state, grb::FormatPolicy policy) {
+  PolicySet format(policy);
+  GrB_Matrix a = full_matrix(704);
+  GrB_Matrix b = full_matrix(705);
+  GrB_Matrix c = nullptr;
+  BENCH_TRY(GrB_Matrix_new(&c, GrB_FP64, kDN, kDN));
+  GxB_Format resident = GxB_FORMAT_AUTO;
+  BENCH_TRY(GxB_Matrix_Option_get(a, GxB_FORMAT, &resident));
+  state.counters["resident_format"] = double(resident);
+  auto step = [&] {
+    BENCH_TRY(GrB_eWiseAdd(c, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, a, b,
+                           GrB_NULL));
+    BENCH_TRY(GrB_wait(c, GrB_COMPLETE));
+  };
+  for (auto _ : state) step();
+  state.SetItemsProcessed(state.iterations() * kDN * kDN);
+  GrB_free(&c);
+  GrB_free(&b);
+  GrB_free(&a);
+}
+
+void BM_DenseEwise_Csr(benchmark::State& state) {
+  run_dense_ewise(state, grb::FormatPolicy::kCsr);
+}
+void BM_DenseEwise_Dense(benchmark::State& state) {
+  run_dense_ewise(state, grb::FormatPolicy::kDense);
+}
+BENCHMARK(BM_DenseEwise_Csr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseEwise_Dense)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GRB_BENCH_MAIN()

@@ -17,6 +17,7 @@
 #include <new>
 #include <type_traits>
 
+#include "containers/format.hpp"
 #include "containers/matrix.hpp"
 #include "containers/scalar.hpp"
 #include "containers/vector.hpp"
@@ -1722,6 +1723,12 @@ inline constexpr const char* const GxB_EXTENSIONS[] = {
     "GxB_FlightRecorder_dump",
     "GxB_Fusion_set",
     "GxB_Fusion_get",
+    "GxB_Format_set",
+    "GxB_Format_get",
+    "GxB_Matrix_Option_set",
+    "GxB_Matrix_Option_get",
+    "GxB_Vector_Option_set",
+    "GxB_Vector_Option_get",
 };
 inline constexpr GrB_Index GxB_EXTENSION_COUNT =
     sizeof(GxB_EXTENSIONS) / sizeof(GxB_EXTENSIONS[0]);
@@ -1910,6 +1917,146 @@ inline GrB_Info GxB_Fusion_get(int* on) {
   return grb_detail::guarded([&]() -> GrB_Info {
     if (on == nullptr) return GrB_NULL_POINTER;
     *on = grb::fusion_enabled() ? 1 : 0;
+    return GrB_SUCCESS;
+  });
+}
+
+// --- Storage-format options (DESIGN.md §15) --------------------------------
+// Polymorphic storage: each container's data block is stored as CSR
+// ("csr", the canonical sparse form), hypersparse CSR ("hyper"), a
+// presence bitmap ("bitmap"), or a full dense array ("dense").  The
+// library picks per object from a density cost model; these entry
+// points pin a format or read what is actually resident.  Pinning never
+// changes results — every format is bitwise-identical under the
+// differential oracle — only the memory/time trade-off.
+
+typedef enum {
+  GxB_FORMAT_CSR = 0,     // compressed sparse row (canonical)
+  GxB_FORMAT_HYPER = 1,   // hypersparse CSR (matrices only)
+  GxB_FORMAT_BITMAP = 2,  // presence bytes + full value slots
+  GxB_FORMAT_DENSE = 3,   // full value array, no structure
+  GxB_FORMAT_AUTO = 4,    // cost-model choice (the default)
+} GxB_Format;
+
+typedef enum {
+  GxB_FORMAT = 0,  // storage format (GxB_Format values)
+} GxB_Option_Field;
+
+namespace grb_detail {
+// GxB_Format -> internal pin (-1 = auto).  `max_fmt` is the largest
+// internal format id the container supports.
+inline GrB_Info format_pin(GxB_Format value, int max_fmt, int* pin) {
+  int v = static_cast<int>(value);
+  if (v == GxB_FORMAT_AUTO) {
+    *pin = -1;
+    return GrB_SUCCESS;
+  }
+  if (v < 0 || v > max_fmt) return GrB_INVALID_VALUE;
+  *pin = v;
+  return GrB_SUCCESS;
+}
+}  // namespace grb_detail
+
+// Sets the global format policy: AUTO restores the cost model; any
+// other value forces that format for every subsequently published
+// block (degrading to the nearest representable format when the forced
+// one cannot hold the object).  GRB_FORMAT=csr|hyper|bitmap|dense|auto
+// in the environment sets the same knob.
+inline GrB_Info GxB_Format_set(GxB_Format value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    int pin = -1;
+    GrB_Info info = grb_detail::format_pin(
+        value, static_cast<int>(grb::MatFormat::kDense), &pin);
+    if (info != GrB_SUCCESS) return info;
+    grb::set_format_policy(static_cast<grb::FormatPolicy>(pin));
+    return GrB_SUCCESS;
+  });
+}
+
+// Reads the global format policy.
+inline GrB_Info GxB_Format_get(GxB_Format* value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (value == nullptr) return GrB_NULL_POINTER;
+    int p = static_cast<int>(grb::format_policy());
+    *value = p < 0 ? GxB_FORMAT_AUTO : static_cast<GxB_Format>(p);
+    return GrB_SUCCESS;
+  });
+}
+
+// Pins one matrix to a storage format (GxB_FORMAT_AUTO unpins).  The
+// current block is re-adapted immediately; later publishes honor the
+// pin.
+inline GrB_Info GxB_Matrix_Option_set(GrB_Matrix A, GxB_Option_Field field,
+                                      GxB_Format value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (A == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (field != GxB_FORMAT) return GrB_INVALID_VALUE;
+    int pin = -1;
+    GrB_Info info = grb_detail::format_pin(
+        value, static_cast<int>(grb::MatFormat::kDense), &pin);
+    if (info != GrB_SUCCESS) return info;
+    return grb_detail::to_c(A->set_format_option(pin));
+  });
+}
+
+// Reads the format of the matrix's resident data block (what is
+// actually in memory now, not the pin).
+inline GrB_Info GxB_Matrix_Option_get(GrB_Matrix A, GxB_Option_Field field,
+                                      GxB_Format* value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (value == nullptr) return GrB_NULL_POINTER;
+    if (A == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (field != GxB_FORMAT) return GrB_INVALID_VALUE;
+    *value = static_cast<GxB_Format>(A->current_data()->format);
+    return GrB_SUCCESS;
+  });
+}
+
+// Vector variant.  Vectors have no hypersparse form; their formats map
+// as sparse = GxB_FORMAT_CSR, bitmap = GxB_FORMAT_BITMAP,
+// dense = GxB_FORMAT_DENSE.
+inline GrB_Info GxB_Vector_Option_set(GrB_Vector v, GxB_Option_Field field,
+                                      GxB_Format value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (field != GxB_FORMAT) return GrB_INVALID_VALUE;
+    int pin = -1;
+    if (value != GxB_FORMAT_AUTO) {
+      switch (value) {
+        case GxB_FORMAT_CSR:
+          pin = static_cast<int>(grb::VecFormat::kSparse);
+          break;
+        case GxB_FORMAT_BITMAP:
+          pin = static_cast<int>(grb::VecFormat::kBitmap);
+          break;
+        case GxB_FORMAT_DENSE:
+          pin = static_cast<int>(grb::VecFormat::kDense);
+          break;
+        default:
+          return GrB_INVALID_VALUE;  // no hypersparse vectors
+      }
+    }
+    return grb_detail::to_c(v->set_format_option(pin));
+  });
+}
+
+inline GrB_Info GxB_Vector_Option_get(GrB_Vector v, GxB_Option_Field field,
+                                      GxB_Format* value) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (value == nullptr) return GrB_NULL_POINTER;
+    if (v == nullptr) return GrB_UNINITIALIZED_OBJECT;
+    if (field != GxB_FORMAT) return GrB_INVALID_VALUE;
+    switch (v->current_data()->format) {
+      case grb::VecFormat::kSparse:
+        *value = GxB_FORMAT_CSR;
+        break;
+      case grb::VecFormat::kBitmap:
+        *value = GxB_FORMAT_BITMAP;
+        break;
+      case grb::VecFormat::kDense:
+        *value = GxB_FORMAT_DENSE;
+        break;
+    }
     return GrB_SUCCESS;
   });
 }

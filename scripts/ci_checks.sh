@@ -13,34 +13,43 @@
 #                        entry-point parity (libclang when available,
 #                        self-contained text frontend otherwise)
 #    3. build+ctest    — default preset, full tier-1 suite
-#    4. telemetry      — obs-labeled tests: counter oracles plus the
+#    4. format-ablate  — the differential suites rerun under each forced
+#                        GRB_FORMAT=csr|hyper|bitmap|dense: every storage
+#                        format must reproduce the CSR baseline bitwise
+#                        (DESIGN.md §15)
+#    5. telemetry      — obs-labeled tests: counter oracles plus the
 #                        GRB_TRACE → grb_trace_summarize.py pipeline
-#    5. observability  — quickstart under GRB_FLIGHT_RECORDER + GRB_METRICS;
+#    6. observability  — quickstart under GRB_FLIGHT_RECORDER + GRB_METRICS;
 #                        the Prometheus exposition must parse and carry the
 #                        per-op quantiles + memory gauges (grb_prom_check.py)
-#    6. attribution    — per-context tenant attribution: the watchdog
+#    7. attribution    — per-context tenant attribution: the watchdog
 #                        suite (a synthetic stall must trip a flight-
 #                        recorder dump naming the owning context) plus the
 #                        multitenant_scrape example, whose exposition must
 #                        carry two distinct context="..." label sets
 #                        (grb_prom_check.py --require-contexts 2)
-#    7. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
+#    8. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
 #                        (skipped when clang++ is absent; the annotations
 #                        compile as no-ops elsewhere)
-#    8. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
+#    9. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
 #                        gated by the per-check warning-count baseline
 #                        (tools/grb_tidy_check.py; skipped when clang-tidy
 #                        is absent)
-#    9. bench          — bench_m4_masked_mxm + bench_m5_spgemm_adaptive +
-#                        bench_m6_fusion, archiving BENCH_*.json under
-#                        bench_artifacts/; tools/bench_compare.py diffs
-#                        against bench_artifacts/baseline/ when present
-#                        (advisory: shared boxes are noisy)
-#   10. asan           — AddressSanitizer build + tsan-labeled tests
+#   10. bench          — every bench binary runs from bench_artifacts/ so
+#                        each BENCH_*.json is archived (previously only the
+#                        m4/m5/m6 gate trio ran here and every other
+#                        bench's JSON landed in whatever cwd it was run
+#                        from and was lost).  The gate benches (m4/m5/m6/m7)
+#                        run 3 repetitions; the rest run with a short
+#                        min-time just to refresh their trajectories.
+#                        tools/bench_compare.py diffs against
+#                        bench_artifacts/baseline/ when present (advisory:
+#                        shared boxes are noisy)
+#   11. asan           — AddressSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_ASAN=1)
-#   11. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
+#   12. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
 #                        tests (skipped unless GRB_CI_UBSAN=1)
-#   12. tsan           — ThreadSanitizer build + tsan-labeled tests
+#   13. tsan           — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; the slowest stage,
 #                        and the tsan preset also runs in its own lane)
 #
@@ -63,21 +72,21 @@ record() {
   if [ "$2" = FAIL ]; then failed=1; fi
 }
 
-note "1/12 grb_lint (regex spec conformance)"
+note "1/13 grb_lint (regex spec conformance)"
 if python3 tools/grb_lint.py --json grb_lint_report.json; then
   record grb_lint PASS
 else
   record grb_lint FAIL
 fi
 
-note "2/12 grb_analyze (AST/call-graph conformance)"
+note "2/13 grb_analyze (AST/call-graph conformance)"
 if python3 tools/grb_analyze.py --json grb_analyze_report.json; then
   record grb_analyze PASS
 else
   record grb_analyze FAIL
 fi
 
-note "3/12 default build + tests"
+note "3/13 default build + tests"
 cmake --preset default >/dev/null
 cmake --build build -j "$JOBS"
 if (cd build && ctest --output-on-failure -j "$JOBS"); then
@@ -86,14 +95,27 @@ else
   record build+ctest FAIL
 fi
 
-note "4/12 telemetry (obs-labeled tests: counters + trace pipeline)"
+note "4/13 format ablation (differential suites under each GRB_FORMAT)"
+# Every forced storage format must reproduce the CSR baseline bitwise.
+# The differential suites build their own inputs, so the env override
+# genuinely changes what the publishes store.
+ablate_ok=1
+for fmt in csr hyper bitmap dense; do
+  echo "-- GRB_FORMAT=$fmt"
+  GRB_FORMAT=$fmt ./build/tests/grb_parallel_tests \
+      --gtest_filter='DiffOracle.*:SpgemmDiff.*:FusionDiff.*:FormatDiff.*:DescTranspose.*' \
+      --gtest_brief=1 || ablate_ok=0
+done
+if [ "$ablate_ok" = 1 ]; then record format-ablate PASS; else record format-ablate FAIL; fi
+
+note "5/13 telemetry (obs-labeled tests: counters + trace pipeline)"
 if (cd build && ctest -L obs --output-on-failure); then
   record telemetry PASS
 else
   record telemetry FAIL
 fi
 
-note "5/12 observability (flight recorder + GRB_METRICS exposition)"
+note "6/13 observability (flight recorder + GRB_METRICS exposition)"
 obs_ok=1
 obs_dir=$(mktemp -d)
 GRB_FLIGHT_RECORDER=1024 GRB_METRICS="$obs_dir/metrics.prom" \
@@ -108,7 +130,7 @@ fi
 rm -rf "$obs_dir"
 if [ "$obs_ok" = 1 ]; then record observability PASS; else record observability FAIL; fi
 
-note "6/12 attribution (watchdog stall report + two-tenant scrape)"
+note "7/13 attribution (watchdog stall report + two-tenant scrape)"
 attr_ok=1
 # Synthetic stalls must trip the watchdog and name the owning context.
 (cd build && ctest -R WatchdogTest --output-on-failure) || attr_ok=0
@@ -127,7 +149,7 @@ fi
 rm -rf "$attr_dir"
 if [ "$attr_ok" = 1 ]; then record attribution PASS; else record attribution FAIL; fi
 
-note "7/12 thread-safety analysis (clang)"
+note "8/13 thread-safety analysis (clang)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
@@ -143,7 +165,7 @@ else
   record thread-safety SKIP
 fi
 
-note "8/12 clang-tidy (bugprone/concurrency/performance vs baseline)"
+note "9/13 clang-tidy (bugprone/concurrency/performance vs baseline)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset exports compile_commands.json; grb_tidy_check
   # fails only on warnings above the checked-in per-check baseline.
@@ -157,16 +179,29 @@ else
   record clang-tidy SKIP
 fi
 
-note "9/12 benchmarks (m4 masked mxm + m5 adaptive spgemm + m6 fusion)"
+note "10/13 benchmarks (all benches, BENCH_*.json archived)"
 bench_ok=1
-cmake --build build -j "$JOBS" \
-      --target bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion
+cmake --build build -j "$JOBS"
 mkdir -p bench_artifacts
-for bench in bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion; do
+# Gate benches: 3 repetitions, medians only — these are the trajectories
+# bench_compare.py holds against the baseline.
+gate_benches="bench_m4_masked_mxm bench_m5_spgemm_adaptive bench_m6_fusion \
+bench_m7_formats"
+for bench in $gate_benches; do
   (cd bench_artifacts && \
    "../build/bench/$bench" --benchmark_repetitions=3 \
        --benchmark_report_aggregates_only=true \
        >/dev/null) || bench_ok=0
+done
+# Everything else: one short pass, purely so every bench's BENCH_*.json
+# lands in bench_artifacts/ instead of being scattered (or never written)
+# — each binary dumps its JSON into whatever cwd it runs from.
+for exe in build/bench/bench_*; do
+  [ -x "$exe" ] || continue
+  name=$(basename "$exe")
+  case " $gate_benches " in *" $name "*) continue ;; esac
+  (cd bench_artifacts && "../$exe" --benchmark_min_time=0.05 >/dev/null) \
+    || bench_ok=0
 done
 echo "archived: $(ls bench_artifacts/BENCH_*.json 2>/dev/null | tr '\n' ' ')"
 if [ -d bench_artifacts/baseline ]; then
@@ -195,13 +230,13 @@ sanitizer_stage() {
   fi
 }
 
-note "10/12 address sanitizer (tsan-labeled tests under asan)"
+note "11/13 address sanitizer (tsan-labeled tests under asan)"
 sanitizer_stage asan asan GRB_CI_ASAN
 
-note "11/12 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
+note "12/13 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
 sanitizer_stage ubsan ubsan GRB_CI_UBSAN
 
-note "12/12 thread sanitizer (tsan-labeled tests)"
+note "13/13 thread sanitizer (tsan-labeled tests)"
 sanitizer_stage tsan tsan GRB_CI_TSAN
 
 printf '\n== summary ==\n'

@@ -18,28 +18,58 @@
 
 namespace grb {
 
+// Storage format of one immutable vector data block (DESIGN.md §15).
+//  * kSparse — canonical: sorted coordinate list ind + packed vals.
+//  * kBitmap — bmap holds n presence bytes; vals holds one slot per
+//              position (absent slots zero-filled).
+//  * kDense  — every position present; vals holds n slots.
+enum class VecFormat : uint8_t { kSparse = 0, kBitmap = 1, kDense = 2 };
+
+const char* format_name(VecFormat f);
+
 struct VectorData {
   // Memory-attribution account for ind/vals; declared first so it
   // outlives the arrays it is credited from during destruction.
   std::shared_ptr<obs::MemAccount> acct;
   const Type* type;
   Index n = 0;
-  obs::TrackedVec<Index> ind;  // sorted, unique
-  ValueArray vals;             // stride == type->size()
+  VecFormat format = VecFormat::kSparse;
+  obs::TrackedVec<Index> ind;     // sparse only: sorted, unique
+  obs::TrackedVec<uint8_t> bmap;  // bitmap only: n presence bytes
+  Index full_nvals = 0;           // bitmap/dense: stored entry count
+  ValueArray vals;                // stride == type->size()
 
-  VectorData(const Type* t, Index size)
+  VectorData(const Type* t, Index size,
+             VecFormat f = VecFormat::kSparse)
       : acct(std::make_shared<obs::MemAccount>()),
         type(t),
         n(size),
+        format(f),
         ind(obs::TrackedAlloc<Index>(acct)),
+        bmap(obs::TrackedAlloc<uint8_t>(acct)),
         vals(t->size(), acct) {}
 
-  Index nvals() const { return static_cast<Index>(ind.size()); }
+  Index nvals() const {
+    return format == VecFormat::kSparse ? static_cast<Index>(ind.size())
+                                        : full_nvals;
+  }
 
-  // Position of index i, or npos.
+  // Position of index i in vals, or npos.  O(1) for bitmap/dense.
   static constexpr size_t npos = ~size_t{0};
   size_t find(Index i) const;
+
+  // Canonical-view cache (containers/format.cpp): a non-sparse block is
+  // expanded to the sorted-coordinate form at most once; the view dies
+  // with this block's last reference (COW = free invalidation).
+  mutable Mutex view_mu_;
+  mutable std::shared_ptr<const VectorData> sparse_view_
+      GRB_GUARDED_BY(view_mu_);
 };
+
+// Canonical sparse view of a snapshot: identity for kSparse blocks, the
+// cached expansion otherwise.
+std::shared_ptr<const VectorData> format_sparse_view(
+    std::shared_ptr<const VectorData> v);
 
 // A pending elementwise update (setElement or removeElement).
 struct PendingTuple {
@@ -62,18 +92,7 @@ class Vector : public ObjectBase, public obs::MemReportable {
   ~Vector() override { obs::mem_unregister(this); }
 
   void mem_snapshot(obs::MemReportable::Snapshot* out) const override
-      GRB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    out->kind = "vector";
-    out->rows = size_;
-    out->cols = 1;
-    out->nvals = data_->nvals();
-    out->live_bytes =
-        obs::account_live(*data_->acct) + obs::account_live(*pend_acct_);
-    out->peak_bytes =
-        obs::account_peak(*data_->acct) + obs::account_peak(*pend_acct_);
-    out->ctx = obs_ctx_id();
-  }
+      GRB_EXCLUDES(mu_);
 
   const Type* type() const { return type_; }
   Index size() const GRB_EXCLUDES(mu_) {
@@ -82,11 +101,17 @@ class Vector : public ObjectBase, public obs::MemReportable {
   }
 
   // Completes the sequence (drains deferred ops, folds pending tuples)
-  // and returns an immutable snapshot.
+  // and returns an immutable snapshot in the canonical sparse form.
+  // Format-aware fast paths use snapshot_native() and branch on
+  // ->format.
   Info snapshot(std::shared_ptr<const VectorData>* out) GRB_EXCLUDES(mu_);
+  Info snapshot_native(std::shared_ptr<const VectorData>* out)
+      GRB_EXCLUDES(mu_);
 
-  // Publishes new contents.  Called by operation closures; the data's
-  // size must equal the handle size at the time the closure runs.
+  // Publishes new contents, adapting the stored format first (cost
+  // model or per-object override; the conversion runs before mu_ is
+  // taken).  Called by operation closures; the data's size must equal
+  // the handle size at the time the closure runs.
   void publish(std::shared_ptr<const VectorData> data) GRB_EXCLUDES(mu_);
 
   // Folds any pending tuples into the sequence, then appends `op`, so
@@ -110,6 +135,18 @@ class Vector : public ObjectBase, public obs::MemReportable {
       GRB_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return data_;
+  }
+  // Canonical sparse view of current_data() — what deferred closures
+  // read.
+  std::shared_ptr<const VectorData> current_canonical() const
+      GRB_EXCLUDES(mu_) {
+    return format_sparse_view(current_data());
+  }
+
+  // GxB_Vector_Option_set/get: per-object format pin (-1 = cost model).
+  Info set_format_option(int fmt) GRB_EXCLUDES(mu_);
+  int format_option() const {
+    return fmt_override_.load(std::memory_order_relaxed);
   }
 
   // --- lifecycle / structure --------------------------------------------
@@ -138,6 +175,9 @@ class Vector : public ObjectBase, public obs::MemReportable {
   Index size_ GRB_GUARDED_BY(mu_);
   const Type* type_;  // immutable after construction
   std::shared_ptr<const VectorData> data_ GRB_GUARDED_BY(mu_);
+  // Per-object format pin: -1 defers to the cost model / GRB_FORMAT
+  // policy, otherwise a VecFormat value publish() converts to.
+  std::atomic<int> fmt_override_{-1};
 
   // Pending-tuple store on its own account (buffered-but-unfolded bytes
   // in the handle's memory snapshot); account declared first.

@@ -228,7 +228,7 @@ Info matrix_export(Index* indptr, Index* indices, void* values,
       if (indptr == nullptr ||
           (nvals > 0 && (indices == nullptr || values == nullptr)))
         return Info::kNullPointer;
-      auto t = transpose_data(*snap);  // CSC of A == CSR of A'
+      auto t = format_transpose_view(snap);  // CSC of A == CSR of A'
       std::copy(t->ptr.begin(), t->ptr.end(), indptr);
       std::copy(t->col.begin(), t->col.end(), indices);
       if (nvals > 0) std::memcpy(values, t->vals.data(), nvals * sz);

@@ -129,13 +129,15 @@ std::string memory_report() {
   out.append(line);
   for (const auto& s : snaps) {
     std::snprintf(line, sizeof line,
-                  "    %-6s %llux%llu nvals=%llu live=%llu peak=%llu "
-                  "ctx=%llu\n",
-                  s.kind, static_cast<unsigned long long>(s.rows),
+                  "    %-6s %-6s %llux%llu nvals=%llu live=%llu peak=%llu "
+                  "views=%llu ctx=%llu\n",
+                  s.kind, s.format[0] != '\0' ? s.format : "-",
+                  static_cast<unsigned long long>(s.rows),
                   static_cast<unsigned long long>(s.cols),
                   static_cast<unsigned long long>(s.nvals),
                   static_cast<unsigned long long>(s.live_bytes),
                   static_cast<unsigned long long>(s.peak_bytes),
+                  static_cast<unsigned long long>(s.view_bytes),
                   static_cast<unsigned long long>(s.ctx));
     out.append(line);
   }

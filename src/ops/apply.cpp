@@ -113,7 +113,7 @@ Info capture_scalar(ValueBuf* buf, const Type* to, const void* s,
 // and eager paths run literally the same kernel.
 //
 // Plain self-apply (u == w) skips the eager input snapshot and reads
-// w->current_data() inside the closure instead: by FIFO ordering of the
+// w->current_canonical() inside the closure instead: by FIFO ordering of the
 // deferred queue both see the same data, and staying lazy is what lets
 // the planner accumulate apply→apply chains instead of forcing a
 // materialization per call.
@@ -147,14 +147,14 @@ Info defer_vec_map(Vector* w, const Vector* u, const Vector* mask,
       [w, u_snap, m_snap, spec, ztype,
        factory = std::move(factory)]() -> Info {
         std::shared_ptr<const VectorData> uu =
-            u_snap != nullptr ? u_snap : w->current_data();
+            u_snap != nullptr ? u_snap : w->current_canonical();
         Context* ectx = exec_context(w->context(), uu->nvals());
         auto t = map_vector(ectx, *uu, ztype, [&] {
           return [fn = factory()](void* z, const void* x, Index i) mutable {
             fn(z, x, i, 0);
           };
         });
-        auto c_old = w->current_data();
+        auto c_old = w->current_canonical();
         w->publish(
             writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;
@@ -198,12 +198,12 @@ Info defer_mat_map(Matrix* c, const Matrix* a, const Matrix* mask,
       [c, a_snap, m_snap, spec, ztype, t0,
        factory = std::move(factory)]() -> Info {
         std::shared_ptr<const MatrixData> base =
-            a_snap != nullptr ? a_snap : c->current_data();
+            a_snap != nullptr ? a_snap : c->current_canonical();
         std::shared_ptr<const MatrixData> av =
-            t0 ? transpose_data(*base) : base;
+            t0 ? format_transpose_view(base) : base;
         auto t = map_matrix(exec_context(c->context(), av->nvals()), *av,
                             ztype, [&] { return factory(); });
-        auto c_old = c->current_data();
+        auto c_old = c->current_canonical();
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;

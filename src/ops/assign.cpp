@@ -230,7 +230,7 @@ Info run_vector_assign(Vector* w, const Vector* mask, const BinaryOp* accum,
   return defer_or_run(w, [w, m_snap, accum, updates = std::move(updates),
                           src_vals = std::move(src_vals), src_type,
                           spec]() -> Info {
-    auto c_old = w->current_data();
+    auto c_old = w->current_canonical();
     auto z = std::make_shared<VectorData>(c_old->type, c_old->n);
     UpdateMerger merger(c_old->type, src_type, accum, &src_vals);
     merger.merge(
@@ -260,7 +260,7 @@ Info run_matrix_assign(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(c, [c, m_snap, accum, updates = std::move(updates),
                           src_vals = std::move(src_vals), src_type,
                           spec]() -> Info {
-    auto c_old = c->current_data();
+    auto c_old = c->current_canonical();
     // Group updates by target row (stable: program order preserved).
     std::vector<std::pair<Index, Update>> ups = updates;
     std::stable_sort(ups.begin(), ups.end(),
@@ -435,7 +435,7 @@ Info assign(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   if (mask != nullptr)
     GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
   std::shared_ptr<const MatrixData> av =
-      d.tran0() ? transpose_data(*a_snap) : a_snap;
+      d.tran0() ? format_transpose_view(a_snap) : a_snap;
 
   std::vector<std::pair<Index, Update>> updates;
   updates.reserve(static_cast<size_t>(eff_nr) * eff_nc);

@@ -54,6 +54,34 @@ void merge_ewise_row(const MatrixData& a, const MatrixData& b, Index r,
   }
 }
 
+// Dense×dense fast path: both operands are full, so union and
+// intersection coincide and every output cell is op(a, b) at the same
+// row-major slot — no merge, no structural pass, one flat loop.  The
+// result is published as a dense block; value order matches the CSR
+// merge exactly (row-major == full-CSR compact order), so downstream
+// canonicalization is bitwise-identical to the generic path.
+std::shared_ptr<MatrixData> compute_ewise_dense(Context* ctx,
+                                                const MatrixData& a,
+                                                const MatrixData& b,
+                                                const BinaryOp* op) {
+  auto t = std::make_shared<MatrixData>(op->ztype(), a.nrows, a.ncols,
+                                        MatFormat::kDense);
+  Index cells = a.nrows * a.ncols;
+  t->full_nvals = cells;
+  t->vals.resize(cells);
+  Index cols = a.ncols;
+  ctx->parallel_for(0, a.nrows, [&](Index lo, Index hi) {
+    BinRunner run(op, a.type, b.type);
+    for (Index r = lo; r < hi; ++r) {
+      for (Index j = 0; j < cols; ++j) {
+        size_t k = r * cols + j;
+        run.run(t->vals.at(k), a.vals.at(k), b.vals.at(k));
+      }
+    }
+  });
+  return t;
+}
+
 template <bool kUnion>
 std::shared_ptr<MatrixData> compute_ewise_m(Context* ctx,
                                             const MatrixData& a,
@@ -103,9 +131,11 @@ Info ewise_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
              const Descriptor* desc) {
   const Descriptor& d = resolve_desc(desc);
   GRB_RETURN_IF_ERROR(validate_ewise_m(c, mask, accum, op, a, b, d));
+  // Native snapshots: dense×dense inputs take the flat-loop fast path
+  // below without expanding to CSR first.
   std::shared_ptr<const MatrixData> a_snap, b_snap, m_snap;
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot(&a_snap));
-  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(b)->snapshot(&b_snap));
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(a)->snapshot_native(&a_snap));
+  GRB_RETURN_IF_ERROR(const_cast<Matrix*>(b)->snapshot_native(&b_snap));
   if (mask != nullptr)
     GRB_RETURN_IF_ERROR(const_cast<Matrix*>(mask)->snapshot(&m_snap));
   WritebackSpec spec{accum, mask != nullptr, d.mask_structure(),
@@ -122,14 +152,23 @@ Info ewise_m(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(
       c,
       [c, a_snap, b_snap, m_snap, op, spec, t0, t1]() -> Info {
+        Context* ectx = exec_context(
+            c->context(), a_snap->nvals() + b_snap->nvals());
+        // Dense×dense with an identity write-back (unmasked,
+        // unaccumulated, no cast): publish the flat-loop result directly.
+        if (!t0 && !t1 && a_snap->format == MatFormat::kDense &&
+            b_snap->format == MatFormat::kDense && m_snap == nullptr &&
+            spec.accum == nullptr && !spec.mask_comp &&
+            op->ztype() == c->type()) {
+          c->publish(compute_ewise_dense(ectx, *a_snap, *b_snap, op));
+          return Info::kSuccess;
+        }
         std::shared_ptr<const MatrixData> av =
-            t0 ? transpose_data(*a_snap) : a_snap;
+            t0 ? format_transpose_view(a_snap) : format_csr_view(a_snap);
         std::shared_ptr<const MatrixData> bv =
-            t1 ? transpose_data(*b_snap) : b_snap;
-        Context* ectx =
-            exec_context(c->context(), av->nvals() + bv->nvals());
+            t1 ? format_transpose_view(b_snap) : format_csr_view(b_snap);
         auto t = compute_ewise_m<kUnion>(ectx, *av, *bv, op);
-        auto c_old = c->current_data();
+        auto c_old = c->current_canonical();
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;

@@ -168,7 +168,7 @@ Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
   GRB_RETURN_IF_ERROR(validate_ewise_v(w, mask, accum, op, u, v));
   const Descriptor& d = resolve_desc(desc);
   // Plain replaces participate in fusion; self operands stay lazy (the
-  // closure reads w->current_data() at execution, which by queue FIFO is
+  // closure reads w->current_canonical() at execution, which by queue FIFO is
   // identical to snapshotting here) so chains over w keep accumulating
   // instead of forcing a materialization per call.
   const bool plain = mask == nullptr && accum == nullptr && !d.mask_comp();
@@ -216,15 +216,15 @@ Info ewise_v(Vector* w, const Vector* mask, const BinaryOp* accum,
       w,
       [w, u_snap, v_snap, m_snap, op, spec]() -> Info {
         std::shared_ptr<const VectorData> uu =
-            u_snap != nullptr ? u_snap : w->current_data();
+            u_snap != nullptr ? u_snap : w->current_canonical();
         std::shared_ptr<const VectorData> vv =
-            v_snap != nullptr ? v_snap : w->current_data();
+            v_snap != nullptr ? v_snap : w->current_canonical();
         Context* ectx =
             exec_context(w->context(), uu->nvals() + vv->nvals());
         auto t = ectx->effective_nthreads() > 1
                      ? compute_ewise_blocked<kUnion>(ectx, *uu, *vv, op)
                      : compute_ewise<kUnion>(*uu, *vv, op);
-        auto c_old = w->current_data();
+        auto c_old = w->current_canonical();
         w->publish(
             writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;

@@ -75,7 +75,7 @@ Info extract(Vector* w, const Vector* mask, const BinaryOp* accum,
             }
           }
         }
-        auto c_old = w->current_data();
+        auto c_old = w->current_canonical();
         w->publish(
             writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;
@@ -114,7 +114,7 @@ Info extract(Matrix* c, const Matrix* mask, const BinaryOp* accum,
                           ci = std::move(ci), eff_nr, eff_nc, spec,
                           t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
+        t0 ? format_transpose_view(a_snap) : a_snap;
     auto t = std::make_shared<MatrixData>(av->type, eff_nr, eff_nc);
     // Column gather plan: source col -> sorted list of output columns.
     std::vector<std::pair<Index, Index>> colmap;  // (src col, out col)
@@ -145,7 +145,7 @@ Info extract(Matrix* c, const Matrix* mask, const BinaryOp* accum,
       }
       t->ptr[r + 1] = t->col.size();
     }
-    auto c_old = c->current_data();
+    auto c_old = c->current_canonical();
     c->publish(
         writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
@@ -182,7 +182,7 @@ Info extract_col(Vector* w, const Vector* mask, const BinaryOp* accum,
   return defer_or_run(w, [w, a_snap, m_snap, ri = std::move(ri), eff_nr,
                           col, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
+        t0 ? format_transpose_view(a_snap) : a_snap;
     auto t = std::make_shared<VectorData>(av->type, eff_nr);
     for (Index k = 0; k < eff_nr; ++k) {
       Index src = ri.all ? k : ri.at(k);
@@ -192,7 +192,7 @@ Info extract_col(Vector* w, const Vector* mask, const BinaryOp* accum,
         t->vals.push_back(av->vals.at(pos));
       }
     }
-    auto c_old = w->current_data();
+    auto c_old = w->current_canonical();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;

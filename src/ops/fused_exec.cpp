@@ -262,7 +262,7 @@ std::shared_ptr<VectorData> fused_zip_blocked(Context* ctx,
 
 Info run_fused_vector_group(Vector* w, std::vector<Deferred>& batch,
                             size_t b, size_t e) {
-  const Type* wtype = w->current_data()->type;
+  const Type* wtype = w->current_canonical()->type;
   std::shared_ptr<const VectorData> cur;
   std::vector<Stage> stages;
   for (size_t k = b; k < e; ++k) {
@@ -281,10 +281,10 @@ Info run_fused_vector_group(Vector* w, std::vector<Deferred>& batch,
       if (nd.vsrc != nullptr)
         cur = nd.vsrc;  // snapshot-source head: chain restarts here
       else if (cur == nullptr)
-        cur = w->current_data();
+        cur = w->current_canonical();
       stages.push_back(Stage{&nd.make_mapper, nd.ztype});
     } else {  // kZip
-      if (cur == nullptr) cur = w->current_data();
+      if (cur == nullptr) cur = w->current_canonical();
       Context* ectx = exec_context(w->context(),
                                    cur->nvals() + nd.zip_other->nvals());
       cur = ectx->effective_nthreads() > 1
@@ -306,7 +306,7 @@ Info run_fused_vector_group(Vector* w, std::vector<Deferred>& batch,
 
 Info run_fused_matrix_group(Matrix* c, std::vector<Deferred>& batch,
                             size_t b, size_t e) {
-  const Type* ctype = c->current_data()->type;
+  const Type* ctype = c->current_canonical()->type;
   std::shared_ptr<const MatrixData> cur;
   std::vector<Stage> stages;
   for (size_t k = b; k < e; ++k) {
@@ -321,7 +321,7 @@ Info run_fused_matrix_group(Matrix* c, std::vector<Deferred>& batch,
     if (nd.msrc != nullptr)
       cur = nd.msrc;
     else if (cur == nullptr)
-      cur = c->current_data();
+      cur = c->current_canonical();
     stages.push_back(Stage{&nd.make_mapper, nd.ztype});
     if (k + 1 == e) {
       Context* ectx = exec_context(c->context(), cur->nvals());

@@ -38,9 +38,9 @@ Info kronecker(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   return defer_or_run(
       c, [c, a_snap, b_snap, m_snap, op, spec, t0, t1]() -> Info {
         std::shared_ptr<const MatrixData> av =
-            t0 ? transpose_data(*a_snap) : a_snap;
+            t0 ? format_transpose_view(a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
-            t1 ? transpose_data(*b_snap) : b_snap;
+            t1 ? format_transpose_view(b_snap) : b_snap;
         Index nrows = av->nrows * bv->nrows;
         Index ncols = av->ncols * bv->ncols;
         auto t = std::make_shared<MatrixData>(op->ztype(), nrows, ncols);
@@ -70,7 +70,7 @@ Info kronecker(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             }
           }
         });
-        auto c_old = c->current_data();
+        auto c_old = c->current_canonical();
         c->publish(
             writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
         return Info::kSuccess;

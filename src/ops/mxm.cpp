@@ -1,6 +1,7 @@
 // GrB_mxm: C<M,r> = C (+) A*B over a semiring.
 #include <algorithm>
 
+#include "containers/format.hpp"
 #include "obs/telemetry.hpp"
 #include "ops/mxm.hpp"
 
@@ -47,9 +48,9 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
       c,
       [c, a_snap, b_snap, m_snap, s, spec, t0, t1]() -> Info {
         std::shared_ptr<const MatrixData> av =
-            t0 ? transpose_data(*a_snap) : a_snap;
+            t0 ? format_transpose_view(a_snap) : a_snap;
         std::shared_ptr<const MatrixData> bv =
-            t1 ? transpose_data(*b_snap) : b_snap;
+            t1 ? format_transpose_view(b_snap) : b_snap;
         Context* ctx =
             exec_context(c->context(), av->nvals() + bv->nvals());
         std::shared_ptr<MatrixData> t;
@@ -89,7 +90,7 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             use_dot = flops_dot < row_costs().total;
           }
           if (use_dot && bt_ok) {
-            auto bt = transpose_data(*bv);
+            auto bt = format_transpose_view(bv);
             t = fastpath_masked_dot_mxm(ctx, *av, *bt, *m_snap, s);
             if (t == nullptr) {
               t = mxm_masked_dot_kernel(ctx, *av, *bt, *m_snap,
@@ -111,7 +112,11 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
           // symbolic total, not a second scan.
           obs::add_flops(row_costs().total);
         }
-        auto c_old = c->current_data();
+        // Hand the symbolic flop total to the format cost model: the
+        // publish below re-evaluates c's storage format, and the
+        // already-paid symbolic pass is a free density signal.
+        if (costs != nullptr) format_hint_flops(costs->total);
+        auto c_old = c->current_canonical();
         // Identity write-back: with no mask and no accumulator Z = T
         // replaces C wholesale, so when no cast is needed T itself is
         // published and the per-element merged rebuild is skipped.  The

@@ -143,6 +143,64 @@ std::shared_ptr<VectorData> mxv_kernel(Context* ctx, const MatrixData& a,
   return t;
 }
 
+// Hypersparse variant of mxv_kernel: iterates only the nonempty rows
+// listed in a.hrow (a must be MatFormat::kHyper, whose ptr array is
+// compacted to hrow.size()+1 entries).  Per-row fold order matches the
+// CSR kernel exactly — same column order, same first/add sequence — and
+// nonempty rows are visited in ascending row id, so the output is
+// bitwise-identical to running mxv_kernel on the expanded CSR view.
+template <class MakeRunner>
+std::shared_ptr<VectorData> mxv_hyper_kernel(Context* ctx,
+                                             const MatrixData& a,
+                                             const VectorData& u,
+                                             const Type* ztype,
+                                             MakeRunner&& make_runner) {
+  auto t = std::make_shared<VectorData>(ztype, a.nrows);
+  size_t zsize = ztype->size();
+  VecProbe probe;
+  probe.init(u);
+  Index nh = a.hrow.size();
+  // Structural pass over the compact row list only.
+  std::vector<uint8_t> hit(nh, 0);
+  ctx->parallel_for(0, nh, [&](Index lo, Index hi) {
+    for (Index h = lo; h < hi; ++h) {
+      for (size_t ka = a.ptr[h]; ka < a.ptr[h + 1]; ++ka) {
+        if (probe.find(a.col[ka]) != nullptr) {
+          hit[h] = 1;
+          break;
+        }
+      }
+    }
+  });
+  std::vector<Index> slot(nh + 1, 0);
+  for (Index h = 0; h < nh; ++h) slot[h + 1] = slot[h] + hit[h];
+  t->ind.resize(slot[nh]);
+  t->vals.resize(slot[nh]);
+  ctx->parallel_for(0, nh, [&](Index lo, Index hi) {
+    auto runner = make_runner();
+    ValueBuf acc(zsize), prod(zsize);
+    for (Index h = lo; h < hi; ++h) {
+      if (!hit[h]) continue;
+      bool first = true;
+      for (size_t ka = a.ptr[h]; ka < a.ptr[h + 1]; ++ka) {
+        const void* uval = probe.find(a.col[ka]);
+        if (uval == nullptr) continue;
+        if (first) {
+          runner.mul(acc.data(), a.vals.at(ka), uval);
+          first = false;
+        } else {
+          runner.mul(prod.data(), a.vals.at(ka), uval);
+          runner.add(acc.data(), prod.data());
+        }
+      }
+      Index s = slot[h];
+      t->ind[s] = a.hrow[h];
+      t->vals.set(s, acc.data());
+    }
+  });
+  return t;
+}
+
 // Masked dot-product SpGEMM: computes T only at the structural-mask
 // positions, C(i,j) = A(i,:) . B(:,j), via sorted-intersection merges of
 // A's row i and B'(j,:).  This is the kernel masked multiplies like

@@ -200,7 +200,7 @@ Info reduce_to_vector(Vector* w, const Vector* mask, const BinaryOp* accum,
   bool t0 = d.tran0();
   return defer_or_run(w, [w, a_snap, m_snap, monoid, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
+        t0 ? format_transpose_view(a_snap) : a_snap;
     const Type* mt = monoid->type();
     auto t = std::make_shared<VectorData>(mt, av->nrows);
     // Count nonempty rows first, then fill in parallel.
@@ -226,7 +226,7 @@ Info reduce_to_vector(Vector* w, const Vector* mask, const BinaryOp* accum,
         }
       }
     });
-    auto c_old = w->current_data();
+    auto c_old = w->current_canonical();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;

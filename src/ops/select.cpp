@@ -109,7 +109,7 @@ Info select(Vector* w, const Vector* mask, const BinaryOp* accum,
         }
       }
     });
-    auto c_old = w->current_data();
+    auto c_old = w->current_canonical();
     w->publish(
         writeback_vector(w->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;
@@ -147,7 +147,7 @@ Info select(Matrix* c, const Matrix* mask, const BinaryOp* accum,
   bool t0 = d.tran0();
   return defer_or_run(c, [c, a_snap, m_snap, op, sv, spec, t0]() -> Info {
     std::shared_ptr<const MatrixData> av =
-        t0 ? transpose_data(*a_snap) : a_snap;
+        t0 ? format_transpose_view(a_snap) : a_snap;
     // Row-parallel two-phase: evaluate the keep bits once into a bitmap,
     // prefix-sum, then gather survivors.
     Index nrows = av->nrows;
@@ -183,7 +183,7 @@ Info select(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         }
       }
     });
-    auto c_old = c->current_data();
+    auto c_old = c->current_canonical();
     c->publish(
         writeback_matrix(c->context(), *c_old, *t, m_snap.get(), spec));
     return Info::kSuccess;

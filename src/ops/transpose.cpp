@@ -53,9 +53,9 @@ Info transpose(Matrix* c, const Matrix* mask, const BinaryOp* accum,
                      d.mask_comp(), d.replace()};
   auto op = [c, a_snap, m_snap, spec, tran]() -> Info {
     std::shared_ptr<const MatrixData> t =
-        tran ? transpose_data(*a_snap) : a_snap;
+        tran ? format_transpose_view(a_snap) : a_snap;
     // c's queue is FIFO: predecessors have published by now.
-    std::shared_ptr<const MatrixData> c_old = c->current_data();
+    std::shared_ptr<const MatrixData> c_old = c->current_canonical();
     auto result = writeback_matrix(c->context(), *c_old, *t, m_snap.get(),
                                    spec);
     c->publish(std::move(result));

@@ -62,7 +62,7 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
   }
   return defer_or_run(w, [w, a_snap, u_snap, m_snap, s, spec, t1]() -> Info {
     std::shared_ptr<const MatrixData> av =
-        t1 ? transpose_data(*a_snap) : a_snap;
+        t1 ? format_transpose_view(a_snap) : a_snap;
     size_t work = av->nvals() + u_snap->nvals();
     Context* ectx = exec_context(w->context(), work);
     std::shared_ptr<VectorData> t;
@@ -76,7 +76,7 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
       // Parallel path: column dot products over A'.  Fold order per
       // output entry matches the serial SPA (ascending row index), so
       // the result is bitwise-identical to the serial path.
-      auto at = transpose_data(*av);
+      auto at = format_transpose_view(av);
       t = fastpath_vxm_dot(ectx, *u_snap, *at, s);
       if (t == nullptr) {
         t = vxm_dot_kernel(ectx, *u_snap, *at, s->mul()->ztype(), [&] {
@@ -92,7 +92,7 @@ Info vxm(Vector* w, const Vector* mask, const BinaryOp* accum,
       }
     }
     if (obs::stats_enabled()) obs::add_flops(av->nvals());
-    auto c_old = w->current_data();
+    auto c_old = w->current_canonical();
     // Identity write-back (see mxm.cpp): unmasked, unaccumulated, no
     // cast — T replaces w wholesale.
     if (m_snap == nullptr && spec.accum == nullptr &&

@@ -1,0 +1,254 @@
+// Polymorphic storage formats (DESIGN.md §15): per-object pins via
+// GxB_Matrix/Vector_Option_set, the global GxB_Format policy, format
+// introspection, conversion round-trips, format-aware element access,
+// and the cost model's direct choices.
+#include <gtest/gtest.h>
+
+#include "containers/format.hpp"
+#include "tests/grb_test_util.hpp"
+
+namespace {
+
+using testutil::random_mat;
+using testutil::random_vec;
+
+// Restores the global policy (tests here force it).
+struct PolicyGuard {
+  grb::FormatPolicy saved;
+  PolicyGuard() : saved(grb::format_policy()) {}
+  ~PolicyGuard() { grb::set_format_policy(saved); }
+};
+
+GxB_Format matrix_format(GrB_Matrix a) {
+  GxB_Format f = GxB_FORMAT_AUTO;
+  EXPECT_EQ(GxB_Matrix_Option_get(a, GxB_FORMAT, &f), GrB_SUCCESS);
+  return f;
+}
+
+GxB_Format vector_format(GrB_Vector v) {
+  GxB_Format f = GxB_FORMAT_AUTO;
+  EXPECT_EQ(GxB_Vector_Option_get(v, GxB_FORMAT, &f), GrB_SUCCESS);
+  return f;
+}
+
+TEST(FormatTest, MatrixPinRoundTripsEveryFormat) {
+  PolicyGuard guard;  // env-independent: assert the auto policy
+  grb::set_format_policy(grb::FormatPolicy::kAuto);
+  ref::Mat rm = random_mat(20, 16, 0.3, 151);
+  GrB_Matrix a = testutil::make_matrix(rm);
+  ASSERT_EQ(GrB_wait(a, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(matrix_format(a), GxB_FORMAT_CSR);  // small blocks stay csr
+
+  for (GxB_Format f : {GxB_FORMAT_HYPER, GxB_FORMAT_BITMAP,
+                       GxB_FORMAT_CSR, GxB_FORMAT_HYPER}) {
+    ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, f), GrB_SUCCESS);
+    EXPECT_EQ(matrix_format(a), f);
+    EXPECT_MATRIX_EQ(a, rm);  // contents survive every conversion
+  }
+  // Unpin: the cost model re-adapts (small block keeps current format).
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_AUTO),
+            GrB_SUCCESS);
+  EXPECT_MATRIX_EQ(a, rm);
+  GrB_free(&a);
+}
+
+TEST(FormatTest, MatrixDensePinNeedsFullBlock) {
+  // Full block: dense sticks.
+  ref::Mat full = random_mat(8, 8, 1.1, 152);
+  GrB_Matrix a = testutil::make_matrix(full);
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_DENSE),
+            GrB_SUCCESS);
+  EXPECT_EQ(matrix_format(a), GxB_FORMAT_DENSE);
+  EXPECT_MATRIX_EQ(a, full);
+  GrB_free(&a);
+
+  // Partial block: dense cannot represent a hole; degrades to bitmap.
+  ref::Mat part = random_mat(8, 8, 0.5, 153);
+  ASSERT_LT(part.nvals(), 64u);
+  GrB_Matrix b = testutil::make_matrix(part);
+  ASSERT_EQ(GxB_Matrix_Option_set(b, GxB_FORMAT, GxB_FORMAT_DENSE),
+            GrB_SUCCESS);
+  EXPECT_EQ(matrix_format(b), GxB_FORMAT_BITMAP);
+  EXPECT_MATRIX_EQ(b, part);
+  GrB_free(&b);
+}
+
+TEST(FormatTest, ExtractElementEveryMatrixFormat) {
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 6, 5), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, 2.5, 1, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement(a, -4.0, 4, 0), GrB_SUCCESS);
+  for (GxB_Format f : {GxB_FORMAT_CSR, GxB_FORMAT_HYPER, GxB_FORMAT_BITMAP,
+                       GxB_FORMAT_DENSE}) {
+    ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, f), GrB_SUCCESS);
+    double out = 0.0;
+    EXPECT_EQ(GrB_Matrix_extractElement(&out, a, 1, 3), GrB_SUCCESS);
+    EXPECT_EQ(out, 2.5);
+    EXPECT_EQ(GrB_Matrix_extractElement(&out, a, 4, 0), GrB_SUCCESS);
+    EXPECT_EQ(out, -4.0);
+    EXPECT_EQ(GrB_Matrix_extractElement(&out, a, 0, 0), GrB_NO_VALUE);
+    GrB_Index nv = 0;
+    EXPECT_EQ(GrB_Matrix_nvals(&nv, a), GrB_SUCCESS);
+    EXPECT_EQ(nv, 2u);
+  }
+  GrB_free(&a);
+}
+
+TEST(FormatTest, VectorPinRoundTripsEveryFormat) {
+  PolicyGuard guard;
+  grb::set_format_policy(grb::FormatPolicy::kAuto);
+  ref::Vec rv = random_vec(40, 0.4, 154);
+  GrB_Vector u = testutil::make_vector(rv);
+  ASSERT_EQ(GrB_wait(u, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(vector_format(u), GxB_FORMAT_CSR);  // "sparse" maps to CSR
+
+  ASSERT_EQ(GxB_Vector_Option_set(u, GxB_FORMAT, GxB_FORMAT_BITMAP),
+            GrB_SUCCESS);
+  EXPECT_EQ(vector_format(u), GxB_FORMAT_BITMAP);
+  EXPECT_VECTOR_EQ(u, rv);
+  double out = 0.0;
+  for (GrB_Index i = 0; i < rv.n; ++i) {
+    GrB_Info want = rv.at(i) ? GrB_SUCCESS : GrB_NO_VALUE;
+    EXPECT_EQ(GrB_Vector_extractElement(&out, u, i), want);
+    if (rv.at(i)) EXPECT_EQ(out, *rv.at(i));
+  }
+  // Dense needs a full vector; a partial one degrades to bitmap.
+  ASSERT_EQ(GxB_Vector_Option_set(u, GxB_FORMAT, GxB_FORMAT_DENSE),
+            GrB_SUCCESS);
+  EXPECT_EQ(vector_format(u), GxB_FORMAT_BITMAP);
+  ASSERT_EQ(GxB_Vector_Option_set(u, GxB_FORMAT, GxB_FORMAT_CSR),
+            GrB_SUCCESS);
+  EXPECT_EQ(vector_format(u), GxB_FORMAT_CSR);
+  EXPECT_VECTOR_EQ(u, rv);
+  GrB_free(&u);
+
+  ref::Vec full = random_vec(12, 1.1, 155);
+  GrB_Vector w = testutil::make_vector(full);
+  ASSERT_EQ(GxB_Vector_Option_set(w, GxB_FORMAT, GxB_FORMAT_DENSE),
+            GrB_SUCCESS);
+  EXPECT_EQ(vector_format(w), GxB_FORMAT_DENSE);
+  EXPECT_VECTOR_EQ(w, full);
+  GrB_free(&w);
+}
+
+TEST(FormatTest, GlobalPolicyForcesPublishedFormat) {
+  PolicyGuard guard;
+  GxB_Format got = GxB_FORMAT_AUTO;
+  ASSERT_EQ(GxB_Format_set(GxB_FORMAT_BITMAP), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Format_get(&got), GrB_SUCCESS);
+  EXPECT_EQ(got, GxB_FORMAT_BITMAP);
+
+  ref::Mat rm = random_mat(10, 10, 0.4, 156);
+  GrB_Matrix a = testutil::make_matrix(rm);
+  ASSERT_EQ(GrB_wait(a, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(matrix_format(a), GxB_FORMAT_BITMAP);
+  EXPECT_MATRIX_EQ(a, rm);
+  GrB_free(&a);
+
+  ASSERT_EQ(GxB_Format_set(GxB_FORMAT_AUTO), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Format_get(&got), GrB_SUCCESS);
+  EXPECT_EQ(got, GxB_FORMAT_AUTO);
+}
+
+TEST(FormatTest, OptionErrorPaths) {
+  GrB_Matrix a = nullptr;
+  GrB_Vector u = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, GrB_FP64, 2, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&u, GrB_FP64, 2), GrB_SUCCESS);
+  GxB_Format f = GxB_FORMAT_AUTO;
+  EXPECT_EQ(GxB_Matrix_Option_set(nullptr, GxB_FORMAT, GxB_FORMAT_CSR),
+            GrB_UNINITIALIZED_OBJECT);
+  EXPECT_EQ(GxB_Matrix_Option_get(a, GxB_FORMAT, nullptr),
+            GrB_NULL_POINTER);
+  EXPECT_EQ(GxB_Matrix_Option_set(a, static_cast<GxB_Option_Field>(99),
+                                  GxB_FORMAT_CSR),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT,
+                                  static_cast<GxB_Format>(99)),
+            GrB_INVALID_VALUE);
+  // Vectors have no hypersparse form.
+  EXPECT_EQ(GxB_Vector_Option_set(u, GxB_FORMAT, GxB_FORMAT_HYPER),
+            GrB_INVALID_VALUE);
+  EXPECT_EQ(GxB_Vector_Option_get(u, GxB_FORMAT, &f), GrB_SUCCESS);
+  EXPECT_EQ(f, GxB_FORMAT_CSR);
+  GrB_free(&a);
+  GrB_free(&u);
+}
+
+// Direct cost-model checks on hand-built blocks: the thresholds the
+// auto policy promises (DESIGN.md §15).
+TEST(FormatTest, CostModelChoices) {
+  // Full 64x64 (nnz = 4096 >= min work): dense.
+  grb::MatrixData full(GrB_FP64, 64, 64);
+  full.vals.resize(64 * 64);
+  full.col.resize(64 * 64);
+  for (grb::Index r = 0; r < 64; ++r) {
+    for (grb::Index j = 0; j < 64; ++j) full.col[r * 64 + j] = j;
+    full.ptr[r + 1] = (r + 1) * 64;
+  }
+  EXPECT_EQ(grb::choose_matrix_format(full, 0), grb::MatFormat::kDense);
+
+  // Three of four cells present: memory-smaller as bitmap than CSR.
+  grb::MatrixData most(GrB_FP64, 64, 64);
+  for (grb::Index r = 0; r < 64; ++r) {
+    for (grb::Index j = 0; j < 64; ++j) {
+      if ((r * 64 + j) % 4 == 3) continue;
+      most.col.push_back(j);
+    }
+    most.ptr[r + 1] = most.col.size();
+  }
+  most.vals.resize(most.col.size());
+  EXPECT_EQ(grb::choose_matrix_format(most, 0), grb::MatFormat::kBitmap);
+
+  // 8192 rows, entries confined to 512 of them: hypersparse.
+  grb::MatrixData hyper(GrB_FP64, 8192, 8192);
+  for (grb::Index r = 0; r < 8192; ++r) {
+    if (r % 16 == 0) {
+      for (grb::Index j = 0; j < 4; ++j) hyper.col.push_back(j * 97);
+    }
+    hyper.ptr[r + 1] = hyper.col.size();
+  }
+  hyper.vals.resize(hyper.col.size());
+  EXPECT_EQ(grb::choose_matrix_format(hyper, 0), grb::MatFormat::kHyper);
+
+  // Tiny block (below min work): keeps its current format.
+  grb::MatrixData tiny(GrB_FP64, 10, 10);
+  EXPECT_EQ(grb::choose_matrix_format(tiny, 0), grb::MatFormat::kCsr);
+
+  // Full vector: dense; mostly-full: bitmap; sparse: sparse.
+  grb::VectorData vfull(GrB_FP64, 2048);
+  vfull.ind.resize(2048);
+  for (grb::Index i = 0; i < 2048; ++i) vfull.ind[i] = i;
+  vfull.vals.resize(2048);
+  EXPECT_EQ(grb::choose_vector_format(vfull), grb::VecFormat::kDense);
+
+  grb::VectorData vmost(GrB_FP64, 2048);
+  for (grb::Index i = 0; i < 2048; ++i)
+    if (i % 4 != 3) vmost.ind.push_back(i);
+  vmost.vals.resize(vmost.ind.size());
+  EXPECT_EQ(grb::choose_vector_format(vmost), grb::VecFormat::kBitmap);
+
+  grb::VectorData vsparse(GrB_FP64, 1 << 20);
+  for (grb::Index i = 0; i < 1500; ++i) vsparse.ind.push_back(i * 512);
+  vsparse.vals.resize(vsparse.ind.size());
+  EXPECT_EQ(grb::choose_vector_format(vsparse), grb::VecFormat::kSparse);
+}
+
+// Conversions are exact: values round-trip bitwise through every format
+// (checked via extractTuples equality on irrational-ish doubles).
+TEST(FormatTest, ConversionRoundTripIsExact) {
+  ref::Mat rm(12, 9);
+  grb::Prng rng(157);
+  for (auto& c : rm.cells)
+    if (rng.uniform() < 0.5) c = rng.uniform() * 1e3 - 500.0;
+  GrB_Matrix a = testutil::make_matrix(rm);
+  ref::Mat before = testutil::to_ref(a);
+  for (GxB_Format f : {GxB_FORMAT_BITMAP, GxB_FORMAT_HYPER,
+                       GxB_FORMAT_BITMAP, GxB_FORMAT_CSR}) {
+    ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, f), GrB_SUCCESS);
+    EXPECT_TRUE(testutil::mats_equal(before, testutil::to_ref(a)));
+  }
+  GrB_free(&a);
+}
+
+}  // namespace

@@ -303,6 +303,97 @@ TEST_F(ObsTest, FusionCountersExactForHandBuiltChain) {
   GrB_free(&w);
 }
 
+// Exact oracles for the storage-format counters (DESIGN.md §15):
+// format.switches counts publish-time format changes, the transpose
+// counters count cached-view hits vs counting-sort rebuilds, and
+// format.csr_conversions counts lazy canonical expansions.
+TEST_F(ObsTest, FormatCountersExactForKnownSequence) {
+  FusionGuard fusion_off;
+  GrB_Matrix a = path_matrix(8);
+  GrB_Vector u = ones_vector(8);
+  GrB_Vector w = ones_vector(8);
+  grb::set_transpose_cache_enabled(true);
+
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  // Two T0 reads of one unchanged snapshot: the first pays the counting
+  // sort (miss), the second returns the cached view (hit).
+  for (int rep = 0; rep < 2; ++rep) {
+    ASSERT_EQ(GrB_mxv(w, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                      a, u, GrB_DESC_T0),
+              GrB_SUCCESS);
+    ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  }
+  EXPECT_EQ(counter("format.transpose_cache_misses"), 1u);
+  EXPECT_EQ(counter("format.transpose_cache_hits"), 1u);
+
+  // With the cache disabled every read recomputes: one more miss, no
+  // new hit.
+  grb::set_transpose_cache_enabled(false);
+  ASSERT_EQ(GrB_mxv(w, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, u, GrB_DESC_T0),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(w, GrB_MATERIALIZE), GrB_SUCCESS);
+  EXPECT_EQ(counter("format.transpose_cache_misses"), 2u);
+  EXPECT_EQ(counter("format.transpose_cache_hits"), 1u);
+  grb::set_transpose_cache_enabled(true);
+
+  // No publish changed a stored format yet.
+  EXPECT_EQ(counter("format.switches"), 0u);
+
+  // Three pins = three stored-format changes (csr->bitmap->hyper->csr).
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_BITMAP),
+            GrB_SUCCESS);
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_HYPER),
+            GrB_SUCCESS);
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_CSR),
+            GrB_SUCCESS);
+  EXPECT_EQ(counter("format.switches"), 3u);
+
+  // A generic read of a non-CSR block expands it lazily exactly once;
+  // the second read reuses the cached canonical view.
+  ASSERT_EQ(GxB_Matrix_Option_set(a, GxB_FORMAT, GxB_FORMAT_BITMAP),
+            GrB_SUCCESS);
+  uint64_t conv_before = counter("format.csr_conversions");
+  GrB_Index ri[8], ci[8];
+  double vals[8];
+  for (int rep = 0; rep < 2; ++rep) {
+    GrB_Index n = 8;
+    ASSERT_EQ(GrB_Matrix_extractTuples(ri, ci, vals, &n, a), GrB_SUCCESS);
+    EXPECT_EQ(n, 7u);
+  }
+  EXPECT_EQ(counter("format.csr_conversions"), conv_before + 1);
+
+  // The counters surface through both exposition formats.
+  std::vector<char> buf(1 << 16);
+  GrB_Index len = buf.size();
+  ASSERT_EQ(GxB_Stats_json(buf.data(), &len), GrB_SUCCESS);
+  std::string json(buf.data());
+  EXPECT_NE(json.find("\"format.switches\""), std::string::npos);
+  EXPECT_NE(json.find("\"format.transpose_cache_hits\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"format.transpose_cache_misses\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"format.csr_conversions\""), std::string::npos);
+  len = buf.size();
+  ASSERT_EQ(GxB_Stats_prometheus(buf.data(), &len), GrB_SUCCESS);
+  std::string prom(buf.data());
+  EXPECT_NE(prom.find("grb_format_switches_total"), std::string::npos);
+  EXPECT_NE(prom.find(
+                "grb_format_transpose_cache_total{outcome=\"hit\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find(
+                "grb_format_transpose_cache_total{outcome=\"miss\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("grb_format_csr_conversions_total"),
+            std::string::npos);
+
+  GrB_free(&a);
+  GrB_free(&u);
+  GrB_free(&w);
+}
+
 // The always-on flight recorder must show the plan before the fused
 // execution, and the fused execution before the per-node deferred-exec
 // events it wraps — the causal order a post-mortem reader relies on.

@@ -1,0 +1,231 @@
+// GrB_DESC_T0/T1 differential: a descriptor transpose must equal the
+// explicit GrB_transpose composition bitwise, for every storage format
+// and thread count.  This is the contract that lets the cached lazy
+// transpose view (DESIGN.md §15) replace per-call recomputation: the
+// view is built from the same counting sort, so descriptor reads see
+// byte-identical operands whether the cache hits or misses.
+//
+// Square (non-symmetric, real-valued) inputs keep every T0/T1/T0T1
+// combination shape-valid; a missed or spurious transpose still shows,
+// since A != A' for these matrices and the values are fold-order
+// sensitive doubles.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "containers/format.hpp"
+#include "core/global.hpp"
+#include "tests/grb_test_util.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+constexpr GrB_Index kN = 34;
+
+struct ThresholdGuard {
+  size_t saved;
+  ThresholdGuard() : saved(grb::parallel_threshold()) {
+    grb::set_parallel_threshold(1);
+  }
+  ~ThresholdGuard() { grb::set_parallel_threshold(saved); }
+};
+
+struct PolicyGuard {
+  grb::FormatPolicy saved;
+  explicit PolicyGuard(grb::FormatPolicy p) : saved(grb::format_policy()) {
+    grb::set_format_policy(p);
+  }
+  ~PolicyGuard() { grb::set_format_policy(saved); }
+};
+
+struct TransCacheGuard {
+  bool saved;
+  explicit TransCacheGuard(bool on)
+      : saved(grb::transpose_cache_enabled()) {
+    grb::set_transpose_cache_enabled(on);
+  }
+  ~TransCacheGuard() { grb::set_transpose_cache_enabled(saved); }
+};
+
+GrB_Context make_ctx(int nthreads) {
+  GrB_ContextConfig cfg;
+  cfg.nthreads = nthreads;
+  cfg.chunk = 4;
+  GrB_Context ctx = nullptr;
+  EXPECT_EQ(GrB_Context_new(&ctx, GrB_BLOCKING, GrB_NULL, &cfg),
+            GrB_SUCCESS);
+  return ctx;
+}
+
+ref::Mat real_mat(double density, uint64_t seed) {
+  grb::Prng rng(seed);
+  ref::Mat m(kN, kN);
+  for (auto& c : m.cells)
+    if (rng.uniform() < density) c = rng.uniform() * 10.0 - 5.0;
+  return m;
+}
+
+ref::Vec real_vec(double density, uint64_t seed) {
+  grb::Prng rng(seed);
+  ref::Vec v(kN);
+  for (auto& c : v.cells)
+    if (rng.uniform() < density) c = rng.uniform() * 10.0 - 5.0;
+  return v;
+}
+
+GrB_Matrix transposed(GrB_Matrix a, GrB_Context ctx) {
+  GrB_Matrix at = nullptr;
+  EXPECT_EQ(GrB_Matrix_new(&at, GrB_FP64, kN, kN, ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_transpose(at, GrB_NULL, GrB_NULL, a, GrB_NULL),
+            GrB_SUCCESS);
+  return at;
+}
+
+void expect_mats(GrB_Matrix want, GrB_Matrix got, const std::string& tag) {
+  EXPECT_TRUE(
+      testutil::mats_equal(testutil::to_ref(want), testutil::to_ref(got)))
+      << tag;
+}
+
+void expect_vecs(GrB_Vector want, GrB_Vector got, const std::string& tag) {
+  EXPECT_TRUE(
+      testutil::vecs_equal(testutil::to_ref(want), testutil::to_ref(got)))
+      << tag;
+}
+
+// One full sweep at a fixed (policy, nthreads): every op with a
+// descriptor transpose vs the same op over the explicit transpose.
+void check_desc_transpose(int nthreads, const std::string& tag) {
+  GrB_Context ctx = make_ctx(nthreads);
+  ref::Mat ra = real_mat(0.3, 6101);
+  ref::Mat rb = real_mat(0.25, 6102);
+  ref::Vec ru = real_vec(0.6, 6103);
+  GrB_Matrix a = testutil::make_matrix(ra, ctx);
+  GrB_Matrix b = testutil::make_matrix(rb, ctx);
+  GrB_Vector u = testutil::make_vector(ru, ctx);
+  GrB_Matrix at = transposed(a, ctx);
+  GrB_Matrix bt = transposed(b, ctx);
+
+  GrB_Matrix c1 = nullptr, c2 = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c1, GrB_FP64, kN, kN, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c2, GrB_FP64, kN, kN, ctx), GrB_SUCCESS);
+  // mxm T0, run twice: the second descriptor read of the same snapshot
+  // must hit the cached transpose view and stay byte-identical.
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(GrB_mxm(c1, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, a, b, GrB_DESC_T0),
+              GrB_SUCCESS);
+    EXPECT_EQ(GrB_mxm(c2, GrB_NULL, GrB_NULL,
+                      GrB_PLUS_TIMES_SEMIRING_FP64, at, b, GrB_NULL),
+              GrB_SUCCESS);
+    expect_mats(c2, c1, "mxm T0 rep=" + std::to_string(rep) + " " + tag);
+  }
+  // mxm T1: AB' == A(B').
+  EXPECT_EQ(GrB_mxm(c1, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, b, GrB_DESC_T1),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(c2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, bt, GrB_NULL),
+            GrB_SUCCESS);
+  expect_mats(c2, c1, "mxm T1 " + tag);
+  // mxm T0T1: A'B' == (A')(B').
+  EXPECT_EQ(GrB_mxm(c1, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, b, GrB_DESC_T0T1),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(c2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    at, bt, GrB_NULL),
+            GrB_SUCCESS);
+  expect_mats(c2, c1, "mxm T0T1 " + tag);
+  GrB_free(&c1);
+  GrB_free(&c2);
+
+  // mxv T0: A'u == (A')u.
+  GrB_Vector w1 = nullptr, w2 = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&w1, GrB_FP64, kN, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w2, GrB_FP64, kN, ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxv(w1, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, u, GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxv(w2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    at, u, GrB_NULL),
+            GrB_SUCCESS);
+  expect_vecs(w2, w1, "mxv T0 " + tag);
+
+  // vxm T1 (the matrix is input 1): uA' == u(A').
+  EXPECT_EQ(GrB_vxm(w1, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    u, a, GrB_DESC_T1),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_vxm(w2, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    u, at, GrB_NULL),
+            GrB_SUCCESS);
+  expect_vecs(w2, w1, "vxm T1 " + tag);
+  GrB_free(&w1);
+  GrB_free(&w2);
+
+  // eWiseAdd T0 (A' + B) and eWiseMult T1 (A .* B').
+  GrB_Matrix e1 = nullptr, e2 = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&e1, GrB_FP64, kN, kN, ctx), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&e2, GrB_FP64, kN, kN, ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_eWiseAdd(e1, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, a, b,
+                         GrB_DESC_T0),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_eWiseAdd(e2, GrB_NULL, GrB_NULL, GrB_PLUS_FP64, at, b,
+                         GrB_NULL),
+            GrB_SUCCESS);
+  expect_mats(e2, e1, "eWiseAdd T0 " + tag);
+  EXPECT_EQ(GrB_eWiseMult(e1, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, b,
+                          GrB_DESC_T1),
+            GrB_SUCCESS);
+  EXPECT_EQ(GrB_eWiseMult(e2, GrB_NULL, GrB_NULL, GrB_TIMES_FP64, a, bt,
+                          GrB_NULL),
+            GrB_SUCCESS);
+  expect_mats(e2, e1, "eWiseMult T1 " + tag);
+  GrB_free(&e1);
+  GrB_free(&e2);
+
+  GrB_free(&a);
+  GrB_free(&b);
+  GrB_free(&u);
+  GrB_free(&at);
+  GrB_free(&bt);
+  GrB_free(&ctx);
+}
+
+TEST(DescTranspose, AllFormatsAllThreads) {
+  ThresholdGuard threshold;
+  const struct {
+    const char* name;
+    grb::FormatPolicy policy;
+  } legs[] = {
+      {"csr", grb::FormatPolicy::kCsr},
+      {"hyper", grb::FormatPolicy::kHyper},
+      {"bitmap", grb::FormatPolicy::kBitmap},
+      {"dense", grb::FormatPolicy::kDense},
+      {"auto", grb::FormatPolicy::kAuto},
+  };
+  for (const auto& leg : legs) {
+    PolicyGuard policy(leg.policy);
+    for (int nthreads : {1, 8}) {
+      check_desc_transpose(
+          nthreads,
+          std::string(leg.name) + " nthreads=" + std::to_string(nthreads));
+    }
+  }
+}
+
+// The cache-off ablation (GRB_TRANSPOSE_CACHE=0 / the bench baseline)
+// must produce the same bytes as the cached path.
+TEST(DescTranspose, CacheOffMatchesCacheOn) {
+  ThresholdGuard threshold;
+  PolicyGuard policy(grb::FormatPolicy::kAuto);
+  {
+    TransCacheGuard cache(true);
+    check_desc_transpose(1, "cache-on");
+  }
+  {
+    TransCacheGuard cache(false);
+    check_desc_transpose(1, "cache-off");
+  }
+}
+
+}  // namespace

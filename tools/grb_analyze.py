@@ -98,6 +98,8 @@ import sys
 # named by the contract (spgemm / fused_exec / ewise) plus the deferred-
 # drain machinery that every nonblocking completion runs through.
 LOCK_ZONE_FILES = (
+    "src/containers/format.cpp",
+    "src/containers/format.hpp",
     "src/ops/spgemm.cpp",
     "src/ops/spgemm.hpp",
     "src/ops/fused_exec.cpp",
@@ -117,6 +119,7 @@ READ_BARRIER_FILES = (
     "src/containers/vector.cpp",
     "src/containers/matrix.cpp",
     "src/containers/scalar.cpp",
+    "src/containers/format.cpp",
     "src/io/import_export.cpp",
     "src/io/serialize.cpp",
 )
@@ -127,7 +130,8 @@ WRITE_NAME_RE = re.compile(r"import|deserialize|build|set_element")
 
 # Barrier functions: draining the deferred queue (complete runs the
 # fusion planner; snapshot calls complete before publishing).
-BARRIER_FNS = {"snapshot", "complete", "flush_pending", "wait"}
+BARRIER_FNS = {"snapshot", "snapshot_native", "complete", "flush_pending",
+               "wait"}
 
 # Published container data (the snapshot payload or the raw arrays).
 ACCESS_RE = re.compile(
