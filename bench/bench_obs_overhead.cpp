@@ -9,6 +9,7 @@
 // *_Flight/*_FlightOnly variants measure the always-on ring cost.
 #include "bench_util.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace {
@@ -90,6 +91,19 @@ void BM_ApiHook_StatsCtx(benchmark::State& state) {
 }
 BENCHMARK(BM_ApiHook_StatsCtx);
 
+// Hardware profiler armed: kernels run under a ProfScope reading the
+// perf counter group (or its degraded-clock fallback).  The plain API
+// hook never opens a scope, so the Prof leg vs. BM_ApiHook_Flight is
+// the flag-check-only cost; the Mxv leg below carries the real
+// per-region read price.
+void BM_ApiHook_Prof(benchmark::State& state) {
+  grb::obs::prof_set_enabled(true);
+  api_hook_loop(state);
+  grb::obs::prof_set_enabled(false);
+  grb::obs::prof_reset();
+}
+BENCHMARK(BM_ApiHook_Prof);
+
 void BM_ApiHook_Trace(benchmark::State& state) {
   BENCH_TRY(GxB_Trace_start("BENCH_obs_overhead_trace.json"));
   api_hook_loop(state);
@@ -165,6 +179,14 @@ void BM_Mxv_TelemetryStats(benchmark::State& state) {
   BENCH_TRY(GxB_Stats_reset());
 }
 BENCHMARK(BM_Mxv_TelemetryStats)->Unit(benchmark::kMicrosecond);
+
+void BM_Mxv_Prof(benchmark::State& state) {
+  grb::obs::prof_set_enabled(true);
+  mxv_loop(state);
+  grb::obs::prof_set_enabled(false);
+  grb::obs::prof_reset();
+}
+BENCHMARK(BM_Mxv_Prof)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -95,8 +95,12 @@ class JsonTrajectoryReporter : public ::benchmark::ConsoleReporter {
       std::fprintf(f, "}}");
     }
     // Telemetry counter snapshot: zeros unless the run enabled stats
-    // (GRB_STATS=1 or GxB_Stats_enable).
-    std::fprintf(f, "\n],\"telemetry\":%s}\n", grb::obs::stats_json().c_str());
+    // (GRB_STATS=1 or GxB_Stats_enable).  trim_zero_rows drops all-zero
+    // per-op and per-context entries — a stats-off run emits a compact
+    // skeleton instead of pages of zeros, and bench_compare.py never
+    // reads the telemetry object at all.
+    std::fprintf(f, "\n],\"telemetry\":%s}\n",
+                 grb::obs::stats_json(true).c_str());
     return std::fclose(f) == 0;
   }
 

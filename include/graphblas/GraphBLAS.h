@@ -25,6 +25,7 @@
 #include "core/global.hpp"
 #include "io/import_export.hpp"
 #include "io/serialize.hpp"
+#include "obs/decision.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/memory.hpp"
 #include "obs/telemetry.hpp"
@@ -1716,6 +1717,7 @@ inline constexpr const char* const GxB_EXTENSIONS[] = {
     "GxB_Stats_json",
     "GxB_Stats_prometheus",
     "GxB_Context_stats",
+    "GxB_Explain",
     "GxB_Trace_start",
     "GxB_Trace_dump",
     "GxB_Memory_report",
@@ -1810,6 +1812,29 @@ inline GrB_Info GxB_Stats_json(char* buf, GrB_Index* len) {
     if (buf != nullptr && *len > 0) {
       GrB_Index n = *len - 1 < json.size() ? *len - 1 : json.size();
       std::memcpy(buf, json.data(), n);
+      buf[n] = '\0';
+    }
+    *len = need;
+    return GrB_SUCCESS;
+  });
+}
+
+// Renders the decision audit — what strategy every adaptive cost-model
+// branch chose, what it rejected, the predicted costs and the measured
+// outcome — as human-readable text into `buf` (same sizing protocol as
+// GxB_Stats_json).  `op` filters to records attributed to one entry
+// point (e.g. "GrB_mxm"); NULL or "" explains everything still in the
+// ring, newest first.  The audit records while stats are enabled
+// (GxB_Stats_enable / GRB_DECISIONS=1); when it never ran the text says
+// so rather than coming back empty.
+inline GrB_Info GxB_Explain(const char* op, char* buf, GrB_Index* len) {
+  return grb_detail::guarded([&]() -> GrB_Info {
+    if (len == nullptr) return GrB_NULL_POINTER;
+    std::string text = grb::obs::decision_explain(op, 0);
+    GrB_Index need = static_cast<GrB_Index>(text.size()) + 1;
+    if (buf != nullptr && *len > 0) {
+      GrB_Index n = *len - 1 < text.size() ? *len - 1 : text.size();
+      std::memcpy(buf, text.data(), n);
       buf[n] = '\0';
     }
     *len = need;

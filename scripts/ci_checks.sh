@@ -28,14 +28,24 @@
 #                        multitenant_scrape example, whose exposition must
 #                        carry two distinct context="..." label sets
 #                        (grb_prom_check.py --require-contexts 2)
-#    8. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
+#    8. explain        — decision audit + profiler degradation: the
+#                        explain_demo pipeline runs with perf events
+#                        forced unavailable (GRB_PERF_EVENTS=0); the
+#                        GxB_Explain output must carry a plan, the
+#                        GRB_STATS_JSON dump must join cleanly in
+#                        grb_prof_report.py, the exposition must carry
+#                        the decision families and a degraded (non-perf)
+#                        profiler backend (grb_prom_check.py
+#                        --require-decisions --require-prof-backend),
+#                        and the forced-fallback profiler test must pass
+#    9. thread-safety  — Clang -Wthread-safety -Werror=thread-safety build
 #                        (skipped when clang++ is absent; the annotations
 #                        compile as no-ops elsewhere)
-#    9. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
+#   10. clang-tidy     — bugprone-*/concurrency-*/performance-* profile
 #                        gated by the per-check warning-count baseline
 #                        (tools/grb_tidy_check.py; skipped when clang-tidy
 #                        is absent)
-#   10. bench          — every bench binary runs from bench_artifacts/ so
+#   11. bench          — every bench binary runs from bench_artifacts/ so
 #                        each BENCH_*.json is archived (previously only the
 #                        m4/m5/m6 gate trio ran here and every other
 #                        bench's JSON landed in whatever cwd it was run
@@ -45,11 +55,11 @@
 #                        tools/bench_compare.py diffs against
 #                        bench_artifacts/baseline/ when present (advisory:
 #                        shared boxes are noisy)
-#   11. asan           — AddressSanitizer build + tsan-labeled tests
+#   12. asan           — AddressSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_ASAN=1)
-#   12. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
+#   13. ubsan          — UndefinedBehaviorSanitizer build + tsan-labeled
 #                        tests (skipped unless GRB_CI_UBSAN=1)
-#   13. tsan           — ThreadSanitizer build + tsan-labeled tests
+#   14. tsan           — ThreadSanitizer build + tsan-labeled tests
 #                        (skipped unless GRB_CI_TSAN=1; the slowest stage,
 #                        and the tsan preset also runs in its own lane)
 #
@@ -72,21 +82,21 @@ record() {
   if [ "$2" = FAIL ]; then failed=1; fi
 }
 
-note "1/13 grb_lint (regex spec conformance)"
+note "1/14 grb_lint (regex spec conformance)"
 if python3 tools/grb_lint.py --json grb_lint_report.json; then
   record grb_lint PASS
 else
   record grb_lint FAIL
 fi
 
-note "2/13 grb_analyze (AST/call-graph conformance)"
+note "2/14 grb_analyze (AST/call-graph conformance)"
 if python3 tools/grb_analyze.py --json grb_analyze_report.json; then
   record grb_analyze PASS
 else
   record grb_analyze FAIL
 fi
 
-note "3/13 default build + tests"
+note "3/14 default build + tests"
 cmake --preset default >/dev/null
 cmake --build build -j "$JOBS"
 if (cd build && ctest --output-on-failure -j "$JOBS"); then
@@ -95,7 +105,7 @@ else
   record build+ctest FAIL
 fi
 
-note "4/13 format ablation (differential suites under each GRB_FORMAT)"
+note "4/14 format ablation (differential suites under each GRB_FORMAT)"
 # Every forced storage format must reproduce the CSR baseline bitwise.
 # The differential suites build their own inputs, so the env override
 # genuinely changes what the publishes store.
@@ -108,14 +118,14 @@ for fmt in csr hyper bitmap dense; do
 done
 if [ "$ablate_ok" = 1 ]; then record format-ablate PASS; else record format-ablate FAIL; fi
 
-note "5/13 telemetry (obs-labeled tests: counters + trace pipeline)"
+note "5/14 telemetry (obs-labeled tests: counters + trace pipeline)"
 if (cd build && ctest -L obs --output-on-failure); then
   record telemetry PASS
 else
   record telemetry FAIL
 fi
 
-note "6/13 observability (flight recorder + GRB_METRICS exposition)"
+note "6/14 observability (flight recorder + GRB_METRICS exposition)"
 obs_ok=1
 obs_dir=$(mktemp -d)
 GRB_FLIGHT_RECORDER=1024 GRB_METRICS="$obs_dir/metrics.prom" \
@@ -130,7 +140,7 @@ fi
 rm -rf "$obs_dir"
 if [ "$obs_ok" = 1 ]; then record observability PASS; else record observability FAIL; fi
 
-note "7/13 attribution (watchdog stall report + two-tenant scrape)"
+note "7/14 attribution (watchdog stall report + two-tenant scrape)"
 attr_ok=1
 # Synthetic stalls must trip the watchdog and name the owning context.
 (cd build && ctest -R WatchdogTest --output-on-failure) || attr_ok=0
@@ -149,7 +159,37 @@ fi
 rm -rf "$attr_dir"
 if [ "$attr_ok" = 1 ]; then record attribution PASS; else record attribution FAIL; fi
 
-note "8/13 thread-safety analysis (clang)"
+note "8/14 explain (decision audit + profiler forced degradation)"
+# GRB_PERF_EVENTS=0 models a locked-down box (perf_event_open denied):
+# the profiler must come up on the CPU-time fallback, the decision
+# audit must still explain the plan, and every downstream consumer —
+# the stats-JSON join, the Prometheus exposition — must hold together.
+exp_ok=1
+exp_dir=$(mktemp -d)
+GRB_PERF_EVENTS=0 GRB_PROF=1 \
+  GRB_STATS_JSON="$exp_dir/stats.json" GRB_METRICS="$exp_dir/metrics.prom" \
+  ./build/examples/explain_demo >"$exp_dir/explain.txt" || exp_ok=0
+if ! grep -q "decision audit:" "$exp_dir/explain.txt"; then
+  echo "FAILED: explain_demo produced no plan:"
+  cat "$exp_dir/explain.txt"
+  exp_ok=0
+fi
+python3 tools/grb_prof_report.py "$exp_dir/stats.json" || exp_ok=0
+python3 tools/grb_prom_check.py "$exp_dir/metrics.prom" \
+    --require-decisions --require-prof-backend any || exp_ok=0
+if grep -q 'grb_prof_backend_info{backend="perf"}' "$exp_dir/metrics.prom"
+then
+  echo "FAILED: GRB_PERF_EVENTS=0 did not force the profiler off perf"
+  exp_ok=0
+fi
+# The forced-fallback unit tests under the same denial.
+GRB_PERF_EVENTS=0 ./build/tests/grb_obs_tests \
+    --gtest_filter='ProfFallbackTest.*:ExplainTest.*' --gtest_brief=1 \
+    || exp_ok=0
+rm -rf "$exp_dir"
+if [ "$exp_ok" = 1 ]; then record explain PASS; else record explain FAIL; fi
+
+note "9/14 thread-safety analysis (clang)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . \
         -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
@@ -165,7 +205,7 @@ else
   record thread-safety SKIP
 fi
 
-note "9/13 clang-tidy (bugprone/concurrency/performance vs baseline)"
+note "10/14 clang-tidy (bugprone/concurrency/performance vs baseline)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset exports compile_commands.json; grb_tidy_check
   # fails only on warnings above the checked-in per-check baseline.
@@ -179,7 +219,7 @@ else
   record clang-tidy SKIP
 fi
 
-note "10/13 benchmarks (all benches, BENCH_*.json archived)"
+note "11/14 benchmarks (all benches, BENCH_*.json archived)"
 bench_ok=1
 cmake --build build -j "$JOBS"
 mkdir -p bench_artifacts
@@ -230,13 +270,13 @@ sanitizer_stage() {
   fi
 }
 
-note "11/13 address sanitizer (tsan-labeled tests under asan)"
+note "12/14 address sanitizer (tsan-labeled tests under asan)"
 sanitizer_stage asan asan GRB_CI_ASAN
 
-note "12/13 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
+note "13/14 undefined-behavior sanitizer (tsan-labeled tests under ubsan)"
 sanitizer_stage ubsan ubsan GRB_CI_UBSAN
 
-note "13/13 thread sanitizer (tsan-labeled tests)"
+note "14/14 thread sanitizer (tsan-labeled tests)"
 sanitizer_stage tsan tsan GRB_CI_TSAN
 
 printf '\n== summary ==\n'

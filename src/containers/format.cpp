@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/decision.hpp"
 #include "obs/telemetry.hpp"
 
 namespace grb {
@@ -251,6 +252,40 @@ std::shared_ptr<const VectorData> sparse_to_dense(const VectorData& v) {
   return out;
 }
 
+// Approximate storage footprints, the currency of the format chooser —
+// exported to the decision audit so GxB_Explain shows the byte tradeoff
+// a switch was predicted to win.
+uint64_t approx_matrix_bytes(const MatrixData& m, MatFormat f) {
+  const uint64_t vsize = m.type->size() != 0 ? m.type->size() : 1;
+  const uint64_t nnz = m.nvals();
+  uint64_t cells = 0;
+  switch (f) {
+    case MatFormat::kDense:
+      if (cell_count(m.nrows, m.ncols, &cells)) return cells * vsize;
+      break;
+    case MatFormat::kBitmap:
+      if (cell_count(m.nrows, m.ncols, &cells)) return cells * (1 + vsize);
+      break;
+    case MatFormat::kHyper:
+    case MatFormat::kCsr:
+      break;
+  }
+  return nnz * (sizeof(Index) + vsize);
+}
+
+uint64_t approx_vector_bytes(const VectorData& v, VecFormat f) {
+  const uint64_t vsize = v.type->size() != 0 ? v.type->size() : 1;
+  switch (f) {
+    case VecFormat::kDense:
+      return static_cast<uint64_t>(v.n) * vsize;
+    case VecFormat::kBitmap:
+      return static_cast<uint64_t>(v.n) * (1 + vsize);
+    case VecFormat::kSparse:
+      break;
+  }
+  return v.nvals() * (sizeof(Index) + vsize);
+}
+
 }  // namespace
 
 const char* format_name(MatFormat f) {
@@ -394,8 +429,18 @@ std::shared_ptr<const MatrixData> format_adapt_matrix(
                  : forced_matrix_target(*m, static_cast<MatFormat>(p));
   }
   if (target == m->format) return m;
+  // Decision audit: record actual switches only — the steady state
+  // ("stay as-is") would bury the interesting rows.  Costs are the
+  // approximate storage footprints the chooser weighed, in bytes; the
+  // conversion itself is the timed region (timing-only, no mispredict).
+  obs::DecisionTicket ticket = obs::decision_record(
+      obs::DecisionSite::kFormatAdapt, format_name(target),
+      format_name(m->format),
+      static_cast<double>(approx_matrix_bytes(*m, target)),
+      static_cast<double>(approx_matrix_bytes(*m, m->format)));
   auto out = format_convert_matrix(m, target);
   if (out != m) obs::format_switch();
+  obs::decision_measure(ticket, 0);
   return out;
 }
 
@@ -419,8 +464,14 @@ std::shared_ptr<const VectorData> format_adapt_vector(
     }
   }
   if (target == v->format) return v;
+  obs::DecisionTicket ticket = obs::decision_record(
+      obs::DecisionSite::kFormatAdapt, format_name(target),
+      format_name(v->format),
+      static_cast<double>(approx_vector_bytes(*v, target)),
+      static_cast<double>(approx_vector_bytes(*v, v->format)));
   auto out = format_convert_vector(v, target);
   if (out != v) obs::format_switch();
+  obs::decision_measure(ticket, 0);
   return out;
 }
 
@@ -462,9 +513,11 @@ std::shared_ptr<const MatrixData> format_transpose_view(
   auto c = format_csr_view(m);
   if (c == nullptr) return c;
   if (!transpose_cache_enabled()) {
+    // Cache pinned off by the user: no adaptive decision to audit.
     obs::format_transpose_cache(false);
     return transpose_data(*c);
   }
+  const uint64_t nnz = c->nvals();
   std::shared_ptr<const MatrixData> cached;
   {
     MutexLock lock(c->view_mu_);
@@ -472,10 +525,18 @@ std::shared_ptr<const MatrixData> format_transpose_view(
   }
   if (cached != nullptr) {
     obs::format_transpose_cache(true);
+    obs::decision_measure(
+        obs::decision_record(obs::DecisionSite::kTransposeCache, "cached",
+                             "rebuild", 0, static_cast<double>(nnz)),
+        0);
     return cached;
   }
+  obs::DecisionTicket ticket = obs::decision_record(
+      obs::DecisionSite::kTransposeCache, "rebuild", "cached",
+      static_cast<double>(nnz), 0);
   auto built = transpose_data(*c);
   obs::format_transpose_cache(false);
+  obs::decision_measure(ticket, nnz);
   MutexLock lock(c->view_mu_);
   if (c->trans_view_ == nullptr) c->trans_view_ = std::move(built);
   return c->trans_view_;

@@ -5,6 +5,7 @@
 
 #include "core/global.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/decision.hpp"
 #include "obs/telemetry.hpp"
 
 namespace grb {
@@ -219,7 +220,19 @@ Context* exec_context(Context* ctx, size_t work) {
   }
   // Record which path this kernel took, attributed to the GrB op
   // currently on this thread.
-  if (obs::stats_enabled()) obs::count_path(chosen != serial_context());
+  bool parallel = chosen != serial_context();
+  if (obs::stats_enabled()) obs::count_path(parallel);
+  // Decision audit: only when both paths were actually on the table — a
+  // null / single-threaded context never had a choice to explain, and
+  // emitting for it would drown real records in forced-serial noise.
+  if (obs::decision_enabled() && ctx != nullptr &&
+      ctx->effective_nthreads() > 1) {
+    obs::decision_record(obs::DecisionSite::kExecPath,
+                         parallel ? "parallel" : "serial",
+                         parallel ? "serial" : "parallel",
+                         static_cast<double>(work),
+                         static_cast<double>(parallel_threshold()));
+  }
   return chosen;
 }
 

@@ -22,6 +22,7 @@
 #include "containers/matrix.hpp"
 #include "containers/vector.hpp"
 #include "exec/object_base.hpp"
+#include "obs/decision.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "ops/fused_exec.hpp"
@@ -149,8 +150,19 @@ Info fusion_execute_batch(ObjectBase* obj, std::vector<Deferred>& batch,
   uint64_t chains = groups.size();
   uint64_t ops_fused = 0;
   for (const Group& g : groups) ops_fused += g.e - g.b;
+  // Decision audit: one record per batch the planner actually rewrote
+  // (chains found or writes killed) — predicted cost is the node count
+  // the fused plan executes, the alternative the eager replay of the
+  // full batch.  Measured after execution with the nodes that ran
+  // fused, so a plan that predicted big fusion wins but mostly fell
+  // back to eager shows up as a mispredict.
+  obs::DecisionTicket plan_ticket;
   if (chains > 0 || dead_writes > 0) {
     obs::fusion_plan(chains, ops_fused, dead_writes);
+    plan_ticket = obs::decision_record(
+        obs::DecisionSite::kFusionPlan, "fused", "eager",
+        static_cast<double>(n - dead_writes),
+        static_cast<double>(n), "fusion.plan");
     if (obs::flight_enabled())
       obs::fr_record(obs::FrKind::kFusionPlan, "fusion.plan",
                      static_cast<int32_t>(ops_fused));
@@ -197,6 +209,7 @@ Info fusion_execute_batch(ObjectBase* obj, std::vector<Deferred>& batch,
       return info;
     }
   }
+  obs::decision_measure(plan_ticket, n - dead_writes);
   return Info::kSuccess;
 }
 

@@ -89,6 +89,7 @@ const char* kind_name(uint8_t kind) {
     case FrKind::kFusionExec: return "fusion-exec";
     case FrKind::kEnqueue: return "enqueue";
     case FrKind::kWatchdog: return "watchdog";
+    case FrKind::kDecision: return "decision";
   }
   return "?";
 }
@@ -291,6 +292,17 @@ void fr_auto_dump(const char* reason) {
     }
   }
   if (g_auto_dumps <= kAutoDumpStderrBudget) {
+    // A wrapped ring means the dump below is missing the oldest events
+    // — say so loudly, once per dump, with the fix spelled out.
+    if (fr_overwrites() >= fr_capacity()) {
+      std::fprintf(stderr,
+                   "flight recorder: ring wrapped %llu times its capacity "
+                   "(%llu events lost) -- the history below is truncated; "
+                   "set GRB_FLIGHT_RECORDER=N to enlarge the ring\n",
+                   static_cast<unsigned long long>(
+                       fr_overwrites() / (fr_capacity() ? fr_capacity() : 1)),
+                   static_cast<unsigned long long>(fr_overwrites()));
+    }
     std::fputs(text.c_str(), stderr);
     if (g_auto_dumps == kAutoDumpStderrBudget) {
       std::fputs(

@@ -35,6 +35,7 @@ enum class FrKind : uint8_t {
   kFusionExec = 5,  // a fused group ran (info = node count)
   kEnqueue = 6,    // a method was deferred onto an object's queue
   kWatchdog = 7,   // the stall watchdog tripped (info = stalled ms)
+  kDecision = 8,   // an adaptive cost-model branch chose a strategy
 };
 
 // Ring sizing / lifecycle.  fr_resize(0) disables recording (and clears

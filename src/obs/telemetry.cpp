@@ -12,8 +12,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/decision.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/memory.hpp"
+#include "obs/profiler.hpp"
 
 namespace grb {
 namespace obs {
@@ -586,6 +588,10 @@ std::string& env_metrics_path() {
   static auto* path = new std::string();
   return *path;
 }
+std::string& env_stats_json_path() {
+  static auto* path = new std::string();
+  return *path;
+}
 
 void json_append_escaped(std::string* out, const char* s) {
   for (; *s != '\0'; ++s) {
@@ -947,7 +953,14 @@ uint64_t watchdog_trips() {
 
 // --- control / introspection ------------------------------------------------
 
-void stats_set_enabled(bool on) { set_flag(kStatsFlag, on); }
+void stats_set_enabled(bool on) {
+  set_flag(kStatsFlag, on);
+  // Counters without their why are half an answer: the decision audit
+  // rides the same switch, so GxB_Stats_enable always yields an
+  // explainable plan.  (Disabling stats disables the audit too; the
+  // profiler stays independent — it has real per-region cost.)
+  set_flag(kDecisionFlag, on);
+}
 
 void stats_reset() {
   std::lock_guard<std::mutex> lock(reg_mu());
@@ -974,6 +987,8 @@ void stats_reset() {
   g_globals.format_csr_conversions = 0;
   // trace_events / trace_dropped reset with the trace buffer, and the
   // pool_busy live gauge belongs to in-flight parallel_for calls.
+  decision_reset();
+  prof_reset();
 }
 
 namespace {
@@ -1125,6 +1140,12 @@ bool stats_get(const char* name, uint64_t* value) {
     }
     return pick_hist_field(field, a.summarize(), value);
   }
+  // Decision-audit and profiler counters live in their own modules;
+  // forward by prefix before the per-op fallback can mistake
+  // "decision.exec_path.records" for an op named "decision.exec_path".
+  if (std::strncmp(name, "decision.", 9) == 0)
+    return decision_stats_get(name, value);
+  if (std::strncmp(name, "prof.", 5) == 0) return prof_stats_get(name, value);
   std::lock_guard<std::mutex> lock(reg_mu());
   // Pool aggregates: "pool.<field>" sums over every pool.
   if (std::strncmp(name, "pool.", 5) == 0) {
@@ -1234,9 +1255,18 @@ void json_append_op_agg(std::string* out, const OpAgg& a) {
   out->push_back('}');
 }
 
+// Row-trim predicate for stats_json(trim_zero_rows): an op aggregate
+// with no calls and no deferred residue carries no information, only
+// bytes (bench JSON lines grew past review-ability; see bench_util).
+bool op_agg_all_zero(const OpAgg& a) {
+  return a.calls == 0 && a.ns == 0 && a.errors == 0 && a.scalars == 0 &&
+         a.flops == 0 && a.serial == 0 && a.parallel == 0 &&
+         a.deferred == 0 && a.deferred_ns == 0 && a.max_ns == 0;
+}
+
 }  // namespace
 
-std::string stats_json() {
+std::string stats_json(bool trim_zero_rows) {
   // Memory slices first: obj_mu strictly before reg_mu.
   auto mem_slices = mem_by_ctx();
   std::lock_guard<std::mutex> lock(reg_mu());
@@ -1266,6 +1296,7 @@ std::string stats_json() {
   bool first = true;
   char buf[96];
   for (auto& kv : flat) {
+    if (trim_zero_rows && op_agg_all_zero(kv.second)) continue;
     if (!first) out.push_back(',');
     first = false;
     out.push_back('"');
@@ -1367,8 +1398,6 @@ std::string stats_json() {
   out.append("},\"contexts\":{");
   first = true;
   for (auto& ckv : view) {
-    if (!first) out.push_back(',');
-    first = false;
     uint64_t parent = 0;
     bool live = true;
     auto rit = ctx_registry().find(ckv.first);
@@ -1382,6 +1411,14 @@ std::string stats_json() {
       mem_live += sl.live_bytes;
       mem_objects += sl.objects;
     }
+    if (trim_zero_rows && mem_live == 0 && mem_objects == 0) {
+      bool any = false;
+      for (auto& okv : ckv.second)
+        if (!op_agg_all_zero(okv.second)) any = true;
+      if (!any) continue;
+    }
+    if (!first) out.push_back(',');
+    first = false;
     std::snprintf(buf, sizeof buf,
                   "\"%llu\":{\"parent\":%llu,\"live\":%s,"
                   "\"mem.live_bytes\":%llu,\"mem.objects\":%llu,\"ops\":{",
@@ -1393,6 +1430,7 @@ std::string stats_json() {
     out.append(buf);
     bool ofirst = true;
     for (auto& okv : ckv.second) {
+      if (trim_zero_rows && op_agg_all_zero(okv.second)) continue;
       if (!ofirst) out.push_back(',');
       ofirst = false;
       out.push_back('"');
@@ -1424,7 +1462,13 @@ std::string stats_json() {
                   static_cast<unsigned long long>(hs.max));
     out.append(lbuf);
   }
-  out.append("}}");
+  // Decision-audit and hardware-profiler blocks (DESIGN.md §16): the
+  // two halves of the grb_prof_report.py join, shipped side by side.
+  out.append("},\"decisions\":");
+  out.append(decision_json());
+  out.append(",\"prof\":");
+  out.append(prof_json());
+  out.push_back('}');
   return out;
 }
 
@@ -1631,6 +1675,8 @@ std::string stats_prometheus() {
              "# TYPE grb_format_csr_conversions_total counter\n");
   series("grb_format_csr_conversions_total", "",
          ld(g_globals.format_csr_conversions));
+  decision_prometheus(out);
+  prof_prometheus(out);
   return out;
 }
 
@@ -1741,6 +1787,17 @@ void env_activate() {
   if (wd != nullptr && wd[0] != '\0') {
     watchdog_start(std::strtoull(wd, nullptr, 10));
   }
+  // GRB_STATS_JSON=path: counters on now, the full stats_json document
+  // (including the decisions / prof blocks) written at finalize — the
+  // input side of tools/grb_prof_report.py.
+  const char* sjson = std::getenv("GRB_STATS_JSON");
+  if (sjson != nullptr && sjson[0] != '\0') {
+    env_stats_json_path() = sjson;
+    stats_set_enabled(true);
+  }
+  // GRB_DECISIONS=1 / GRB_PROF=1: decision audit and hardware profiler.
+  decision_env_activate();
+  prof_env_activate();
   // GRB_FLIGHT_RECORDER / GRB_FLIGHT_DUMP; default-on (4096 events).
   fr_env_activate();
 }
@@ -1762,6 +1819,21 @@ void env_finalize() {
       std::fprintf(stderr, "grb-obs: failed to write GRB_METRICS file\n");
     }
     env_metrics_path().clear();
+    if (!g_env_stats && env_stats_json_path().empty()) {
+      stats_set_enabled(false);
+      stats_reset();
+    }
+  }
+  if (!env_stats_json_path().empty()) {
+    std::FILE* f = std::fopen(env_stats_json_path().c_str(), "w");
+    if (f != nullptr) {
+      std::fputs(stats_json().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "grb-obs: failed to write GRB_STATS_JSON file\n");
+    }
+    env_stats_json_path().clear();
     if (!g_env_stats) {
       stats_set_enabled(false);
       stats_reset();

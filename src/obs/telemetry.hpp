@@ -52,6 +52,14 @@ enum Flag : uint32_t {
   // completion path register in-progress waits in the stall table only
   // when this bit is set.
   kWatchdogFlag = 8u,
+  // Decision audit (obs/decision.hpp): adaptive cost-model sites record
+  // what they chose/rejected/predicted.  On with stats (GxB_Stats_enable
+  // sets both) or standalone via GRB_DECISIONS=1.
+  kDecisionFlag = 16u,
+  // Hardware profiler (obs/profiler.hpp): ProfScope regions attribute
+  // perf counter groups (or the degraded cpu-clock fallback) per
+  // (context, op, strategy).  GRB_PROF=1 or prof_set_enabled.
+  kProfFlag = 32u,
 };
 
 namespace detail {
@@ -74,6 +82,8 @@ inline bool telemetry_enabled() {
 }
 inline bool flight_enabled() { return (flags() & kFlightFlag) != 0u; }
 inline bool watchdog_enabled() { return (flags() & kWatchdogFlag) != 0u; }
+inline bool decision_enabled() { return (flags() & kDecisionFlag) != 0u; }
+inline bool prof_enabled() { return (flags() & kProfFlag) != 0u; }
 
 // Nanoseconds since an arbitrary process-local epoch (steady clock).
 uint64_t now_ns();
@@ -301,7 +311,9 @@ void stats_reset();
 // "arena.reuse_misses", "mem.live_bytes", "mem.peak_bytes",
 // "mem.arena_live_bytes", "mem.arena_peak_bytes", "mem.objects",
 // "flight.events", "flight.overwrites", "flight.capacity",
-// "watchdog.trips", "watchdog.deadline_ms".  Returns false (and
+// "watchdog.trips", "watchdog.deadline_ms".  Names under "decision."
+// forward to decision_stats_get (obs/decision.hpp) and names under
+// "prof." to prof_stats_get (obs/profiler.hpp).  Returns false (and
 // *value = 0) for unknown names.
 bool stats_get(const char* name, uint64_t* value);
 
@@ -313,8 +325,12 @@ bool stats_get(const char* name, uint64_t* value);
 bool stats_get_ctx(uint64_t ctx_id, const char* name, uint64_t* value);
 
 // Full counter dump as a JSON object (ops, globals, per-pool breakdown,
-// per-context breakdown, per-site lock contention).
-std::string stats_json();
+// per-context breakdown, per-site lock contention, decision-audit and
+// profiler blocks).  `trim_zero_rows` drops per-op and per-context
+// entries whose counters are all zero — bench artifacts embed the dump
+// and were dominated by zero rows — without changing the schema of the
+// rows that remain.
+std::string stats_json(bool trim_zero_rows = false);
 
 // Prometheus text exposition (version 0.0.4): per-(op, context) call /
 // error counters and latency summaries (quantile series from the
@@ -334,9 +350,13 @@ void trace_stop();
 // Environment activation, called by library_init / library_finalize.
 // GRB_STATS=1 prints the JSON summary at finalize; GRB_TRACE=path.json
 // dumps a Chrome trace; GRB_METRICS=path.prom enables stats and writes
-// the Prometheus exposition at finalize; GRB_FLIGHT_RECORDER=N sizes
-// the flight recorder (default 4096, 0 disables); GRB_WATCHDOG=ms arms
-// the stall watchdog with a deadline in milliseconds.
+// the Prometheus exposition at finalize; GRB_STATS_JSON=path.json
+// enables stats and writes the full stats_json document at finalize
+// (the grb_prof_report.py input); GRB_FLIGHT_RECORDER=N sizes the
+// flight recorder (default 4096, 0 disables); GRB_WATCHDOG=ms arms the
+// stall watchdog with a deadline in milliseconds; GRB_DECISIONS=1
+// enables the decision audit; GRB_PROF=1 enables the hardware profiler
+// (GRB_PERF_EVENTS=0 forces its degraded backend).
 void env_activate();
 void env_finalize();
 

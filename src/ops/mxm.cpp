@@ -2,6 +2,8 @@
 #include <algorithm>
 
 #include "containers/format.hpp"
+#include "obs/decision.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "ops/mxm.hpp"
 
@@ -69,6 +71,7 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
         // mask-true positions by the write-back).  The heuristic picks
         // it when the mask is sparse enough that per-position dots beat
         // the full Gustavson expansion.
+        obs::DecisionTicket dot_ticket;
         if (m_snap != nullptr && spec.mask_structure && !spec.mask_comp) {
           MxmStrategy strat = mxm_strategy();
           bool use_dot = strat == MxmStrategy::kMaskedDot;
@@ -88,8 +91,18 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
             size_t flops_dot = m_snap->nvals() * (avg_arow + avg_bcol) +
                                bv->nvals();  // + transpose of B
             use_dot = flops_dot < row_costs().total;
+            // Decision audit: the one genuinely adaptive branch here is
+            // the auto heuristic — pinned strategies never had a choice.
+            dot_ticket = obs::decision_record(
+                obs::DecisionSite::kMaskedDot, use_dot ? "dot" : "saxpy",
+                use_dot ? "saxpy" : "dot",
+                static_cast<double>(use_dot ? flops_dot
+                                            : row_costs().total),
+                static_cast<double>(use_dot ? row_costs().total
+                                            : flops_dot));
           }
           if (use_dot && bt_ok) {
+            obs::ProfScope prof("dot");
             auto bt = format_transpose_view(bv);
             t = fastpath_masked_dot_mxm(ctx, *av, *bt, *m_snap, s);
             if (t == nullptr) {
@@ -106,6 +119,8 @@ Info mxm(Matrix* c, const Matrix* mask, const BinaryOp* accum,
           t = spgemm_mxm(ctx, *av, *bv, s->mul()->ztype(), row_costs(),
                          [&] { return SemiringRunner(s, av->type, bv->type); });
         }
+        obs::decision_measure(dot_ticket,
+                              static_cast<uint64_t>(t->nvals()));
         if (obs::stats_enabled()) {
           // SpGEMM flop metric: every A(i,k) expands into row k of B
           // (multiply count of the Gustavson formulation) — the cached

@@ -43,6 +43,8 @@
 #include "containers/vector.hpp"
 #include "exec/context.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/decision.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace grb {
@@ -395,6 +397,34 @@ std::shared_ptr<MatrixData> spgemm_mxm(Context* ctx, const MatrixData& a,
   const bool stats = obs::stats_enabled();
   std::atomic<uint64_t> rows_hash{0}, rows_dense{0};
 
+  // Decision audit: one summary record per multiply.  The per-row
+  // accumulator classification is a pure function of the symbolic costs
+  // and the policy, so the audited choice can be derived up front (one
+  // cheap pass over flops[]) and the ticket brackets the whole numeric
+  // kernel; measurement lands after assembly with the actual products
+  // written.  "mixed" means both accumulators ran.
+  obs::DecisionTicket ticket;
+  const char* strategy = "hash";
+  if (obs::decision_enabled() || obs::prof_enabled()) {
+    uint64_t pre_dense = 0, pre_hash = 0;
+    for (Index i = 0; i < nrows; ++i) {
+      const uint64_t f = costs.flops[i];
+      if (f == 0) continue;
+      (policy.use_dense(f) ? pre_dense : pre_hash) += 1;
+    }
+    strategy = pre_dense == 0 ? "hash"
+               : pre_hash == 0 ? "dense"
+                               : "mixed";
+    const char* rejected = pre_dense == 0   ? "dense"
+                           : pre_hash == 0 ? "hash"
+                                           : "uniform";
+    ticket = obs::decision_record(
+        obs::DecisionSite::kSpgemmAccum, strategy, rejected,
+        static_cast<double>(costs.total),
+        static_cast<double>(policy.dense_flops));
+  }
+  obs::ProfScope prof(strategy);
+
   ctx->parallel_for(0, nblocks, 1, [&](Index blo, Index bhi) {
     auto runner = make_runner();
     ScratchArena& arena = thread_arena();
@@ -454,6 +484,9 @@ std::shared_ptr<MatrixData> spgemm_mxm(Context* ctx, const MatrixData& a,
                      rows_dense.load(std::memory_order_relaxed));
     obs::spgemm_flops_estimated(costs.total);
   }
+  // Actual products written = output nnz; collisions make it smaller
+  // than the symbolic estimate, and a >2x gap counts as a mispredict.
+  obs::decision_measure(ticket, static_cast<uint64_t>(t->ptr[nrows]));
   return t;
 }
 
@@ -520,6 +553,14 @@ std::shared_ptr<VectorData> vxm_spa(const VectorData& u, const MatrixData& a,
   ScratchArena& arena = thread_arena();
   ValueBuf prod(zsize);
   const bool dense = policy.use_dense(flops);
+  // The whole product is one SPA row, so the audit mirrors the per-row
+  // accumulator question exactly: predicted flops vs the policy's
+  // dense threshold, measured as entries drained.
+  obs::DecisionTicket ticket = obs::decision_record(
+      obs::DecisionSite::kSpgemmAccum, dense ? "dense" : "hash",
+      dense ? "hash" : "dense", static_cast<double>(flops),
+      static_cast<double>(policy.dense_flops));
+  obs::ProfScope prof(dense ? "dense" : "hash");
   HashSpa hspa;
   DenseSpa dspa;
   if (dense) {
@@ -560,6 +601,7 @@ std::shared_ptr<VectorData> vxm_spa(const VectorData& u, const MatrixData& a,
     obs::spgemm_rows(dense ? 0 : 1, dense ? 1 : 0);
     obs::spgemm_flops_estimated(flops);
   }
+  obs::decision_measure(ticket, static_cast<uint64_t>(t->ind.size()));
   return t;
 }
 

@@ -216,6 +216,60 @@ TEST_F(ObsTest, SpgemmAccumulatorAndArenaCounters) {
   GrB_free(&c);
 }
 
+// The decision audit mirrors the accumulator question with exact
+// numbers: one mxm on the 8-node path emits one spgemm_accum record
+// whose predicted cost is the 6-flop symbolic estimate and whose
+// measured outcome is the 6 output entries — a perfect prediction, so
+// the mispredict counter stays zero.
+TEST_F(ObsTest, DecisionCountersExactForPathMxm) {
+  FusionGuard fusion_off;
+  grb::SpgemmMode saved_mode = grb::spgemm_mode();
+  grb::set_spgemm_mode(grb::SpgemmMode::kHash);
+  GrB_Matrix a = path_matrix(8);
+  GrB_Matrix c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&c, GrB_FP64, 8, 8), GrB_SUCCESS);
+
+  // GxB_Stats_enable turns the decision audit on with it: counters
+  // without their why are half an answer.
+  ASSERT_EQ(GxB_Stats_enable(1), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Stats_reset(), GrB_SUCCESS);
+
+  ASSERT_EQ(GrB_mxm(c, GrB_NULL, GrB_NULL, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    a, GrB_NULL),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_wait(c, GrB_MATERIALIZE), GrB_SUCCESS);
+
+  EXPECT_EQ(counter("decision.spgemm_accum.records"), 1u);
+  EXPECT_EQ(counter("decision.spgemm_accum.measured"), 1u);
+  EXPECT_EQ(counter("decision.spgemm_accum.mispredicts"), 0u);
+  EXPECT_EQ(counter("decision.spgemm_accum.predicted_units"), 6u);
+  EXPECT_EQ(counter("decision.spgemm_accum.measured_units"), 6u);
+  // Sites that had no adaptive choice to make stay silent: no mask (so
+  // no masked-dot strategy), fusion pinned off, no transpose view.
+  EXPECT_EQ(counter("decision.masked_dot.records"), 0u);
+  EXPECT_EQ(counter("decision.fusion_plan.records"), 0u);
+  EXPECT_EQ(counter("decision.transpose_cache.records"), 0u);
+  EXPECT_EQ(counter("decision.mispredicts"), 0u);
+  EXPECT_GT(counter("decision.ring_capacity"), 0u);
+
+  // The audit reaches the JSON report as a nested block.
+  std::vector<char> buf(1 << 16);
+  GrB_Index len = buf.size();
+  ASSERT_EQ(GxB_Stats_json(buf.data(), &len), GrB_SUCCESS);
+  std::string json(buf.data());
+  EXPECT_NE(json.find("\"decisions\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"spgemm_accum\":{\"records\":1,\"measured\":1,"
+                      "\"mispredicts\":0,\"predicted_units\":6,"
+                      "\"measured_units\":6}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"prof\":{"), std::string::npos);
+
+  grb::set_spgemm_mode(saved_mode);
+  GrB_free(&a);
+  GrB_free(&c);
+}
+
 TEST_F(ObsTest, QueueDepthHighWaterMatchesScriptedBuildWait) {
   FusionGuard fusion_off;
   GrB_Matrix a = path_matrix(8);

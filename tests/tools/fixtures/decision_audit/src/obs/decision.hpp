@@ -1,0 +1,19 @@
+// Fixture registry: kernel.cpp is legitimately registered; ghost.cpp is
+// registered but never emits (stale registration — one of the seeded
+// violations).
+#define GRB_DECISION_SITES \
+  "src/ops/kernel.cpp",    \
+  "src/ops/ghost.cpp"
+
+namespace grb {
+namespace obs {
+
+struct DecisionTicket {};
+enum class DecisionSite { kExecPath };
+
+DecisionTicket decision_record(DecisionSite site, const char* chosen,
+                               const char* rejected, double predicted,
+                               double alternative);
+
+}  // namespace obs
+}  // namespace grb

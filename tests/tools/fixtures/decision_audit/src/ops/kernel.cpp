@@ -1,0 +1,13 @@
+// Fixture: emits a DecisionRecord from a file that IS listed in
+// GRB_DECISION_SITES — the compliant case, no finding expected.
+#include "obs/decision.hpp"
+
+namespace grb {
+
+void adaptive_kernel(double est_a, double est_b) {
+  obs::DecisionTicket t = obs::decision_record(
+      obs::DecisionSite::kExecPath, "a", "b", est_a, est_b);
+  (void)t;
+}
+
+}  // namespace grb

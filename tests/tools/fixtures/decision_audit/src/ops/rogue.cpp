@@ -1,0 +1,13 @@
+// Fixture: emits a DecisionRecord from a file that is NOT listed in
+// GRB_DECISION_SITES — a seeded violation.
+#include "obs/decision.hpp"
+
+namespace grb {
+
+void rogue_heuristic(double est_a, double est_b) {
+  obs::DecisionTicket t = obs::decision_record(
+      obs::DecisionSite::kExecPath, "fast", "slow", est_a, est_b);
+  (void)t;
+}
+
+}  // namespace grb

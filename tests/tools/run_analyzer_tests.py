@@ -30,6 +30,7 @@ EXPECT = {
     "alloc_under_lock": ({"no-alloc-under-lock": 1}, 1),
     "barrier_read": ({"barrier-before-read": 1}, 0),
     "fusion_grant": ({"fusion-grant-coverage": 3}, 0),
+    "decision_audit": ({"decision-audit-coverage": 2}, 0),
     "atomic_order": ({"atomic-order-explicit": 1, "stale-suppression": 1}, 1),
     "entry_parity": ({"entry-point-parity": 4}, 0),
 }

@@ -191,6 +191,7 @@ RULES = (
     "no-alloc-under-lock",
     "barrier-before-read",
     "fusion-grant-coverage",
+    "decision-audit-coverage",
     "atomic-order-explicit",
     "entry-point-parity",
     "stale-suppression",
@@ -1208,6 +1209,51 @@ def rule_fusion_grant_coverage(prog, repo, rep):
                 "grant originates there; stale registration" % file)
 
 
+def rule_decision_audit_coverage(prog, repo, rep):
+    # GRB_DECISION_SITES (obs/decision.hpp) names every translation unit
+    # hosting an adaptive cost-model branch.  Parity both ways: a file
+    # emitting a DecisionRecord outside src/obs/ must be registered, and
+    # a registered file must actually emit — so a new heuristic cannot
+    # land unaudited and a removed one cannot leave a stale entry.
+    reg_rel = "src/obs/decision.hpp"
+    reg_text = prog.files.get(reg_rel)
+    registered = []
+    if reg_text is not None:
+        raw = prog.raw_files.get(reg_rel, "")
+        m = re.search(r"GRB_DECISION_SITES((?:.|\n)*?)(?:\n\s*\n|$)", raw)
+        if m:
+            registered = re.findall(r'"([^"]+)"', m.group(1))
+        else:
+            rep.report(
+                "decision-audit-coverage", reg_rel, 1,
+                "GRB_DECISION_SITES registry not found in decision.hpp; "
+                "adaptive-decision emitters cannot be audited")
+    emitting = {}
+    for fn in prog.functions:
+        for ev in fn.calls():
+            base = (ev.name or "").rsplit("::", 1)[-1]
+            if base != "decision_record":
+                continue
+            emitting.setdefault(fn.file, []).append((fn, ev))
+    for file, emits in sorted(emitting.items()):
+        if file.startswith("src/obs/"):
+            continue  # the audit machinery itself
+        if registered and file not in registered:
+            fn, ev = emits[0]
+            rep.report(
+                "decision-audit-coverage", file, ev.line,
+                "%s emits a DecisionRecord but %s is not listed in "
+                "GRB_DECISION_SITES (obs/decision.hpp); register the "
+                "site so GxB_Explain coverage matches the code"
+                % (fn.qual, file), function=fn.qual)
+    for file in registered:
+        if file not in emitting:
+            rep.report(
+                "decision-audit-coverage", reg_rel, 1,
+                "GRB_DECISION_SITES lists %s but no decision_record "
+                "call originates there; stale registration" % file)
+
+
 def rule_atomic_order_explicit(prog, repo, rep):
     # Method-call form, from the event stream.
     for fn in prog.functions:
@@ -1338,6 +1384,7 @@ RULE_FNS = (
     rule_guarded_catch_zone,
     rule_barrier_before_read,
     rule_fusion_grant_coverage,
+    rule_decision_audit_coverage,
     rule_atomic_order_explicit,
     rule_entry_point_parity,
 )

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Join the profiler and decision-audit streams into one report.
+
+Input is a stats JSON document — the GxB_Stats_json payload, which the
+library also dumps at finalize when GRB_STATS_JSON=path is set.  Two of
+its blocks are joined here:
+
+  * "prof"      — per-(context, op, strategy) hardware counters from the
+                  perf_event_open groups (or the degraded CPU-time
+                  backend when perf is unavailable);
+  * "decisions" — per-site cost-model audit counters: how often each
+                  adaptive site ran, and how often its predicted cost
+                  was off by more than 2x from what was measured.
+
+The kernel table derives IPC (instructions/cycle) and miss rates
+(cache/branch misses per 1000 instructions) per profiled region; under
+a degraded backend those columns print "-" and only CPU time is shown.
+The decision table derives the mispredict rate and the aggregate
+predicted/measured units ratio per site; any site whose mispredict
+rate exceeds --threshold (default 0.25) is flagged and the exit status
+is 1, so the report doubles as a cost-model regression gate.
+
+Usage: grb_prof_report.py stats.json [--threshold FRAC] [--json]
+Exit status: 0 clean, 1 when a decision site is flagged, 2 on usage
+error.  Pure stdlib; no dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rate(num, den):
+    return num / den if den else 0.0
+
+
+def fmt_count(v, den, scale=1.0):
+    """cache/branch misses per 1000 instructions, '-' when unprofiled."""
+    if not den:
+        return "-"
+    return "%.2f" % (v / den * scale)
+
+
+def kernel_rows(prof):
+    rows = []
+    for r in prof.get("regions", []):
+        cycles = r.get("cycles", 0)
+        instr = r.get("instructions", 0)
+        rows.append({
+            "ctx": r.get("ctx", 0),
+            "op": r.get("op", "?"),
+            "strategy": r.get("strategy", "?"),
+            "count": r.get("count", 0),
+            "cycles": cycles,
+            "instructions": instr,
+            "ipc": rate(instr, cycles),
+            "cache_miss_per_ki": rate(r.get("cache_misses", 0) * 1000.0,
+                                      instr),
+            "branch_miss_per_ki": rate(r.get("branch_misses", 0) * 1000.0,
+                                       instr),
+            "cpu_ms": r.get("cpu_ns", 0) / 1e6,
+        })
+    rows.sort(key=lambda r: -r["cpu_ms"])
+    return rows
+
+
+def decision_rows(decisions, threshold):
+    rows = []
+    for site, c in sorted(decisions.get("sites", {}).items()):
+        measured = c.get("measured", 0)
+        mis = c.get("mispredicts", 0)
+        mrate = rate(mis, measured)
+        rows.append({
+            "site": site,
+            "records": c.get("records", 0),
+            "measured": measured,
+            "mispredicts": mis,
+            "mispredict_rate": mrate,
+            "pred_over_meas": rate(c.get("predicted_units", 0),
+                                   c.get("measured_units", 0)),
+            "flagged": measured > 0 and mrate > threshold,
+        })
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("stats", help="stats JSON document (GxB_Stats_json "
+                                  "payload / GRB_STATS_JSON dump); - for "
+                                  "stdin")
+    ap.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                    help="flag decision sites whose mispredict rate "
+                         "exceeds FRAC (default 0.25)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the joined report as JSON instead of text")
+    args = ap.parse_args()
+
+    try:
+        if args.stats == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(args.stats, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        print("grb_prof_report: cannot read %s: %s" % (args.stats, exc),
+              file=sys.stderr)
+        return 2
+
+    prof = doc.get("prof", {})
+    decisions = doc.get("decisions", {})
+    if not prof and not decisions:
+        print("grb_prof_report: %s has neither a \"prof\" nor a "
+              "\"decisions\" block — is it a stats JSON document?"
+              % args.stats, file=sys.stderr)
+        return 2
+
+    backend = prof.get("backend", "none")
+    hw = backend == "perf"  # cycle/instruction columns are real
+    kernels = kernel_rows(prof)
+    sites = decision_rows(decisions, args.threshold)
+    flagged = [s for s in sites if s["flagged"]]
+
+    if args.json:
+        json.dump({"backend": backend, "threshold": args.threshold,
+                   "kernels": kernels, "decision_sites": sites,
+                   "flagged": [s["site"] for s in flagged]},
+                  sys.stdout, indent=2)
+        print()
+        return 1 if flagged else 0
+
+    print("profiler backend: %s%s"
+          % (backend, "" if hw else
+             " (degraded: hardware counter columns unavailable)"))
+    if kernels:
+        print("\nper-kernel regions (sorted by CPU time):")
+        print("  %-4s %-16s %-10s %8s %6s %9s %9s %10s"
+              % ("ctx", "op", "strategy", "count", "IPC",
+                 "cmiss/ki", "bmiss/ki", "cpu_ms"))
+        for r in kernels:
+            print("  %-4d %-16s %-10s %8d %6s %9s %9s %10.3f"
+                  % (r["ctx"], r["op"], r["strategy"], r["count"],
+                     "%.2f" % r["ipc"] if hw else "-",
+                     fmt_count(r["cache_miss_per_ki"], 1) if hw else "-",
+                     fmt_count(r["branch_miss_per_ki"], 1) if hw else "-",
+                     r["cpu_ms"]))
+    else:
+        print("\nno profiled regions (enable with GRB_PROF=1)")
+
+    if sites:
+        print("\ndecision sites (mispredict threshold %.2f):"
+              % args.threshold)
+        print("  %-16s %8s %9s %11s %7s %10s"
+              % ("site", "records", "measured", "mispredicts", "rate",
+                 "pred/meas"))
+        for s in sites:
+            print("  %-16s %8d %9d %11d %6.1f%% %10s%s"
+                  % (s["site"], s["records"], s["measured"],
+                     s["mispredicts"], 100.0 * s["mispredict_rate"],
+                     "%.2f" % s["pred_over_meas"]
+                     if s["pred_over_meas"] else "-",
+                     "  <-- FLAGGED" if s["flagged"] else ""))
+    else:
+        print("\nno decision counters (enable with GxB_Stats_enable or "
+              "GRB_DECISIONS=1)")
+
+    if flagged:
+        print("\nFLAGGED: %d site(s) above the mispredict threshold: %s"
+              % (len(flagged), ", ".join(s["site"] for s in flagged)))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # report | head must not traceback
+        sys.exit(0)

@@ -19,10 +19,18 @@ syntax, the GraphBLAS exposition contract is enforced:
   * no two samples of one metric share an identical label set (the later
     sample would overwrite the earlier in the scrape);
   * with --require-contexts N, the per-op series must carry at least N
-    distinct context="..." tenant labels.
+    distinct context="..." tenant labels;
+  * whenever the decision-audit families (grb_decision_*_total) appear,
+    they carry every registered site label and the per-site invariant
+    mispredicts <= measured <= records holds; --require-decisions makes
+    their absence an error;
+  * grb_prof_backend_info, when present, names a known profiler backend;
+    --require-prof-backend NAME (or "any") makes its absence an error.
 
 Usage: grb_prom_check.py metrics.prom [--require-op NAME]
                                       [--require-contexts N]
+                                      [--require-decisions]
+                                      [--require-prof-backend NAME]
 Exit status: 0 when valid, 1 on any violation, 2 on usage error.
 Pure stdlib; no dependencies.
 """
@@ -40,6 +48,14 @@ LINE_RE = re.compile(
 
 REQUIRED_GAUGES = ("grb_memory_live_bytes", "grb_memory_peak_bytes")
 REQUIRED_QUANTILES = ("0.5", "0.99")
+# Decision-audit exposition contract: the three families move together
+# and carry one series per registered site (obs/decision.hpp).
+DECISION_FAMILIES = ("grb_decision_records_total",
+                     "grb_decision_measured_total",
+                     "grb_decision_mispredicts_total")
+DECISION_SITES = ("exec_path", "spgemm_accum", "masked_dot",
+                  "format_adapt", "transpose_cache", "fusion_plan")
+PROF_BACKENDS = ("perf", "thread-cputime", "getrusage")
 # The only escapes the text format (version 0.0.4) defines inside a
 # quoted label value.
 BAD_ESCAPE_RE = re.compile(r"\\(?![\\\"n])")
@@ -48,7 +64,7 @@ BAD_ESCAPE_RE = re.compile(r"\\(?![\\\"n])")
 def parse(path):
     """Return (samples, typed, errors).
 
-    samples: list of (metric, {label: value}, float-ok) tuples;
+    samples: list of (metric, {label: value}, sample-value) tuples;
     typed:   {metric_family: type} from # TYPE comments.
     """
     samples, typed, helped, errors = [], {}, set(), []
@@ -85,7 +101,7 @@ def parse(path):
                 errors.append("%d: unparseable sample line: %s"
                               % (lineno, line[:80]))
                 continue
-            name, labelstr, _value = m.groups()
+            name, labelstr, value = m.groups()
             labels = {}
             if labelstr:
                 consumed = sum(len(lm.group(0))
@@ -111,7 +127,7 @@ def parse(path):
                        seen[key]))
             else:
                 seen[key] = lineno
-            samples.append((name, labels))
+            samples.append((name, labels, float(value)))
             family = re.sub(r"_(sum|count|bucket)$", "", name)
             if family not in typed and name not in typed:
                 errors.append("%d: sample %s has no preceding # TYPE"
@@ -132,6 +148,13 @@ def main():
     ap.add_argument("--require-contexts", type=int, default=0, metavar="N",
                     help="require at least N distinct context=\"...\" "
                          "tenant labels on the per-op series")
+    ap.add_argument("--require-decisions", action="store_true",
+                    help="require the decision-audit counter families "
+                         "to be present")
+    ap.add_argument("--require-prof-backend", metavar="NAME", default=None,
+                    help="require grb_prof_backend_info; NAME is a "
+                         "backend (perf, thread-cputime, getrusage) or "
+                         "\"any\"")
     args = ap.parse_args()
 
     try:
@@ -141,7 +164,7 @@ def main():
               file=sys.stderr)
         return 2
 
-    names = {name for name, _ in samples}
+    names = {name for name, _, _ in samples}
     for gauge in REQUIRED_GAUGES:
         if gauge not in names:
             errors.append("required memory gauge %s is missing" % gauge)
@@ -150,10 +173,10 @@ def main():
 
     # Latency summaries: every op with a latency series must expose the
     # required quantiles plus _sum and _count.
-    ops = {labels.get("op") for name, labels in samples
+    ops = {labels.get("op") for name, labels, _ in samples
            if name == "grb_op_latency_ns" and "op" in labels}
     for op in sorted(ops | set(args.require_op)):
-        got = {labels.get("quantile") for name, labels in samples
+        got = {labels.get("quantile") for name, labels, _ in samples
                if name == "grb_op_latency_ns" and labels.get("op") == op}
         for q in REQUIRED_QUANTILES:
             if q not in got:
@@ -163,7 +186,7 @@ def main():
         for suffix in ("_sum", "_count"):
             if not any(name == "grb_op_latency_ns" + suffix
                        and labels.get("op") == op
-                       for name, labels in samples):
+                       for name, labels, _ in samples):
                 errors.append("grb_op_latency_ns%s{op=\"%s\"} is missing"
                               % (suffix, op))
     if typed.get("grb_op_latency_ns") not in (None, "summary"):
@@ -171,7 +194,7 @@ def main():
 
     # Tenant attribution: count distinct context labels on the per-op
     # call counters (every attributed series carries one).
-    contexts = {labels["context"] for name, labels in samples
+    contexts = {labels["context"] for name, labels, _ in samples
                 if name == "grb_op_calls_total" and "context" in labels}
     if args.require_contexts and len(contexts) < args.require_contexts:
         errors.append(
@@ -179,6 +202,65 @@ def main():
             "series, found %d (%s)"
             % (args.require_contexts, len(contexts),
                ", ".join(sorted(contexts)) or "none"))
+
+    # Decision audit: the three families move together — when any one
+    # appears, every registered site must be present in all three, the
+    # families must be counters, and the per-site invariant
+    # mispredicts <= measured <= records must hold.
+    decisions = {}  # site -> {family: value}
+    for name, labels, value in samples:
+        if name in DECISION_FAMILIES and "site" in labels:
+            decisions.setdefault(labels["site"], {})[name] = value
+    if args.require_decisions and not decisions:
+        errors.append("decision-audit families (%s) are missing"
+                      % ", ".join(DECISION_FAMILIES))
+    if decisions:
+        for fam in DECISION_FAMILIES:
+            if typed.get(fam) not in (None, "counter"):
+                errors.append("%s must be # TYPE counter" % fam)
+        for site in DECISION_SITES:
+            if site not in decisions:
+                errors.append(
+                    "decision families lack site=\"%s\" — the exposition "
+                    "must enumerate every registered site" % site)
+        for site in sorted(decisions):
+            vals = decisions[site]
+            missing = [f for f in DECISION_FAMILIES if f not in vals]
+            if missing:
+                errors.append(
+                    "site \"%s\" is missing from %s — the decision "
+                    "families must move together" % (site,
+                                                     ", ".join(missing)))
+                continue
+            rec = vals["grb_decision_records_total"]
+            mea = vals["grb_decision_measured_total"]
+            mis = vals["grb_decision_mispredicts_total"]
+            if not (mis <= mea <= rec):
+                errors.append(
+                    "site \"%s\" violates mispredicts <= measured <= "
+                    "records (%g, %g, %g)" % (site, mis, mea, rec))
+
+    # Profiler backend: at most one info series, naming a known backend.
+    backends = {labels.get("backend", "") for name, labels, _ in samples
+                if name == "grb_prof_backend_info"}
+    for b in sorted(backends):
+        if b not in PROF_BACKENDS:
+            errors.append(
+                "grb_prof_backend_info names unknown backend \"%s\" "
+                "(expected one of %s)" % (b, ", ".join(PROF_BACKENDS)))
+    if len(backends) > 1:
+        errors.append("grb_prof_backend_info exposes %d backends; the "
+                      "process has exactly one" % len(backends))
+    if args.require_prof_backend:
+        if not backends:
+            errors.append("grb_prof_backend_info is missing "
+                          "(--require-prof-backend)")
+        elif (args.require_prof_backend != "any"
+              and args.require_prof_backend not in backends):
+            errors.append(
+                "expected profiler backend \"%s\", exposition reports %s"
+                % (args.require_prof_backend,
+                   ", ".join("\"%s\"" % b for b in sorted(backends))))
 
     for e in errors:
         print("grb_prom_check: %s" % e, file=sys.stderr)
